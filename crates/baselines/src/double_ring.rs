@@ -1,0 +1,97 @@
+//! LoongTrain-style double-ring context parallelism baseline (§6 related
+//! work).
+//!
+//! Like TE CP, every sequence spans all ranks with zigzag chunking — but KV
+//! rotates through a two-level ring: an inner ring within each node and an
+//! outer ring across nodes. Cross-node traffic happens once per node visit
+//! (by all ranks in parallel, engaging every NIC) instead of on every
+//! round's boundary hop, which is the double-ring algorithm's whole point.
+
+use zeppelin_core::plan::{AttnMode, IterationPlan, PlanError, PlanOptions, SeqPlacement, Zone};
+use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
+use zeppelin_data::batch::Batch;
+
+/// The double-ring CP baseline scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DoubleRingCp;
+
+impl DoubleRingCp {
+    /// Creates the baseline.
+    pub fn new() -> DoubleRingCp {
+        DoubleRingCp
+    }
+}
+
+impl Scheduler for DoubleRingCp {
+    fn name(&self) -> &'static str {
+        "DoubleRing CP"
+    }
+
+    fn plan(&self, batch: &Batch, ctx: &SchedulerCtx) -> Result<IterationPlan, PlanError> {
+        let r = ctx.cluster.total_gpus();
+        let per_rank = batch.total_tokens() / r as u64 + 1;
+        if per_rank > ctx.capacity {
+            return Err(PlanError::OverCapacity {
+                tokens: batch.total_tokens(),
+                capacity: ctx.capacity * r as u64,
+            });
+        }
+        let ranks: Vec<usize> = (0..r).collect();
+        let zone = if ctx.cluster.nodes > 1 {
+            Zone::InterNode
+        } else {
+            Zone::IntraNode
+        };
+        let placements = batch
+            .seqs
+            .iter()
+            .enumerate()
+            .map(|(seq_index, &len)| SeqPlacement {
+                seq_index,
+                len,
+                zone,
+                ranks: ranks.clone(),
+                mode: AttnMode::DoubleRing,
+                micro_batch: 0,
+            })
+            .collect();
+        let plan = IterationPlan {
+            scheduler: self.name().into(),
+            placements,
+            options: PlanOptions::default(),
+            micro_batches: 1,
+            redundant_attn_frac: 0.0,
+        };
+        plan.validate(r)?;
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeppelin_model::config::llama_3b;
+    use zeppelin_sim::topology::cluster_a;
+
+    fn ctx() -> SchedulerCtx {
+        SchedulerCtx::new(&cluster_a(2), &llama_3b()).with_capacity(8_192)
+    }
+
+    #[test]
+    fn plans_global_double_ring() {
+        let batch = Batch::new(vec![40_000, 1_000]);
+        let plan = DoubleRingCp::new().plan(&batch, &ctx()).unwrap();
+        for p in &plan.placements {
+            assert_eq!(p.mode, AttnMode::DoubleRing);
+            assert_eq!(p.ranks.len(), 16);
+        }
+    }
+
+    #[test]
+    fn capacity_guard() {
+        let err = DoubleRingCp::new()
+            .plan(&Batch::new(vec![1_000_000]), &ctx())
+            .unwrap_err();
+        assert!(matches!(err, PlanError::OverCapacity { .. }));
+    }
+}

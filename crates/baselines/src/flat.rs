@@ -1,0 +1,150 @@
+//! Flat quadratic-LPT partitioning (hierarchy ablation, FlexSP-flavoured).
+//!
+//! Like Zeppelin, each sequence gets its own ring sized to its quadratic
+//! cost — but placement ignores the bandwidth hierarchy entirely: fragments
+//! go to the globally least-loaded ranks, freely straddling node
+//! boundaries. Comparing this against Zeppelin isolates the value of the
+//! two-level (node-then-device) structure of Algorithms 1–2: the flat
+//! variant balances FLOPs just as well but scatters short rings across
+//! NICs.
+
+use zeppelin_core::plan::{AttnMode, IterationPlan, PlanError, PlanOptions, SeqPlacement, Zone};
+use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
+use zeppelin_core::zones::zone_thresholds;
+use zeppelin_data::batch::Batch;
+
+/// The flat quadratic-LPT scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlatQuadratic;
+
+impl FlatQuadratic {
+    /// Creates the ablation scheduler.
+    pub fn new() -> FlatQuadratic {
+        FlatQuadratic
+    }
+}
+
+impl Scheduler for FlatQuadratic {
+    fn name(&self) -> &'static str {
+        "Flat quadratic"
+    }
+
+    fn plan(&self, batch: &Batch, ctx: &SchedulerCtx) -> Result<IterationPlan, PlanError> {
+        let r = ctx.cluster.total_gpus();
+        let cap = ctx.capacity;
+        if batch.total_tokens() > cap * r as u64 {
+            return Err(PlanError::OverCapacity {
+                tokens: batch.total_tokens(),
+                capacity: cap * r as u64,
+            });
+        }
+        // Same splitting *sizes* as Zeppelin's cost-model seeding would
+        // suggest (sequences under the local threshold stay whole), but
+        // topology-blind placement.
+        let zones = zone_thresholds(&ctx.model, &ctx.cluster);
+        let mut order: Vec<(usize, u64)> = batch.seqs.iter().copied().enumerate().collect();
+        order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let split: Vec<&(usize, u64)> = order
+            .iter()
+            .filter(|(_, len)| *len >= zones.local_max)
+            .collect();
+        let c_total: f64 = split.iter().map(|(_, l)| (*l as f64).powi(2)).sum();
+        let c_avg = (c_total / r as f64).max(1.0);
+
+        let mut load = vec![0u64; r];
+        let mut placements = Vec::new();
+        for (seq_index, len) in &order {
+            let quad = (*len as f64).powi(2);
+            let k = if *len >= zones.local_max {
+                let by_budget = (quad / c_avg).ceil() as usize;
+                let by_capacity = len.div_ceil(cap) as usize;
+                by_budget.max(by_capacity).clamp(1, r)
+            } else {
+                1
+            };
+            // Globally least-loaded ranks, no topology awareness.
+            let mut ranks: Vec<usize> = (0..r).collect();
+            ranks.sort_by_key(|&i| (load[i], i));
+            ranks.truncate(k);
+            ranks.sort_unstable();
+            let share = *len / k as u64;
+            for &rank in &ranks {
+                load[rank] += share;
+            }
+            let nodes: std::collections::HashSet<usize> =
+                ranks.iter().map(|&i| ctx.cluster.node_of(i)).collect();
+            placements.push(SeqPlacement {
+                seq_index: *seq_index,
+                len: *len,
+                zone: if ranks.len() == 1 {
+                    Zone::Local
+                } else if nodes.len() == 1 {
+                    Zone::IntraNode
+                } else {
+                    Zone::InterNode
+                },
+                ranks,
+                mode: AttnMode::Ring,
+                micro_batch: 0,
+            });
+        }
+        placements.sort_by_key(|p| p.seq_index);
+        let plan = IterationPlan {
+            scheduler: self.name().into(),
+            placements,
+            options: PlanOptions::default(),
+            micro_batches: 1,
+            redundant_attn_frac: 0.0,
+        };
+        plan.validate(r)?;
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeppelin_model::config::llama_3b;
+    use zeppelin_sim::topology::cluster_a;
+
+    fn ctx() -> SchedulerCtx {
+        SchedulerCtx::new(&cluster_a(2), &llama_3b()).with_capacity(16_384)
+    }
+
+    #[test]
+    fn long_sequences_split_and_straddle_nodes() {
+        let batch = Batch::new(vec![40_000, 20_000, 500, 400]);
+        let plan = FlatQuadratic::new().plan(&batch, &ctx()).unwrap();
+        let long = plan.placements.iter().find(|p| p.len == 40_000).unwrap();
+        assert!(long.ranks.len() > 4);
+        // Short sequences stay whole.
+        for p in plan.placements.iter().filter(|p| p.len < 1_000) {
+            assert_eq!(p.ranks.len(), 1);
+        }
+        assert_eq!(plan.total_tokens(), batch.total_tokens());
+    }
+
+    #[test]
+    fn medium_rings_ignore_node_boundaries() {
+        // Seven medium sequences over 16 ranks get 3-rank rings laid out
+        // contiguously ([0,1,2], [3,4,5], [6,7,8], ...): the third ring
+        // straddles the node boundary — the inefficiency Zeppelin's
+        // hierarchy avoids.
+        let batch = Batch::new(vec![9_000; 7]);
+        let plan = FlatQuadratic::new().plan(&batch, &ctx()).unwrap();
+        let straddling = plan
+            .placements
+            .iter()
+            .filter(|p| p.zone == Zone::InterNode)
+            .count();
+        assert!(straddling > 0, "expected node-straddling rings");
+    }
+
+    #[test]
+    fn capacity_guard() {
+        let err = FlatQuadratic::new()
+            .plan(&Batch::new(vec![600_000]), &ctx())
+            .unwrap_err();
+        assert!(matches!(err, PlanError::OverCapacity { .. }));
+    }
+}

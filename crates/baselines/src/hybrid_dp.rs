@@ -1,0 +1,212 @@
+//! FLOP-balanced hybrid data parallelism baseline (ByteScale-style).
+//!
+//! Short sequences run as plain DP (whole sequence on one rank); long
+//! sequences that exceed a rank's memory run ring CP over just enough
+//! ranks. Ranks are loaded to equalize *FLOPs*; when a rank's tokens exceed
+//! memory, its sequences split into additional micro-batches (§2.2,
+//! Fig. 2c). The paper's critique — lower per-micro-batch compute
+//! intensity and uneven NIC utilization — emerges in simulation from the
+//! smaller kernels and the CP-only ring traffic.
+
+use zeppelin_core::plan::{AttnMode, IterationPlan, PlanError, PlanOptions, SeqPlacement, Zone};
+use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
+use zeppelin_data::batch::Batch;
+use zeppelin_model::flops::{attention_seq_flops, linear_layer_flops};
+
+/// The Hybrid DP baseline scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HybridDp;
+
+impl HybridDp {
+    /// Creates the baseline.
+    pub fn new() -> HybridDp {
+        HybridDp
+    }
+}
+
+impl Scheduler for HybridDp {
+    fn name(&self) -> &'static str {
+        "Hybrid DP"
+    }
+
+    fn plan(&self, batch: &Batch, ctx: &SchedulerCtx) -> Result<IterationPlan, PlanError> {
+        let r = ctx.cluster.total_gpus();
+        let cap = ctx.capacity;
+        // Micro-batching absorbs aggregate pressure, but a single sequence
+        // longer than the whole cluster's resident capacity cannot run.
+        if let Some(&too_long) = batch.seqs.iter().find(|&&s| s > cap * r as u64) {
+            return Err(PlanError::OverCapacity {
+                tokens: too_long,
+                capacity: cap * r as u64,
+            });
+        }
+
+        // Sort sequences descending, tagged with batch indices.
+        let mut order: Vec<(usize, u64)> = batch.seqs.iter().copied().enumerate().collect();
+        order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+        // FLOP balance target: a sequence whose cost exceeds the per-rank
+        // average cannot be balanced by placement alone and goes to a CP
+        // group sized to bring its per-rank share back to the average
+        // (ByteScale's flop-balanced assignment).
+        let seq_cost =
+            |len: u64| attention_seq_flops(&ctx.model, len) + linear_layer_flops(&ctx.model, len);
+        let total_flops: f64 = batch.seqs.iter().map(|&l| seq_cost(l)).sum();
+        let avg_flops = total_flops / r as f64;
+
+        // Per-rank FLOP load (the balance metric) and per-(rank, mb) tokens.
+        let mut flops = vec![0.0f64; r];
+        let mut mb_tokens: Vec<Vec<u64>> = vec![vec![0]; r];
+        let mut placements = Vec::new();
+        let mut cursor = 0usize;
+
+        for (seq_index, len) in order {
+            let seq_flops = seq_cost(len);
+            if len > cap || seq_flops > avg_flops {
+                // CP over just enough consecutive ranks to restore balance
+                // (and at least enough to fit in memory).
+                let k_flops = (seq_flops / avg_flops).ceil() as usize;
+                let k_mem = len.div_ceil(cap) as usize;
+                let k = k_flops.max(k_mem).clamp(1, r);
+                let ranks: Vec<usize> = (0..k).map(|i| (cursor + i) % r).collect();
+                cursor = (cursor + k) % r;
+                for &rank in &ranks {
+                    flops[rank] += seq_flops / k as f64;
+                    mb_tokens[rank][0] += len / k as u64;
+                }
+                let mut ranks = ranks;
+                ranks.sort_unstable();
+                let spans_nodes = ctx.cluster.node_of(ranks[0])
+                    != ctx.cluster.node_of(*ranks.last().expect("k >= 1"));
+                placements.push(SeqPlacement {
+                    seq_index,
+                    len,
+                    zone: if spans_nodes {
+                        Zone::InterNode
+                    } else {
+                        Zone::IntraNode
+                    },
+                    ranks,
+                    mode: AttnMode::Ring,
+                    micro_batch: 0,
+                });
+            } else {
+                // DP: least-FLOP rank; first micro-batch with room.
+                let rank = (0..r)
+                    .min_by(|&a, &b| {
+                        flops[a]
+                            .partial_cmp(&flops[b])
+                            .expect("finite")
+                            .then(a.cmp(&b))
+                    })
+                    .expect("r > 0");
+                flops[rank] += seq_flops;
+                let mb = match mb_tokens[rank].iter().position(|&t| t + len <= cap) {
+                    Some(mb) => mb,
+                    None => {
+                        mb_tokens[rank].push(0);
+                        mb_tokens[rank].len() - 1
+                    }
+                };
+                mb_tokens[rank][mb] += len;
+                placements.push(SeqPlacement {
+                    seq_index,
+                    len,
+                    zone: Zone::Local,
+                    ranks: vec![rank],
+                    mode: AttnMode::Ring,
+                    micro_batch: mb,
+                });
+            }
+        }
+
+        let micro_batches = placements
+            .iter()
+            .map(|p| p.micro_batch + 1)
+            .max()
+            .unwrap_or(1);
+        placements.sort_by_key(|p| p.seq_index);
+        let plan = IterationPlan {
+            scheduler: self.name().into(),
+            placements,
+            options: PlanOptions::default(),
+            micro_batches,
+            redundant_attn_frac: 0.0,
+        };
+        plan.validate(r)?;
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeppelin_data::stats::load_imbalance;
+    use zeppelin_model::config::llama_3b;
+    use zeppelin_sim::topology::cluster_a;
+
+    fn ctx() -> SchedulerCtx {
+        SchedulerCtx::new(&cluster_a(2), &llama_3b()).with_capacity(4096)
+    }
+
+    #[test]
+    fn short_sequences_stay_local_long_ones_use_cp() {
+        let batch = Batch::new(vec![20_000, 900, 900, 900]);
+        let plan = HybridDp::new().plan(&batch, &ctx()).unwrap();
+        let long = plan.placements.iter().find(|p| p.len == 20_000).unwrap();
+        assert!(long.ranks.len() >= 5, "needs >= ceil(20000/4096) ranks");
+        assert_ne!(long.zone, Zone::Local);
+        for p in plan.placements.iter().filter(|p| p.len == 900) {
+            assert_eq!(p.zone, Zone::Local);
+            assert_eq!(p.ranks.len(), 1);
+        }
+    }
+
+    #[test]
+    fn flops_are_balanced_for_many_short_sequences() {
+        let batch = Batch::new(vec![1000; 64]);
+        let plan = HybridDp::new().plan(&batch, &ctx()).unwrap();
+        let mut flops = vec![0.0f64; 16];
+        for p in &plan.placements {
+            flops[p.ranks[0]] +=
+                attention_seq_flops(&llama_3b(), p.len) + linear_layer_flops(&llama_3b(), p.len);
+        }
+        assert!(load_imbalance(&flops) < 1.05, "{flops:?}");
+    }
+
+    #[test]
+    fn memory_pressure_creates_micro_batches() {
+        // 64 × 1k sequences on 16 ranks of 2k capacity: 4k tokens/rank
+        // needs at least 2 micro-batches.
+        let tight = SchedulerCtx::new(&cluster_a(2), &llama_3b()).with_capacity(2048);
+        let batch = Batch::new(vec![1000; 64]);
+        let plan = HybridDp::new().plan(&batch, &tight).unwrap();
+        assert!(plan.micro_batches >= 2, "got {}", plan.micro_batches);
+        // Every (rank, micro-batch) obeys capacity.
+        for mb in 0..plan.micro_batches {
+            for &t in &plan.tokens_per_rank(16, mb) {
+                assert!(t <= 2048);
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_guard_rejects_unsplittable_sequences() {
+        // One sequence longer than the entire cluster's resident capacity.
+        let err = HybridDp::new()
+            .plan(&Batch::new(vec![16 * 256 + 1]), &ctx().with_capacity(256))
+            .unwrap_err();
+        assert!(matches!(err, PlanError::OverCapacity { .. }));
+    }
+
+    #[test]
+    fn all_sequences_preserved() {
+        let batch = Batch::new(vec![9000, 100, 5000, 1, 12000]);
+        let plan = HybridDp::new().plan(&batch, &ctx()).unwrap();
+        let mut lens: Vec<u64> = plan.placements.iter().map(|p| p.len).collect();
+        lens.sort_unstable();
+        let mut expected = batch.seqs.clone();
+        expected.sort_unstable();
+        assert_eq!(lens, expected);
+    }
+}

@@ -1,0 +1,36 @@
+//! # zeppelin-baselines
+//!
+//! The state-of-the-art methods the paper compares against, implemented on
+//! the same plan IR and executed by the same simulator as Zeppelin:
+//!
+//! - [`te_cp`]: Transformer Engine context parallelism (global zigzag ring),
+//!   optionally with Zeppelin's routing layer grafted on for the Fig. 11
+//!   ablation;
+//! - [`llama_cp`]: LLaMA 3-style all-gather context parallelism;
+//! - [`hybrid_dp`]: FLOP-balanced hybrid DP+CP with micro-batching
+//!   (ByteScale-style);
+//! - [`packing`]: input-balanced packing with redundant cross-sequence
+//!   attention (Qwen/DeepSeek-style), used by the Fig. 3a analysis;
+//! - [`ulysses`]: DeepSpeed-Ulysses all-to-all sequence parallelism
+//!   (related work, §6);
+//! - [`double_ring`]: LoongTrain-style two-level ring attention (related
+//!   work, §6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod double_ring;
+pub mod flat;
+pub mod hybrid_dp;
+pub mod llama_cp;
+pub mod packing;
+pub mod te_cp;
+pub mod ulysses;
+
+pub use double_ring::DoubleRingCp;
+pub use flat::FlatQuadratic;
+pub use hybrid_dp::HybridDp;
+pub use llama_cp::LlamaCp;
+pub use packing::{pack_into_bins, pack_into_bins_tagged, redundant_fraction, Packing};
+pub use te_cp::TeCp;
+pub use ulysses::Ulysses;

@@ -1,0 +1,104 @@
+//! LLaMA-style context parallelism baseline.
+//!
+//! LLaMA 3 training (and WLB-LLM) all-gathers KV activations across the CP
+//! group before running local attention on each rank's (zigzag-balanced)
+//! query shard. The collective is well-optimized but sits on the critical
+//! path and peaks memory; communication volume grows linearly with total
+//! sequence length per rank (§2.2).
+
+use zeppelin_core::plan::{AttnMode, IterationPlan, PlanError, PlanOptions, SeqPlacement, Zone};
+use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
+use zeppelin_data::batch::Batch;
+use zeppelin_model::memory::{activation_bytes_per_token, kv_bytes};
+
+/// The LLaMA CP (all-gather) baseline scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LlamaCp;
+
+impl LlamaCp {
+    /// Creates the baseline.
+    pub fn new() -> LlamaCp {
+        LlamaCp
+    }
+}
+
+impl Scheduler for LlamaCp {
+    fn name(&self) -> &'static str {
+        "LLaMA CP"
+    }
+
+    fn plan(&self, batch: &Batch, ctx: &SchedulerCtx) -> Result<IterationPlan, PlanError> {
+        let ranks: Vec<usize> = (0..ctx.cluster.total_gpus()).collect();
+        let zone = if ctx.cluster.nodes > 1 {
+            Zone::InterNode
+        } else {
+            Zone::IntraNode
+        };
+        // All-gather keeps one layer's *full-batch* KV resident on every
+        // rank at the attention peak; charge the sharded activations plus
+        // that transient, converted to token-equivalents.
+        let total = batch.total_tokens();
+        let gather_bytes = kv_bytes(&ctx.model, total);
+        let gather_tokens = (gather_bytes / activation_bytes_per_token(&ctx.model)).ceil() as u64;
+        let per_rank_peak = total / ranks.len() as u64 + gather_tokens;
+        if per_rank_peak > ctx.capacity {
+            return Err(PlanError::OverCapacity {
+                tokens: total,
+                capacity: ctx.capacity * ranks.len() as u64,
+            });
+        }
+        let placements = batch
+            .seqs
+            .iter()
+            .enumerate()
+            .map(|(seq_index, &len)| SeqPlacement {
+                seq_index,
+                len,
+                zone,
+                ranks: ranks.clone(),
+                mode: AttnMode::AllGather,
+                micro_batch: 0,
+            })
+            .collect();
+        let plan = IterationPlan {
+            scheduler: self.name().into(),
+            placements,
+            options: PlanOptions::default(),
+            micro_batches: 1,
+            redundant_attn_frac: 0.0,
+        };
+        plan.validate(ctx.cluster.total_gpus())?;
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeppelin_model::config::llama_3b;
+    use zeppelin_sim::topology::cluster_a;
+
+    fn ctx() -> SchedulerCtx {
+        SchedulerCtx::new(&cluster_a(2), &llama_3b()).with_capacity(65_536)
+    }
+
+    #[test]
+    fn uses_allgather_mode_on_global_group() {
+        let batch = Batch::new(vec![30_000, 500]);
+        let plan = LlamaCp::new().plan(&batch, &ctx()).unwrap();
+        for p in &plan.placements {
+            assert_eq!(p.mode, AttnMode::AllGather);
+            assert_eq!(p.ranks.len(), 16);
+        }
+        assert!(!plan.options.routing && !plan.options.remapping);
+    }
+
+    #[test]
+    fn memory_guard_reflects_gather_peak() {
+        // A batch that fits TE CP's sharded layout can bust the gather peak.
+        let tight = SchedulerCtx::new(&cluster_a(2), &llama_3b()).with_capacity(4096);
+        let batch = Batch::new(vec![16_000; 4]); // 64k total, 16k gather peak.
+        let err = LlamaCp::new().plan(&batch, &tight).unwrap_err();
+        assert!(matches!(err, PlanError::OverCapacity { .. }));
+    }
+}

@@ -1,0 +1,213 @@
+//! Input-balanced packing baseline (Qwen/DeepSeek-style).
+//!
+//! Sequences are packed (chunking long documents where needed) into equal
+//! token windows, one window per rank per micro-batch; each window runs
+//! *local* attention over the whole packed span. Linear modules are
+//! perfectly balanced, but attention pays for cross-sequence pairs the
+//! model never needed — the redundant-computation inefficiency of Fig. 3a,
+//! reaching ~60% for short-sequence corpora.
+
+use zeppelin_core::plan::{AttnMode, IterationPlan, PlanError, PlanOptions, SeqPlacement, Zone};
+use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
+use zeppelin_data::batch::Batch;
+use zeppelin_model::flops::causal_pairs_full;
+
+/// The packing baseline scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Packing;
+
+impl Packing {
+    /// Creates the baseline.
+    pub fn new() -> Packing {
+        Packing
+    }
+}
+
+/// Packs sequences into `bins` windows of roughly equal token counts,
+/// chunking sequences across windows when they exceed the remaining room
+/// (how packed pre-training shards long documents).
+///
+/// Returns, per bin, the lengths of the (possibly chunked) segments in it.
+/// Every bin's total is `⌈total/bins⌉` or less, and the grand total is
+/// conserved.
+///
+/// # Panics
+///
+/// Panics if `bins == 0`.
+pub fn pack_into_bins(seqs: &[u64], bins: usize) -> Vec<Vec<u64>> {
+    pack_into_bins_tagged(seqs, bins)
+        .into_iter()
+        .map(|bin| bin.into_iter().map(|(_, len)| len).collect())
+        .collect()
+}
+
+/// Like [`pack_into_bins`], but each segment carries the index of the input
+/// sequence it was cut from — used by the Fig. 3a analysis to attribute
+/// redundant attention cost back to sequence-length bins.
+///
+/// # Panics
+///
+/// Panics if `bins == 0`.
+pub fn pack_into_bins_tagged(seqs: &[u64], bins: usize) -> Vec<Vec<(usize, u64)>> {
+    assert!(bins > 0, "need at least one bin");
+    let total: u64 = seqs.iter().sum();
+    let cap = total.div_ceil(bins as u64).max(1);
+    let mut order: Vec<(usize, u64)> = seqs.iter().copied().enumerate().collect();
+    order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut out: Vec<Vec<(usize, u64)>> = vec![Vec::new(); bins];
+    let mut loads = vec![0u64; bins];
+    for (idx, mut len) in order {
+        while len > 0 {
+            // Emptiest bin takes as much as fits.
+            let b = (0..bins).min_by_key(|&i| (loads[i], i)).expect("bins > 0");
+            let room = cap.saturating_sub(loads[b]).max(1);
+            let take = len.min(room);
+            out[b].push((idx, take));
+            loads[b] += take;
+            len -= take;
+        }
+    }
+    out
+}
+
+/// Fraction of a packed window's causal attention pairs that cross sequence
+/// boundaries (wasted work under naive packing).
+pub fn redundant_fraction(segments: &[u64]) -> f64 {
+    let window: u64 = segments.iter().sum();
+    if window == 0 {
+        return 0.0;
+    }
+    let window_pairs = causal_pairs_full(window);
+    let useful: u64 = segments.iter().map(|&s| causal_pairs_full(s)).sum();
+    (window_pairs - useful) as f64 / window_pairs as f64
+}
+
+impl Scheduler for Packing {
+    fn name(&self) -> &'static str {
+        "Packing"
+    }
+
+    fn plan(&self, batch: &Batch, ctx: &SchedulerCtx) -> Result<IterationPlan, PlanError> {
+        let r = ctx.cluster.total_gpus();
+        let cap = ctx.capacity;
+        let total = batch.total_tokens();
+        // Window per rank per micro-batch; add micro-batches until windows
+        // fit in memory (packing never runs out — windows just multiply).
+        let per_rank = total.div_ceil(r as u64);
+        let micro_batches = per_rank.div_ceil(cap).max(1) as usize;
+        let bins = r * micro_batches;
+        let packed = pack_into_bins(&batch.seqs, bins);
+
+        let mut placements = Vec::new();
+        let mut window_pairs = 0u64;
+        let mut useful_pairs = 0u64;
+        for (b, segments) in packed.iter().enumerate() {
+            let window: u64 = segments.iter().sum();
+            if window == 0 {
+                continue;
+            }
+            window_pairs += causal_pairs_full(window);
+            useful_pairs += segments.iter().map(|&s| causal_pairs_full(s)).sum::<u64>();
+            placements.push(SeqPlacement {
+                // Synthetic id: windows, not input sequences, are the units.
+                seq_index: b,
+                len: window,
+                zone: Zone::Local,
+                ranks: vec![b % r],
+                mode: AttnMode::Ring,
+                micro_batch: b / r,
+            });
+        }
+        let redundant_attn_frac = if window_pairs > 0 {
+            (window_pairs - useful_pairs) as f64 / window_pairs as f64
+        } else {
+            0.0
+        };
+        let plan = IterationPlan {
+            scheduler: self.name().into(),
+            placements,
+            options: PlanOptions::default(),
+            micro_batches,
+            redundant_attn_frac,
+        };
+        plan.validate(r)?;
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeppelin_model::config::llama_3b;
+    use zeppelin_sim::topology::cluster_a;
+
+    fn ctx() -> SchedulerCtx {
+        SchedulerCtx::new(&cluster_a(2), &llama_3b()).with_capacity(8192)
+    }
+
+    #[test]
+    fn bins_conserve_tokens_and_balance() {
+        let seqs = vec![9000, 3000, 3000, 1000, 500, 500, 200, 100];
+        let bins = pack_into_bins(&seqs, 4);
+        let total: u64 = bins.iter().flatten().sum();
+        assert_eq!(total, 17_300);
+        let loads: Vec<u64> = bins.iter().map(|b| b.iter().sum()).collect();
+        let max = loads.iter().max().unwrap();
+        let min = loads.iter().min().unwrap();
+        assert!(max - min <= 4325 / 2, "{loads:?}");
+    }
+
+    #[test]
+    fn long_sequences_are_chunked_across_bins() {
+        let bins = pack_into_bins(&[100_000], 4);
+        assert!(bins.iter().all(|b| !b.is_empty()));
+        let total: u64 = bins.iter().flatten().sum();
+        assert_eq!(total, 100_000);
+    }
+
+    #[test]
+    fn redundant_fraction_behaviour() {
+        // A window of one sequence has no waste.
+        assert_eq!(redundant_fraction(&[4096]), 0.0);
+        // Many tiny sequences in one window: waste dominates.
+        let many_short = vec![64u64; 64];
+        assert!(redundant_fraction(&many_short) > 0.9);
+        // Two halves: ~25% of pairs are cross-sequence... (window pairs
+        // n(n+1)/2, useful 2·(n/2)(n/2+1)/2 ≈ half) -> ~50%.
+        let frac = redundant_fraction(&[2048, 2048]);
+        assert!((frac - 0.5).abs() < 0.05, "frac {frac}");
+        assert_eq!(redundant_fraction(&[]), 0.0);
+    }
+
+    #[test]
+    fn plan_is_local_only_and_balanced() {
+        let batch = Batch::new(vec![9000, 3000, 3000, 1000, 500, 500, 200, 100, 64, 64]);
+        let plan = Packing::new().plan(&batch, &ctx()).unwrap();
+        assert!(plan.placements.iter().all(|p| p.zone == Zone::Local));
+        assert!(plan.redundant_attn_frac > 0.0);
+        let tokens = plan.tokens_per_rank(16, 0);
+        assert_eq!(tokens.iter().sum::<u64>(), batch.total_tokens());
+    }
+
+    #[test]
+    fn short_corpus_wastes_more_than_long_corpus() {
+        let short = Batch::new(vec![256; 64]);
+        let long = Batch::new(vec![8192, 8192]);
+        let ps = Packing::new().plan(&short, &ctx()).unwrap();
+        let pl = Packing::new().plan(&long, &ctx()).unwrap();
+        assert!(
+            ps.redundant_attn_frac > pl.redundant_attn_frac,
+            "short {} vs long {}",
+            ps.redundant_attn_frac,
+            pl.redundant_attn_frac
+        );
+    }
+
+    #[test]
+    fn memory_pressure_adds_micro_batches() {
+        let tight = SchedulerCtx::new(&cluster_a(2), &llama_3b()).with_capacity(1024);
+        let batch = Batch::new(vec![2000; 20]); // 40k over 16 ranks @ 1k.
+        let plan = Packing::new().plan(&batch, &tight).unwrap();
+        assert!(plan.micro_batches >= 3, "got {}", plan.micro_batches);
+    }
+}

@@ -1,0 +1,142 @@
+//! Transformer Engine context parallelism baseline.
+//!
+//! TE CP splits *every* sequence evenly across all DP ranks and runs
+//! balanced (zigzag) ring attention over one global ring (§2.2, Fig. 2b).
+//! Computation and memory are perfectly balanced, but every sequence —
+//! however short — pays ring communication proportional to its length over
+//! the slowest link the ring crosses, which is the paper's headline
+//! inefficiency for mixed-length batches.
+
+use zeppelin_core::plan::{AttnMode, IterationPlan, PlanError, PlanOptions, SeqPlacement, Zone};
+use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
+use zeppelin_data::batch::Batch;
+
+/// The TE CP baseline scheduler.
+///
+/// `routing` is off by default; the Fig. 11 ablation enables it to measure
+/// the routing layer's contribution in isolation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TeCp {
+    /// Lower inter-node ring hops through the three-step routing layer.
+    pub routing: bool,
+}
+
+impl TeCp {
+    /// Plain TE CP.
+    pub fn new() -> TeCp {
+        TeCp::default()
+    }
+
+    /// TE CP with Zeppelin's routing layer grafted on (ablation variant).
+    pub fn with_routing() -> TeCp {
+        TeCp { routing: true }
+    }
+}
+
+impl Scheduler for TeCp {
+    fn name(&self) -> &'static str {
+        if self.routing {
+            "TE CP + Routing"
+        } else {
+            "TE CP"
+        }
+    }
+
+    fn plan(&self, batch: &Batch, ctx: &SchedulerCtx) -> Result<IterationPlan, PlanError> {
+        let ranks: Vec<usize> = (0..ctx.cluster.total_gpus()).collect();
+        let zone = if ctx.cluster.nodes > 1 {
+            Zone::InterNode
+        } else {
+            Zone::IntraNode
+        };
+        let per_rank = batch.total_tokens() / ranks.len() as u64 + 1;
+        if per_rank > ctx.capacity {
+            return Err(PlanError::OverCapacity {
+                tokens: batch.total_tokens(),
+                capacity: ctx.capacity * ranks.len() as u64,
+            });
+        }
+        let placements = batch
+            .seqs
+            .iter()
+            .enumerate()
+            .map(|(seq_index, &len)| SeqPlacement {
+                seq_index,
+                len,
+                zone,
+                ranks: ranks.clone(),
+                mode: AttnMode::Ring,
+                micro_batch: 0,
+            })
+            .collect();
+        let plan = IterationPlan {
+            scheduler: self.name().into(),
+            placements,
+            options: PlanOptions {
+                routing: self.routing,
+                remapping: false,
+            },
+            micro_batches: 1,
+            redundant_attn_frac: 0.0,
+        };
+        plan.validate(ctx.cluster.total_gpus())?;
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeppelin_model::config::llama_3b;
+    use zeppelin_sim::topology::cluster_a;
+
+    fn ctx() -> SchedulerCtx {
+        SchedulerCtx::new(&cluster_a(2), &llama_3b()).with_capacity(8192)
+    }
+
+    #[test]
+    fn every_sequence_spans_all_ranks() {
+        let batch = Batch::new(vec![40_000, 200, 9_000]);
+        let plan = TeCp::new().plan(&batch, &ctx()).unwrap();
+        assert_eq!(plan.placements.len(), 3);
+        for p in &plan.placements {
+            assert_eq!(p.ranks.len(), 16);
+            assert_eq!(p.zone, Zone::InterNode);
+            assert_eq!(p.mode, AttnMode::Ring);
+        }
+        // Token balance is perfect by construction.
+        let tokens = plan.tokens_per_rank(16, 0);
+        let max = tokens.iter().max().unwrap();
+        let min = tokens.iter().min().unwrap();
+        assert!(max - min <= 3, "{tokens:?}");
+    }
+
+    #[test]
+    fn routing_flag_flows_into_options() {
+        let batch = Batch::new(vec![1000]);
+        assert!(!TeCp::new().plan(&batch, &ctx()).unwrap().options.routing);
+        assert!(
+            TeCp::with_routing()
+                .plan(&batch, &ctx())
+                .unwrap()
+                .options
+                .routing
+        );
+        assert_eq!(TeCp::with_routing().name(), "TE CP + Routing");
+    }
+
+    #[test]
+    fn single_node_ring_is_intranode() {
+        let ctx = SchedulerCtx::new(&cluster_a(1), &llama_3b()).with_capacity(8192);
+        let plan = TeCp::new().plan(&Batch::new(vec![5000]), &ctx).unwrap();
+        assert_eq!(plan.placements[0].zone, Zone::IntraNode);
+    }
+
+    #[test]
+    fn capacity_guard() {
+        let err = TeCp::new()
+            .plan(&Batch::new(vec![1_000_000]), &ctx())
+            .unwrap_err();
+        assert!(matches!(err, PlanError::OverCapacity { .. }));
+    }
+}

@@ -1,0 +1,41 @@
+//! Criterion benchmarks of full step simulation: plan + lower + simulate
+//! for Zeppelin and TE CP on a 2-node Cluster A. This is the unit of work
+//! behind every cell of the Fig. 8–11 exhibits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use zeppelin_baselines::te_cp::TeCp;
+use zeppelin_core::scheduler::SchedulerCtx;
+use zeppelin_core::zeppelin::Zeppelin;
+use zeppelin_data::batch::sample_batch;
+use zeppelin_data::datasets::arxiv;
+use zeppelin_exec::step::{simulate_step, StepConfig};
+use zeppelin_model::config::llama_3b;
+use zeppelin_sim::topology::cluster_a;
+
+fn bench_step(c: &mut Criterion) {
+    let cluster = cluster_a(2);
+    let model = llama_3b();
+    let ctx = SchedulerCtx::new(&cluster, &model);
+    let cfg = StepConfig::default();
+    let mut rng = StdRng::seed_from_u64(5);
+    let batch = sample_batch(&arxiv(), &mut rng, 65_536);
+
+    c.bench_function("simulate_step_zeppelin_16gpu_64k", |b| {
+        let z = Zeppelin::new();
+        b.iter(|| simulate_step(&z, std::hint::black_box(&batch), &ctx, &cfg).unwrap())
+    });
+    c.bench_function("simulate_step_te_cp_16gpu_64k", |b| {
+        let te = TeCp::new();
+        b.iter(|| simulate_step(&te, std::hint::black_box(&batch), &ctx, &cfg).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_step
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benchmarks of the hierarchical sequence partitioner
+//! (Algorithms 1 + 2). The paper reports partitioning at 3–12 ms per
+//! iteration on real batches (Table 3); these benches verify the
+//! polynomial-cost claim across batch sizes and cluster scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use zeppelin_core::partitioner::{partition, PartitionConfig};
+use zeppelin_data::batch::sample_batch;
+use zeppelin_data::datasets::{arxiv, github};
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    for (nodes, tokens) in [(2usize, 1u64 << 16), (8, 1 << 18), (16, 1 << 20)] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let batch = sample_batch(&arxiv(), &mut rng, tokens);
+        let cfg = PartitionConfig::new(nodes, 8, 16_384).with_zone_hints(2_048, 16_384);
+        group.bench_with_input(
+            BenchmarkId::new("arxiv", format!("{nodes}n_{}k", tokens >> 10)),
+            &batch.seqs,
+            |b, seqs| b.iter(|| partition(std::hint::black_box(seqs), &cfg).unwrap()),
+        );
+    }
+    // Long-tailed batch: many inter-node splits.
+    let mut rng = StdRng::seed_from_u64(8);
+    let batch = sample_batch(&github(), &mut rng, 1 << 19);
+    let cfg = PartitionConfig::new(8, 8, 16_384).with_zone_hints(2_048, 16_384);
+    group.bench_function("github_8n_512k", |b| {
+        b.iter(|| partition(std::hint::black_box(&batch.seqs), &cfg).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

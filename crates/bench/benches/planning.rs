@@ -1,0 +1,46 @@
+//! Criterion benchmarks of the planning-side tooling: whole-plan static
+//! analysis and plan JSON round trips — per-iteration costs a training
+//! controller would pay on its critical path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use zeppelin_core::analysis::analyze;
+use zeppelin_core::plan_io::{plan_from_json, plan_to_json};
+use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
+use zeppelin_core::zeppelin::Zeppelin;
+use zeppelin_data::batch::sample_batch;
+use zeppelin_data::datasets::github;
+use zeppelin_model::config::llama_3b;
+use zeppelin_sim::topology::cluster_a;
+
+fn bench_planning(c: &mut Criterion) {
+    let cluster = cluster_a(8);
+    let model = llama_3b();
+    let ctx = SchedulerCtx::new(&cluster, &model);
+    let mut rng = StdRng::seed_from_u64(3);
+    let batch = sample_batch(&github(), &mut rng, 1 << 18);
+    let plan = Zeppelin::new().plan(&batch, &ctx).unwrap();
+
+    c.bench_function("zeppelin_plan_64gpu_256k", |b| {
+        b.iter(|| {
+            Zeppelin::new()
+                .plan(std::hint::black_box(&batch), &ctx)
+                .unwrap()
+        })
+    });
+    c.bench_function("analyze_plan_64gpu_256k", |b| {
+        b.iter(|| analyze(std::hint::black_box(&plan), &model, &cluster))
+    });
+    let json = plan_to_json(&plan);
+    c.bench_function("plan_to_json", |b| {
+        b.iter(|| plan_to_json(std::hint::black_box(&plan)))
+    });
+    c.bench_function("plan_from_json", |b| {
+        b.iter(|| plan_from_json(std::hint::black_box(&json)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_planning);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benchmarks of the discrete-event simulator: max-min fair rate
+//! recomputation under many concurrent flows, and DAG execution throughput.
+//! These bound how large a cluster / iteration the exhibit suite can
+//! simulate in reasonable wall time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use zeppelin_sim::engine::{Simulator, Stream};
+use zeppelin_sim::network::FlowNetwork;
+use zeppelin_sim::time::SimDuration;
+use zeppelin_sim::topology::{cluster_a, tiny_cluster};
+
+fn bench_flow_network(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_network");
+    for flows in [16usize, 64, 256] {
+        let cluster = cluster_a(8);
+        group.bench_with_input(BenchmarkId::new("start_flows", flows), &flows, |b, &n| {
+            b.iter(|| {
+                let mut net = FlowNetwork::new();
+                for i in 0..n {
+                    let src = i % 32;
+                    let dst = 32 + (i % 32);
+                    net.start_flow(1e9, &cluster.direct_path(src, dst), |p| {
+                        cluster.port_capacity(p)
+                    });
+                }
+                std::hint::black_box(net.active_flows())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    for tasks in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("chain_run", tasks), &tasks, |b, &n| {
+            let cluster = tiny_cluster(2, 4);
+            let mut sim = Simulator::new(&cluster);
+            let mut last = None;
+            for i in 0..n {
+                let deps = last.into_iter().collect();
+                let t = if i % 4 == 0 {
+                    sim.transfer(1e6, cluster.direct_path(i % 8, (i + 1) % 8), deps, None)
+                        .unwrap()
+                } else {
+                    sim.compute(
+                        i % 8,
+                        Stream::Compute,
+                        SimDuration::from_micros(5),
+                        deps,
+                        None,
+                    )
+                    .unwrap()
+                };
+                last = Some(t);
+            }
+            b.iter(|| std::hint::black_box(sim.run().unwrap().makespan))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow_network, bench_engine);
+criterion_main!(benches);

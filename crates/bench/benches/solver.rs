@@ -1,0 +1,62 @@
+//! Criterion benchmarks of the optimization substrate: the bottleneck
+//! (Eq. 2) remapping solver, its LP reference, and min-cost flow. The
+//! remapping layer runs once per iteration, so sub-millisecond solves at
+//! d = 128 ranks keep it off the critical path (Table 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use zeppelin_solver::bottleneck::{solve_bottleneck, solve_lp, RemapProblem};
+use zeppelin_solver::transport::min_cost_transport;
+
+fn problem(d: usize, seed: u64) -> RemapProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    RemapProblem {
+        tokens: (0..d).map(|_| rng.random_range(0..10_000u64)).collect(),
+        node_of: (0..d).map(|i| i / 8).collect(),
+        intra_cost: 1.0 / 400e9,
+        inter_cost: 1.0 / 25e9,
+    }
+}
+
+fn bench_bottleneck(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bottleneck_transport");
+    for d in [16usize, 64, 128] {
+        let p = problem(d, 42);
+        group.bench_with_input(BenchmarkId::new("combinatorial", d), &p, |b, p| {
+            b.iter(|| solve_bottleneck(std::hint::black_box(p)))
+        });
+    }
+    // The LP reference is only tractable at small d.
+    let p = problem(16, 42);
+    group.bench_function("simplex_lp_16", |b| {
+        b.iter(|| solve_lp(std::hint::black_box(&p)))
+    });
+    group.finish();
+}
+
+fn bench_mcmf(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let n = 32;
+    let supply: Vec<i64> = (0..n).map(|_| rng.random_range(0..1000)).collect();
+    let total: i64 = supply.iter().sum();
+    let mut demand: Vec<i64> = (0..n).map(|_| total / n as i64).collect();
+    demand[0] += total - demand.iter().sum::<i64>();
+    let cost: Vec<Vec<i64>> = (0..n)
+        .map(|_| (0..n).map(|_| rng.random_range(1..100)).collect())
+        .collect();
+    c.bench_function("min_cost_transport_32x32", |b| {
+        b.iter(|| {
+            min_cost_transport(
+                std::hint::black_box(&supply),
+                std::hint::black_box(&demand),
+                std::hint::black_box(&cost),
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_bottleneck, bench_mcmf);
+criterion_main!(benches);

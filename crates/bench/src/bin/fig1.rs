@@ -1,0 +1,44 @@
+//! Fig. 1: sequence-length distributions of the training corpora.
+//!
+//! Samples each dataset's synthetic distribution and prints the fraction of
+//! sequences per power-of-two length bin, reproducing the histograms of the
+//! paper's Fig. 1 (long-tailed, highly diverse mixtures).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use zeppelin_bench::harness::PAPER_SEED;
+use zeppelin_bench::table::Table;
+use zeppelin_data::datasets::fig1_datasets;
+use zeppelin_data::stats::{table2_edges, Histogram};
+
+fn main() {
+    const SAMPLES: usize = 50_000;
+    let edges = table2_edges();
+    let mut header: Vec<String> = vec!["dataset".into(), "mean".into()];
+    for w in edges.windows(2) {
+        header.push(format!("{}-{}k", w[0] / 1024, w[1] / 1024));
+    }
+    let mut table = Table::new(header);
+
+    let mut rng = StdRng::seed_from_u64(PAPER_SEED);
+    for dist in fig1_datasets() {
+        let samples: Vec<u64> = (0..SAMPLES).map(|_| dist.sample(&mut rng)).collect();
+        let hist = Histogram::new(&samples, &edges);
+        let mut row = vec![
+            dist.name.clone(),
+            format!("{:.0}", zeppelin_data::stats::mean(&samples)),
+        ];
+        for f in hist.fractions() {
+            row.push(if f > 0.0005 {
+                format!("{f:.3}")
+            } else {
+                ".".into()
+            });
+        }
+        table.row(row);
+    }
+    println!("Fig. 1 — sequence length distribution per dataset");
+    println!("(fraction of sequences per bin; {SAMPLES} samples each)\n");
+    println!("{}", table.render());
+}

@@ -1,0 +1,101 @@
+//! Fig. 2: how each balancing philosophy leaves hardware on the table.
+//!
+//! Quantifies the cartoon of the paper's Fig. 2 on a real mixed batch
+//! (3B model, 2 nodes of Cluster A, 64k tokens): per-method
+//!
+//! - redundant attention FLOPs (packing's waste, Fig. 2a),
+//! - mean compute-stream busy fraction (even splitting's stalls, Fig. 2b),
+//! - NIC utilization mean and imbalance (hybrid's idle NICs, Fig. 2c),
+//!
+//! and the resulting throughput. Zeppelin should sit in the
+//! high-compute-busy / high-NIC-balance corner.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use zeppelin_baselines::{DoubleRingCp, HybridDp, LlamaCp, Packing, TeCp, Ulysses};
+use zeppelin_bench::harness::PAPER_SEED;
+use zeppelin_bench::table::Table;
+use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
+use zeppelin_core::zeppelin::Zeppelin;
+use zeppelin_data::batch::sample_batch;
+use zeppelin_data::datasets::arxiv;
+use zeppelin_exec::step::{simulate_step, StepConfig};
+use zeppelin_model::config::llama_3b;
+use zeppelin_sim::topology::cluster_a;
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+fn main() {
+    let cluster = cluster_a(2);
+    let model = llama_3b();
+    let ctx = SchedulerCtx::new(&cluster, &model);
+    let mut rng = StdRng::seed_from_u64(PAPER_SEED);
+    let batch = sample_batch(&arxiv(), &mut rng, 65_536);
+    let cfg = StepConfig::default();
+
+    println!("Fig. 2 — hardware utilization per balancing approach");
+    println!("(3B, 2 nodes Cluster A, 64k ArXiv batch)\n");
+
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(Packing::new()),
+        Box::new(TeCp::new()),
+        Box::new(LlamaCp::new()),
+        Box::new(Ulysses::new()),
+        Box::new(DoubleRingCp::new()),
+        Box::new(HybridDp::new()),
+        Box::new(Zeppelin::new()),
+    ];
+    let mut table = Table::new(vec![
+        "method",
+        "redundant attn",
+        "compute busy",
+        "NIC util (mean)",
+        "NIC util (min-max)",
+        "tokens/s",
+    ]);
+    for s in schedulers {
+        let Ok(r) = simulate_step(s.as_ref(), &batch, &ctx, &cfg) else {
+            table.row(vec![
+                s.name().to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "OOM".into(),
+            ]);
+            continue;
+        };
+        let nic_min = r
+            .nic_tx_utilization
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let nic_max = r.nic_tx_utilization.iter().cloned().fold(0.0f64, f64::max);
+        table.row(vec![
+            r.scheduler.clone(),
+            format!("{:.0}%", 100.0 * r.plan.redundant_attn_frac),
+            format!("{:.0}%", 100.0 * mean(&r.compute_busy_frac)),
+            format!("{:.0}%", 100.0 * mean(&r.nic_tx_utilization)),
+            format!("{:.0}% - {:.0}%", 100.0 * nic_min, 100.0 * nic_max),
+            if r.scheduler == "Packing" {
+                format!("{:.0}*", r.throughput)
+            } else {
+                format!("{:.0}", r.throughput)
+            },
+        ]);
+    }
+    println!("{}", table.render());
+    println!("* packing is not training-equivalent: chunked documents lose");
+    println!("  cross-window attention, so its token rate overstates useful work.");
+    println!();
+    println!("reading: even-split CP idles compute behind its boundary hop and");
+    println!("saturates one NIC while others sleep; hybrid leaves NICs dark and");
+    println!("uneven; Zeppelin keeps compute busy -- and its near-zero NIC use");
+    println!("shows the partitioner removed inter-node traffic for this batch.");
+}

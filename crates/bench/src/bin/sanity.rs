@@ -1,0 +1,31 @@
+//! Quick sanity comparison (not a paper exhibit): all methods on the three
+//! datasets at 64k total context on 2 nodes of Cluster A with the 3B model.
+//! Used to eyeball speedup shapes while calibrating the cost model.
+
+use zeppelin_bench::harness::{methods, quick_run_config, run_method, ClusterKind};
+use zeppelin_bench::table::{fmt_speedup, fmt_tput, Table};
+use zeppelin_data::datasets::paper_datasets;
+use zeppelin_model::config::llama_3b;
+
+fn main() {
+    let cluster = ClusterKind::A.build(2);
+    let model = llama_3b();
+    let cfg = quick_run_config(65_536);
+    let mut table = Table::new(vec!["dataset", "method", "tokens/s", "vs TE CP"]);
+    for dist in paper_datasets() {
+        let mut te = None;
+        for method in methods() {
+            let out = run_method(&method, &dist, &cluster, &model, &cfg);
+            if out.name == "TE CP" {
+                te = out.throughput;
+            }
+            table.row(vec![
+                dist.name.clone(),
+                out.name.clone(),
+                fmt_tput(out.throughput),
+                fmt_speedup(out.throughput, te),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,158 @@
+//! Fast end-to-end self-check: exercises every subsystem on small
+//! configurations and prints PASS/FAIL per invariant. Intended as a
+//! 30-second smoke test after changes (`cargo run --release -p
+//! zeppelin-bench --bin selfcheck`); exits non-zero on any failure.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use zeppelin_baselines::{DoubleRingCp, FlatQuadratic, HybridDp, LlamaCp, Packing, TeCp, Ulysses};
+use zeppelin_bench::harness::PAPER_SEED;
+use zeppelin_core::analysis::analyze;
+use zeppelin_core::plan_io::{plan_from_json, plan_to_json};
+use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
+use zeppelin_core::zeppelin::Zeppelin;
+use zeppelin_data::batch::sample_batch;
+use zeppelin_data::datasets::paper_datasets;
+use zeppelin_data::stats::{table2_edges, Histogram};
+use zeppelin_exec::step::{simulate_step, StepConfig};
+use zeppelin_model::config::llama_3b;
+use zeppelin_sim::topology::cluster_a;
+
+struct Checker {
+    failures: usize,
+}
+
+impl Checker {
+    fn check(&mut self, name: &str, ok: bool, detail: String) {
+        if ok {
+            println!("PASS  {name}");
+        } else {
+            println!("FAIL  {name}: {detail}");
+            self.failures += 1;
+        }
+    }
+}
+
+fn main() {
+    let mut c = Checker { failures: 0 };
+    let cluster = cluster_a(2);
+    let model = llama_3b();
+    let ctx = SchedulerCtx::new(&cluster, &model);
+    let cfg = StepConfig::default();
+    let mut rng = StdRng::seed_from_u64(PAPER_SEED);
+
+    // 1. Samplers track Table 2.
+    for dist in paper_datasets() {
+        let samples: Vec<u64> = (0..50_000).map(|_| dist.sample(&mut rng)).collect();
+        let hist = Histogram::new(&samples, &table2_edges());
+        let max_dev = hist
+            .fractions()
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| {
+                let edges = table2_edges();
+                let spec = dist
+                    .bins
+                    .iter()
+                    .find(|b| b.lo == edges[i].max(1) && b.hi == edges[i + 1])
+                    .map(|b| b.prob)
+                    .unwrap_or(0.0);
+                (spec - f).abs()
+            })
+            .fold(0.0f64, f64::max);
+        c.check(
+            &format!("sampler matches Table 2 ({})", dist.name),
+            max_dev < 0.01,
+            format!("max deviation {max_dev}"),
+        );
+    }
+
+    // 2. Every scheduler plans and simulates every dataset.
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(TeCp::new()),
+        Box::new(TeCp::with_routing()),
+        Box::new(LlamaCp::new()),
+        Box::new(HybridDp::new()),
+        Box::new(Packing::new()),
+        Box::new(Ulysses::new()),
+        Box::new(DoubleRingCp::new()),
+        Box::new(FlatQuadratic::new()),
+        Box::new(Zeppelin::new()),
+    ];
+    let mut te = 0.0;
+    let mut zep = f64::MAX;
+    for dist in paper_datasets() {
+        let batch = sample_batch(&dist, &mut rng, 32_768);
+        for s in &schedulers {
+            match simulate_step(s.as_ref(), &batch, &ctx, &cfg) {
+                Ok(r) => {
+                    c.check(
+                        &format!("{} on {}", s.name(), dist.name),
+                        r.throughput > 0.0 && r.tokens == 32_768,
+                        format!("tput {} tokens {}", r.throughput, r.tokens),
+                    );
+                    if s.name() == "TE CP" {
+                        te = r.throughput;
+                    }
+                    if s.name() == "Zeppelin" {
+                        zep = r.throughput;
+                    }
+                }
+                Err(e) => c.check(
+                    &format!("{} on {}", s.name(), dist.name),
+                    false,
+                    e.to_string(),
+                ),
+            }
+        }
+        c.check(
+            &format!("Zeppelin beats TE CP on {}", dist.name),
+            zep > te,
+            format!("zeppelin {zep} vs te {te}"),
+        );
+    }
+
+    // 3. Static analysis pins the simulated attention busy time.
+    let batch = sample_batch(&paper_datasets()[1], &mut rng, 32_768);
+    let plan = Zeppelin::new().plan(&batch, &ctx).expect("plan");
+    let a = analyze(&plan, &model, &cluster);
+    let report = zeppelin_exec::step::simulate_plan(&plan, &batch, &ctx, &cfg).expect("simulate");
+    let max_diff = a
+        .ranks
+        .iter()
+        .zip(&report.forward_phase.attention)
+        .map(|(est, sim)| (est.attn_secs - sim.as_secs_f64()).abs())
+        .fold(0.0f64, f64::max);
+    c.check(
+        "analyzer matches simulator attention accounting",
+        max_diff < 5e-6,
+        format!("max per-rank diff {max_diff}s"),
+    );
+
+    // 4. Plan JSON round trip.
+    let back = plan_from_json(&plan_to_json(&plan));
+    c.check(
+        "plan JSON round trip",
+        back.as_ref() == Ok(&plan),
+        format!("{back:?}"),
+    );
+
+    // 5. Routing ablation direction.
+    let single = zeppelin_data::batch::Batch::new(vec![65_536]);
+    let plain = simulate_step(&TeCp::new(), &single, &ctx, &cfg).expect("plain");
+    let routed = simulate_step(&TeCp::with_routing(), &single, &ctx, &cfg).expect("routed");
+    c.check(
+        "routing layer accelerates the inter-node ring",
+        routed.throughput > plain.throughput,
+        format!("routed {} vs plain {}", routed.throughput, plain.throughput),
+    );
+
+    println!();
+    if c.failures == 0 {
+        println!("selfcheck: all invariants hold");
+    } else {
+        println!("selfcheck: {} FAILURES", c.failures);
+        std::process::exit(1);
+    }
+}

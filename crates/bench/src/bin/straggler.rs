@@ -1,0 +1,83 @@
+//! Extension exhibit: straggler tolerance.
+//!
+//! One GPU in a 2-node Cluster A runs degraded (thermal throttling, a bad
+//! HBM stack — a routine production event). Compares TE CP (every sequence
+//! crosses the slow GPU), Zeppelin planned *unaware* of the defect, and
+//! Zeppelin planned with straggler-aware placement (degraded ranks get
+//! lighter local queues and join intra-node rings last).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use zeppelin_baselines::te_cp::TeCp;
+use zeppelin_bench::harness::PAPER_SEED;
+use zeppelin_bench::table::Table;
+use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
+use zeppelin_core::zeppelin::Zeppelin;
+use zeppelin_data::batch::sample_batch;
+use zeppelin_data::datasets::{arxiv, openwebmath, stackexchange};
+use zeppelin_exec::step::{simulate_step, StepConfig};
+use zeppelin_model::config::llama_3b;
+use zeppelin_sim::topology::cluster_a;
+
+fn main() {
+    const SLOW_RANK: usize = 5;
+    let slow_factor: f64 = std::env::var("STRAGGLER_FACTOR")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
+    let cluster = cluster_a(2);
+    let model = llama_3b();
+    let mut speed = vec![1.0; cluster.total_gpus()];
+    speed[SLOW_RANK] = slow_factor;
+
+    let healthy_ctx = SchedulerCtx::new(&cluster, &model);
+    let aware_ctx = healthy_ctx.clone().with_rank_speed(speed.clone());
+    let mut cfg = StepConfig::default();
+    cfg.exec.rank_speed = speed.clone();
+    let mut aware_cfg = cfg.clone();
+    aware_cfg.exec.speed_aware_remap = true;
+    let healthy_cfg = StepConfig::default();
+
+    println!(
+        "Straggler study — rank {SLOW_RANK} at {:.0}% speed, 3B, 2 nodes Cluster A, 64k\n",
+        slow_factor * 100.0
+    );
+    let mut table = Table::new(vec![
+        "dataset",
+        "TE CP healthy",
+        "TE CP degraded",
+        "Zeppelin unaware",
+        "Zeppelin aware",
+        "aware vs unaware",
+    ]);
+    let mut rng = StdRng::seed_from_u64(PAPER_SEED);
+    for dist in [stackexchange(), openwebmath(), arxiv()] {
+        let batch = sample_batch(&dist, &mut rng, 65_536);
+        let run = |s: &dyn Scheduler, ctx: &SchedulerCtx, c: &StepConfig| {
+            simulate_step(s, &batch, ctx, c)
+                .map(|r| r.throughput)
+                .unwrap_or(f64::NAN)
+        };
+        let te_h = run(&TeCp::new(), &healthy_ctx, &healthy_cfg);
+        let te_d = run(&TeCp::new(), &healthy_ctx, &cfg);
+        let zep_unaware = run(&Zeppelin::new(), &healthy_ctx, &cfg);
+        let zep_aware = run(&Zeppelin::new(), &aware_ctx, &aware_cfg);
+        table.row(vec![
+            dist.name.clone(),
+            format!("{te_h:.0}"),
+            format!("{te_d:.0}"),
+            format!("{zep_unaware:.0}"),
+            format!("{zep_aware:.0}"),
+            format!("{:+.1}%", 100.0 * (zep_aware / zep_unaware - 1.0)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("reading: a ring is as slow as its slowest member, so on");
+    println!("ring-heavy batches (ArXiv) both TE CP and Zeppelin pay the full");
+    println!("straggler tax and awareness cannot help — equal-split zigzag");
+    println!("chunks assume homogeneity. Awareness pays on local-heavy");
+    println!("batches (StackExchange): the slow GPU's local queue lightens");
+    println!("and the remapping layer sets speed-proportional linear-module");
+    println!("targets. Speed-proportional ring chunk sizes remain future work.");
+}

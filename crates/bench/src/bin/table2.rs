@@ -1,0 +1,58 @@
+//! Table 2: dataset length-bin proportions — specification vs sampler.
+//!
+//! Prints, for each evaluation dataset, the proportions published in the
+//! paper's Table 2 next to the empirical proportions of our synthetic
+//! sampler, with the maximum absolute deviation. This validates the
+//! dataset substitution (the paper itself trains on synthetic batches
+//! matched to these distributions).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use zeppelin_bench::harness::PAPER_SEED;
+use zeppelin_bench::table::Table;
+use zeppelin_data::datasets::paper_datasets;
+use zeppelin_data::stats::{table2_edges, Histogram};
+
+fn main() {
+    const SAMPLES: usize = 200_000;
+    let edges = table2_edges();
+    let mut rng = StdRng::seed_from_u64(PAPER_SEED);
+
+    println!("Table 2 — sequence length distribution of three datasets");
+    println!("(spec = paper's proportions; sampled = {SAMPLES} draws)\n");
+
+    for dist in paper_datasets() {
+        let mut table = Table::new(vec!["bin", "spec", "sampled", "|diff|"]);
+        let samples: Vec<u64> = (0..SAMPLES).map(|_| dist.sample(&mut rng)).collect();
+        let hist = Histogram::new(&samples, &edges);
+        let fracs = hist.fractions();
+        let mut max_dev = 0.0f64;
+        for (i, w) in edges.windows(2).enumerate() {
+            let spec = dist
+                .bins
+                .iter()
+                .find(|b| b.lo == w[0].max(1) && b.hi == w[1])
+                .map(|b| b.prob)
+                .unwrap_or(0.0);
+            let got = fracs[i];
+            let dev = (spec - got).abs();
+            max_dev = max_dev.max(dev);
+            table.row(vec![
+                format!("{}-{}k", w[0] / 1024, w[1] / 1024),
+                format!("{spec:.3}"),
+                format!("{got:.3}"),
+                format!("{dev:.4}"),
+            ]);
+        }
+        println!("{}:", dist.name);
+        println!("{}", table.render());
+        println!("max deviation: {max_dev:.4}\n");
+        assert!(
+            max_dev < 0.01,
+            "{} sampler deviates from Table 2 by {max_dev}",
+            dist.name
+        );
+    }
+    println!("all samplers match Table 2 within 1%");
+}

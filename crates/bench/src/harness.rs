@@ -1,0 +1,145 @@
+//! Shared experiment plumbing for the figure/table binaries.
+
+use zeppelin_baselines::{HybridDp, LlamaCp, Packing, TeCp};
+use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
+use zeppelin_core::zeppelin::{Zeppelin, ZeppelinConfig};
+use zeppelin_data::distribution::LengthDistribution;
+use zeppelin_exec::step::StepConfig;
+use zeppelin_exec::trainer::{run_training, RunConfig, RunReport};
+use zeppelin_exec::StepError;
+use zeppelin_model::config::ModelConfig;
+use zeppelin_sim::topology::{cluster_a, cluster_b, cluster_c, ClusterSpec};
+
+/// Base seed used by every exhibit so results are reproducible.
+pub const PAPER_SEED: u64 = 2026;
+
+/// The paper's three clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterKind {
+    /// 8× A800, 4 shared 200 Gb/s NICs per node.
+    A,
+    /// 8× H800, 8× 200 Gb/s NICs per node.
+    B,
+    /// 8× H200, 8× 400 Gb/s NICs per node.
+    C,
+}
+
+impl ClusterKind {
+    /// Builds the cluster with `nodes` nodes.
+    pub fn build(self, nodes: usize) -> ClusterSpec {
+        match self {
+            ClusterKind::A => cluster_a(nodes),
+            ClusterKind::B => cluster_b(nodes),
+            ClusterKind::C => cluster_c(nodes),
+        }
+    }
+
+    /// Short label used in table headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClusterKind::A => "Cluster A",
+            ClusterKind::B => "Cluster B",
+            ClusterKind::C => "Cluster C",
+        }
+    }
+}
+
+/// A method under evaluation.
+pub enum Method {
+    /// Transformer Engine CP baseline.
+    TeCp,
+    /// TE CP with the routing layer grafted on (Fig. 11).
+    TeCpRouting,
+    /// LLaMA all-gather CP baseline.
+    LlamaCp,
+    /// FLOP-balanced hybrid DP baseline.
+    HybridDp,
+    /// Input-balanced packing baseline (Fig. 3 analysis).
+    Packing,
+    /// Zeppelin with a component configuration.
+    Zeppelin(ZeppelinConfig),
+}
+
+impl Method {
+    /// Instantiates the scheduler.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match self {
+            Method::TeCp => Box::new(TeCp::new()),
+            Method::TeCpRouting => Box::new(TeCp::with_routing()),
+            Method::LlamaCp => Box::new(LlamaCp::new()),
+            Method::HybridDp => Box::new(HybridDp::new()),
+            Method::Packing => Box::new(Packing::new()),
+            Method::Zeppelin(cfg) => Box::new(Zeppelin::with_config(*cfg)),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::TeCp => "TE CP",
+            Method::TeCpRouting => "TE CP + Routing",
+            Method::LlamaCp => "LLaMA CP",
+            Method::HybridDp => "Hybrid DP",
+            Method::Packing => "Packing",
+            Method::Zeppelin(c) => Zeppelin::with_config(*c).name(),
+        }
+    }
+}
+
+/// The Fig. 8/9/10 method roster: three baselines plus full Zeppelin.
+pub fn methods() -> Vec<Method> {
+    vec![
+        Method::TeCp,
+        Method::LlamaCp,
+        Method::HybridDp,
+        Method::Zeppelin(ZeppelinConfig::default()),
+    ]
+}
+
+/// Outcome of running one method on one experimental point.
+pub struct MethodOutcome {
+    /// Method name.
+    pub name: String,
+    /// Mean tokens/second, or `None` if the method could not place the
+    /// workload (e.g. all-gather memory exhaustion).
+    pub throughput: Option<f64>,
+    /// Full run report if the run succeeded.
+    pub report: Option<RunReport>,
+}
+
+/// Standard quick run: enough sampled steps for stable means while keeping
+/// the full exhibit suite tractable.
+pub fn quick_run_config(tokens_per_step: u64) -> RunConfig {
+    RunConfig {
+        steps: 8,
+        tokens_per_step,
+        seed: PAPER_SEED,
+        step: StepConfig::default(),
+    }
+}
+
+/// Runs one method over sampled batches, tolerating capacity failures
+/// (reported as `throughput: None`, mirroring OOM points in the paper).
+pub fn run_method(
+    method: &Method,
+    dist: &LengthDistribution,
+    cluster: &ClusterSpec,
+    model: &ModelConfig,
+    cfg: &RunConfig,
+) -> MethodOutcome {
+    let scheduler = method.build();
+    let ctx = SchedulerCtx::new(cluster, model);
+    match run_training(scheduler.as_ref(), dist, &ctx, cfg) {
+        Ok(report) => MethodOutcome {
+            name: report.scheduler.clone(),
+            throughput: Some(report.mean_throughput),
+            report: Some(report),
+        },
+        Err(StepError::Plan(_)) => MethodOutcome {
+            name: method.name().to_string(),
+            throughput: None,
+            report: None,
+        },
+        Err(e) => panic!("simulation failed for {}: {e}", method.name()),
+    }
+}

@@ -1,0 +1,83 @@
+//! Smoke tests of the bench harness: every exhibit's plumbing must run on
+//! a miniature configuration, so the figure binaries cannot rot silently.
+
+use zeppelin_bench::harness::{methods, run_method, ClusterKind, Method, PAPER_SEED};
+use zeppelin_bench::table::Table;
+use zeppelin_core::zeppelin::ZeppelinConfig;
+use zeppelin_data::datasets::paper_datasets;
+use zeppelin_exec::trainer::RunConfig;
+use zeppelin_exec::StepConfig;
+use zeppelin_model::config::llama_3b;
+
+fn mini_cfg() -> RunConfig {
+    RunConfig {
+        steps: 2,
+        tokens_per_step: 32_768,
+        seed: PAPER_SEED,
+        step: StepConfig::default(),
+    }
+}
+
+#[test]
+fn every_method_runs_on_every_cluster_kind() {
+    let model = llama_3b();
+    let dist = &paper_datasets()[0];
+    for kind in [ClusterKind::A, ClusterKind::B, ClusterKind::C] {
+        let cluster = kind.build(1);
+        for method in methods() {
+            let out = run_method(&method, dist, &cluster, &model, &mini_cfg());
+            assert!(
+                out.throughput.unwrap_or(0.0) > 0.0,
+                "{} on {}",
+                out.name,
+                kind.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn extended_methods_run_too() {
+    let model = llama_3b();
+    let cluster = ClusterKind::A.build(2);
+    let dist = &paper_datasets()[1];
+    for method in [
+        Method::TeCpRouting,
+        Method::Packing,
+        Method::Zeppelin(ZeppelinConfig {
+            routing: false,
+            remapping: true,
+        }),
+    ] {
+        let out = run_method(&method, dist, &cluster, &model, &mini_cfg());
+        assert!(out.throughput.unwrap_or(0.0) > 0.0, "{}", out.name);
+    }
+}
+
+#[test]
+fn method_roster_matches_paper_baselines() {
+    let names: Vec<&str> = methods().iter().map(|m| m.name()).collect();
+    assert_eq!(names, vec!["TE CP", "LLaMA CP", "Hybrid DP", "Zeppelin"]);
+}
+
+#[test]
+fn oom_points_surface_as_none_not_panic() {
+    // 30B on a single tiny node cannot fit large batches with TE CP.
+    let model = zeppelin_model::config::llama_30b();
+    let cluster = ClusterKind::A.build(1);
+    let mut cfg = mini_cfg();
+    cfg.tokens_per_step = 1 << 22; // 4M tokens on 8 GPUs: hopeless.
+    let out = run_method(&Method::TeCp, &paper_datasets()[0], &cluster, &model, &cfg);
+    assert!(out.throughput.is_none());
+    assert!(out.report.is_none());
+}
+
+#[test]
+fn table_rendering_is_stable() {
+    let mut t = Table::new(vec!["a", "bb"]);
+    t.row(vec!["1", "2"]);
+    let first = t.render();
+    let second = t.render();
+    assert_eq!(first, second);
+    assert_eq!(first.lines().count(), 3);
+}

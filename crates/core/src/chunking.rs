@@ -1,0 +1,265 @@
+//! Zigzag chunk geometry and per-round ring-attention cost accounting.
+//!
+//! A sequence executed by a ring group of size `G` is cut into `2G` equal
+//! chunks; ring position `i` owns chunks `i` and `2G-1-i` (§3.2, following
+//! striped/zigzag ring attention). Under the causal mask this pairing gives
+//! every position the same total attending-pair count (±rounding), unlike
+//! contiguous splitting where the last rank does `~2×` the work of average.
+//!
+//! Ring execution runs `G` rounds: in round `r`, position `p` computes its
+//! query chunks against the KV chunks originally owned by position
+//! `(p - r) mod G`, while sending the KV it currently holds to `p + 1`.
+//! All cost queries here are exact (integer causal-pair counting).
+
+use zeppelin_model::config::ModelConfig;
+use zeppelin_model::flops::{attention_block_flops, flops_per_pair};
+use zeppelin_model::memory::kv_bytes;
+
+/// A chunk of a sequence: global token offset and length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// First global token index of the chunk.
+    pub offset: u64,
+    /// Chunk length in tokens.
+    pub len: u64,
+}
+
+/// Offsets/lengths of all `2G` chunks of a sequence of length `len`.
+///
+/// Remainder tokens go to the lowest-index chunks, keeping sizes within one
+/// token of each other.
+///
+/// # Panics
+///
+/// Panics if `g == 0`.
+pub fn chunks(len: u64, g: usize) -> Vec<Chunk> {
+    assert!(g > 0, "ring group must be non-empty");
+    let n = 2 * g as u64;
+    let base = len / n;
+    let rem = len % n;
+    let mut out = Vec::with_capacity(n as usize);
+    let mut offset = 0;
+    for c in 0..n {
+        let l = base + u64::from(c < rem);
+        out.push(Chunk { offset, len: l });
+        offset += l;
+    }
+    out
+}
+
+/// The two chunks owned by ring position `i` (zigzag pairing).
+///
+/// # Panics
+///
+/// Panics if `i >= g`.
+pub fn position_chunks(len: u64, g: usize, i: usize) -> [Chunk; 2] {
+    assert!(i < g, "position {i} out of ring of size {g}");
+    let all = chunks(len, g);
+    [all[i], all[2 * g - 1 - i]]
+}
+
+/// Ring source position whose KV reaches `position` in `round`.
+pub fn kv_source(g: usize, position: usize, round: usize) -> usize {
+    debug_assert!(position < g && round < g);
+    (position + g - round % g) % g
+}
+
+/// Attention FLOPs of query position `q_pos` against the KV chunks owned by
+/// position `kv_pos` (both zigzag positions of a group of size `g`).
+pub fn position_pair_flops(
+    cfg: &ModelConfig,
+    len: u64,
+    g: usize,
+    q_pos: usize,
+    kv_pos: usize,
+) -> f64 {
+    let q = position_chunks(len, g, q_pos);
+    let kv = position_chunks(len, g, kv_pos);
+    let mut flops = 0.0;
+    for qc in q {
+        for kc in kv {
+            flops += attention_block_flops(cfg, qc.offset, qc.len, kc.offset, kc.len);
+        }
+    }
+    flops
+}
+
+/// Attention FLOPs computed by `position` in `round` of a ring of size `g`
+/// over a sequence of length `len`.
+pub fn ring_round_flops(
+    cfg: &ModelConfig,
+    len: u64,
+    g: usize,
+    position: usize,
+    round: usize,
+) -> f64 {
+    position_pair_flops(cfg, len, g, position, kv_source(g, position, round))
+}
+
+/// Tokens owned by a zigzag position (`position_chunks` total).
+pub fn position_tokens(len: u64, g: usize, position: usize) -> u64 {
+    position_chunks(len, g, position)
+        .iter()
+        .map(|c| c.len)
+        .sum()
+}
+
+/// Tokens of KV that `position` holds (and sends onward) at `round`.
+pub fn ring_round_kv_tokens(len: u64, g: usize, position: usize, round: usize) -> u64 {
+    let src = kv_source(g, position, round);
+    position_chunks(len, g, src).iter().map(|c| c.len).sum()
+}
+
+/// Bytes of KV that `position` sends to its neighbour after `round`.
+pub fn ring_round_kv_bytes(
+    cfg: &ModelConfig,
+    len: u64,
+    g: usize,
+    position: usize,
+    round: usize,
+) -> f64 {
+    kv_bytes(cfg, ring_round_kv_tokens(len, g, position, round))
+}
+
+/// Total attention FLOPs of ring position `i` across all `g` rounds.
+pub fn position_total_flops(cfg: &ModelConfig, len: u64, g: usize, i: usize) -> f64 {
+    (0..g).map(|r| ring_round_flops(cfg, len, g, i, r)).sum()
+}
+
+/// Attention FLOPs of a *contiguously* split position (non-zigzag): ring
+/// position `i` owning the single contiguous chunk `i` of `g`. Used by the
+/// chunking ablation to quantify what zigzag buys.
+pub fn contiguous_position_flops(cfg: &ModelConfig, len: u64, g: usize, i: usize) -> f64 {
+    assert!(i < g, "position out of range");
+    let base = len / g as u64;
+    let rem = len % g as u64;
+    let my_len = base + u64::from((i as u64) < rem);
+    let my_off: u64 = (0..i as u64).map(|c| base + u64::from(c < rem)).sum();
+    // Position i attends to every earlier token plus its own causal block.
+    (my_off * my_len) as f64 * flops_per_pair(cfg)
+        + attention_block_flops(cfg, my_off, my_len, my_off, my_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeppelin_model::config::llama_7b;
+    use zeppelin_model::flops::attention_seq_flops;
+
+    #[test]
+    fn chunks_partition_the_sequence() {
+        for len in [0u64, 1, 7, 100, 1000, 4097] {
+            for g in [1usize, 2, 3, 8] {
+                let cs = chunks(len, g);
+                assert_eq!(cs.len(), 2 * g);
+                assert_eq!(cs.iter().map(|c| c.len).sum::<u64>(), len);
+                let mut expected_off = 0;
+                for c in &cs {
+                    assert_eq!(c.offset, expected_off);
+                    expected_off += c.len;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_flops_decompose_exactly() {
+        let cfg = llama_7b();
+        for len in [64u64, 1000, 4096] {
+            for g in [1usize, 2, 4, 8] {
+                let total: f64 = (0..g)
+                    .flat_map(|p| (0..g).map(move |r| (p, r)))
+                    .map(|(p, r)| ring_round_flops(&cfg, len, g, p, r))
+                    .sum();
+                let expected = attention_seq_flops(&cfg, len);
+                assert!(
+                    (total - expected).abs() / expected < 1e-12,
+                    "len {len} g {g}: {total} vs {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zigzag_balances_positions() {
+        let cfg = llama_7b();
+        let len = 8192;
+        let g = 8;
+        let per: Vec<f64> = (0..g)
+            .map(|i| position_total_flops(&cfg, len, g, i))
+            .collect();
+        let max = per.iter().cloned().fold(0.0f64, f64::max);
+        let min = per.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            (max - min) / max < 0.01,
+            "zigzag imbalance too high: {per:?}"
+        );
+    }
+
+    #[test]
+    fn contiguous_split_is_imbalanced() {
+        let cfg = llama_7b();
+        let len = 8192;
+        let g = 8;
+        let per: Vec<f64> = (0..g)
+            .map(|i| contiguous_position_flops(&cfg, len, g, i))
+            .collect();
+        // Last rank does far more than the first.
+        assert!(per[g - 1] > 5.0 * per[0], "{per:?}");
+        // But totals agree with the causal sequence cost.
+        let total: f64 = per.iter().sum();
+        let expected = attention_seq_flops(&cfg, len);
+        assert!((total - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn kv_rotation_visits_every_source_once() {
+        let g = 8;
+        for p in 0..g {
+            let mut seen: Vec<usize> = (0..g).map(|r| kv_source(g, p, r)).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..g).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn round_zero_uses_own_kv() {
+        assert_eq!(kv_source(8, 3, 0), 3);
+        assert_eq!(kv_source(8, 3, 1), 2);
+        assert_eq!(kv_source(8, 0, 1), 7);
+    }
+
+    #[test]
+    fn kv_tokens_conserved_per_round() {
+        // In any round, the KV chunks in flight across positions cover the
+        // whole sequence exactly once.
+        let len = 10000;
+        let g = 4;
+        for r in 0..g {
+            let total: u64 = (0..g).map(|p| ring_round_kv_tokens(len, g, p, r)).sum();
+            assert_eq!(total, len);
+        }
+    }
+
+    #[test]
+    fn kv_bytes_use_model_width() {
+        let cfg = llama_7b();
+        let b = ring_round_kv_bytes(&cfg, 4096, 4, 0, 0);
+        let tokens = ring_round_kv_tokens(4096, 4, 0, 0);
+        assert!((b - 2.0 * tokens as f64 * 4096.0 * 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn single_rank_ring_degenerates_to_local() {
+        let cfg = llama_7b();
+        let f = ring_round_flops(&cfg, 1000, 1, 0, 0);
+        let expected = attention_seq_flops(&cfg, 1000);
+        assert!((f - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of ring")]
+    fn bad_position_panics() {
+        position_chunks(100, 4, 4);
+    }
+}

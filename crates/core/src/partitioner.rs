@@ -1,0 +1,618 @@
+//! Hierarchical sequence partitioning (§3.1, Algorithms 1 and 2).
+//!
+//! Two stages, mirroring the bandwidth hierarchy:
+//!
+//! 1. **Inter-node** (Alg. 1): find the threshold `s1` separating inter-node
+//!    sequences from the rest. Sequences `>= s1` are chunked across
+//!    `⌈len/s_avg⌉` node buckets (communication, the bottleneck at this
+//!    level, is minimized by coarse node-level chunks); shorter sequences
+//!    go to the least-loaded node. If a short sequence would overflow a
+//!    node's capacity `P·L`, the threshold drops to the longest remaining
+//!    short sequence and the stage repeats.
+//! 2. **Intra-node** (Alg. 2): within each node, find `s0` separating
+//!    intra-node from local sequences. Intra-node sequences are fragmented
+//!    by *quadratic* budget (`⌈len²/c_avg⌉` fragments — computation is what
+//!    must balance at this level) over consecutive devices; local sequences
+//!    go to the least-loaded device, with the same iterative threshold
+//!    refinement against capacity `L`.
+//!
+//! The output is a set of [`SeqPlacement`]s whose ring groups follow node
+//! boundaries (inter-node rings are node-major, so a ring crosses the
+//! network exactly once per participating node pair).
+
+use crate::plan::{AttnMode, PlanError, SeqPlacement, Zone};
+
+/// Cluster-shape inputs to the partitioner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionConfig {
+    /// Nodes in the data-parallel group (`N`).
+    pub nodes: usize,
+    /// Devices per node (`P`).
+    pub devices_per_node: usize,
+    /// Token capacity per device (`L`).
+    pub capacity: u64,
+    /// Initial inter-node threshold `s1`: sequences at least this long are
+    /// placed in the inter-node zone even when they would fit a node.
+    /// Derived from the Fig. 5 cost-model crossover (their computation
+    /// hides inter-node communication); capped at `P·L`. `None` falls back
+    /// to the pure capacity seed of Alg. 1.
+    pub s1_init: Option<u64>,
+    /// Initial local threshold `s0`, analogous for the intra-node zone.
+    pub s0_init: Option<u64>,
+    /// Per-rank relative speed factors (straggler awareness): device loads
+    /// are compared as `tokens / speed`, so degraded GPUs receive lighter
+    /// local queues and are picked last for intra-node rings. `None` means
+    /// homogeneous. Indexed by global rank (`node · P + device`).
+    pub device_speed: Option<Vec<f64>>,
+}
+
+impl PartitionConfig {
+    /// Capacity-only configuration (Alg. 1/2 exactly as printed).
+    pub fn new(nodes: usize, devices_per_node: usize, capacity: u64) -> PartitionConfig {
+        PartitionConfig {
+            nodes,
+            devices_per_node,
+            capacity,
+            s1_init: None,
+            s0_init: None,
+            device_speed: None,
+        }
+    }
+
+    /// Adds per-rank speed factors (see `device_speed`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length differs from the rank count or any
+    /// factor is not strictly positive.
+    pub fn with_device_speed(mut self, speed: Vec<f64>) -> PartitionConfig {
+        assert_eq!(
+            speed.len(),
+            self.nodes * self.devices_per_node,
+            "one speed factor per rank"
+        );
+        assert!(
+            speed.iter().all(|&v| v > 0.0 && v.is_finite()),
+            "speed factors must be positive"
+        );
+        self.device_speed = Some(speed);
+        self
+    }
+
+    /// Adds cost-model zone hints (see [`crate::zones`]).
+    pub fn with_zone_hints(mut self, s0: u64, s1: u64) -> PartitionConfig {
+        self.s0_init = Some(s0.max(1));
+        self.s1_init = Some(s1.max(1));
+        self
+    }
+
+    /// Aggregate token capacity of the cluster.
+    pub fn total_capacity(&self) -> u64 {
+        self.capacity * (self.nodes * self.devices_per_node) as u64
+    }
+
+    /// Token capacity of one node (`P·L`).
+    pub fn node_capacity(&self) -> u64 {
+        self.capacity * self.devices_per_node as u64
+    }
+}
+
+/// Result of hierarchical partitioning, with thresholds for introspection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    /// Final sequence placements.
+    pub placements: Vec<SeqPlacement>,
+    /// Final inter-node threshold `s1`.
+    pub s1: u64,
+    /// Final local threshold `s0` per node.
+    pub s0_per_node: Vec<u64>,
+}
+
+/// One sequence tagged with its batch index, sorted descending.
+#[derive(Debug, Clone, Copy)]
+struct Seq {
+    index: usize,
+    len: u64,
+}
+
+/// Runs Algorithms 1 + 2 over a batch of sequence lengths.
+///
+/// # Errors
+///
+/// Returns [`PlanError::OverCapacity`] if the batch cannot fit, or
+/// [`PlanError::Malformed`] for degenerate configurations.
+///
+/// # Examples
+///
+/// ```
+/// use zeppelin_core::partitioner::{partition, PartitionConfig};
+/// use zeppelin_core::plan::Zone;
+///
+/// // Two 4-GPU nodes, 8k tokens per GPU.
+/// let cfg = PartitionConfig::new(2, 4, 8_192).with_zone_hints(2_048, 12_288);
+/// let part = partition(&[40_000, 5_000, 600], &cfg).unwrap();
+/// // The 40k sequence spans nodes; the 600-token one stays local.
+/// assert_eq!(part.placements[0].zone, Zone::InterNode);
+/// assert_eq!(part.placements[2].zone, Zone::Local);
+/// ```
+pub fn partition(lens: &[u64], cfg: &PartitionConfig) -> Result<Partition, PlanError> {
+    if cfg.nodes == 0 || cfg.devices_per_node == 0 || cfg.capacity == 0 {
+        return Err(PlanError::Malformed(
+            "partition config must have positive nodes/devices/capacity".into(),
+        ));
+    }
+    let total: u64 = lens.iter().sum();
+    if total > cfg.total_capacity() {
+        return Err(PlanError::OverCapacity {
+            tokens: total,
+            capacity: cfg.total_capacity(),
+        });
+    }
+    let mut seqs: Vec<Seq> = lens
+        .iter()
+        .enumerate()
+        .map(|(index, &len)| Seq { index, len })
+        .collect();
+    seqs.sort_by(|a, b| b.len.cmp(&a.len).then(a.index.cmp(&b.index)));
+
+    let inter = inter_node_partition(&seqs, cfg)?;
+    let p = cfg.devices_per_node;
+
+    let mut placements: Vec<SeqPlacement> = Vec::new();
+    // Inter-node sequences become one ring each, node-major rank order.
+    for is in &inter.inter_seqs {
+        let ranks: Vec<usize> = is
+            .nodes
+            .iter()
+            .flat_map(|&n| (n * p)..(n * p + p))
+            .collect();
+        let zone = if is.nodes.len() > 1 {
+            Zone::InterNode
+        } else if ranks.len() > 1 {
+            Zone::IntraNode
+        } else {
+            Zone::Local
+        };
+        placements.push(SeqPlacement {
+            seq_index: is.index,
+            len: is.len,
+            zone,
+            ranks,
+            mode: AttnMode::Ring,
+            micro_batch: 0,
+        });
+    }
+
+    let mut s0_per_node = Vec::with_capacity(cfg.nodes);
+    for node in 0..cfg.nodes {
+        // Per-device tokens already pinned by inter-node rings on this node.
+        let inter_per_device: u64 = inter
+            .inter_seqs
+            .iter()
+            .filter(|is| is.nodes.contains(&node))
+            .map(|is| is.len.div_ceil((is.nodes.len() * p) as u64))
+            .sum();
+        let node_speed: Option<Vec<f64>> = cfg
+            .device_speed
+            .as_ref()
+            .map(|v| v[node * p..(node + 1) * p].to_vec());
+        let intra = intra_node_partition(
+            &inter.node_whole[node],
+            cfg.capacity.saturating_sub(inter_per_device),
+            p,
+            cfg.s0_init,
+            node_speed.as_deref(),
+        )?;
+        s0_per_node.push(intra.s0);
+        for fs in intra.intra_seqs {
+            let ranks: Vec<usize> = fs.devices.iter().map(|&d| node * p + d).collect();
+            let zone = if ranks.len() > 1 {
+                Zone::IntraNode
+            } else {
+                Zone::Local
+            };
+            placements.push(SeqPlacement {
+                seq_index: fs.index,
+                len: fs.len,
+                zone,
+                ranks,
+                mode: AttnMode::Ring,
+                micro_batch: 0,
+            });
+        }
+        for (device, seq) in intra.local_seqs {
+            placements.push(SeqPlacement {
+                seq_index: seq.index,
+                len: seq.len,
+                zone: Zone::Local,
+                ranks: vec![node * p + device],
+                mode: AttnMode::Ring,
+                micro_batch: 0,
+            });
+        }
+    }
+
+    placements.sort_by_key(|pl| pl.seq_index);
+    Ok(Partition {
+        placements,
+        s1: inter.s1,
+        s0_per_node,
+    })
+}
+
+/// An inter-node sequence and the node buckets it spans.
+#[derive(Debug, Clone)]
+struct InterSeq {
+    index: usize,
+    len: u64,
+    nodes: Vec<usize>,
+}
+
+struct InterResult {
+    inter_seqs: Vec<InterSeq>,
+    /// Whole (shorter) sequences per node, still sorted descending.
+    node_whole: Vec<Vec<Seq>>,
+    s1: u64,
+}
+
+/// Algorithm 1: inter-node partitioning.
+fn inter_node_partition(seqs: &[Seq], cfg: &PartitionConfig) -> Result<InterResult, PlanError> {
+    let n = cfg.nodes;
+    let node_cap = cfg.node_capacity();
+    let mut s1 = node_cap.min(cfg.s1_init.unwrap_or(u64::MAX)).max(1);
+    // `granularity` escalates chunking when coarse chunks overflow nodes;
+    // each retry either promotes a sequence to the inter-node zone or
+    // doubles granularity, so iterations are bounded.
+    let mut granularity = 1u64;
+    let max_iters = seqs.len() + 72;
+    for _ in 0..=max_iters {
+        let (z2, z01): (Vec<Seq>, Vec<Seq>) = seqs.iter().partition(|s| s.len >= s1);
+        let mut load = vec![0u64; n];
+        // Rounding reserve: every inter-node ring's per-device share rounds
+        // up, costing the node up to P extra tokens per hosted sequence,
+        // which the intra stage will subtract from its budget.
+        let mut reserve = vec![0u64; n];
+        let mut node_whole: Vec<Vec<Seq>> = vec![Vec::new(); n];
+        let mut inter_seqs = Vec::new();
+
+        let mut all_spread = true;
+        if !z2.is_empty() {
+            let z2_total: u64 = z2.iter().map(|s| s.len).sum();
+            let s_avg = (z2_total / (n as u64 * granularity)).max(1);
+            for s in &z2 {
+                // Node-chunk count: the communication-balance target, but
+                // never fewer nodes than capacity requires.
+                let by_budget = s.len.div_ceil(s_avg) as usize;
+                let by_capacity = s.len.div_ceil(node_cap) as usize;
+                let k = by_budget.max(by_capacity).clamp(1, n);
+                if k < n {
+                    all_spread = false;
+                }
+                // Least-loaded k nodes host the chunks.
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by_key(|&i| (load[i], i));
+                let chosen: Vec<usize> = order.into_iter().take(k).collect();
+                let share = s.len / k as u64;
+                for &node in &chosen {
+                    load[node] += share;
+                    reserve[node] += cfg.devices_per_node as u64;
+                }
+                let mut nodes = chosen;
+                nodes.sort_unstable();
+                inter_seqs.push(InterSeq {
+                    index: s.index,
+                    len: s.len,
+                    nodes,
+                });
+            }
+            // Coarse chunks can still overflow a node; refine and retry
+            // until every inter-node sequence is spread across all nodes
+            // (at which point loads are within rounding of total/N).
+            if (0..n).any(|i| load[i] + reserve[i] > node_cap) && !all_spread {
+                granularity = granularity.saturating_mul(2);
+                continue;
+            }
+        }
+
+        let mut overflow = false;
+        for s in &z01 {
+            let idx = (0..n).min_by_key(|&i| (load[i], i)).expect("n > 0");
+            if load[idx] + reserve[idx] + s.len > node_cap {
+                // Line 14: drop the threshold to the longest z01 sequence.
+                s1 = z01.first().expect("overflow implies non-empty z01").len;
+                overflow = true;
+                break;
+            }
+            load[idx] += s.len;
+            node_whole[idx].push(*s);
+        }
+        if !overflow {
+            return Ok(InterResult {
+                inter_seqs,
+                node_whole,
+                s1,
+            });
+        }
+    }
+    // Capacity was pre-checked, so the refinement loop always converges;
+    // reaching here means an accounting bug rather than user error.
+    Err(PlanError::Malformed(
+        "inter-node partitioning failed to converge".into(),
+    ))
+}
+
+/// An intra-node sequence fragmented over node-local devices.
+#[derive(Debug, Clone)]
+struct IntraSeq {
+    index: usize,
+    len: u64,
+    devices: Vec<usize>,
+}
+
+struct IntraResult {
+    intra_seqs: Vec<IntraSeq>,
+    local_seqs: Vec<(usize, Seq)>,
+    s0: u64,
+}
+
+/// Algorithm 2: intra-node partitioning of whole sequences over P devices.
+///
+/// `capacity` is the per-device budget left after inter-node ring chunks.
+fn intra_node_partition(
+    whole: &[Seq],
+    capacity: u64,
+    p: usize,
+    s0_init: Option<u64>,
+    speed: Option<&[f64]>,
+) -> Result<IntraResult, PlanError> {
+    let speed_of = |d: usize| speed.map_or(1.0, |v| v[d]);
+    let cap = capacity.max(1);
+    let node_total: u64 = whole.iter().map(|s| s.len).sum();
+    if node_total > cap * p as u64 {
+        return Err(PlanError::OverCapacity {
+            tokens: node_total,
+            capacity: cap * p as u64,
+        });
+    }
+    let mut s0 = cap.min(s0_init.unwrap_or(u64::MAX)).max(1);
+    let mut granularity = 1.0f64;
+    let max_iters = whole.len() + 72;
+    for _ in 0..=max_iters {
+        let (z1, z0): (Vec<Seq>, Vec<Seq>) = whole.iter().partition(|s| s.len >= s0);
+        let mut load = vec![0u64; p];
+        let mut intra_seqs = Vec::new();
+        let mut local_seqs = Vec::new();
+        let mut cursor = 0usize;
+
+        let mut all_spread = true;
+        if !z1.is_empty() {
+            // Quadratic budget: attention work, not tokens, must balance.
+            let c_total: f64 = z1.iter().map(|s| (s.len as f64).powi(2)).sum();
+            let c_avg = (c_total / (p as f64 * granularity)).max(1.0);
+            for s in &z1 {
+                let by_budget = ((s.len as f64).powi(2) / c_avg).ceil() as usize;
+                let by_capacity = s.len.div_ceil(cap) as usize;
+                let k = by_budget.max(by_capacity).clamp(1, p);
+                if k < p {
+                    all_spread = false;
+                }
+                // Fragments go to the k least-loaded devices (weighted by
+                // speed so stragglers join rings last), breaking ties by a
+                // rotating cursor so successive sequences spread out.
+                let mut order: Vec<usize> = (0..p).collect();
+                order.sort_by_key(|&i| {
+                    let weighted = (load[i] as f64 / speed_of(i) * 16.0) as u64;
+                    (weighted, (i + p - cursor) % p)
+                });
+                let devices: Vec<usize> = order.into_iter().take(k).collect();
+                cursor = (cursor + k) % p;
+                let share = s.len / k as u64;
+                for &d in &devices {
+                    load[d] += share;
+                }
+                let mut devices = devices;
+                devices.sort_unstable();
+                intra_seqs.push(IntraSeq {
+                    index: s.index,
+                    len: s.len,
+                    devices,
+                });
+            }
+            // Coarse fragments can overflow a device; refine and retry
+            // until every intra-node sequence spans all P devices (then
+            // loads are within rounding of the node total / P).
+            if load.iter().any(|&l| l > cap) && !all_spread {
+                granularity *= 2.0;
+                continue;
+            }
+        }
+
+        let mut overflow = false;
+        for s in &z0 {
+            let idx = (0..p)
+                .min_by_key(|&i| (((load[i] + s.len) as f64 / speed_of(i) * 16.0) as u64, i))
+                .expect("p > 0");
+            if load[idx] + s.len > cap {
+                s0 = z0.first().expect("overflow implies non-empty z0").len;
+                overflow = true;
+                break;
+            }
+            load[idx] += s.len;
+            local_seqs.push((idx, *s));
+        }
+        if !overflow {
+            // Defensive capacity check on the fragmented placement: uneven
+            // fragment rounding cannot exceed capacity by more than the
+            // fragment count, which the +1 margins upstream absorb.
+            return Ok(IntraResult {
+                intra_seqs,
+                local_seqs,
+                s0,
+            });
+        }
+    }
+    Err(PlanError::Malformed(
+        "intra-node partitioning failed to converge".into(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::IterationPlan;
+    use crate::plan::PlanOptions;
+
+    fn cfg(nodes: usize, p: usize, cap: u64) -> PartitionConfig {
+        PartitionConfig::new(nodes, p, cap)
+    }
+
+    fn as_plan(part: &Partition) -> IterationPlan {
+        IterationPlan {
+            scheduler: "partitioner-test".into(),
+            placements: part.placements.clone(),
+            options: PlanOptions::default(),
+            micro_batches: 1,
+            redundant_attn_frac: 0.0,
+        }
+    }
+
+    #[test]
+    fn every_sequence_is_placed_exactly_once() {
+        let lens = vec![50_000, 9_000, 3_000, 1_000, 800, 600, 200, 100];
+        let c = cfg(2, 4, 16_384);
+        let part = partition(&lens, &c).unwrap();
+        let mut seen: Vec<usize> = part.placements.iter().map(|p| p.seq_index).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..lens.len()).collect::<Vec<_>>());
+        for p in &part.placements {
+            assert_eq!(p.len, lens[p.seq_index]);
+        }
+        as_plan(&part).validate(8).unwrap();
+    }
+
+    #[test]
+    fn tiny_batch_stays_local() {
+        let lens = vec![100, 200, 300];
+        let part = partition(&lens, &cfg(2, 4, 4096)).unwrap();
+        assert!(part.placements.iter().all(|p| p.zone == Zone::Local));
+        assert!(part.placements.iter().all(|p| p.ranks.len() == 1));
+    }
+
+    #[test]
+    fn giant_sequence_spans_nodes() {
+        // One sequence bigger than a node's capacity must go inter-node.
+        let lens = vec![40_000];
+        let part = partition(&lens, &cfg(4, 4, 4096)).unwrap();
+        assert_eq!(part.placements.len(), 1);
+        let p = &part.placements[0];
+        assert_eq!(p.zone, Zone::InterNode);
+        // 40k over 4k-capacity nodes of 4 GPUs (16k/node): needs >= 3 nodes.
+        assert!(p.ranks.len() >= 3 * 4, "ranks {:?}", p.ranks);
+        // Node-major ring: consecutive ranks share nodes.
+        let nodes: Vec<usize> = p.ranks.iter().map(|r| r / 4).collect();
+        let mut deduped = nodes.clone();
+        deduped.dedup();
+        let mut sorted = deduped.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(deduped.len(), sorted.len(), "ring must be node-major");
+    }
+
+    #[test]
+    fn medium_sequences_fragment_within_node() {
+        // 12k sequences with 4k capacity: must span >= 3 devices.
+        let lens = vec![12_000, 500, 400];
+        let part = partition(&lens, &cfg(1, 8, 4096)).unwrap();
+        let big = part.placements.iter().find(|p| p.seq_index == 0).unwrap();
+        assert_eq!(big.zone, Zone::IntraNode);
+        assert!(big.ranks.len() >= 3);
+        as_plan(&part).validate(8).unwrap();
+    }
+
+    #[test]
+    fn capacity_is_respected_per_rank() {
+        let lens = vec![
+            30_000, 14_000, 8_000, 5_000, 2_000, 2_000, 1_000, 900, 800, 50,
+        ];
+        let c = cfg(2, 4, 10_000);
+        let part = partition(&lens, &c).unwrap();
+        let plan = as_plan(&part);
+        let tokens = plan.tokens_per_rank(8, 0);
+        for (r, &t) in tokens.iter().enumerate() {
+            // Fragment rounding may exceed L by a handful of tokens.
+            assert!(
+                t <= c.capacity + 64,
+                "rank {r} holds {t} > capacity {}",
+                c.capacity
+            );
+        }
+        assert_eq!(tokens.iter().sum::<u64>(), plan.total_tokens());
+    }
+
+    #[test]
+    fn over_capacity_is_rejected() {
+        let lens = vec![10_000; 10];
+        let err = partition(&lens, &cfg(1, 2, 4096)).unwrap_err();
+        assert!(matches!(err, PlanError::OverCapacity { .. }));
+    }
+
+    #[test]
+    fn threshold_s1_descends_when_nodes_overflow() {
+        // Three 5k sequences on a 2-node cluster with 8192-token node
+        // capacity: whole placement overflows a node (5k + 5k > 8192),
+        // forcing the threshold to drop to 5000 and sequences to chunk.
+        let lens = vec![5_000; 3];
+        let c = cfg(2, 2, 4096);
+        let part = partition(&lens, &c).unwrap();
+        assert!(part.s1 <= 5_000, "s1 {}", part.s1);
+        as_plan(&part).validate(4).unwrap();
+        let total: u64 = part.placements.iter().map(|p| p.len).sum();
+        assert_eq!(total, 15_000);
+        // Per-rank capacity holds after refinement.
+        let tokens = as_plan(&part).tokens_per_rank(4, 0);
+        for &t in &tokens {
+            assert!(t <= 4096 + 16, "rank holds {t}");
+        }
+    }
+
+    #[test]
+    fn short_heavy_batch_avoids_internode_rings() {
+        // Many short sequences fitting comfortably: no inter-node zone.
+        let lens = vec![1000; 32];
+        let part = partition(&lens, &cfg(2, 4, 16_384)).unwrap();
+        assert!(part.placements.iter().all(|p| p.zone != Zone::InterNode));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let part = partition(&[], &cfg(2, 4, 4096)).unwrap();
+        assert!(part.placements.is_empty());
+    }
+
+    #[test]
+    fn degenerate_config_is_rejected() {
+        assert!(partition(&[10], &cfg(0, 4, 4096)).is_err());
+        assert!(partition(&[10], &cfg(2, 0, 4096)).is_err());
+        assert!(partition(&[10], &cfg(2, 4, 0)).is_err());
+    }
+
+    #[test]
+    fn node_loads_are_balanced_for_uniform_batches() {
+        let lens = vec![2000; 16];
+        let c = cfg(4, 2, 16_384);
+        let part = partition(&lens, &c).unwrap();
+        let plan = as_plan(&part);
+        let tokens = plan.tokens_per_rank(8, 0);
+        let per_node: Vec<u64> = (0..4).map(|n| tokens[n * 2] + tokens[n * 2 + 1]).collect();
+        let max = per_node.iter().max().unwrap();
+        let min = per_node.iter().min().unwrap();
+        assert!(max - min <= 2000, "node loads {per_node:?}");
+    }
+
+    #[test]
+    fn determinism() {
+        let lens = vec![9_000, 100, 42_000, 3_000, 3_000, 777];
+        let c = cfg(2, 4, 8_192);
+        assert_eq!(partition(&lens, &c).unwrap(), partition(&lens, &c).unwrap());
+    }
+}

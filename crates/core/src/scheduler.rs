@@ -1,0 +1,92 @@
+//! The scheduler interface every method (Zeppelin and baselines) implements.
+
+use zeppelin_data::batch::Batch;
+use zeppelin_model::config::ModelConfig;
+use zeppelin_model::memory::token_capacity;
+use zeppelin_sim::topology::ClusterSpec;
+
+use crate::plan::{IterationPlan, PlanError};
+
+/// Shared context a scheduler plans against.
+#[derive(Debug, Clone)]
+pub struct SchedulerCtx {
+    /// The (possibly TP-folded) cluster.
+    pub cluster: ClusterSpec,
+    /// Model being trained.
+    pub model: ModelConfig,
+    /// Token capacity `L` per GPU.
+    pub capacity: u64,
+    /// Per-rank speed factors for straggler-aware planning (`None` =
+    /// homogeneous). Schedulers may ignore this; Zeppelin weights its
+    /// intra-node placement with it.
+    pub rank_speed: Option<Vec<f64>>,
+}
+
+impl SchedulerCtx {
+    /// Builds a context, deriving capacity from the memory model.
+    pub fn new(cluster: &ClusterSpec, model: &ModelConfig) -> SchedulerCtx {
+        let dp = cluster.total_gpus().max(1);
+        let capacity = token_capacity(model, cluster.node.gpu.mem_bytes, dp);
+        SchedulerCtx {
+            cluster: cluster.clone(),
+            model: model.clone(),
+            capacity,
+            rank_speed: None,
+        }
+    }
+
+    /// Overrides the derived capacity (tests, what-if studies).
+    pub fn with_capacity(mut self, capacity: u64) -> SchedulerCtx {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Declares per-rank speed factors (straggler-aware planning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the cluster's rank count.
+    pub fn with_rank_speed(mut self, speed: Vec<f64>) -> SchedulerCtx {
+        assert_eq!(
+            speed.len(),
+            self.cluster.total_gpus(),
+            "one speed factor per rank"
+        );
+        self.rank_speed = Some(speed);
+        self
+    }
+}
+
+/// A training-step scheduler: turns a batch into an [`IterationPlan`].
+pub trait Scheduler {
+    /// Stable name used in reports and tables.
+    fn name(&self) -> &'static str;
+
+    /// Plans one iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] when the batch cannot be placed (typically
+    /// capacity exhaustion).
+    fn plan(&self, batch: &Batch, ctx: &SchedulerCtx) -> Result<IterationPlan, PlanError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeppelin_model::config::llama_7b;
+    use zeppelin_sim::topology::cluster_a;
+
+    #[test]
+    fn ctx_derives_reasonable_capacity() {
+        let ctx = SchedulerCtx::new(&cluster_a(2), &llama_7b());
+        assert!(ctx.capacity >= 4096, "capacity {}", ctx.capacity);
+        assert!(ctx.capacity < 10_000_000);
+    }
+
+    #[test]
+    fn capacity_override() {
+        let ctx = SchedulerCtx::new(&cluster_a(2), &llama_7b()).with_capacity(1234);
+        assert_eq!(ctx.capacity, 1234);
+    }
+}

@@ -1,0 +1,135 @@
+//! The Zeppelin scheduler: hierarchical partitioning + attention engine
+//! queues + routing + remapping, with per-component toggles for ablations.
+
+use zeppelin_data::batch::Batch;
+
+use crate::partitioner::{partition, PartitionConfig};
+use crate::plan::{IterationPlan, PlanError, PlanOptions};
+use crate::scheduler::{Scheduler, SchedulerCtx};
+use crate::zones::zone_thresholds;
+
+/// Component toggles (Fig. 11 ablations run with subsets enabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZeppelinConfig {
+    /// Three-step communication routing (§3.3).
+    pub routing: bool,
+    /// Linear-module remapping (§3.4).
+    pub remapping: bool,
+}
+
+impl Default for ZeppelinConfig {
+    fn default() -> Self {
+        ZeppelinConfig {
+            routing: true,
+            remapping: true,
+        }
+    }
+}
+
+/// The Zeppelin scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct Zeppelin {
+    /// Component toggles.
+    pub config: ZeppelinConfig,
+}
+
+impl Zeppelin {
+    /// Full Zeppelin: every component enabled.
+    pub fn new() -> Zeppelin {
+        Zeppelin::default()
+    }
+
+    /// Zeppelin with explicit toggles (ablation variants).
+    pub fn with_config(config: ZeppelinConfig) -> Zeppelin {
+        Zeppelin { config }
+    }
+}
+
+impl Scheduler for Zeppelin {
+    fn name(&self) -> &'static str {
+        match (self.config.routing, self.config.remapping) {
+            (true, true) => "Zeppelin",
+            (true, false) => "Zeppelin (no remap)",
+            (false, true) => "Zeppelin (no routing)",
+            (false, false) => "Zeppelin (engine only)",
+        }
+    }
+
+    fn plan(&self, batch: &Batch, ctx: &SchedulerCtx) -> Result<IterationPlan, PlanError> {
+        // Seed Alg. 1/2's thresholds with the Fig. 5 cost-model crossovers:
+        // sequences whose computation hides inter-node (resp. intra-node)
+        // communication are distributed even when capacity alone would not
+        // force it, balancing quadratic attention across the cluster.
+        let zones = zone_thresholds(&ctx.model, &ctx.cluster);
+        let mut pcfg = PartitionConfig::new(
+            ctx.cluster.nodes,
+            ctx.cluster.node.gpus_per_node,
+            ctx.capacity,
+        )
+        .with_zone_hints(zones.local_max, zones.intra_max);
+        if let Some(speed) = &ctx.rank_speed {
+            pcfg = pcfg.with_device_speed(speed.clone());
+        }
+        let part = partition(&batch.seqs, &pcfg)?;
+        let plan = IterationPlan {
+            scheduler: self.name().into(),
+            placements: part.placements,
+            options: PlanOptions {
+                routing: self.config.routing,
+                remapping: self.config.remapping,
+            },
+            micro_batches: 1,
+            redundant_attn_frac: 0.0,
+        };
+        plan.validate(ctx.cluster.total_gpus())?;
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Zone;
+    use zeppelin_model::config::llama_3b;
+    use zeppelin_sim::topology::cluster_a;
+
+    fn ctx() -> SchedulerCtx {
+        SchedulerCtx::new(&cluster_a(2), &llama_3b()).with_capacity(8192)
+    }
+
+    #[test]
+    fn plans_mixed_batch_across_zones() {
+        let batch = Batch::new(vec![60_000, 9_000, 2_000, 1_000, 500, 300, 200, 100]);
+        let plan = Zeppelin::new().plan(&batch, &ctx()).unwrap();
+        plan.validate(16).unwrap();
+        let zones: std::collections::HashSet<Zone> =
+            plan.placements.iter().map(|p| p.zone).collect();
+        // A 60k sequence must leave a 64k-capacity node... (8 GPUs × 8k =
+        // 64k/node; the 60k sequence plus others forces spanning).
+        assert!(zones.contains(&Zone::Local), "zones {zones:?}");
+        assert!(plan.options.routing && plan.options.remapping);
+        assert_eq!(plan.total_tokens(), batch.total_tokens());
+    }
+
+    #[test]
+    fn ablation_toggles_surface_in_options_and_name() {
+        let z = Zeppelin::with_config(ZeppelinConfig {
+            routing: false,
+            remapping: false,
+        });
+        assert_eq!(z.name(), "Zeppelin (engine only)");
+        let batch = Batch::new(vec![1000, 2000]);
+        let plan = z.plan(&batch, &ctx()).unwrap();
+        assert!(!plan.options.routing);
+        assert!(!plan.options.remapping);
+    }
+
+    #[test]
+    fn over_capacity_batch_is_rejected() {
+        let batch = Batch::new(vec![100_000; 4]);
+        let err = Zeppelin::new()
+            .plan(&batch, &ctx().with_capacity(1024))
+            .unwrap_err();
+        assert!(matches!(err, PlanError::OverCapacity { .. }));
+    }
+}

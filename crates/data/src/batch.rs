@@ -1,0 +1,275 @@
+//! Batch construction: sampling variable-length sequences to a token budget.
+//!
+//! The paper fixes the *total context length* per iteration (e.g. 64k–256k
+//! tokens with 4k per GPU) and fills it with sequences "sampled
+//! proportionally to dataset distributions". [`sample_batch`] reproduces
+//! that: draw lengths until the budget is met, trimming the final sequence
+//! to land exactly on the budget. Special generators build the Balanced and
+//! Skewed batches of Table 3.
+
+use rand::Rng;
+
+use crate::distribution::LengthDistribution;
+
+/// A training batch: the sequence lengths of one iteration, in tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batch {
+    /// Sequence lengths; order is not meaningful.
+    pub seqs: Vec<u64>,
+}
+
+impl Batch {
+    /// Creates a batch from raw lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any length is zero: zero-length sequences cannot exist in
+    /// a tokenized corpus and break downstream invariants.
+    pub fn new(seqs: Vec<u64>) -> Batch {
+        assert!(
+            seqs.iter().all(|&s| s > 0),
+            "batch contains a zero-length sequence"
+        );
+        Batch { seqs }
+    }
+
+    /// Total tokens in the batch.
+    pub fn total_tokens(&self) -> u64 {
+        self.seqs.iter().sum()
+    }
+
+    /// Number of sequences.
+    pub fn len(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// True if the batch holds no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.seqs.is_empty()
+    }
+
+    /// Longest sequence, or 0 for an empty batch.
+    pub fn max_len(&self) -> u64 {
+        self.seqs.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Lengths sorted descending (the order partitioners consume).
+    pub fn sorted_desc(&self) -> Vec<u64> {
+        let mut v = self.seqs.clone();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    }
+}
+
+/// Parses a batch from trace text: one sequence length per line, with
+/// blank lines and `#` comments ignored — the format produced by dumping a
+/// real dataloader's per-document token counts.
+///
+/// # Errors
+///
+/// Returns a message naming the first bad line (non-integer or zero).
+pub fn parse_lengths(text: &str) -> Result<Batch, String> {
+    let mut lens = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let len: u64 = line
+            .parse()
+            .map_err(|_| format!("line {}: '{}' is not a length", lineno + 1, line))?;
+        if len == 0 {
+            return Err(format!("line {}: zero-length sequence", lineno + 1));
+        }
+        lens.push(len);
+    }
+    if lens.is_empty() {
+        return Err("no sequence lengths found".to_string());
+    }
+    Ok(Batch::new(lens))
+}
+
+/// Samples a batch of exactly `target_tokens` tokens from `dist`.
+///
+/// Lengths are drawn i.i.d. from the distribution; the last draw is trimmed
+/// so the total lands exactly on the budget (mirroring how a fixed context
+/// window truncates the final document). Draws longer than the remaining
+/// budget are likewise trimmed, so a single long document can fill the whole
+/// window.
+///
+/// # Panics
+///
+/// Panics if `target_tokens == 0`.
+pub fn sample_batch<R: Rng + ?Sized>(
+    dist: &LengthDistribution,
+    rng: &mut R,
+    target_tokens: u64,
+) -> Batch {
+    assert!(target_tokens > 0, "target_tokens must be positive");
+    let mut seqs = Vec::new();
+    let mut total = 0u64;
+    while total < target_tokens {
+        let remaining = target_tokens - total;
+        let s = dist.sample(rng).min(remaining);
+        seqs.push(s);
+        total += s;
+    }
+    Batch::new(seqs)
+}
+
+/// Builds Table 3's *Balanced* batch: one sequence per distribution bin
+/// (its geometric midpoint), repeated round-robin until `target_tokens` is
+/// reached, final sequence trimmed.
+pub fn balanced_batch(dist: &LengthDistribution, target_tokens: u64) -> Batch {
+    assert!(target_tokens > 0, "target_tokens must be positive");
+    let mids: Vec<u64> = dist
+        .bins
+        .iter()
+        .map(|b| {
+            let lo = b.lo.max(1) as f64;
+            let hi = (b.hi - 1) as f64;
+            (lo * hi).sqrt().round().max(1.0) as u64
+        })
+        .collect();
+    let mut seqs = Vec::new();
+    let mut total = 0u64;
+    let mut i = 0usize;
+    while total < target_tokens {
+        let remaining = target_tokens - total;
+        let s = mids[i % mids.len()].min(remaining);
+        seqs.push(s);
+        total += s;
+        i += 1;
+    }
+    Batch::new(seqs)
+}
+
+/// Builds Table 3's *Skewed* batch: one very long sequence taking
+/// `long_frac` of the budget plus short 1k sequences filling the rest.
+///
+/// # Panics
+///
+/// Panics if `long_frac` is not in `(0, 1]` or the budget is zero.
+pub fn skewed_batch(target_tokens: u64, long_frac: f64) -> Batch {
+    assert!(target_tokens > 0, "target_tokens must be positive");
+    assert!(
+        long_frac > 0.0 && long_frac <= 1.0,
+        "long_frac must be in (0, 1], got {long_frac}"
+    );
+    let long = ((target_tokens as f64 * long_frac) as u64).max(1);
+    let mut seqs = vec![long];
+    let mut total = long;
+    const SHORT: u64 = 1024;
+    while total < target_tokens {
+        let s = SHORT.min(target_tokens - total);
+        seqs.push(s);
+        total += s;
+    }
+    Batch::new(seqs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{arxiv, github, stackexchange};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_batch_hits_budget_exactly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for dist in [arxiv(), github(), stackexchange()] {
+            for target in [4096u64, 65536, 262144] {
+                let b = sample_batch(&dist, &mut rng, target);
+                assert_eq!(b.total_tokens(), target, "{} @ {target}", dist.name);
+                assert!(b.seqs.iter().all(|&s| s > 0));
+            }
+        }
+    }
+
+    #[test]
+    fn short_dataset_yields_many_sequences() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let se = sample_batch(&stackexchange(), &mut rng, 65536);
+        let ax = sample_batch(&arxiv(), &mut rng, 65536);
+        assert!(
+            se.len() > 2 * ax.len(),
+            "stackexchange {} vs arxiv {}",
+            se.len(),
+            ax.len()
+        );
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        assert_eq!(
+            sample_batch(&github(), &mut a, 131072),
+            sample_batch(&github(), &mut b, 131072)
+        );
+    }
+
+    #[test]
+    fn balanced_batch_covers_all_bins() {
+        let b = balanced_batch(&arxiv(), 262144);
+        assert_eq!(b.total_tokens(), 262144);
+        // One sequence near each bin midpoint appears.
+        let n_bins = arxiv().bins.len();
+        assert!(b.len() >= n_bins);
+    }
+
+    #[test]
+    fn skewed_batch_has_one_dominant_sequence() {
+        let b = skewed_batch(131072, 0.75);
+        assert_eq!(b.total_tokens(), 131072);
+        let max = b.max_len();
+        assert!((max as f64 / 131072.0 - 0.75).abs() < 0.01);
+        // The rest are short.
+        assert!(b.seqs.iter().filter(|&&s| s != max).all(|&s| s <= 1024));
+    }
+
+    #[test]
+    fn parse_lengths_accepts_trace_format() {
+        let b = parse_lengths("# doc lengths\n4096\n\n  128  \n77\n").unwrap();
+        assert_eq!(b.seqs, vec![4096, 128, 77]);
+    }
+
+    #[test]
+    fn parse_lengths_reports_bad_lines() {
+        let err = parse_lengths("10\nx\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = parse_lengths("10\n0\n").unwrap_err();
+        assert!(err.contains("zero-length"), "{err}");
+        assert!(parse_lengths("# only comments\n").is_err());
+    }
+
+    #[test]
+    fn batch_accessors() {
+        let b = Batch::new(vec![5, 3, 9]);
+        assert_eq!(b.total_tokens(), 17);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert_eq!(b.max_len(), 9);
+        assert_eq!(b.sorted_desc(), vec![9, 5, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn zero_length_sequence_panics() {
+        Batch::new(vec![4, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_budget_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        sample_batch(&arxiv(), &mut rng, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "long_frac")]
+    fn bad_long_frac_panics() {
+        skewed_batch(1000, 1.5);
+    }
+}

@@ -1,0 +1,247 @@
+//! Dataset presets.
+//!
+//! The three evaluation datasets come directly from the paper's Table 2
+//! (proportion of sequences per power-of-two length bin, lengths in tokens).
+//! The additional Fig.-1-style corpora (StackExchange, OpenWebMath, FineWeb)
+//! are plausible binned reconstructions of the public datasets' length
+//! profiles, used by the Fig. 1 and Fig. 3 reproductions.
+
+use crate::distribution::{table2_bins, LengthBin, LengthDistribution};
+
+/// ArXiv (Table 2, row 1): mid-length papers, balanced 4–32k mass.
+pub fn arxiv() -> LengthDistribution {
+    LengthDistribution::new(
+        "ArXiv",
+        table2_bins([0.032, 0.03, 0.08, 0.219, 0.338, 0.224, 0.077, 0.0, 0.0]),
+    )
+    .expect("preset is valid")
+}
+
+/// GitHub (Table 2, row 2): long-tailed code, sequences beyond 128k.
+pub fn github() -> LengthDistribution {
+    LengthDistribution::new(
+        "GitHub",
+        table2_bins([
+            // Table 2 row sums to 0.945; the remaining 0.055 mass is not
+            // printed in the paper. We renormalize proportionally.
+            0.0 / 0.945,
+            0.34 / 0.945,
+            0.095 / 0.945,
+            0.104 / 0.945,
+            0.107 / 0.945,
+            0.102 / 0.945,
+            0.088 / 0.945,
+            0.064 / 0.945,
+            0.045 / 0.945,
+        ]),
+    )
+    .expect("preset is valid")
+}
+
+/// ProLong64k (Table 2, row 3): bimodal — many short, a 0.673 spike at
+/// 32–64k (the ProLong recipe packs long documents to 64k).
+pub fn prolong64k() -> LengthDistribution {
+    LengthDistribution::new(
+        "ProLong64k",
+        table2_bins([0.231, 0.042, 0.021, 0.012, 0.013, 0.008, 0.673, 0.0, 0.0]),
+    )
+    .expect("preset is valid")
+}
+
+/// StackExchange (Fig. 1 style): Q&A text, overwhelmingly short.
+pub fn stackexchange() -> LengthDistribution {
+    LengthDistribution::new(
+        "StackExchange",
+        vec![
+            LengthBin {
+                lo: 1,
+                hi: 512,
+                prob: 0.62,
+            },
+            LengthBin {
+                lo: 512,
+                hi: 1024,
+                prob: 0.21,
+            },
+            LengthBin {
+                lo: 1024,
+                hi: 2048,
+                prob: 0.11,
+            },
+            LengthBin {
+                lo: 2048,
+                hi: 4096,
+                prob: 0.045,
+            },
+            LengthBin {
+                lo: 4096,
+                hi: 8192,
+                prob: 0.012,
+            },
+            LengthBin {
+                lo: 8192,
+                hi: 16384,
+                prob: 0.003,
+            },
+        ],
+    )
+    .expect("preset is valid")
+}
+
+/// OpenWebMath (Fig. 1 style): math web pages, mostly 1–8k.
+pub fn openwebmath() -> LengthDistribution {
+    LengthDistribution::new(
+        "OpenWebMath",
+        vec![
+            LengthBin {
+                lo: 1,
+                hi: 1024,
+                prob: 0.30,
+            },
+            LengthBin {
+                lo: 1024,
+                hi: 2048,
+                prob: 0.27,
+            },
+            LengthBin {
+                lo: 2048,
+                hi: 4096,
+                prob: 0.22,
+            },
+            LengthBin {
+                lo: 4096,
+                hi: 8192,
+                prob: 0.13,
+            },
+            LengthBin {
+                lo: 8192,
+                hi: 16384,
+                prob: 0.06,
+            },
+            LengthBin {
+                lo: 16384,
+                hi: 65536,
+                prob: 0.02,
+            },
+        ],
+    )
+    .expect("preset is valid")
+}
+
+/// FineWeb (Fig. 1 style): filtered web text, short with a thin tail.
+pub fn fineweb() -> LengthDistribution {
+    LengthDistribution::new(
+        "FineWeb",
+        vec![
+            LengthBin {
+                lo: 1,
+                hi: 512,
+                prob: 0.40,
+            },
+            LengthBin {
+                lo: 512,
+                hi: 1024,
+                prob: 0.25,
+            },
+            LengthBin {
+                lo: 1024,
+                hi: 2048,
+                prob: 0.18,
+            },
+            LengthBin {
+                lo: 2048,
+                hi: 4096,
+                prob: 0.10,
+            },
+            LengthBin {
+                lo: 4096,
+                hi: 16384,
+                prob: 0.06,
+            },
+            LengthBin {
+                lo: 16384,
+                hi: 131072,
+                prob: 0.01,
+            },
+        ],
+    )
+    .expect("preset is valid")
+}
+
+/// The three evaluation datasets of Table 2, in paper order.
+pub fn paper_datasets() -> Vec<LengthDistribution> {
+    vec![arxiv(), github(), prolong64k()]
+}
+
+/// The wider Fig. 1 mixture (evaluation datasets + web corpora).
+pub fn fig1_datasets() -> Vec<LengthDistribution> {
+    vec![
+        arxiv(),
+        github(),
+        prolong64k(),
+        stackexchange(),
+        openwebmath(),
+        fineweb(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_validate() {
+        for d in fig1_datasets() {
+            d.validate().unwrap_or_else(|e| panic!("{}: {e}", d.name));
+        }
+    }
+
+    #[test]
+    fn table2_proportions_round_trip() {
+        // Spot-check that the ArXiv preset carries Table 2's exact masses.
+        let a = arxiv();
+        let bin_8_16k = a
+            .bins
+            .iter()
+            .find(|b| b.lo == 8192 && b.hi == 16384)
+            .expect("8-16k bin present");
+        assert!((bin_8_16k.prob - 0.338).abs() < 1e-12);
+    }
+
+    #[test]
+    fn github_is_renormalized() {
+        let g = github();
+        let sum: f64 = g.bins.iter().map(|b| b.prob).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // The >64k tail survives renormalization.
+        assert!(g.tail_mass(65536) > 0.10);
+    }
+
+    #[test]
+    fn prolong_is_bimodal() {
+        let p = prolong64k();
+        // Heavy short mass and a heavy 32-64k spike.
+        assert!(p.bins[0].prob > 0.2);
+        let spike = p
+            .bins
+            .iter()
+            .find(|b| b.lo == 32 * 1024)
+            .expect("32-64k bin");
+        assert!(spike.prob > 0.6);
+    }
+
+    #[test]
+    fn dataset_character_ordering() {
+        // Mean lengths should order: stackexchange < fineweb < arxiv.
+        let se = stackexchange().mean();
+        let fw = fineweb().mean();
+        let ax = arxiv().mean();
+        assert!(se < fw && fw < ax, "{se} {fw} {ax}");
+    }
+
+    #[test]
+    fn paper_datasets_are_three() {
+        let names: Vec<String> = paper_datasets().into_iter().map(|d| d.name).collect();
+        assert_eq!(names, vec!["ArXiv", "GitHub", "ProLong64k"]);
+    }
+}

@@ -1,0 +1,337 @@
+//! Binned sequence-length distributions.
+//!
+//! The paper publishes its datasets as binned length distributions
+//! (Table 2): for each `[lo, hi)` token range, the fraction of sequences
+//! falling in it. We mirror that representation and sample synthetic
+//! sequence lengths from it, log-uniformly within each bin (long-tailed
+//! text-length data is closer to log-uniform than uniform inside a
+//! power-of-two bin).
+
+use rand::{Rng, RngExt};
+
+/// One length bin: sequences with `lo <= len < hi` occur with `prob`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LengthBin {
+    /// Inclusive lower bound, tokens.
+    pub lo: u64,
+    /// Exclusive upper bound, tokens.
+    pub hi: u64,
+    /// Probability mass of the bin.
+    pub prob: f64,
+}
+
+/// A named, binned sequence-length distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LengthDistribution {
+    /// Dataset name (e.g. `"ArXiv"`).
+    pub name: String,
+    /// Bins in ascending, non-overlapping order.
+    pub bins: Vec<LengthBin>,
+}
+
+/// Error from distribution validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistError {
+    /// Bins are empty, unordered, overlapping, or have `lo >= hi`.
+    MalformedBins(String),
+    /// Probabilities are negative or do not sum to ~1.
+    BadProbabilities(f64),
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::MalformedBins(msg) => write!(f, "malformed bins: {msg}"),
+            DistError::BadProbabilities(sum) => {
+                write!(f, "probabilities sum to {sum}, expected ~1.0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl LengthDistribution {
+    /// Creates and validates a distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError`] if bins are malformed or probabilities are
+    /// negative / don't sum to 1 within 1e-6.
+    pub fn new(
+        name: impl Into<String>,
+        bins: Vec<LengthBin>,
+    ) -> Result<LengthDistribution, DistError> {
+        let d = LengthDistribution {
+            name: name.into(),
+            bins,
+        };
+        d.validate()?;
+        Ok(d)
+    }
+
+    /// Validates bin structure and probability mass.
+    pub fn validate(&self) -> Result<(), DistError> {
+        if self.bins.is_empty() {
+            return Err(DistError::MalformedBins("no bins".into()));
+        }
+        let mut prev_hi = 0;
+        for b in &self.bins {
+            if b.lo >= b.hi {
+                return Err(DistError::MalformedBins(format!(
+                    "bin [{}, {}) is empty or inverted",
+                    b.lo, b.hi
+                )));
+            }
+            if b.lo < prev_hi {
+                return Err(DistError::MalformedBins(format!(
+                    "bin [{}, {}) overlaps or is out of order",
+                    b.lo, b.hi
+                )));
+            }
+            if b.prob < 0.0 || !b.prob.is_finite() {
+                return Err(DistError::BadProbabilities(b.prob));
+            }
+            prev_hi = b.hi;
+        }
+        let sum: f64 = self.bins.iter().map(|b| b.prob).sum();
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(DistError::BadProbabilities(sum));
+        }
+        Ok(())
+    }
+
+    /// Samples one sequence length.
+    ///
+    /// The bin is chosen by probability mass; the length within the bin is
+    /// log-uniform. Lengths of at least 1 token are always returned.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let mut u: f64 = rng.random_range(0.0..1.0);
+        let mut chosen = self.bins.last().expect("validated: non-empty");
+        for b in &self.bins {
+            if u < b.prob {
+                chosen = b;
+                break;
+            }
+            u -= b.prob;
+        }
+        let lo = chosen.lo.max(1) as f64;
+        let hi = chosen.hi as f64;
+        let x = rng.random_range(lo.ln()..hi.ln()).exp();
+        (x as u64).clamp(chosen.lo.max(1), chosen.hi - 1)
+    }
+
+    /// Expected sequence length under a log-uniform-within-bin model.
+    pub fn mean(&self) -> f64 {
+        self.bins
+            .iter()
+            .map(|b| {
+                let lo = b.lo.max(1) as f64;
+                let hi = b.hi as f64;
+                // Mean of a log-uniform on [lo, hi): (hi - lo) / ln(hi / lo).
+                let m = if (hi - lo).abs() < 1e-9 {
+                    lo
+                } else {
+                    (hi - lo) / (hi / lo).ln()
+                };
+                b.prob * m
+            })
+            .sum()
+    }
+
+    /// Probability mass of sequences with `len >= threshold`.
+    pub fn tail_mass(&self, threshold: u64) -> f64 {
+        self.bins
+            .iter()
+            .map(|b| {
+                if b.lo >= threshold {
+                    b.prob
+                } else if b.hi <= threshold {
+                    0.0
+                } else {
+                    // Log-uniform partial mass above the threshold.
+                    let lo = b.lo.max(1) as f64;
+                    let hi = b.hi as f64;
+                    let t = threshold as f64;
+                    b.prob * ((hi.ln() - t.ln()) / (hi.ln() - lo.ln()))
+                }
+            })
+            .sum()
+    }
+
+    /// Index of the bin containing `len`, if any.
+    pub fn bin_of(&self, len: u64) -> Option<usize> {
+        self.bins.iter().position(|b| b.lo <= len && len < b.hi)
+    }
+}
+
+/// Builds the paper's standard bin edges `<1k, 1-2k, ..., 128-256k` from a
+/// row of nine proportions (Table 2's format; lengths in tokens).
+///
+/// # Panics
+///
+/// Panics if `props` does not have nine entries; Table 2 rows always do.
+pub fn table2_bins(props: [f64; 9]) -> Vec<LengthBin> {
+    const K: u64 = 1024;
+    let edges = [
+        (1, K),
+        (K, 2 * K),
+        (2 * K, 4 * K),
+        (4 * K, 8 * K),
+        (8 * K, 16 * K),
+        (16 * K, 32 * K),
+        (32 * K, 64 * K),
+        (64 * K, 128 * K),
+        (128 * K, 256 * K),
+    ];
+    edges
+        .iter()
+        .zip(props.iter())
+        .filter(|(_, &p)| p > 0.0)
+        .map(|(&(lo, hi), &p)| LengthBin { lo, hi, prob: p })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn simple() -> LengthDistribution {
+        LengthDistribution::new(
+            "test",
+            vec![
+                LengthBin {
+                    lo: 1,
+                    hi: 1024,
+                    prob: 0.5,
+                },
+                LengthBin {
+                    lo: 1024,
+                    hi: 4096,
+                    prob: 0.5,
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_accepts_good_bins() {
+        simple().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_bad_mass() {
+        let err = LengthDistribution::new(
+            "bad",
+            vec![LengthBin {
+                lo: 1,
+                hi: 10,
+                prob: 0.7,
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, DistError::BadProbabilities(_)));
+    }
+
+    #[test]
+    fn validation_rejects_overlap_and_inversion() {
+        let overlap = LengthDistribution::new(
+            "o",
+            vec![
+                LengthBin {
+                    lo: 1,
+                    hi: 100,
+                    prob: 0.5,
+                },
+                LengthBin {
+                    lo: 50,
+                    hi: 200,
+                    prob: 0.5,
+                },
+            ],
+        );
+        assert!(overlap.is_err());
+        let inverted = LengthDistribution::new(
+            "i",
+            vec![LengthBin {
+                lo: 10,
+                hi: 10,
+                prob: 1.0,
+            }],
+        );
+        assert!(inverted.is_err());
+        assert!(LengthDistribution::new("e", vec![]).is_err());
+    }
+
+    #[test]
+    fn samples_stay_in_declared_bins() {
+        let d = simple();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let s = d.sample(&mut rng);
+            assert!((1..4096).contains(&s), "sample {s} out of range");
+        }
+    }
+
+    #[test]
+    fn empirical_bin_frequencies_match_probs() {
+        let d = simple();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20000;
+        let short = (0..n).filter(|_| d.sample(&mut rng) < 1024).count() as f64;
+        let frac = short / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "short fraction {frac}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = simple();
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn mean_is_between_extremes() {
+        let d = simple();
+        let m = d.mean();
+        assert!(m > 1.0 && m < 4096.0);
+    }
+
+    #[test]
+    fn tail_mass_is_monotone_decreasing() {
+        let d = simple();
+        let mut last = 1.01;
+        for t in [1u64, 512, 1024, 2048, 4096, 8192] {
+            let m = d.tail_mass(t);
+            assert!(m <= last + 1e-12, "tail mass must decrease");
+            assert!((0.0..=1.0).contains(&m));
+            last = m;
+        }
+        assert!((d.tail_mass(1) - 1.0).abs() < 1e-9);
+        assert_eq!(d.tail_mass(4096), 0.0);
+        assert!((d.tail_mass(1024) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bin_of_locates_lengths() {
+        let d = simple();
+        assert_eq!(d.bin_of(1), Some(0));
+        assert_eq!(d.bin_of(1023), Some(0));
+        assert_eq!(d.bin_of(1024), Some(1));
+        assert_eq!(d.bin_of(4096), None);
+    }
+
+    #[test]
+    fn table2_bins_skip_zero_mass() {
+        let bins = table2_bins([0.5, 0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins[0].lo, 1);
+        assert_eq!(bins[1].hi, 2048);
+    }
+}

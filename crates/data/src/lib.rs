@@ -1,0 +1,44 @@
+//! # zeppelin-data
+//!
+//! Variable-length sequence dataset substrate.
+//!
+//! The paper trains on synthetic batches matching the binned length
+//! distributions of real corpora (its Table 2). This crate provides:
+//!
+//! - [`distribution`]: binned length distributions with validation,
+//!   log-uniform within-bin sampling, and tail-mass queries;
+//! - [`datasets`]: the Table 2 presets (ArXiv, GitHub, ProLong64k) plus
+//!   Fig.-1-style web corpora;
+//! - [`batch`]: token-budgeted batch sampling and the Balanced/Skewed
+//!   generators of Table 3;
+//! - [`stats`]: histograms and imbalance metrics for verifying samplers
+//!   against their specifications.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use zeppelin_data::{datasets::arxiv, batch::sample_batch};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let batch = sample_batch(&arxiv(), &mut rng, 65_536);
+//! assert_eq!(batch.total_tokens(), 65_536);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod datasets;
+pub mod distribution;
+pub mod mixture;
+pub mod stats;
+
+pub use batch::{balanced_batch, parse_lengths, sample_batch, skewed_batch, Batch};
+pub use datasets::{
+    arxiv, fig1_datasets, fineweb, github, openwebmath, paper_datasets, prolong64k, stackexchange,
+};
+pub use distribution::{table2_bins, DistError, LengthBin, LengthDistribution};
+pub use mixture::{pretraining_mix, Mixture};
+pub use stats::{cv, load_imbalance, mean, percentile, table2_edges, Histogram};

@@ -1,0 +1,183 @@
+//! Weighted dataset mixtures.
+//!
+//! Pre-training batches draw from *mixtures* of corpora (Fig. 1's
+//! motivation: "typical LLM training involves a mixture of datasets with
+//! diverse and often long-tailed sequence length distributions"). A
+//! [`Mixture`] samples each sequence's source distribution by weight, then
+//! its length from that distribution.
+
+use rand::Rng;
+use rand::RngExt;
+
+use crate::batch::Batch;
+use crate::distribution::{DistError, LengthDistribution};
+
+/// A weighted mixture of length distributions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mixture {
+    components: Vec<(LengthDistribution, f64)>,
+    total_weight: f64,
+}
+
+impl Mixture {
+    /// Creates a mixture from `(distribution, weight)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::BadProbabilities`] if any weight is
+    /// non-positive or non-finite, or the component list is empty.
+    pub fn new(components: Vec<(LengthDistribution, f64)>) -> Result<Mixture, DistError> {
+        if components.is_empty() {
+            return Err(DistError::BadProbabilities(0.0));
+        }
+        let mut total = 0.0;
+        for (dist, w) in &components {
+            dist.validate()?;
+            if !(*w > 0.0 && w.is_finite()) {
+                return Err(DistError::BadProbabilities(*w));
+            }
+            total += w;
+        }
+        Ok(Mixture {
+            components,
+            total_weight: total,
+        })
+    }
+
+    /// Number of component distributions.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True if the mixture has no components (never; kept for API shape).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Normalized weight of component `i`.
+    pub fn weight(&self, i: usize) -> f64 {
+        self.components[i].1 / self.total_weight
+    }
+
+    /// Samples one sequence length (component by weight, then length).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let mut u = rng.random_range(0.0..self.total_weight);
+        for (dist, w) in &self.components {
+            if u < *w {
+                return dist.sample(rng);
+            }
+            u -= w;
+        }
+        // Floating-point edge: fall back to the last component.
+        self.components.last().expect("non-empty").0.sample(rng)
+    }
+
+    /// Samples a batch of exactly `target_tokens` (final draw trimmed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_tokens == 0`.
+    pub fn sample_batch<R: Rng + ?Sized>(&self, rng: &mut R, target_tokens: u64) -> Batch {
+        assert!(target_tokens > 0, "target_tokens must be positive");
+        let mut seqs = Vec::new();
+        let mut total = 0u64;
+        while total < target_tokens {
+            let s = self.sample(rng).min(target_tokens - total);
+            seqs.push(s);
+            total += s;
+        }
+        Batch::new(seqs)
+    }
+
+    /// Weight-averaged expected sequence length.
+    pub fn mean(&self) -> f64 {
+        self.components
+            .iter()
+            .map(|(d, w)| d.mean() * w / self.total_weight)
+            .sum()
+    }
+}
+
+/// A representative pre-training mixture over the built-in corpora
+/// (web-heavy with code and long-context components).
+pub fn pretraining_mix() -> Mixture {
+    use crate::datasets::{fineweb, github, prolong64k, stackexchange};
+    Mixture::new(vec![
+        (fineweb(), 0.4),
+        (stackexchange(), 0.2),
+        (github(), 0.25),
+        (prolong64k(), 0.15),
+    ])
+    .expect("preset is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{arxiv, stackexchange};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mixture_samples_both_components() {
+        // StackExchange (short) + ArXiv (long): both regimes must appear.
+        let mix = Mixture::new(vec![(stackexchange(), 1.0), (arxiv(), 1.0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<u64> = (0..4000).map(|_| mix.sample(&mut rng)).collect();
+        let short = samples.iter().filter(|&&s| s < 1024).count();
+        let long = samples.iter().filter(|&&s| s > 8192).count();
+        assert!(short > 800, "short {short}");
+        assert!(long > 400, "long {long}");
+    }
+
+    #[test]
+    fn weights_steer_component_frequency() {
+        let heavy_short = Mixture::new(vec![(stackexchange(), 9.0), (arxiv(), 1.0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 10_000;
+        let short = (0..n)
+            .filter(|_| heavy_short.sample(&mut rng) < 2048)
+            .count() as f64;
+        // ~90% StackExchange (almost all < 2k) + ~10% ArXiv (few < 2k).
+        assert!((short / n as f64) > 0.8);
+        assert!((heavy_short.weight(0) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batches_hit_token_budget() {
+        let mix = pretraining_mix();
+        let mut rng = StdRng::seed_from_u64(3);
+        for target in [8_192u64, 131_072] {
+            let b = mix.sample_batch(&mut rng, target);
+            assert_eq!(b.total_tokens(), target);
+        }
+    }
+
+    #[test]
+    fn mean_interpolates_components() {
+        let se = stackexchange();
+        let ax = arxiv();
+        let mix = Mixture::new(vec![(se.clone(), 1.0), (ax.clone(), 1.0)]).unwrap();
+        let m = mix.mean();
+        assert!(m > se.mean() && m < ax.mean());
+        assert!((m - (se.mean() + ax.mean()) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_mixtures_are_rejected() {
+        assert!(Mixture::new(vec![]).is_err());
+        assert!(Mixture::new(vec![(arxiv(), 0.0)]).is_err());
+        assert!(Mixture::new(vec![(arxiv(), f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let mix = pretraining_mix();
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(
+            mix.sample_batch(&mut a, 65_536),
+            mix.sample_batch(&mut b, 65_536)
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! Descriptive statistics over sequence-length samples.
+//!
+//! Used by the Fig. 1 / Table 2 reproductions to histogram sampled batches
+//! and compare them against their generating distributions.
+
+/// A histogram over explicit `[lo, hi)` edges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Bin edges: bin `i` covers `[edges[i], edges[i+1])`.
+    pub edges: Vec<u64>,
+    /// Counts per bin; values outside all bins are dropped (tracked in
+    /// `outliers`).
+    pub counts: Vec<u64>,
+    /// Number of values outside the edge range.
+    pub outliers: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram of `values` over `edges` (ascending, ≥ 2 entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if edges are not strictly ascending or fewer than two.
+    pub fn new(values: &[u64], edges: &[u64]) -> Histogram {
+        assert!(edges.len() >= 2, "need at least two edges");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be strictly ascending"
+        );
+        let mut counts = vec![0u64; edges.len() - 1];
+        let mut outliers = 0u64;
+        for &v in values {
+            match edges.binary_search(&v) {
+                // Exactly on edge i: belongs to bin i (edge is inclusive lo),
+                // except the last edge which is exclusive.
+                Ok(i) if i + 1 < edges.len() => counts[i] += 1,
+                Ok(_) => outliers += 1,
+                Err(0) => outliers += 1,
+                Err(i) if i < edges.len() => counts[i - 1] += 1,
+                Err(_) => outliers += 1,
+            }
+        }
+        Histogram {
+            edges: edges.to_vec(),
+            counts,
+            outliers,
+        }
+    }
+
+    /// Fraction of in-range values per bin (zeros if empty).
+    pub fn fractions(&self) -> Vec<f64> {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+}
+
+/// The paper's standard power-of-two edges: 1, 1k, 2k, ..., 256k.
+pub fn table2_edges() -> Vec<u64> {
+    const K: u64 = 1024;
+    vec![
+        1,
+        K,
+        2 * K,
+        4 * K,
+        8 * K,
+        16 * K,
+        32 * K,
+        64 * K,
+        128 * K,
+        256 * K,
+    ]
+}
+
+/// Arithmetic mean of a slice (0 for empty input).
+pub fn mean(values: &[u64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<u64>() as f64 / values.len() as f64
+}
+
+/// The `p`-th percentile (0–100) by nearest-rank on a sorted copy.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `p` is outside `[0, 100]`.
+pub fn percentile(values: &[u64], p: f64) -> u64 {
+    assert!(!values.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    let mut v = values.to_vec();
+    v.sort_unstable();
+    let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+    v[rank]
+}
+
+/// Coefficient of variation (stddev / mean); 0 for constant or empty input.
+pub fn cv(values: &[u64]) -> f64 {
+    let m = mean(values);
+    if m == 0.0 || values.len() < 2 {
+        return 0.0;
+    }
+    let var = values
+        .iter()
+        .map(|&v| {
+            let d = v as f64 - m;
+            d * d
+        })
+        .sum::<f64>()
+        / values.len() as f64;
+    var.sqrt() / m
+}
+
+/// Max/mean imbalance of per-worker loads; 1.0 for empty or all-zero loads.
+pub fn load_imbalance(loads: &[f64]) -> f64 {
+    if loads.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = loads.iter().sum();
+    if sum <= 0.0 {
+        return 1.0;
+    }
+    let mean = sum / loads.len() as f64;
+    let max = loads.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    max / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_and_outliers() {
+        let h = Histogram::new(&[1, 5, 10, 15, 99, 100], &[1, 10, 100]);
+        assert_eq!(h.counts, vec![2, 3]);
+        assert_eq!(h.outliers, 1); // 100 is outside [1, 100).
+    }
+
+    #[test]
+    fn histogram_fractions_sum_to_one() {
+        let h = Histogram::new(&[2, 3, 50, 60, 70], &[1, 10, 100]);
+        let f = h.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((f[0] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_fractions_are_zero() {
+        let h = Histogram::new(&[], &[1, 10]);
+        assert_eq!(h.fractions(), vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_edges_panic() {
+        Histogram::new(&[1], &[10, 5]);
+    }
+
+    #[test]
+    fn table2_edges_have_nine_bins() {
+        let e = table2_edges();
+        assert_eq!(e.len(), 10);
+        assert_eq!(e[0], 1);
+        assert_eq!(*e.last().unwrap(), 256 * 1024);
+    }
+
+    #[test]
+    fn mean_and_percentile() {
+        let v = vec![1, 2, 3, 4, 100];
+        assert!((mean(&v) - 22.0).abs() < 1e-12);
+        assert_eq!(percentile(&v, 50.0), 3);
+        assert_eq!(percentile(&v, 100.0), 100);
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn cv_detects_dispersion() {
+        assert_eq!(cv(&[5, 5, 5, 5]), 0.0);
+        assert!(cv(&[1, 100]) > 0.9);
+        assert_eq!(cv(&[]), 0.0);
+    }
+
+    #[test]
+    fn load_imbalance_basics() {
+        assert_eq!(load_imbalance(&[]), 1.0);
+        assert_eq!(load_imbalance(&[0.0, 0.0]), 1.0);
+        assert!((load_imbalance(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((load_imbalance(&[3.0, 1.0]) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_of_empty_panics() {
+        percentile(&[], 50.0);
+    }
+}

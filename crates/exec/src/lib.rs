@@ -1,0 +1,34 @@
+//! # zeppelin-exec
+//!
+//! Executes iteration plans on the cluster simulator.
+//!
+//! - [`lower`]: turns any scheduler's [`IterationPlan`] into a task DAG —
+//!   ring attention rounds with double-buffered overlap, all-gather
+//!   attention, three-step routed transfers, remapping all-to-alls, and
+//!   micro-batch serialization;
+//! - [`step`]: one training step (forward + backward of a representative
+//!   layer, scaled by layer count) with per-rank phase breakdowns;
+//! - [`trainer`]: multi-step runs with sampled batches and averaged
+//!   throughput;
+//! - [`tp`]: tensor-parallel folding of the cluster (TP groups become
+//!   logical workers), reproducing the 13B/30B + TP=2 setups.
+//!
+//! [`IterationPlan`]: zeppelin_core::plan::IterationPlan
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lower;
+pub mod report;
+pub mod step;
+pub mod tp;
+pub mod trainer;
+
+pub use lower::{lower_layer, Direction, ExecConfig, GradSync, LayerOutcome, QueueOrder};
+pub use report::{run_report_json, step_report_json};
+pub use step::{
+    moe_linear_factor, simulate_plan, simulate_step, PhaseBreakdown, StepConfig, StepError,
+    StepReport,
+};
+pub use tp::{fold_tp, tp_linear_overhead_per_token};
+pub use trainer::{run_training, run_training_with, RunConfig, RunReport, StepSummary};

@@ -1,0 +1,232 @@
+//! Machine-readable (JSON) rendering of step and run reports.
+//!
+//! A tiny hand-rolled writer — the workspace deliberately avoids a JSON
+//! dependency — producing stable, documented schemas for downstream
+//! tooling (dashboards, regression tracking). Traces are exported
+//! separately via [`zeppelin_sim::trace::Trace::to_chrome_json`].
+
+use std::fmt::Write as _;
+
+use crate::step::StepReport;
+use crate::trainer::RunReport;
+
+/// Escapes a string for a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as JSON (finite values only; NaN/inf become `null`).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn num_array(vs: impl IntoIterator<Item = f64>) -> String {
+    let items: Vec<String> = vs.into_iter().map(num).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Serializes one step report (without timelines).
+///
+/// Schema: `scheduler`, `tokens`, `throughput_tps`, `step_time_s`,
+/// `layer_forward_s`, `layer_backward_s`, `plan_wall_s`, `micro_batches`,
+/// `placements`, `nic_tx_utilization[]`, `compute_busy_frac[]`,
+/// `fwd_attention_s[]`, `fwd_linear_s[]`, `fwd_remap_s[]`, `fwd_comm_s[]`.
+pub fn step_report_json(r: &StepReport) -> String {
+    let mut out = String::from("{");
+    let _ = write!(out, "\"scheduler\":\"{}\",", escape(&r.scheduler));
+    let _ = write!(out, "\"tokens\":{},", r.tokens);
+    let _ = write!(out, "\"throughput_tps\":{},", num(r.throughput));
+    let _ = write!(out, "\"step_time_s\":{},", num(r.step_time.as_secs_f64()));
+    let _ = write!(
+        out,
+        "\"layer_forward_s\":{},",
+        num(r.layer_forward.as_secs_f64())
+    );
+    let _ = write!(
+        out,
+        "\"layer_backward_s\":{},",
+        num(r.layer_backward.as_secs_f64())
+    );
+    let _ = write!(out, "\"plan_wall_s\":{},", num(r.plan_wall.as_secs_f64()));
+    let _ = write!(out, "\"micro_batches\":{},", r.plan.micro_batches);
+    let _ = write!(out, "\"placements\":{},", r.plan.placements.len());
+    let _ = write!(
+        out,
+        "\"nic_tx_utilization\":{},",
+        num_array(r.nic_tx_utilization.iter().copied())
+    );
+    let _ = write!(
+        out,
+        "\"compute_busy_frac\":{},",
+        num_array(r.compute_busy_frac.iter().copied())
+    );
+    for (name, v) in [
+        ("fwd_attention_s", &r.forward_phase.attention),
+        ("fwd_linear_s", &r.forward_phase.linear),
+        ("fwd_remap_s", &r.forward_phase.remap),
+        ("fwd_comm_s", &r.forward_phase.comm),
+    ] {
+        let _ = write!(
+            out,
+            "\"{name}\":{},",
+            num_array(v.iter().map(|d| d.as_secs_f64()))
+        );
+    }
+    out.pop(); // Trailing comma.
+    out.push('}');
+    out
+}
+
+/// Serializes a multi-step run report.
+///
+/// Schema: `scheduler`, `mean_throughput_tps`, `min_throughput_tps`,
+/// `max_throughput_tps`, `mean_step_time_s`, `steps[]` with per-step
+/// `{step_time_s, tokens, throughput_tps, sequences}`.
+pub fn run_report_json(r: &RunReport) -> String {
+    let mut out = String::from("{");
+    let _ = write!(out, "\"scheduler\":\"{}\",", escape(&r.scheduler));
+    let _ = write!(out, "\"mean_throughput_tps\":{},", num(r.mean_throughput));
+    let _ = write!(out, "\"min_throughput_tps\":{},", num(r.min_throughput));
+    let _ = write!(out, "\"max_throughput_tps\":{},", num(r.max_throughput));
+    let _ = write!(
+        out,
+        "\"mean_step_time_s\":{},",
+        num(r.mean_step_time.as_secs_f64())
+    );
+    out.push_str("\"steps\":[");
+    for (i, s) in r.steps.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"step_time_s\":{},\"tokens\":{},\"throughput_tps\":{},\"sequences\":{}}}",
+            num(s.step_time.as_secs_f64()),
+            s.tokens,
+            num(s.throughput),
+            s.sequences
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// A minimal JSON well-formedness check used by tests and debug assertions:
+/// braces/brackets balance outside strings and the text is non-empty.
+pub fn looks_like_json(s: &str) -> bool {
+    let mut depth: i64 = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                if depth < 0 {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+    }
+    !s.is_empty() && depth == 0 && !in_str
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::{simulate_step, StepConfig};
+    use crate::trainer::{run_training, RunConfig};
+    use zeppelin_core::scheduler::SchedulerCtx;
+    use zeppelin_core::zeppelin::Zeppelin;
+    use zeppelin_data::batch::Batch;
+    use zeppelin_data::datasets::arxiv;
+    use zeppelin_model::config::llama_3b;
+    use zeppelin_sim::topology::cluster_a;
+
+    fn a_step_report() -> StepReport {
+        let cluster = cluster_a(1);
+        let ctx = SchedulerCtx::new(&cluster, &llama_3b()).with_capacity(16_384);
+        let batch = Batch::new(vec![9_000, 3_000, 1_000, 500]);
+        simulate_step(&Zeppelin::new(), &batch, &ctx, &StepConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn step_json_is_wellformed_and_complete() {
+        let json = step_report_json(&a_step_report());
+        assert!(looks_like_json(&json), "{json}");
+        for key in [
+            "scheduler",
+            "throughput_tps",
+            "step_time_s",
+            "nic_tx_utilization",
+            "fwd_attention_s",
+            "micro_batches",
+        ] {
+            assert!(json.contains(&format!("\"{key}\"")), "missing {key}");
+        }
+        assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn run_json_includes_every_step() {
+        let cluster = cluster_a(1);
+        let ctx = SchedulerCtx::new(&cluster, &llama_3b()).with_capacity(16_384);
+        let cfg = RunConfig {
+            steps: 3,
+            tokens_per_step: 16_384,
+            seed: 1,
+            step: StepConfig::default(),
+        };
+        let report = run_training(&Zeppelin::new(), &arxiv(), &ctx, &cfg).unwrap();
+        let json = run_report_json(&report);
+        assert!(looks_like_json(&json), "{json}");
+        assert_eq!(json.matches("step_time_s").count(), 3 + 1);
+    }
+
+    #[test]
+    fn escaping_and_degenerate_numbers() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(1.5), "1.5");
+        assert_eq!(num_array([1.0, f64::INFINITY]), "[1,null]");
+    }
+
+    #[test]
+    fn wellformedness_checker_rejects_junk() {
+        assert!(looks_like_json("{\"a\":[1,2]}"));
+        assert!(!looks_like_json("{\"a\":[1,2}"));
+        assert!(!looks_like_json("{\"a\": \"unterminated}"));
+        assert!(!looks_like_json(""));
+        assert!(looks_like_json("{\"quote\":\"\\\"}\\\"\"}"));
+    }
+}

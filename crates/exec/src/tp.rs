@@ -1,0 +1,163 @@
+//! Tensor-parallel folding: TP groups become logical DP workers.
+//!
+//! The paper combines CP with TP=2 for the 13B (Cluster A) and 30B
+//! (Cluster C) runs. In the simulation, a TP group is folded into one
+//! logical worker: `tp` physical GPUs merge into a device with `tp×` the
+//! FLOP/s, memory, fabric and PCIe bandwidth, and the *union* of the
+//! group's NICs. On Cluster A (one NIC per two GPUs) folding with TP=2
+//! turns the shared-NIC topology into a one-NIC-per-worker topology —
+//! exactly the effect the paper credits for the 13B run's larger speedups
+//! (§5.1).
+//!
+//! The TP all-reduces inside each layer stay within a worker and are
+//! charged as extra per-token linear time via
+//! [`tp_linear_overhead_per_token`].
+
+use zeppelin_model::config::ModelConfig;
+use zeppelin_sim::error::SimError;
+use zeppelin_sim::topology::{ClusterSpec, NicSpec, NodeSpec};
+
+/// Folds TP groups of size `tp` into logical workers.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidTopology`] if `tp` does not divide the node's
+/// GPU count or TP groups straddle NIC groups unevenly.
+///
+/// # Examples
+///
+/// ```
+/// use zeppelin_exec::tp::fold_tp;
+/// use zeppelin_sim::topology::cluster_a;
+///
+/// // Cluster A pairs two GPUs per NIC; TP=2 makes that 1:1 per worker.
+/// let folded = fold_tp(&cluster_a(2), 2).unwrap();
+/// assert_eq!(folded.node.gpus_per_node, 4);
+/// assert_ne!(folded.nic_of(0), folded.nic_of(1));
+/// ```
+pub fn fold_tp(cluster: &ClusterSpec, tp: usize) -> Result<ClusterSpec, SimError> {
+    if tp == 0 {
+        return Err(SimError::InvalidTopology("tp must be positive".into()));
+    }
+    if tp == 1 {
+        return Ok(cluster.clone());
+    }
+    let p = cluster.node.gpus_per_node;
+    if !p.is_multiple_of(tp) {
+        return Err(SimError::InvalidTopology(format!(
+            "tp {tp} does not divide {p} GPUs per node"
+        )));
+    }
+    let workers = p / tp;
+    // NICs covered by each worker (consecutive GPU grouping, Megatron-style).
+    let mut covered: Vec<Vec<usize>> = Vec::with_capacity(workers);
+    for w in 0..workers {
+        let mut nics: Vec<usize> = (w * tp..(w + 1) * tp)
+            .map(|g| cluster.node.nic_affinity[g])
+            .collect();
+        nics.sort_unstable();
+        nics.dedup();
+        covered.push(nics);
+    }
+    let per_worker = covered[0].len();
+    if covered.iter().any(|c| c.len() != per_worker) {
+        return Err(SimError::InvalidTopology(
+            "tp groups cover unequal NIC counts".into(),
+        ));
+    }
+    for (a, b) in covered.iter().zip(covered.iter().skip(1)) {
+        if a.iter().any(|n| b.contains(n)) {
+            return Err(SimError::InvalidTopology(
+                "tp groups share a NIC across workers; fold not representable".into(),
+            ));
+        }
+    }
+
+    let g = cluster.node.gpu;
+    Ok(ClusterSpec {
+        name: format!("{} (tp{tp})", cluster.name),
+        nodes: cluster.nodes,
+        node: NodeSpec {
+            gpus_per_node: workers,
+            gpu: zeppelin_sim::topology::GpuSpec {
+                peak_flops: g.peak_flops * tp as f64,
+                mem_bytes: g.mem_bytes * tp as u64,
+                nvlink_bw: g.nvlink_bw * tp as f64,
+                pcie_bw: g.pcie_bw * tp as f64,
+            },
+            nic_count: workers,
+            nic: NicSpec {
+                bw: cluster.node.nic.bw * per_worker as f64,
+            },
+            nic_affinity: (0..workers).collect(),
+        },
+    })
+}
+
+/// Per-token seconds added to a layer's linear time by TP all-reduces.
+///
+/// Two all-reduces per layer (post-attention, post-MLP), each moving
+/// `2(tp-1)/tp` of the `hidden × dtype` activation per token over the
+/// intra-group NVLink (`per_gpu_nvlink_bw`, bytes/s).
+pub fn tp_linear_overhead_per_token(model: &ModelConfig, tp: usize, per_gpu_nvlink_bw: f64) -> f64 {
+    if tp <= 1 {
+        return 0.0;
+    }
+    let act_bytes = model.hidden as f64 * model.dtype_bytes as f64;
+    let ring_factor = 2.0 * (tp as f64 - 1.0) / tp as f64;
+    2.0 * ring_factor * act_bytes / per_gpu_nvlink_bw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeppelin_model::config::llama_13b;
+    use zeppelin_sim::topology::{cluster_a, cluster_c};
+
+    #[test]
+    fn tp1_is_identity() {
+        let c = cluster_a(2);
+        assert_eq!(fold_tp(&c, 1).unwrap(), c);
+    }
+
+    #[test]
+    fn cluster_a_tp2_gets_one_nic_per_worker() {
+        let f = fold_tp(&cluster_a(2), 2).unwrap();
+        f.validate().unwrap();
+        assert_eq!(f.node.gpus_per_node, 4);
+        assert_eq!(f.node.nic_count, 4);
+        // NIC bandwidth unchanged: each pair shared one NIC already.
+        assert!((f.node.nic.bw - cluster_a(2).node.nic.bw).abs() < 1.0);
+        // Worker speed and memory doubled.
+        assert!((f.node.gpu.peak_flops - 2.0 * 312e12).abs() < 1e9);
+        // The shared-NIC contention is gone: distinct workers, distinct NICs.
+        assert_ne!(f.nic_of(0), f.nic_of(1));
+    }
+
+    #[test]
+    fn cluster_c_tp2_merges_nic_pairs() {
+        let f = fold_tp(&cluster_c(2), 2).unwrap();
+        f.validate().unwrap();
+        assert_eq!(f.node.gpus_per_node, 4);
+        assert_eq!(f.node.nic_count, 4);
+        // Two 400 Gb/s NICs merge into one 800 Gb/s logical NIC.
+        assert!((f.node.nic.bw - 2.0 * 50e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn indivisible_tp_is_rejected() {
+        assert!(fold_tp(&cluster_a(2), 3).is_err());
+        assert!(fold_tp(&cluster_a(2), 0).is_err());
+    }
+
+    #[test]
+    fn overhead_grows_with_tp_and_vanishes_at_one() {
+        let m = llama_13b();
+        assert_eq!(tp_linear_overhead_per_token(&m, 1, 400e9), 0.0);
+        let t2 = tp_linear_overhead_per_token(&m, 2, 400e9);
+        let t4 = tp_linear_overhead_per_token(&m, 4, 400e9);
+        assert!(t2 > 0.0 && t4 > t2);
+        // Sanity: sub-microsecond per token on NVSwitch.
+        assert!(t2 < 1e-6);
+    }
+}

@@ -1,0 +1,240 @@
+//! Multi-step training runs: sampled batches, averaged throughput.
+//!
+//! The paper reports "processed tokens per second, averaged over steps
+//! 50–150"; here each step draws a fresh batch from the dataset
+//! distribution, and throughput statistics are aggregated over the run.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
+use zeppelin_data::batch::sample_batch;
+use zeppelin_data::distribution::LengthDistribution;
+use zeppelin_sim::time::SimDuration;
+
+use crate::step::{simulate_step, StepConfig, StepError, StepReport};
+
+/// Configuration of a multi-step training run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Steps to simulate (each with a freshly sampled batch).
+    pub steps: usize,
+    /// Total context tokens per step.
+    pub tokens_per_step: u64,
+    /// Base RNG seed (step `i` uses `seed + i`).
+    pub seed: u64,
+    /// Per-step configuration.
+    pub step: StepConfig,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            steps: 10,
+            tokens_per_step: 65_536,
+            seed: 42,
+            step: StepConfig::default(),
+        }
+    }
+}
+
+/// Aggregated result of a training run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Mean throughput across steps, tokens/second.
+    pub mean_throughput: f64,
+    /// Minimum per-step throughput.
+    pub min_throughput: f64,
+    /// Maximum per-step throughput.
+    pub max_throughput: f64,
+    /// Mean step time.
+    pub mean_step_time: SimDuration,
+    /// Per-step reports (traces dropped to keep this light).
+    pub steps: Vec<StepSummary>,
+}
+
+/// A trimmed per-step record.
+#[derive(Debug, Clone)]
+pub struct StepSummary {
+    /// Step time.
+    pub step_time: SimDuration,
+    /// Tokens processed.
+    pub tokens: u64,
+    /// Throughput, tokens/second.
+    pub throughput: f64,
+    /// Sequences in the batch.
+    pub sequences: usize,
+}
+
+impl From<&StepReport> for StepSummary {
+    fn from(r: &StepReport) -> Self {
+        StepSummary {
+            step_time: r.step_time,
+            tokens: r.tokens,
+            throughput: r.throughput,
+            sequences: r.plan.placements.len(),
+        }
+    }
+}
+
+/// Runs `scheduler` for `cfg.steps` steps over batches sampled from `dist`.
+///
+/// # Errors
+///
+/// Returns the first [`StepError`] encountered (plans from presets should
+/// not fail; capacity errors indicate a mis-sized experiment).
+///
+/// # Examples
+///
+/// ```
+/// use zeppelin_core::scheduler::SchedulerCtx;
+/// use zeppelin_core::zeppelin::Zeppelin;
+/// use zeppelin_data::datasets::arxiv;
+/// use zeppelin_exec::trainer::{run_training, RunConfig};
+/// use zeppelin_model::config::llama_3b;
+/// use zeppelin_sim::topology::cluster_a;
+///
+/// let ctx = SchedulerCtx::new(&cluster_a(1), &llama_3b());
+/// let cfg = RunConfig {
+///     steps: 2,
+///     tokens_per_step: 16_384,
+///     ..RunConfig::default()
+/// };
+/// let report = run_training(&Zeppelin::new(), &arxiv(), &ctx, &cfg).unwrap();
+/// assert_eq!(report.steps.len(), 2);
+/// assert!(report.mean_throughput > 0.0);
+/// ```
+pub fn run_training(
+    scheduler: &dyn Scheduler,
+    dist: &LengthDistribution,
+    ctx: &SchedulerCtx,
+    cfg: &RunConfig,
+) -> Result<RunReport, StepError> {
+    run_training_with(scheduler, ctx, cfg, |rng, tokens| {
+        sample_batch(dist, rng, tokens)
+    })
+}
+
+/// Like [`run_training`], but draws each step's batch from a caller-provided
+/// sampler — dataset mixtures, trace replays, curriculum schedules.
+///
+/// # Errors
+///
+/// Returns the first [`StepError`] encountered.
+///
+/// # Panics
+///
+/// Panics if `cfg.steps == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use zeppelin_core::scheduler::SchedulerCtx;
+/// use zeppelin_core::zeppelin::Zeppelin;
+/// use zeppelin_data::mixture::pretraining_mix;
+/// use zeppelin_exec::trainer::{run_training_with, RunConfig};
+/// use zeppelin_model::config::llama_3b;
+/// use zeppelin_sim::topology::cluster_a;
+///
+/// let ctx = SchedulerCtx::new(&cluster_a(1), &llama_3b());
+/// let mix = pretraining_mix();
+/// let cfg = RunConfig { steps: 2, tokens_per_step: 16_384, ..RunConfig::default() };
+/// let report = run_training_with(&Zeppelin::new(), &ctx, &cfg, |rng, tokens| {
+///     mix.sample_batch(rng, tokens)
+/// })
+/// .unwrap();
+/// assert_eq!(report.steps.len(), 2);
+/// ```
+pub fn run_training_with(
+    scheduler: &dyn Scheduler,
+    ctx: &SchedulerCtx,
+    cfg: &RunConfig,
+    mut sampler: impl FnMut(&mut StdRng, u64) -> zeppelin_data::batch::Batch,
+) -> Result<RunReport, StepError> {
+    assert!(cfg.steps > 0, "need at least one step");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut steps = Vec::with_capacity(cfg.steps);
+    let mut sum_tp = 0.0;
+    let mut min_tp = f64::INFINITY;
+    let mut max_tp = 0.0f64;
+    let mut sum_ns: u128 = 0;
+    let mut name = String::new();
+    for i in 0..cfg.steps {
+        let batch = sampler(&mut rng, cfg.tokens_per_step);
+        let mut scfg = cfg.step.clone();
+        scfg.seed = cfg.seed.wrapping_add(i as u64);
+        let report = simulate_step(scheduler, &batch, ctx, &scfg)?;
+        sum_tp += report.throughput;
+        min_tp = min_tp.min(report.throughput);
+        max_tp = max_tp.max(report.throughput);
+        sum_ns += report.step_time.as_nanos() as u128;
+        name = report.scheduler.clone();
+        steps.push(StepSummary::from(&report));
+    }
+    Ok(RunReport {
+        scheduler: name,
+        mean_throughput: sum_tp / cfg.steps as f64,
+        min_throughput: min_tp,
+        max_throughput: max_tp,
+        mean_step_time: SimDuration::from_nanos((sum_ns / cfg.steps as u128) as u64),
+        steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeppelin_baselines::te_cp::TeCp;
+    use zeppelin_core::zeppelin::Zeppelin;
+    use zeppelin_data::datasets::arxiv;
+    use zeppelin_model::config::llama_3b;
+    use zeppelin_sim::topology::cluster_a;
+
+    fn ctx() -> SchedulerCtx {
+        SchedulerCtx::new(&cluster_a(2), &llama_3b()).with_capacity(8192)
+    }
+
+    fn cfg(steps: usize) -> RunConfig {
+        RunConfig {
+            steps,
+            tokens_per_step: 65_536,
+            seed: 7,
+            step: StepConfig::default(),
+        }
+    }
+
+    #[test]
+    fn run_aggregates_steps() {
+        let r = run_training(&TeCp::new(), &arxiv(), &ctx(), &cfg(3)).unwrap();
+        assert_eq!(r.steps.len(), 3);
+        assert!(r.mean_throughput > 0.0);
+        assert!(r.min_throughput <= r.mean_throughput);
+        assert!(r.mean_throughput <= r.max_throughput);
+        assert_eq!(r.scheduler, "TE CP");
+    }
+
+    #[test]
+    fn batches_differ_across_steps() {
+        let r = run_training(&Zeppelin::new(), &arxiv(), &ctx(), &cfg(4)).unwrap();
+        let seq_counts: Vec<usize> = r.steps.iter().map(|s| s.sequences).collect();
+        assert!(
+            seq_counts.windows(2).any(|w| w[0] != w[1]),
+            "expected varying batches, got {seq_counts:?}"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_training(&Zeppelin::new(), &arxiv(), &ctx(), &cfg(3)).unwrap();
+        let b = run_training(&Zeppelin::new(), &arxiv(), &ctx(), &cfg(3)).unwrap();
+        assert_eq!(a.mean_step_time, b.mean_step_time);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_steps_panics() {
+        let _ = run_training(&TeCp::new(), &arxiv(), &ctx(), &cfg(0));
+    }
+}

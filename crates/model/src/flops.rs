@@ -1,0 +1,242 @@
+//! FLOP accounting for transformer modules.
+//!
+//! Two scaling regimes drive everything in the paper:
+//!
+//! - **linear modules** (projections, gated MLP, norms): FLOPs proportional
+//!   to token count;
+//! - **self-attention** with a causal mask: FLOPs proportional to the number
+//!   of attending `(query, key)` pairs — quadratic in sequence length.
+//!
+//! Attention work is counted exactly at *block* granularity: for any query
+//! token range × key/value token range we count the causal pairs in closed
+//! form. This is what makes zigzag ring balance, packing redundancy, and the
+//! partitioner's quadratic budgets exact rather than approximate.
+
+use crate::config::ModelConfig;
+
+/// FLOPs per attending `(query, key)` pair across all heads.
+///
+/// One pair costs `2·head_dim` FLOPs in `Q·Kᵀ` and `2·head_dim` in `P·V`,
+/// summed over heads: `4·hidden` in total.
+pub fn flops_per_pair(cfg: &ModelConfig) -> f64 {
+    4.0 * cfg.hidden as f64
+}
+
+/// Number of causal attending pairs between a query token range and a
+/// key/value token range (global token indices; key attends if `k <= q`).
+///
+/// Ranges are `[q_start, q_start + q_len)` × `[kv_start, kv_start + kv_len)`.
+pub fn causal_pairs(q_start: u64, q_len: u64, kv_start: u64, kv_len: u64) -> u64 {
+    if q_len == 0 || kv_len == 0 {
+        return 0;
+    }
+    let qe = q_start + q_len;
+    let lo = kv_start;
+    let hi = kv_start + kv_len;
+    // For query q the pair count is clamp(q + 1 - lo, 0, kv_len).
+    // Region 1: q in [max(qs, lo), min(qe, hi - 1)) contributes q + 1 - lo.
+    let r1s = q_start.max(lo);
+    let r1e = qe.min(hi - 1);
+    let mut total = 0u64;
+    if r1e > r1s {
+        let a = r1s + 1 - lo;
+        let b = r1e - lo;
+        total += (a + b) * (b - a + 1) / 2;
+    }
+    // Region 2: q in [max(qs, hi - 1), qe) contributes kv_len.
+    let r2s = q_start.max(hi - 1);
+    if qe > r2s {
+        total += (qe - r2s) * kv_len;
+    }
+    total
+}
+
+/// Causal attending pairs of one full sequence of length `s` (`s(s+1)/2`).
+pub fn causal_pairs_full(s: u64) -> u64 {
+    s * (s + 1) / 2
+}
+
+/// Forward attention FLOPs for a causal block (query range × kv range).
+pub fn attention_block_flops(
+    cfg: &ModelConfig,
+    q_start: u64,
+    q_len: u64,
+    kv_start: u64,
+    kv_len: u64,
+) -> f64 {
+    causal_pairs(q_start, q_len, kv_start, kv_len) as f64 * flops_per_pair(cfg)
+}
+
+/// Forward attention FLOPs of one full causal sequence of length `s`.
+pub fn attention_seq_flops(cfg: &ModelConfig, s: u64) -> f64 {
+    causal_pairs_full(s) as f64 * flops_per_pair(cfg)
+}
+
+/// Forward attention FLOPs of a *non-causal* (full) block, used to account
+/// for the redundant cross-sequence computation of naive packing.
+pub fn attention_dense_block_flops(cfg: &ModelConfig, q_len: u64, kv_len: u64) -> f64 {
+    (q_len as f64) * (kv_len as f64) * flops_per_pair(cfg)
+}
+
+/// Forward FLOPs per token in the linear modules of one layer.
+///
+/// Dense: QKVO projections (`2·4h²`) plus the gated MLP (`2·3·h·ffn`).
+/// MoE: QKVO plus `top_k` expert MLPs plus the router matmul.
+pub fn linear_flops_per_token(cfg: &ModelConfig) -> f64 {
+    let h = cfg.hidden as f64;
+    let attn_proj = 2.0 * 4.0 * h * h;
+    let mlp = match &cfg.moe {
+        None => 2.0 * 3.0 * h * cfg.ffn_hidden as f64,
+        Some(m) => {
+            let experts = 2.0 * 3.0 * h * m.expert_ffn_hidden as f64 * m.top_k as f64;
+            let router = 2.0 * h * m.num_experts as f64;
+            experts + router
+        }
+    };
+    attn_proj + mlp
+}
+
+/// Forward FLOPs of the linear modules of one layer for `tokens` tokens.
+pub fn linear_layer_flops(cfg: &ModelConfig, tokens: u64) -> f64 {
+    tokens as f64 * linear_flops_per_token(cfg)
+}
+
+/// Multiplier applied to forward FLOPs to account for the backward pass
+/// (gradients w.r.t. activations and weights ≈ 2× forward).
+pub const BACKWARD_FLOPS_MULTIPLIER: f64 = 2.0;
+
+/// Multiplier applied to forward communication volume in the backward pass
+/// (KV and dKV both travel the ring, matching the paper's §5.4.1 timelines).
+pub const BACKWARD_COMM_MULTIPLIER: f64 = 2.0;
+
+/// Forward FLOPs of one full layer (attention + linear) for one sequence of
+/// length `s`; convenience used by balance metrics.
+pub fn layer_seq_flops(cfg: &ModelConfig, s: u64) -> f64 {
+    attention_seq_flops(cfg, s) + linear_layer_flops(cfg, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{llama_7b, moe_8x550m};
+
+    /// Brute-force reference for causal pair counting.
+    fn causal_pairs_naive(qs: u64, ql: u64, ks: u64, kl: u64) -> u64 {
+        let mut n = 0;
+        for q in qs..qs + ql {
+            for k in ks..ks + kl {
+                if k <= q {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn causal_pairs_matches_bruteforce() {
+        for qs in 0..8 {
+            for ql in 0..6 {
+                for ks in 0..8 {
+                    for kl in 0..6 {
+                        assert_eq!(
+                            causal_pairs(qs, ql, ks, kl),
+                            causal_pairs_naive(qs, ql, ks, kl),
+                            "qs={qs} ql={ql} ks={ks} kl={kl}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_sequence_is_triangular_number() {
+        assert_eq!(causal_pairs(0, 10, 0, 10), 55);
+        assert_eq!(causal_pairs_full(10), 55);
+        assert_eq!(causal_pairs_full(1), 1);
+        assert_eq!(causal_pairs_full(0), 0);
+    }
+
+    #[test]
+    fn disjoint_future_block_is_empty() {
+        // KV strictly after all queries: nothing attends.
+        assert_eq!(causal_pairs(0, 4, 4, 4), 0);
+        // KV strictly before all queries: dense block.
+        assert_eq!(causal_pairs(4, 4, 0, 4), 16);
+    }
+
+    #[test]
+    fn block_decomposition_is_exact() {
+        // Splitting a sequence into chunks must conserve total pairs.
+        let s = 64u64;
+        let chunk = 8u64;
+        let mut total = 0;
+        for qc in 0..s / chunk {
+            for kc in 0..s / chunk {
+                total += causal_pairs(qc * chunk, chunk, kc * chunk, chunk);
+            }
+        }
+        assert_eq!(total, causal_pairs_full(s));
+    }
+
+    #[test]
+    fn attention_flops_scale_quadratically() {
+        let cfg = llama_7b();
+        let f1 = attention_seq_flops(&cfg, 1000);
+        let f2 = attention_seq_flops(&cfg, 2000);
+        let ratio = f2 / f1;
+        assert!((ratio - 4.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn linear_flops_scale_linearly() {
+        let cfg = llama_7b();
+        let f1 = linear_layer_flops(&cfg, 1000);
+        let f2 = linear_layer_flops(&cfg, 2000);
+        assert!((f2 / f1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seven_b_linear_flops_match_param_heuristic() {
+        // Forward linear FLOPs/token ≈ 2 × (per-layer weight params).
+        let cfg = llama_7b();
+        let per_layer_params = 4.0 * 4096.0 * 4096.0 + 3.0 * 4096.0 * 11008.0;
+        let expected = 2.0 * per_layer_params;
+        assert!((linear_flops_per_token(&cfg) - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn moe_uses_topk_experts_not_all() {
+        // top-2 of 8 experts: QKVO + 2 expert FFNs + router, not 8 FFNs.
+        let cfg = moe_8x550m();
+        let moe_flops = linear_flops_per_token(&cfg);
+        let h = cfg.hidden as f64;
+        let one_expert = 2.0 * 3.0 * h * 5632.0;
+        let attn = 2.0 * 4.0 * h * h;
+        assert!((moe_flops - (attn + 2.0 * one_expert + 2.0 * h * 8.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn dense_block_vs_causal_diagonal() {
+        let cfg = llama_7b();
+        let dense = attention_dense_block_flops(&cfg, 100, 100);
+        let causal = attention_block_flops(&cfg, 0, 100, 0, 100);
+        // Causal diagonal block is ~half of dense.
+        assert!(causal < dense);
+        assert!(causal / dense > 0.5 && causal / dense < 0.52);
+    }
+
+    #[test]
+    fn layer_flops_combines_both_regimes() {
+        let cfg = llama_7b();
+        let s = 4096;
+        let total = layer_seq_flops(&cfg, s);
+        assert!((total - attention_seq_flops(&cfg, s) - linear_layer_flops(&cfg, s)).abs() < 1.0);
+        // At 4k, linear still dominates attention for 7B.
+        assert!(linear_layer_flops(&cfg, s) > attention_seq_flops(&cfg, s));
+        // At 128k, attention dominates.
+        let s = 131072;
+        assert!(attention_seq_flops(&cfg, s) > linear_layer_flops(&cfg, s));
+    }
+}

@@ -1,0 +1,141 @@
+//! GPU kernel performance model.
+//!
+//! Kernel duration is a fixed launch/scheduling overhead plus FLOPs divided
+//! by a peak fraction: `t = overhead + flops / (peak · max_efficiency)`.
+//!
+//! The *achieved* efficiency this induces,
+//! `flops / (peak · t) = max_eff · flops / (flops + peak · overhead · max_eff)`,
+//! saturates towards `max_efficiency` for large kernels and collapses for
+//! small ones — the computation-inefficiency regime for short sequences that
+//! the paper's Fig. 5 builds on — without double-counting the launch cost.
+
+/// A launch-overhead + peak-fraction kernel timing model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelModel {
+    /// Fixed per-kernel launch + scheduling latency, seconds.
+    pub launch_overhead_s: f64,
+    /// Fraction of peak FLOP/s reached by asymptotically large kernels.
+    pub max_efficiency: f64,
+}
+
+impl KernelModel {
+    /// Model for FlashAttention-style variable-length attention kernels.
+    pub fn attention() -> Self {
+        KernelModel {
+            launch_overhead_s: 20e-6,
+            max_efficiency: 0.5,
+        }
+    }
+
+    /// Model for dense GEMM-dominated linear modules (higher occupancy).
+    pub fn gemm() -> Self {
+        KernelModel {
+            launch_overhead_s: 10e-6,
+            max_efficiency: 0.62,
+        }
+    }
+
+    /// Duration in seconds of a kernel of `flops` FLOPs on a GPU with
+    /// `peak_flops` FLOP/s peak throughput.
+    ///
+    /// Zero-FLOP kernels cost nothing (they are not launched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peak_flops` is not strictly positive.
+    pub fn kernel_time(&self, flops: f64, peak_flops: f64) -> f64 {
+        assert!(peak_flops > 0.0, "peak_flops must be positive");
+        if flops <= 0.0 {
+            return 0.0;
+        }
+        self.launch_overhead_s + flops / (peak_flops * self.max_efficiency)
+    }
+
+    /// Achieved fraction of peak for a kernel of `flops` FLOPs: the
+    /// saturating efficiency curve induced by the launch overhead.
+    pub fn achieved_efficiency(&self, flops: f64, peak_flops: f64) -> f64 {
+        if flops <= 0.0 {
+            return 0.0;
+        }
+        flops / (peak_flops * self.kernel_time(flops, peak_flops))
+    }
+}
+
+/// Fixed latency charged per point-to-point transfer launch (NCCL kernel
+/// launch + RDMA setup), seconds. Applied by the executor on the sender's
+/// communication stream, which also serializes launches per GPU.
+pub const COMM_LAUNCH_OVERHEAD_S: f64 = 15e-6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PEAK: f64 = 312e12;
+
+    #[test]
+    fn achieved_efficiency_saturates_monotonically() {
+        let m = KernelModel::attention();
+        let mut last = 0.0;
+        for exp in 6..18 {
+            let e = m.achieved_efficiency(10f64.powi(exp), PEAK);
+            assert!(e >= last, "efficiency must be non-decreasing");
+            assert!(e <= m.max_efficiency + 1e-12);
+            last = e;
+        }
+        assert!(m.achieved_efficiency(1e15, PEAK) > 0.99 * m.max_efficiency);
+    }
+
+    #[test]
+    fn small_kernels_are_overhead_bound() {
+        let m = KernelModel::attention();
+        let tiny = m.kernel_time(1e6, PEAK);
+        // 1 MFLOP on a 312 TFLOP/s part is dominated by the 20 µs launch.
+        assert!(tiny < 1.1 * m.launch_overhead_s, "got {tiny}");
+        assert!(tiny > m.launch_overhead_s);
+        // And its achieved efficiency is tiny.
+        assert!(m.achieved_efficiency(1e6, PEAK) < 0.01);
+    }
+
+    #[test]
+    fn large_kernels_track_peak_efficiency() {
+        let m = KernelModel::attention();
+        let flops = 1e15;
+        let t = m.kernel_time(flops, PEAK);
+        let ideal = flops / (PEAK * m.max_efficiency);
+        assert!((t - ideal) / ideal < 0.01);
+    }
+
+    #[test]
+    fn zero_flops_costs_nothing() {
+        assert_eq!(KernelModel::attention().kernel_time(0.0, 1e12), 0.0);
+        assert_eq!(KernelModel::attention().achieved_efficiency(0.0, 1e12), 0.0);
+    }
+
+    #[test]
+    fn kernel_time_is_monotone_in_flops() {
+        let m = KernelModel::gemm();
+        let mut last = 0.0;
+        for exp in 6..18 {
+            let t = m.kernel_time(10f64.powi(exp), 989e12);
+            assert!(t > last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn chunking_a_kernel_costs_extra_overhead() {
+        // Splitting one kernel into 8 pays 7 extra launch overheads; the
+        // partitioner must weigh this against balance gains.
+        let m = KernelModel::attention();
+        let whole = m.kernel_time(8e12, PEAK);
+        let split: f64 = (0..8).map(|_| m.kernel_time(1e12, PEAK)).sum();
+        let extra = split - whole;
+        assert!((extra - 7.0 * m.launch_overhead_s).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_peak_panics() {
+        KernelModel::gemm().kernel_time(1.0, 0.0);
+    }
+}

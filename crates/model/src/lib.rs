@@ -1,0 +1,53 @@
+//! # zeppelin-model
+//!
+//! Analytic transformer cost model for the Zeppelin reproduction.
+//!
+//! This crate answers, in closed form, every "how much does this cost?"
+//! question the schedulers and the simulator need:
+//!
+//! - [`config`]: the paper's five model configurations (LLaMA 3B/7B/13B/30B,
+//!   8×550M MoE) and tensor-parallel sharding;
+//! - [`flops`]: exact causal-attention pair counting at block granularity
+//!   plus linear-module FLOPs — the quadratic-vs-linear split at the heart
+//!   of the paper;
+//! - [`kernel`]: saturating-efficiency kernel timing (small kernels are
+//!   launch-bound, large ones track peak);
+//! - [`memory`]: KV/hidden communication volumes and the token-capacity
+//!   model that seeds the partitioner's `L`;
+//! - [`moe`]: routing-imbalance sampling for mixture-of-experts models.
+//!
+//! # Examples
+//!
+//! ```
+//! use zeppelin_model::config::llama_7b;
+//! use zeppelin_model::flops::{attention_seq_flops, linear_layer_flops};
+//!
+//! let cfg = llama_7b();
+//! // Attention overtakes the linear modules somewhere past 16k tokens.
+//! assert!(attention_seq_flops(&cfg, 4_096) < linear_layer_flops(&cfg, 4_096));
+//! assert!(attention_seq_flops(&cfg, 131_072) > linear_layer_flops(&cfg, 131_072));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod flops;
+pub mod kernel;
+pub mod memory;
+pub mod moe;
+
+pub use config::{
+    llama_13b, llama_30b, llama_3b, llama_7b, moe_8x550m, paper_models, ModelConfig, MoeConfig,
+};
+pub use flops::{
+    attention_block_flops, attention_dense_block_flops, attention_seq_flops, causal_pairs,
+    causal_pairs_full, linear_flops_per_token, linear_layer_flops, BACKWARD_COMM_MULTIPLIER,
+    BACKWARD_FLOPS_MULTIPLIER,
+};
+pub use kernel::{KernelModel, COMM_LAUNCH_OVERHEAD_S};
+pub use memory::{
+    activation_bytes_per_token, fits_in_memory, grad_bytes_per_layer, hidden_bytes, kv_bytes,
+    model_state_bytes, token_capacity,
+};
+pub use moe::{imbalance_factor, sample_expert_loads, SplitMix64};

@@ -1,0 +1,161 @@
+//! Byte accounting: communication volumes and memory capacity.
+//!
+//! Two kinds of byte counts matter to Zeppelin:
+//!
+//! - **communication volume**: KV activations exchanged by distributed
+//!   attention (linear in tokens) and hidden states moved by the remapping
+//!   layer;
+//! - **memory capacity**: how many tokens a GPU can hold, which seeds the
+//!   partitioner's capacity `L` and node capacity `P·L`.
+//!
+//! The capacity model is an explicit approximation (documented per item);
+//! its role in the reproduction is to provide a realistic, size-dependent
+//! `L`, not byte-exact Megatron accounting.
+
+use crate::config::ModelConfig;
+
+/// Bytes of K+V activations for `tokens` tokens in one layer.
+pub fn kv_bytes(cfg: &ModelConfig, tokens: u64) -> f64 {
+    2.0 * tokens as f64 * cfg.hidden as f64 * cfg.dtype_bytes as f64
+}
+
+/// Bytes of the hidden-state activation of `tokens` tokens (what the
+/// remapping layer moves per direction).
+pub fn hidden_bytes(cfg: &ModelConfig, tokens: u64) -> f64 {
+    tokens as f64 * cfg.hidden as f64 * cfg.dtype_bytes as f64
+}
+
+/// Approximate activation memory per token across the whole model, bytes.
+///
+/// Assumes FlashAttention plus full activation recomputation (standard for
+/// long-context training, and what lets the paper fit 4k tokens/GPU on the
+/// 30B model): only ≈ 8 × hidden bytes per token per layer stay resident
+/// (layer input, KV, and recompute workspace).
+pub fn activation_bytes_per_token(cfg: &ModelConfig) -> f64 {
+    8.0 * cfg.hidden as f64 * cfg.dtype_bytes as f64 * cfg.layers as f64
+}
+
+/// Gradient bytes produced by one transformer layer (bf16 grads for the
+/// layer's weights); what data-parallel gradient synchronization moves.
+pub fn grad_bytes_per_layer(cfg: &ModelConfig) -> f64 {
+    let h = cfg.hidden as f64;
+    let attn = 4.0 * h * h;
+    let mlp = match &cfg.moe {
+        None => 3.0 * h * cfg.ffn_hidden as f64,
+        Some(m) => {
+            m.num_experts as f64 * 3.0 * h * m.expert_ffn_hidden as f64 + h * m.num_experts as f64
+        }
+    };
+    (attn + mlp + 2.0 * h) * 2.0
+}
+
+/// Approximate persistent model-state bytes per GPU under ZeRO-1 data
+/// parallelism of width `dp`: bf16 weights (2 B) + bf16 grads (2 B) resident,
+/// fp32 master + Adam moments (12 B) sharded across the DP group.
+pub fn model_state_bytes(cfg: &ModelConfig, dp: usize) -> f64 {
+    assert!(dp >= 1, "dp must be at least 1");
+    let p = cfg.param_count() as f64;
+    p * (2.0 + 2.0 + 12.0 / dp as f64)
+}
+
+/// Token capacity `L` of one GPU: how many tokens of activations fit after
+/// model state, with a 8% headroom for workspace and fragmentation.
+///
+/// Returns at least 1024 so degenerate configs still make progress; callers
+/// validating real deployments should check [`fits_in_memory`] instead.
+pub fn token_capacity(cfg: &ModelConfig, gpu_mem_bytes: u64, dp: usize) -> u64 {
+    let budget = gpu_mem_bytes as f64 * 0.92 - model_state_bytes(cfg, dp);
+    let per_token = activation_bytes_per_token(cfg);
+    let cap = (budget / per_token).floor();
+    if cap < 1024.0 {
+        1024
+    } else {
+        cap as u64
+    }
+}
+
+/// Whether `tokens` tokens of activations plus model state fit in memory.
+pub fn fits_in_memory(cfg: &ModelConfig, gpu_mem_bytes: u64, dp: usize, tokens: u64) -> bool {
+    let need = model_state_bytes(cfg, dp) + tokens as f64 * activation_bytes_per_token(cfg);
+    need <= gpu_mem_bytes as f64 * 0.92
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::config::{llama_13b, llama_30b, llama_3b, llama_7b};
+
+    #[test]
+    fn kv_bytes_match_hand_calculation() {
+        let cfg = llama_3b();
+        // 2 tensors × 4096 tokens × 3200 hidden × 2 bytes.
+        assert!((kv_bytes(&cfg, 4096) - 2.0 * 4096.0 * 3200.0 * 2.0).abs() < 1.0);
+        // The paper's per-round volume: 4k-token KV chunk of the 3B model is
+        // ~52 MB, which at 25 GB/s is ~2.1 ms (§5.4.1 observes 2.18 ms).
+        let secs = kv_bytes(&cfg, 4096) / 25e9;
+        assert!((secs - 2.1e-3).abs() < 0.2e-3, "got {secs}");
+    }
+
+    #[test]
+    fn hidden_is_half_of_kv() {
+        let cfg = llama_7b();
+        assert!((2.0 * hidden_bytes(&cfg, 100) - kv_bytes(&cfg, 100)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capacity_shrinks_with_model_size() {
+        let mem = 80 * (1u64 << 30);
+        let c3 = token_capacity(&llama_3b(), mem, 64);
+        let c7 = token_capacity(&llama_7b(), mem, 64);
+        let c13 = token_capacity(&llama_13b(), mem, 64);
+        assert!(c3 > c7 && c7 > c13, "{c3} {c7} {c13}");
+        // 4k tokens/GPU (the paper's setting) must fit for the 7B model.
+        assert!(c7 >= 4096, "7B capacity {c7} too small for the paper setup");
+    }
+
+    #[test]
+    fn capacity_grows_with_dp_sharding() {
+        let mem = 80 * (1u64 << 30);
+        let narrow = token_capacity(&llama_30b(), mem, 8);
+        let wide = token_capacity(&llama_30b(), mem, 256);
+        assert!(wide >= narrow);
+    }
+
+    #[test]
+    fn fits_in_memory_is_consistent_with_capacity() {
+        let cfg = llama_7b();
+        let mem = 80 * (1u64 << 30);
+        let cap = token_capacity(&cfg, mem, 64);
+        assert!(fits_in_memory(&cfg, mem, 64, cap));
+        assert!(!fits_in_memory(&cfg, mem, 64, cap + cap / 4 + 4096));
+    }
+
+    #[test]
+    fn grad_bytes_track_layer_parameters() {
+        let cfg = llama_7b();
+        // 4h^2 + 3·h·ffn params at 2 bytes each, plus norms.
+        let expected = (4.0 * 4096.0f64 * 4096.0 + 3.0 * 4096.0 * 11008.0 + 2.0 * 4096.0) * 2.0;
+        assert!((grad_bytes_per_layer(&cfg) - expected).abs() < 1.0);
+        // MoE layers synchronize every expert's gradients.
+        let moe = crate::config::moe_8x550m();
+        let dense_like = ModelConfig {
+            moe: None,
+            ..moe.clone()
+        };
+        assert!(grad_bytes_per_layer(&moe) > 4.0 * grad_bytes_per_layer(&dense_like));
+    }
+
+    #[test]
+    fn capacity_has_a_floor() {
+        // A model far too large for the GPU still reports the floor.
+        let cfg = llama_30b();
+        assert_eq!(token_capacity(&cfg, 1 << 30, 1), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_dp_panics() {
+        model_state_bytes(&llama_7b(), 0);
+    }
+}

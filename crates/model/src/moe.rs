@@ -1,0 +1,190 @@
+//! Mixture-of-experts routing imbalance model.
+//!
+//! The paper observes (§5.1) that for MoE models "flop cannot be accurately
+//! estimated prior to routing, which undermines Hybrid DP's flop-based token
+//! assignment and often leads to imbalanced expert computation". We model
+//! this with a popularity-skewed router: expert loads are drawn from a
+//! softmax over Gaussian popularity scores, and the *imbalance factor*
+//! (max load / mean load) stretches the critical-path time of MoE linear
+//! modules.
+//!
+//! The sampler is deterministic from a seed (splitmix64), keeping the whole
+//! simulation reproducible without external RNG dependencies in this crate.
+
+/// Deterministic splitmix64 stream, sufficient for load sampling.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn next_gaussian(&mut self) -> f64 {
+        // Avoid ln(0) by nudging u1 away from zero.
+        let u1 = self.next_f64().max(1e-300);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// Samples per-expert token loads for `tokens` tokens routed to
+/// `num_experts` experts with `top_k` assignments per token.
+///
+/// `skew` controls popularity spread: 0.0 yields a perfectly uniform router,
+/// ~0.5 resembles a well-regularized router, larger values a collapsed one.
+///
+/// The returned loads sum to exactly `tokens * top_k`.
+///
+/// # Panics
+///
+/// Panics if `num_experts == 0` or `top_k == 0`.
+pub fn sample_expert_loads(
+    seed: u64,
+    num_experts: usize,
+    top_k: usize,
+    tokens: u64,
+    skew: f64,
+) -> Vec<u64> {
+    assert!(num_experts > 0, "need at least one expert");
+    assert!(top_k > 0, "top_k must be positive");
+    let mut rng = SplitMix64::new(seed);
+    // Popularity via softmax of Gaussian scores.
+    let scores: Vec<f64> = (0..num_experts)
+        .map(|_| rng.next_gaussian() * skew)
+        .collect();
+    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let weights: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
+    let total_w: f64 = weights.iter().sum();
+    let assignments = tokens * top_k as u64;
+    // Largest-remainder rounding keeps the sum exact.
+    let mut loads: Vec<u64> = Vec::with_capacity(num_experts);
+    let mut fracs: Vec<(usize, f64)> = Vec::with_capacity(num_experts);
+    let mut assigned = 0u64;
+    for (i, w) in weights.iter().enumerate() {
+        let exact = assignments as f64 * w / total_w;
+        let floor = exact.floor() as u64;
+        loads.push(floor);
+        assigned += floor;
+        fracs.push((i, exact - floor as f64));
+    }
+    fracs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    let mut left = assignments - assigned;
+    for (i, _) in fracs {
+        if left == 0 {
+            break;
+        }
+        loads[i] += 1;
+        left -= 1;
+    }
+    loads
+}
+
+/// Imbalance factor of a load vector: `max / mean` (≥ 1 for non-empty loads).
+///
+/// Returns 1.0 for empty or all-zero loads (nothing to imbalance).
+pub fn imbalance_factor(loads: &[u64]) -> f64 {
+    if loads.is_empty() {
+        return 1.0;
+    }
+    let sum: u64 = loads.iter().sum();
+    if sum == 0 {
+        return 1.0;
+    }
+    let mean = sum as f64 / loads.len() as f64;
+    let max = *loads.iter().max().expect("non-empty") as f64;
+    max / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_sum_to_assignments() {
+        for seed in 0..20 {
+            let loads = sample_expert_loads(seed, 8, 2, 4096, 0.5);
+            assert_eq!(loads.len(), 8);
+            assert_eq!(loads.iter().sum::<u64>(), 4096 * 2);
+        }
+    }
+
+    #[test]
+    fn zero_skew_is_near_uniform() {
+        let loads = sample_expert_loads(7, 8, 2, 80000, 0.0);
+        let f = imbalance_factor(&loads);
+        assert!((f - 1.0).abs() < 1e-3, "factor {f}");
+    }
+
+    #[test]
+    fn higher_skew_means_higher_imbalance() {
+        let mild: f64 = (0..10)
+            .map(|s| imbalance_factor(&sample_expert_loads(s, 8, 2, 100000, 0.3)))
+            .sum::<f64>()
+            / 10.0;
+        let harsh: f64 = (0..10)
+            .map(|s| imbalance_factor(&sample_expert_loads(s, 8, 2, 100000, 1.5)))
+            .sum::<f64>()
+            / 10.0;
+        assert!(harsh > mild, "harsh {harsh} vs mild {mild}");
+        assert!(mild >= 1.0);
+    }
+
+    #[test]
+    fn sampler_is_deterministic() {
+        let a = sample_expert_loads(42, 8, 2, 12345, 0.7);
+        let b = sample_expert_loads(42, 8, 2, 12345, 0.7);
+        assert_eq!(a, b);
+        let c = sample_expert_loads(43, 8, 2, 12345, 0.7);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn imbalance_factor_edge_cases() {
+        assert_eq!(imbalance_factor(&[]), 1.0);
+        assert_eq!(imbalance_factor(&[0, 0]), 1.0);
+        assert_eq!(imbalance_factor(&[4, 4, 4, 4]), 1.0);
+        assert!((imbalance_factor(&[8, 0, 0, 0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_has_sane_moments() {
+        let mut rng = SplitMix64::new(9);
+        let n = 20000;
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for _ in 0..n {
+            let g = rng.next_gaussian();
+            sum += g;
+            sq += g * g;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one expert")]
+    fn zero_experts_panics() {
+        sample_expert_loads(0, 0, 2, 10, 0.5);
+    }
+}

@@ -1,0 +1,735 @@
+//! Discrete-event execution engine for task DAGs over a simulated cluster.
+//!
+//! A simulation is a DAG of tasks:
+//!
+//! - **Compute** tasks occupy one stream of one GPU for a fixed duration;
+//!   tasks on the same `(rank, stream)` pair serialize in the order they
+//!   become ready (a CUDA-stream analogue).
+//! - **Transfer** tasks move bytes over a port path through the shared
+//!   [`FlowNetwork`]; concurrent transfers contend for bandwidth and their
+//!   durations emerge from max-min fair sharing.
+//! - **Marker** tasks are zero-cost join/fork points.
+//!
+//! Dependencies must point at already-created tasks, which statically rules
+//! out cycles. The engine is fully deterministic: identical inputs produce
+//! identical schedules.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use crate::error::SimError;
+use crate::network::{FlowKey, FlowNetwork};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{ClusterSpec, Port, Rank};
+use crate::trace::{Trace, TraceCategory, TraceEvent};
+
+/// Identifies a task within one [`Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub usize);
+
+/// Logical execution stream on a GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stream {
+    /// The main computation stream (attention / GEMM kernels).
+    Compute,
+    /// A communication-launch stream (kernel-launch serialization for
+    /// copies that are not modelled as network flows).
+    Comm(u8),
+}
+
+/// What a task does when it runs.
+#[derive(Debug, Clone)]
+pub enum TaskKind {
+    /// Occupies `(rank, stream)` for `duration`.
+    Compute {
+        /// GPU executing the kernel.
+        rank: Rank,
+        /// Stream the kernel serializes on.
+        stream: Stream,
+        /// Kernel duration.
+        duration: SimDuration,
+    },
+    /// Moves `bytes` across `path` through the shared flow network.
+    Transfer {
+        /// Bytes to move.
+        bytes: f64,
+        /// Port path (see [`ClusterSpec::direct_path`] and the routing layer).
+        path: Vec<Port>,
+    },
+    /// Completes instantly once all dependencies complete.
+    Marker,
+}
+
+/// Trace attribution for a task (optional; untraced tasks still execute).
+#[derive(Debug, Clone)]
+pub struct TraceInfo {
+    /// Rank the event is attributed to in the timeline.
+    pub rank: Rank,
+    /// Event category (colours lanes in trace viewers).
+    pub category: TraceCategory,
+    /// Human-readable label.
+    pub label: String,
+}
+
+/// A task plus its dependencies.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    /// The work performed.
+    pub kind: TaskKind,
+    /// Tasks that must complete first; each id must be `<` this task's id.
+    pub deps: Vec<TaskId>,
+    /// Optional timeline attribution.
+    pub trace: Option<TraceInfo>,
+}
+
+/// Result of running a simulation to completion.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Instant the last task completed.
+    pub makespan: SimTime,
+    /// Per-task `(start, end)` instants, indexed by [`TaskId`].
+    pub spans: Vec<(SimTime, SimTime)>,
+    /// Timeline of traced tasks.
+    pub trace: Trace,
+    /// Total bytes that traversed each port (utilization accounting).
+    pub port_bytes: std::collections::HashMap<Port, f64>,
+}
+
+impl SimReport {
+    /// Span of one task.
+    pub fn span(&self, id: TaskId) -> (SimTime, SimTime) {
+        self.spans[id.0]
+    }
+
+    /// Duration of one task.
+    pub fn duration(&self, id: TaskId) -> SimDuration {
+        let (s, e) = self.spans[id.0];
+        e.since(s)
+    }
+
+    /// Fraction of a port's capacity used over the whole makespan
+    /// (`bytes / (capacity · makespan)`); 0.0 for unused ports or an empty
+    /// schedule.
+    pub fn port_utilization(&self, cluster: &ClusterSpec, port: Port) -> f64 {
+        let secs = self.makespan.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        let bytes = self.port_bytes.get(&port).copied().unwrap_or(0.0);
+        bytes / (cluster.port_capacity(port) * secs)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    ComputeDone(TaskId),
+    NetCheck(u64),
+}
+
+#[derive(Default)]
+struct StreamState {
+    busy: bool,
+    queue: VecDeque<TaskId>,
+}
+
+/// Builds and runs one task DAG over a cluster.
+pub struct Simulator {
+    cluster: ClusterSpec,
+    tasks: Vec<TaskSpec>,
+}
+
+impl Simulator {
+    /// Creates a simulator for `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster fails validation; construct clusters through the
+    /// presets or validate before use.
+    pub fn new(cluster: &ClusterSpec) -> Self {
+        cluster.validate().expect("invalid cluster");
+        Simulator {
+            cluster: cluster.clone(),
+            tasks: Vec::new(),
+        }
+    }
+
+    /// The cluster this simulator runs on.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// Number of tasks added so far.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Adds a task and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownDependency`] if a dependency id is not
+    /// smaller than the new task's id (forward references are how cycles
+    /// would sneak in), and [`SimError::EmptyFlowPath`] for a transfer with
+    /// no ports.
+    pub fn add_task(&mut self, spec: TaskSpec) -> Result<TaskId, SimError> {
+        let id = TaskId(self.tasks.len());
+        for &d in &spec.deps {
+            if d.0 >= id.0 {
+                return Err(SimError::UnknownDependency {
+                    task: id.0,
+                    dep: d.0,
+                });
+            }
+        }
+        if let TaskKind::Transfer { path, .. } = &spec.kind {
+            if path.is_empty() {
+                return Err(SimError::EmptyFlowPath { task: id.0 });
+            }
+        }
+        self.tasks.push(spec);
+        Ok(id)
+    }
+
+    /// Convenience: adds a compute task.
+    pub fn compute(
+        &mut self,
+        rank: Rank,
+        stream: Stream,
+        duration: SimDuration,
+        deps: Vec<TaskId>,
+        trace: Option<TraceInfo>,
+    ) -> Result<TaskId, SimError> {
+        self.add_task(TaskSpec {
+            kind: TaskKind::Compute {
+                rank,
+                stream,
+                duration,
+            },
+            deps,
+            trace,
+        })
+    }
+
+    /// Convenience: adds a transfer task.
+    pub fn transfer(
+        &mut self,
+        bytes: f64,
+        path: Vec<Port>,
+        deps: Vec<TaskId>,
+        trace: Option<TraceInfo>,
+    ) -> Result<TaskId, SimError> {
+        self.add_task(TaskSpec {
+            kind: TaskKind::Transfer { bytes, path },
+            deps,
+            trace,
+        })
+    }
+
+    /// Convenience: adds a zero-cost marker joining `deps`.
+    pub fn marker(&mut self, deps: Vec<TaskId>) -> Result<TaskId, SimError> {
+        self.add_task(TaskSpec {
+            kind: TaskKind::Marker,
+            deps,
+            trace: None,
+        })
+    }
+
+    /// Runs the DAG to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DependencyCycle`] if some tasks never became
+    /// ready (unreachable with the forward-reference check, kept as a
+    /// defensive invariant).
+    pub fn run(&self) -> Result<SimReport, SimError> {
+        let n = self.tasks.len();
+        let mut indeg = vec![0usize; n];
+        let mut dependents: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        for (i, t) in self.tasks.iter().enumerate() {
+            indeg[i] = t.deps.len();
+            for &d in &t.deps {
+                dependents[d.0].push(TaskId(i));
+            }
+        }
+
+        let mut net = FlowNetwork::new();
+        let mut flow_task: HashMap<FlowKey, TaskId> = HashMap::new();
+        let mut port_bytes: HashMap<Port, f64> = HashMap::new();
+        let mut streams: HashMap<(Rank, Stream), StreamState> = HashMap::new();
+        let mut spans = vec![(SimTime::ZERO, SimTime::ZERO); n];
+        let mut done = vec![false; n];
+        let mut done_count = 0usize;
+        let mut now = SimTime::ZERO;
+        let mut net_gen: u64 = 0;
+
+        let mut events: BinaryHeap<Reverse<(SimTime, u64, usize, Event)>> = BinaryHeap::new();
+        let mut seq: u64 = 0;
+        let push_event = |events: &mut BinaryHeap<_>, t: SimTime, ev: Event, seq: &mut u64| {
+            // The third tuple element keeps compute-done before net-check at
+            // equal instants irrelevant; ordering is (time, insertion seq).
+            *seq += 1;
+            events.push(Reverse((t, *seq, 0usize, ev)));
+        };
+
+        // Work list of tasks that just became ready.
+        let mut ready: VecDeque<TaskId> = (0..n).filter(|&i| indeg[i] == 0).map(TaskId).collect();
+
+        macro_rules! reschedule_net {
+            () => {
+                net_gen += 1;
+                if let Some(t) = net.next_completion() {
+                    push_event(&mut events, t.max(now), Event::NetCheck(net_gen), &mut seq);
+                }
+            };
+        }
+
+        loop {
+            // Launch everything that is ready at the current instant.
+            let mut net_dirty = false;
+            while let Some(id) = ready.pop_front() {
+                let task = &self.tasks[id.0];
+                match &task.kind {
+                    TaskKind::Marker => {
+                        spans[id.0] = (now, now);
+                        done[id.0] = true;
+                        done_count += 1;
+                        for &dep in &dependents[id.0] {
+                            indeg[dep.0] -= 1;
+                            if indeg[dep.0] == 0 {
+                                ready.push_back(dep);
+                            }
+                        }
+                    }
+                    TaskKind::Compute { rank, stream, .. } => {
+                        let st = streams.entry((*rank, *stream)).or_default();
+                        st.queue.push_back(id);
+                        if !st.busy {
+                            st.busy = true;
+                            let head = st.queue.pop_front().expect("just pushed");
+                            let TaskKind::Compute { duration, .. } = self.tasks[head.0].kind else {
+                                unreachable!("compute queue holds compute tasks")
+                            };
+                            spans[head.0].0 = now;
+                            push_event(
+                                &mut events,
+                                now + duration,
+                                Event::ComputeDone(head),
+                                &mut seq,
+                            );
+                        }
+                    }
+                    TaskKind::Transfer { bytes, path } => {
+                        spans[id.0].0 = now;
+                        if *bytes <= 0.0 {
+                            // Nothing to move; completes instantly.
+                            spans[id.0].1 = now;
+                            done[id.0] = true;
+                            done_count += 1;
+                            for &dep in &dependents[id.0] {
+                                indeg[dep.0] -= 1;
+                                if indeg[dep.0] == 0 {
+                                    ready.push_back(dep);
+                                }
+                            }
+                        } else {
+                            net.advance_to(now);
+                            let key =
+                                net.start_flow(*bytes, path, |p| self.cluster.port_capacity(p));
+                            let mut seen = path.clone();
+                            seen.sort_unstable();
+                            seen.dedup();
+                            for port in seen {
+                                *port_bytes.entry(port).or_insert(0.0) += *bytes;
+                            }
+                            flow_task.insert(key, id);
+                            net_dirty = true;
+                        }
+                    }
+                }
+            }
+            if net_dirty {
+                reschedule_net!();
+            }
+
+            // Pull the next event.
+            let Some(Reverse((t, _, _, ev))) = events.pop() else {
+                break;
+            };
+            now = t;
+            match ev {
+                Event::ComputeDone(id) => {
+                    spans[id.0].1 = now;
+                    done[id.0] = true;
+                    done_count += 1;
+                    // Free the stream and start the next queued kernel.
+                    let TaskKind::Compute { rank, stream, .. } = self.tasks[id.0].kind else {
+                        unreachable!("compute-done for non-compute task")
+                    };
+                    let st = streams.get_mut(&(rank, stream)).expect("stream exists");
+                    if let Some(next) = st.queue.pop_front() {
+                        let TaskKind::Compute { duration, .. } = self.tasks[next.0].kind else {
+                            unreachable!("compute queue holds compute tasks")
+                        };
+                        spans[next.0].0 = now;
+                        push_event(
+                            &mut events,
+                            now + duration,
+                            Event::ComputeDone(next),
+                            &mut seq,
+                        );
+                    } else {
+                        st.busy = false;
+                    }
+                    for &dep in &dependents[id.0] {
+                        indeg[dep.0] -= 1;
+                        if indeg[dep.0] == 0 {
+                            ready.push_back(dep);
+                        }
+                    }
+                }
+                Event::NetCheck(generation) => {
+                    if generation != net_gen {
+                        continue; // Stale: the flow set changed since scheduling.
+                    }
+                    net.advance_to(now);
+                    let drained = net.drained();
+                    if drained.is_empty() {
+                        // Rounding moved completion past this instant; re-arm.
+                        reschedule_net!();
+                        continue;
+                    }
+                    for key in drained {
+                        net.finish_flow(key);
+                        let id = flow_task.remove(&key).expect("flow has owner task");
+                        spans[id.0].1 = now;
+                        done[id.0] = true;
+                        done_count += 1;
+                        for &dep in &dependents[id.0] {
+                            indeg[dep.0] -= 1;
+                            if indeg[dep.0] == 0 {
+                                ready.push_back(dep);
+                            }
+                        }
+                    }
+                    reschedule_net!();
+                }
+            }
+        }
+
+        if done_count != n {
+            return Err(SimError::DependencyCycle {
+                stuck: n - done_count,
+            });
+        }
+
+        let makespan = spans.iter().map(|&(_, e)| e).max().unwrap_or(SimTime::ZERO);
+        let mut trace = Trace::new();
+        for (i, task) in self.tasks.iter().enumerate() {
+            if let Some(info) = &task.trace {
+                trace.push(TraceEvent {
+                    rank: info.rank,
+                    category: info.category,
+                    label: info.label.clone(),
+                    start: spans[i].0,
+                    end: spans[i].1,
+                });
+            }
+        }
+        Ok(SimReport {
+            makespan,
+            spans,
+            trace,
+            port_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::tiny_cluster;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn empty_dag_finishes_at_zero() {
+        let sim = Simulator::new(&tiny_cluster(1, 2));
+        let r = sim.run().unwrap();
+        assert_eq!(r.makespan, SimTime::ZERO);
+    }
+
+    #[test]
+    fn sequential_dependencies_accumulate() {
+        let mut sim = Simulator::new(&tiny_cluster(1, 2));
+        let a = sim
+            .compute(0, Stream::Compute, ms(2), vec![], None)
+            .unwrap();
+        let b = sim
+            .compute(0, Stream::Compute, ms(3), vec![a], None)
+            .unwrap();
+        let r = sim.run().unwrap();
+        assert_eq!(r.makespan.as_nanos(), 5_000_000);
+        assert_eq!(r.span(b).0.as_nanos(), 2_000_000);
+    }
+
+    #[test]
+    fn independent_tasks_on_different_gpus_run_in_parallel() {
+        let mut sim = Simulator::new(&tiny_cluster(1, 2));
+        sim.compute(0, Stream::Compute, ms(4), vec![], None)
+            .unwrap();
+        sim.compute(1, Stream::Compute, ms(4), vec![], None)
+            .unwrap();
+        let r = sim.run().unwrap();
+        assert_eq!(r.makespan.as_nanos(), 4_000_000);
+    }
+
+    #[test]
+    fn same_stream_serializes_independent_tasks() {
+        let mut sim = Simulator::new(&tiny_cluster(1, 2));
+        sim.compute(0, Stream::Compute, ms(4), vec![], None)
+            .unwrap();
+        sim.compute(0, Stream::Compute, ms(4), vec![], None)
+            .unwrap();
+        let r = sim.run().unwrap();
+        assert_eq!(r.makespan.as_nanos(), 8_000_000);
+    }
+
+    #[test]
+    fn different_streams_on_one_gpu_overlap() {
+        let mut sim = Simulator::new(&tiny_cluster(1, 2));
+        sim.compute(0, Stream::Compute, ms(4), vec![], None)
+            .unwrap();
+        sim.compute(0, Stream::Comm(0), ms(4), vec![], None)
+            .unwrap();
+        let r = sim.run().unwrap();
+        assert_eq!(r.makespan.as_nanos(), 4_000_000);
+    }
+
+    #[test]
+    fn transfer_duration_matches_bandwidth() {
+        let c = tiny_cluster(1, 2);
+        let mut sim = Simulator::new(&c);
+        // 200 GB over a 200 GB/s NVLink pair: 1 second.
+        sim.transfer(200e9, c.direct_path(0, 1), vec![], None)
+            .unwrap();
+        let r = sim.run().unwrap();
+        assert!((r.makespan.as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn compute_and_transfer_overlap() {
+        let c = tiny_cluster(1, 2);
+        let mut sim = Simulator::new(&c);
+        sim.compute(
+            0,
+            Stream::Compute,
+            SimDuration::from_secs_f64(1.0),
+            vec![],
+            None,
+        )
+        .unwrap();
+        sim.transfer(200e9, c.direct_path(0, 1), vec![], None)
+            .unwrap();
+        let r = sim.run().unwrap();
+        assert!((r.makespan.as_secs_f64() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn contending_transfers_slow_each_other() {
+        let c = tiny_cluster(2, 1);
+        let mut sim = Simulator::new(&c);
+        // Two flows out of the same NIC (node0 gpu0 -> node1 gpu0): the
+        // tiny cluster has 1 GPU and 1 NIC per node, so they share 12.5 GB/s.
+        sim.transfer(12.5e9, c.direct_path(0, 1), vec![], None)
+            .unwrap();
+        sim.transfer(12.5e9, c.direct_path(0, 1), vec![], None)
+            .unwrap();
+        let r = sim.run().unwrap();
+        assert!((r.makespan.as_secs_f64() - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dependent_transfer_starts_after_compute() {
+        let c = tiny_cluster(1, 2);
+        let mut sim = Simulator::new(&c);
+        let a = sim
+            .compute(
+                0,
+                Stream::Compute,
+                SimDuration::from_secs_f64(0.5),
+                vec![],
+                None,
+            )
+            .unwrap();
+        let t = sim
+            .transfer(100e9, c.direct_path(0, 1), vec![a], None)
+            .unwrap();
+        let r = sim.run().unwrap();
+        assert!((r.span(t).0.as_secs_f64() - 0.5).abs() < 1e-6);
+        assert!((r.makespan.as_secs_f64() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn staggered_contention_releases_bandwidth() {
+        let c = tiny_cluster(2, 1);
+        let mut sim = Simulator::new(&c);
+        // Flow A alone for 1 s, then flow B joins (dep on a 1 s compute).
+        sim.transfer(25e9, c.direct_path(0, 1), vec![], None)
+            .unwrap();
+        let gate = sim
+            .compute(
+                0,
+                Stream::Compute,
+                SimDuration::from_secs_f64(1.0),
+                vec![],
+                None,
+            )
+            .unwrap();
+        let b = sim
+            .transfer(12.5e9, c.direct_path(0, 1), vec![gate], None)
+            .unwrap();
+        let r = sim.run().unwrap();
+        // A: 12.5 GB alone (1 s), then shares -> 12.5 GB left at 6.25 GB/s
+        // would be 2 s... max-min: both at 6.25 GB/s after t=1.
+        // A finishes at 1 + 12.5/6.25 = 3 s; B moved 12.5 GB by then at
+        // 6.25 GB/s = 2 s of its own... B needs 12.5/6.25 = 2 s -> done at 3 s.
+        assert!((r.makespan.as_secs_f64() - 3.0).abs() < 1e-4);
+        assert!((r.span(b).0.as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_byte_transfer_is_instant() {
+        let c = tiny_cluster(1, 2);
+        let mut sim = Simulator::new(&c);
+        let t = sim
+            .transfer(0.0, c.direct_path(0, 1), vec![], None)
+            .unwrap();
+        let after = sim
+            .compute(0, Stream::Compute, ms(1), vec![t], None)
+            .unwrap();
+        let r = sim.run().unwrap();
+        assert_eq!(r.span(t).0, r.span(t).1);
+        assert_eq!(r.span(after).0, SimTime::ZERO);
+    }
+
+    #[test]
+    fn markers_join_without_cost() {
+        let mut sim = Simulator::new(&tiny_cluster(1, 2));
+        let a = sim
+            .compute(0, Stream::Compute, ms(1), vec![], None)
+            .unwrap();
+        let b = sim
+            .compute(1, Stream::Compute, ms(2), vec![], None)
+            .unwrap();
+        let m = sim.marker(vec![a, b]).unwrap();
+        let after = sim
+            .compute(0, Stream::Compute, ms(1), vec![m], None)
+            .unwrap();
+        let r = sim.run().unwrap();
+        assert_eq!(r.span(after).0.as_nanos(), 2_000_000);
+        assert_eq!(r.makespan.as_nanos(), 3_000_000);
+    }
+
+    #[test]
+    fn forward_dependency_is_rejected() {
+        let mut sim = Simulator::new(&tiny_cluster(1, 2));
+        let err = sim
+            .add_task(TaskSpec {
+                kind: TaskKind::Marker,
+                deps: vec![TaskId(5)],
+                trace: None,
+            })
+            .unwrap_err();
+        assert!(matches!(err, SimError::UnknownDependency { .. }));
+    }
+
+    #[test]
+    fn empty_transfer_path_is_rejected() {
+        let mut sim = Simulator::new(&tiny_cluster(1, 2));
+        let err = sim.transfer(1.0, vec![], vec![], None).unwrap_err();
+        assert!(matches!(err, SimError::EmptyFlowPath { .. }));
+    }
+
+    #[test]
+    fn trace_records_attributed_tasks_only() {
+        let mut sim = Simulator::new(&tiny_cluster(1, 2));
+        sim.compute(
+            0,
+            Stream::Compute,
+            ms(1),
+            vec![],
+            Some(TraceInfo {
+                rank: 0,
+                category: TraceCategory::AttentionCompute,
+                label: "attn".into(),
+            }),
+        )
+        .unwrap();
+        sim.compute(1, Stream::Compute, ms(1), vec![], None)
+            .unwrap();
+        let r = sim.run().unwrap();
+        assert_eq!(r.trace.events().len(), 1);
+        assert_eq!(r.trace.events()[0].label, "attn");
+    }
+
+    #[test]
+    fn port_bytes_account_every_transfer() {
+        let c = tiny_cluster(2, 1);
+        let mut sim = Simulator::new(&c);
+        sim.transfer(3e9, c.direct_path(0, 1), vec![], None)
+            .unwrap();
+        sim.transfer(2e9, c.direct_path(0, 1), vec![], None)
+            .unwrap();
+        sim.transfer(1e9, c.direct_path(1, 0), vec![], None)
+            .unwrap();
+        let r = sim.run().unwrap();
+        use crate::topology::Port;
+        assert!((r.port_bytes[&Port::NicTx(0)] - 5e9).abs() < 1.0);
+        assert!((r.port_bytes[&Port::NicTx(1)] - 1e9).abs() < 1.0);
+        assert!((r.port_bytes[&Port::NicRx(1)] - 5e9).abs() < 1.0);
+        // Utilization: 5 GB over the makespan at 12.5 GB/s.
+        let u = r.port_utilization(&c, Port::NicTx(0));
+        assert!(u > 0.9 && u <= 1.0 + 1e-9, "utilization {u}");
+        // Unused port reads zero.
+        assert_eq!(r.port_utilization(&c, Port::NvlinkOut(0)), 0.0);
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_schedule() {
+        let build = || {
+            let c = tiny_cluster(2, 2);
+            let mut sim = Simulator::new(&c);
+            let mut last = None;
+            for i in 0..20 {
+                let deps = last.map(|l| vec![l]).unwrap_or_default();
+                let t = if i % 3 == 0 {
+                    sim.transfer(
+                        1e9 * (i + 1) as f64,
+                        c.direct_path(i % 4, (i + 1) % 4),
+                        deps,
+                        None,
+                    )
+                    .unwrap()
+                } else {
+                    sim.compute(i % 4, Stream::Compute, ms(i as u64 % 5 + 1), deps, None)
+                        .unwrap()
+                };
+                last = Some(t);
+                if i % 7 == 0 {
+                    sim.transfer(5e8, c.direct_path((i + 2) % 4, (i + 3) % 4), vec![], None)
+                        .unwrap();
+                }
+            }
+            sim.run().unwrap()
+        };
+        let r1 = build();
+        let r2 = build();
+        assert_eq!(r1.makespan, r2.makespan);
+        assert_eq!(r1.spans.len(), r2.spans.len());
+        for (a, b) in r1.spans.iter().zip(&r2.spans) {
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Error types for the simulator.
+
+use core::fmt;
+
+/// Errors surfaced by simulator construction and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The cluster description is internally inconsistent.
+    InvalidTopology(String),
+    /// A task references an unknown task id as a dependency.
+    UnknownDependency {
+        /// The task holding the dangling reference.
+        task: usize,
+        /// The referenced (unknown) dependency id.
+        dep: usize,
+    },
+    /// The task graph contains a dependency cycle; the named tasks never ran.
+    DependencyCycle {
+        /// Number of tasks left unexecuted when the event queue drained.
+        stuck: usize,
+    },
+    /// A flow was created with an empty port path.
+    EmptyFlowPath {
+        /// The offending task id.
+        task: usize,
+    },
+    /// A generic invariant violation with context.
+    Invariant(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidTopology(msg) => write!(f, "invalid topology: {msg}"),
+            SimError::UnknownDependency { task, dep } => {
+                write!(f, "task {task} depends on unknown task {dep}")
+            }
+            SimError::DependencyCycle { stuck } => {
+                write!(f, "dependency cycle: {stuck} task(s) never became ready")
+            }
+            SimError::EmptyFlowPath { task } => {
+                write!(f, "transfer task {task} has an empty port path")
+            }
+            SimError::Invariant(msg) => write!(f, "invariant violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SimError::UnknownDependency { task: 3, dep: 9 };
+        assert_eq!(e.to_string(), "task 3 depends on unknown task 9");
+        assert!(SimError::DependencyCycle { stuck: 2 }
+            .to_string()
+            .contains("2 task(s)"));
+        assert!(SimError::InvalidTopology("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(SimError::EmptyFlowPath { task: 1 }
+            .to_string()
+            .contains("1"));
+        assert!(SimError::Invariant("y".into()).to_string().contains("y"));
+    }
+}

@@ -1,0 +1,440 @@
+//! Fluid-flow network model with max-min fair bandwidth sharing.
+//!
+//! Transfers are modelled as *flows*: a byte count draining over a path of
+//! capacitated ports. Whenever the set of active flows changes, the network
+//! recomputes a progressive-filling max-min fair rate allocation: all flows'
+//! rates rise together until some port saturates; flows through saturated
+//! ports freeze at the current level; the rest keep rising. This captures the
+//! contention effects Zeppelin exploits — NICs shared between GPU pairs,
+//! asymmetric ring traffic, multi-NIC routing — without per-packet detail.
+//!
+//! The network is advanced lazily: callers move it to the current simulation
+//! time, mutate the flow set, and ask for the next completion instant.
+
+use std::collections::HashMap;
+
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Port;
+
+/// Bytes below which a flow is considered drained (absorbs f64 rounding).
+const EPS_BYTES: f64 = 1e-6;
+
+/// Handle to an active flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey(usize);
+
+#[derive(Debug)]
+struct ActiveFlow {
+    /// Interned port indices the flow traverses (deduplicated).
+    path: Vec<usize>,
+    /// Bytes still to move.
+    remaining: f64,
+    /// Current max-min fair rate in bytes/s.
+    rate: f64,
+}
+
+/// The set of concurrently active flows over a shared port inventory.
+#[derive(Debug, Default)]
+pub struct FlowNetwork {
+    port_caps: Vec<f64>,
+    port_index: HashMap<Port, usize>,
+    flows: Vec<Option<ActiveFlow>>,
+    free_keys: Vec<usize>,
+    clock: SimTime,
+    active: usize,
+}
+
+impl FlowNetwork {
+    /// Creates an empty network; ports are interned on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current internal clock (latest `advance_to` instant).
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of currently active flows.
+    pub fn active_flows(&self) -> usize {
+        self.active
+    }
+
+    fn intern(&mut self, port: Port, capacity: f64) -> usize {
+        if let Some(&i) = self.port_index.get(&port) {
+            return i;
+        }
+        let i = self.port_caps.len();
+        self.port_caps.push(capacity);
+        self.port_index.insert(port, i);
+        i
+    }
+
+    /// Starts a flow of `bytes` over `path` at the current clock.
+    ///
+    /// `capacity_of` supplies the bandwidth of each port the first time it is
+    /// seen (ports are identified by value, so capacities must be stable).
+    /// Duplicate ports within one path are collapsed: a flow consumes a
+    /// port's bandwidth once regardless of how the path was assembled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is empty or `bytes` is not finite and non-negative;
+    /// both indicate planner bugs upstream.
+    pub fn start_flow(
+        &mut self,
+        bytes: f64,
+        path: &[Port],
+        mut capacity_of: impl FnMut(Port) -> f64,
+    ) -> FlowKey {
+        assert!(!path.is_empty(), "flow path must be non-empty");
+        assert!(
+            bytes.is_finite() && bytes >= 0.0,
+            "flow size must be finite and non-negative, got {bytes}"
+        );
+        let mut interned: Vec<usize> = path
+            .iter()
+            .map(|&p| {
+                let cap = capacity_of(p);
+                assert!(cap > 0.0, "port {p:?} must have positive capacity");
+                self.intern(p, cap)
+            })
+            .collect();
+        interned.sort_unstable();
+        interned.dedup();
+        let flow = ActiveFlow {
+            path: interned,
+            remaining: bytes,
+            rate: 0.0,
+        };
+        let key = match self.free_keys.pop() {
+            Some(k) => {
+                self.flows[k] = Some(flow);
+                k
+            }
+            None => {
+                self.flows.push(Some(flow));
+                self.flows.len() - 1
+            }
+        };
+        self.active += 1;
+        self.recompute_rates();
+        FlowKey(key)
+    }
+
+    /// Advances the fluid model to `now`, draining all flows at their rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the internal clock.
+    pub fn advance_to(&mut self, now: SimTime) {
+        let dt = now.since(self.clock).as_secs_f64();
+        if dt > 0.0 {
+            for slot in self.flows.iter_mut().flatten() {
+                slot.remaining = (slot.remaining - slot.rate * dt).max(0.0);
+            }
+        }
+        self.clock = now;
+    }
+
+    /// Keys of flows that have fully drained as of the current clock.
+    pub fn drained(&self) -> Vec<FlowKey> {
+        self.flows
+            .iter()
+            .enumerate()
+            .filter_map(|(k, s)| match s {
+                Some(f) if f.remaining <= EPS_BYTES => Some(FlowKey(k)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Removes a flow (normally one reported by [`FlowNetwork::drained`]) and
+    /// rebalances the remaining flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is stale.
+    pub fn finish_flow(&mut self, key: FlowKey) {
+        let slot = self.flows[key.0].take().expect("stale flow key");
+        debug_assert!(
+            slot.remaining <= EPS_BYTES,
+            "finishing a flow with {} bytes left",
+            slot.remaining
+        );
+        self.free_keys.push(key.0);
+        self.active -= 1;
+        self.recompute_rates();
+    }
+
+    /// Earliest instant at which some active flow drains, if any are active.
+    ///
+    /// The instant is rounded up to nanosecond granularity; callers should
+    /// `advance_to` it and then collect [`FlowNetwork::drained`] flows.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        let mut best: Option<f64> = None;
+        for f in self.flows.iter().flatten() {
+            let secs = if f.remaining <= EPS_BYTES {
+                0.0
+            } else if f.rate > 0.0 {
+                f.remaining / f.rate
+            } else {
+                continue; // Starved flow: cannot finish until rates change.
+            };
+            best = Some(match best {
+                Some(b) => b.min(secs),
+                None => secs,
+            });
+        }
+        best.map(|secs| self.clock + SimDuration::from_secs_f64(secs))
+    }
+
+    /// Current rate of a flow in bytes/s (for tests and introspection).
+    pub fn rate_of(&self, key: FlowKey) -> f64 {
+        self.flows[key.0].as_ref().expect("stale flow key").rate
+    }
+
+    /// Remaining bytes of a flow (for tests and introspection).
+    pub fn remaining_of(&self, key: FlowKey) -> f64 {
+        self.flows[key.0]
+            .as_ref()
+            .expect("stale flow key")
+            .remaining
+    }
+
+    /// Sum of current rates through `port`, in bytes/s.
+    pub fn port_usage(&self, port: Port) -> f64 {
+        let Some(&idx) = self.port_index.get(&port) else {
+            return 0.0;
+        };
+        self.flows
+            .iter()
+            .flatten()
+            .filter(|f| f.path.contains(&idx))
+            .map(|f| f.rate)
+            .sum()
+    }
+
+    /// Recomputes the progressive-filling max-min fair allocation.
+    ///
+    /// All active flows rise from rate 0 together; each port `p` saturates at
+    /// level `(cap_p - frozen_p) / unfrozen_p`. The minimum such level across
+    /// ports freezes every unfrozen flow crossing a bottleneck port, and the
+    /// process repeats until all flows are frozen.
+    fn recompute_rates(&mut self) {
+        let n_ports = self.port_caps.len();
+        let mut frozen_usage = vec![0.0f64; n_ports];
+        let mut unfrozen_count = vec![0usize; n_ports];
+        let mut live: Vec<usize> = Vec::new();
+        for (k, slot) in self.flows.iter().enumerate() {
+            if let Some(f) = slot {
+                live.push(k);
+                for &p in &f.path {
+                    unfrozen_count[p] += 1;
+                }
+            }
+        }
+        let mut frozen = vec![false; self.flows.len()];
+        let mut remaining_live = live.len();
+        while remaining_live > 0 {
+            // Find the lowest saturation level among contended ports.
+            let mut level = f64::INFINITY;
+            for p in 0..n_ports {
+                if unfrozen_count[p] > 0 {
+                    let l = (self.port_caps[p] - frozen_usage[p]) / unfrozen_count[p] as f64;
+                    if l < level {
+                        level = l;
+                    }
+                }
+            }
+            debug_assert!(level.is_finite(), "live flows but no contended port");
+            let level = level.max(0.0);
+            // Freeze every unfrozen flow that crosses a bottleneck port.
+            let mut froze_any = false;
+            for &k in &live {
+                if frozen[k] {
+                    continue;
+                }
+                let f = self.flows[k].as_ref().expect("live flow");
+                let at_bottleneck = f.path.iter().any(|&p| {
+                    let l = (self.port_caps[p] - frozen_usage[p]) / unfrozen_count[p] as f64;
+                    l <= level + level.abs() * 1e-12
+                });
+                if at_bottleneck {
+                    frozen[k] = true;
+                    froze_any = true;
+                    remaining_live -= 1;
+                    let path = self.flows[k].as_ref().expect("live flow").path.clone();
+                    self.flows[k].as_mut().expect("live flow").rate = level;
+                    for p in path {
+                        frozen_usage[p] += level;
+                        unfrozen_count[p] -= 1;
+                    }
+                }
+            }
+            debug_assert!(froze_any, "max-min fair filling made no progress");
+            if !froze_any {
+                break; // Defensive: avoid an infinite loop under fp anomalies.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{cluster_a, tiny_cluster};
+
+    fn cap_fn(c: &crate::topology::ClusterSpec) -> impl FnMut(Port) -> f64 + '_ {
+        move |p| c.port_capacity(p)
+    }
+
+    #[test]
+    fn single_flow_gets_bottleneck_bandwidth() {
+        let c = cluster_a(2);
+        let mut net = FlowNetwork::new();
+        // Cross-node: bottleneck is the 25 GB/s NIC, not the 32 GB/s PCIe.
+        let k = net.start_flow(25e9, &c.direct_path(0, 8), cap_fn(&c));
+        assert!((net.rate_of(k) - 25e9).abs() / 25e9 < 1e-9);
+        let done = net.next_completion().unwrap();
+        assert!((done.as_secs_f64() - 1.0).abs() < 1e-6);
+        net.advance_to(done);
+        assert_eq!(net.drained(), vec![k]);
+        net.finish_flow(k);
+        assert_eq!(net.active_flows(), 0);
+    }
+
+    #[test]
+    fn two_flows_share_a_nic_fairly() {
+        let c = cluster_a(2);
+        let mut net = FlowNetwork::new();
+        // GPUs 0 and 1 share NIC 0 on Cluster A.
+        let k0 = net.start_flow(1e9, &c.direct_path(0, 8), cap_fn(&c));
+        let k1 = net.start_flow(1e9, &c.direct_path(1, 9), cap_fn(&c));
+        assert!((net.rate_of(k0) - 12.5e9).abs() / 12.5e9 < 1e-9);
+        assert!((net.rate_of(k1) - 12.5e9).abs() / 12.5e9 < 1e-9);
+    }
+
+    #[test]
+    fn distinct_nics_do_not_contend() {
+        let c = cluster_a(2);
+        let mut net = FlowNetwork::new();
+        let k0 = net.start_flow(1e9, &c.direct_path(0, 8), cap_fn(&c));
+        let k2 = net.start_flow(1e9, &c.direct_path(2, 10), cap_fn(&c));
+        assert!((net.rate_of(k0) - 25e9).abs() / 25e9 < 1e-9);
+        assert!((net.rate_of(k2) - 25e9).abs() / 25e9 < 1e-9);
+    }
+
+    #[test]
+    fn finishing_a_flow_releases_bandwidth() {
+        let c = cluster_a(2);
+        let mut net = FlowNetwork::new();
+        let k0 = net.start_flow(12.5e9, &c.direct_path(0, 8), cap_fn(&c));
+        let k1 = net.start_flow(50e9, &c.direct_path(1, 9), cap_fn(&c));
+        // Both run at 12.5 GB/s; k0 finishes at t=1s.
+        let t1 = net.next_completion().unwrap();
+        assert!((t1.as_secs_f64() - 1.0).abs() < 1e-6);
+        net.advance_to(t1);
+        assert_eq!(net.drained(), vec![k0]);
+        net.finish_flow(k0);
+        // k1 has 37.5 GB left and now runs at the full 25 GB/s: +1.5s.
+        assert!((net.rate_of(k1) - 25e9).abs() / 25e9 < 1e-6);
+        let t2 = net.next_completion().unwrap();
+        assert!((t2.as_secs_f64() - 2.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn max_min_not_just_equal_split() {
+        // Three flows: two share port A (cap 10), one uses only port B
+        // (cap 30) which the first also crosses. Max-min: the A-flows get 5
+        // each; the B-only flow gets the residual 25, not 10.
+        let mut net = FlowNetwork::new();
+        let cap = |p: Port| match p {
+            Port::NicTx(0) => 10.0,
+            Port::NicTx(1) => 30.0,
+            _ => unreachable!(),
+        };
+        let a1 = net.start_flow(1.0, &[Port::NicTx(0), Port::NicTx(1)], cap);
+        let a2 = net.start_flow(1.0, &[Port::NicTx(0)], cap);
+        let b = net.start_flow(1.0, &[Port::NicTx(1)], cap);
+        assert!((net.rate_of(a1) - 5.0).abs() < 1e-9);
+        assert!((net.rate_of(a2) - 5.0).abs() < 1e-9);
+        assert!((net.rate_of(b) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn port_usage_never_exceeds_capacity() {
+        let c = tiny_cluster(2, 4);
+        let mut net = FlowNetwork::new();
+        let mut keys = Vec::new();
+        for src in 0..4 {
+            for dst in 4..8 {
+                keys.push(net.start_flow(1e9, &c.direct_path(src, dst), cap_fn(&c)));
+            }
+        }
+        for local in 0..4 {
+            let tx = Port::NicTx(local);
+            assert!(net.port_usage(tx) <= c.port_capacity(tx) * (1.0 + 1e-9));
+        }
+        // All 16 flows still active.
+        assert_eq!(net.active_flows(), 16);
+        for k in &keys {
+            assert!(net.rate_of(*k) > 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let c = tiny_cluster(1, 2);
+        let mut net = FlowNetwork::new();
+        let k = net.start_flow(0.0, &c.direct_path(0, 1), cap_fn(&c));
+        assert_eq!(net.next_completion(), Some(SimTime::ZERO));
+        assert_eq!(net.drained(), vec![k]);
+    }
+
+    #[test]
+    fn duplicate_ports_in_path_are_collapsed() {
+        let mut net = FlowNetwork::new();
+        let k = net.start_flow(1.0, &[Port::NicTx(0), Port::NicTx(0)], |_| 10.0);
+        // Counted once: full 10, not 5.
+        assert!((net.rate_of(k) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advance_is_lazy_and_monotonic() {
+        let c = tiny_cluster(1, 2);
+        let mut net = FlowNetwork::new();
+        let k = net.start_flow(200e9, &c.direct_path(0, 1), cap_fn(&c));
+        net.advance_to(SimTime::from_nanos(500_000_000));
+        // 200 GB/s nvlink for 0.5 s = 100 GB moved.
+        assert!((net.remaining_of(k) - 100e9).abs() / 100e9 < 1e-6);
+        // Advancing to the same instant is a no-op.
+        net.advance_to(SimTime::from_nanos(500_000_000));
+        assert!((net.remaining_of(k) - 100e9).abs() / 100e9 < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn advance_backwards_panics() {
+        let mut net = FlowNetwork::new();
+        net.advance_to(SimTime::from_nanos(10));
+        net.advance_to(SimTime::from_nanos(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_path_panics() {
+        FlowNetwork::new().start_flow(1.0, &[], |_| 1.0);
+    }
+
+    #[test]
+    fn keys_are_recycled_without_aliasing() {
+        let c = tiny_cluster(1, 2);
+        let mut net = FlowNetwork::new();
+        let k = net.start_flow(0.0, &c.direct_path(0, 1), cap_fn(&c));
+        net.finish_flow(k);
+        let k2 = net.start_flow(5.0, &c.direct_path(1, 0), cap_fn(&c));
+        assert_eq!(k, k2, "slot should be recycled");
+        assert!(net.remaining_of(k2) > 0.0);
+    }
+}

@@ -1,0 +1,296 @@
+//! Simulation time: integer nanoseconds for deterministic event ordering.
+//!
+//! All simulated instants and durations are integer nanoseconds. Costs derived
+//! from floating-point models (FLOPs / bandwidth) are rounded *up* when
+//! converted, so zero-cost work never collapses event ordering and simulated
+//! times are conservative.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// An instant on the simulation clock, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulation time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Largest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Returns the raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the instant as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns the instant as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns the instant as fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`; simulation clocks never run
+    /// backwards, so this indicates a scheduling bug.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("simulation time moved backwards"),
+        )
+    }
+
+    /// Saturating addition of a duration (saturates at [`SimTime::MAX`]).
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a duration from integer microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a duration from integer milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Converts fractional seconds to a duration, rounding up to 1 ns
+    /// granularity so strictly positive costs never become zero.
+    ///
+    /// Negative and NaN inputs are treated as zero: they arise only from
+    /// degenerate cost models (e.g. empty workloads) where "no time" is the
+    /// correct reading.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        // Deliberately `!(> 0.0)`: NaN must fall into the zero branch.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(secs > 0.0) {
+            return SimDuration(0);
+        }
+        let ns = (secs * 1e9).ceil();
+        if ns >= u64::MAX as f64 {
+            SimDuration(u64::MAX)
+        } else {
+            SimDuration(ns as u64)
+        }
+    }
+
+    /// Returns the raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns the duration as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns the duration as fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Saturating duration addition.
+    pub fn saturating_add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(other.0))
+    }
+
+    /// Returns the larger of two durations.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(d.0)
+                .expect("simulation time overflowed u64 nanoseconds"),
+        )
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        *self = *self + d;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, other: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_add(other.0)
+                .expect("simulation duration overflowed u64 nanoseconds"),
+        )
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, other: SimDuration) {
+        *self = *self + other;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+
+    fn sub(self, other: SimTime) -> SimDuration {
+        self.since(other)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_ns(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_ns(self.0))
+    }
+}
+
+/// Formats a nanosecond count with a human-scale unit.
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+        assert_eq!(SimDuration::default(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn add_duration_advances_time() {
+        let t = SimTime::from_nanos(10) + SimDuration::from_nanos(5);
+        assert_eq!(t.as_nanos(), 15);
+    }
+
+    #[test]
+    fn since_computes_elapsed() {
+        let a = SimTime::from_nanos(100);
+        let b = SimTime::from_nanos(40);
+        assert_eq!(a.since(b).as_nanos(), 60);
+        assert_eq!((a - b).as_nanos(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn since_panics_on_backwards_clock() {
+        let _ = SimTime::from_nanos(1).since(SimTime::from_nanos(2));
+    }
+
+    #[test]
+    fn from_secs_rounds_up() {
+        // 1.5 ns rounds up to 2 ns.
+        assert_eq!(SimDuration::from_secs_f64(1.5e-9).as_nanos(), 2);
+        // Tiny positive costs never round to zero.
+        assert_eq!(SimDuration::from_secs_f64(1e-12).as_nanos(), 1);
+    }
+
+    #[test]
+    fn from_secs_clamps_degenerate_inputs() {
+        assert_eq!(SimDuration::from_secs_f64(0.0).as_nanos(), 0);
+        assert_eq!(SimDuration::from_secs_f64(-3.0).as_nanos(), 0);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN).as_nanos(), 0);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::INFINITY).as_nanos(),
+            u64::MAX
+        );
+    }
+
+    #[test]
+    fn unit_conversions_are_consistent() {
+        let d = SimDuration::from_millis(3);
+        assert_eq!(d.as_nanos(), 3_000_000);
+        assert!((d.as_millis_f64() - 3.0).abs() < 1e-12);
+        assert!((d.as_secs_f64() - 0.003).abs() < 1e-12);
+        assert!((d.as_micros_f64() - 3000.0).abs() < 1e-9);
+        assert_eq!(SimDuration::from_micros(7).as_nanos(), 7_000);
+    }
+
+    #[test]
+    fn display_picks_scale() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(5)), "5ns");
+        assert_eq!(format!("{}", SimDuration::from_nanos(5_000)), "5.000us");
+        assert_eq!(format!("{}", SimDuration::from_nanos(5_000_000)), "5.000ms");
+        assert_eq!(
+            format!("{}", SimDuration::from_nanos(5_000_000_000)),
+            "5.000s"
+        );
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_nanos(1)),
+            SimTime::MAX
+        );
+        let big = SimDuration::from_nanos(u64::MAX);
+        assert_eq!(big.saturating_add(big).as_nanos(), u64::MAX);
+    }
+
+    #[test]
+    fn duration_max() {
+        let a = SimDuration::from_nanos(3);
+        let b = SimDuration::from_nanos(9);
+        assert_eq!(a.max(b), b);
+    }
+}

@@ -1,0 +1,413 @@
+//! Cluster topology: GPUs, NICs, intra-node fabric, and GPU–NIC affinity.
+//!
+//! A cluster is a homogeneous set of nodes. Each node holds `gpus_per_node`
+//! GPUs connected by an NVSwitch-style non-blocking fabric (modelled as
+//! per-GPU ingress/egress ports) and `nic_count` NICs; the affinity map
+//! assigns every GPU to exactly one NIC, possibly shared (e.g. the paper's
+//! Cluster A pairs two GPUs per NIC behind one PCIe switch).
+//!
+//! Topologies are pure data; the flow network (see [`crate::network`]) turns
+//! the port inventory into capacitated resources.
+
+use crate::error::SimError;
+
+/// Identifies a GPU by its flat rank across the cluster (`node * P + local`).
+pub type Rank = usize;
+
+/// One directional capacitated port in the network fabric.
+///
+/// A flow's path is a sequence of ports it traverses; concurrent flows
+/// sharing a port split its bandwidth max-min fairly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Port {
+    /// A GPU's egress into the intra-node switch fabric.
+    NvlinkOut(Rank),
+    /// A GPU's ingress from the intra-node switch fabric.
+    NvlinkIn(Rank),
+    /// A GPU's egress towards its PCIe switch / NIC complex.
+    PcieOut(Rank),
+    /// A GPU's ingress from its PCIe switch / NIC complex.
+    PcieIn(Rank),
+    /// A NIC's transmit direction; index is global (`node * nic_count + i`).
+    NicTx(usize),
+    /// A NIC's receive direction; index is global.
+    NicRx(usize),
+}
+
+/// Per-GPU hardware characteristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSpec {
+    /// Peak dense bf16 throughput in FLOP/s.
+    pub peak_flops: f64,
+    /// HBM capacity in bytes.
+    pub mem_bytes: u64,
+    /// Per-direction NVLink/NVSwitch bandwidth in bytes/s.
+    pub nvlink_bw: f64,
+    /// Per-direction PCIe bandwidth towards the NIC complex in bytes/s.
+    pub pcie_bw: f64,
+}
+
+/// Per-NIC characteristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NicSpec {
+    /// Per-direction bandwidth in bytes/s (RoCE NICs are full duplex).
+    pub bw: f64,
+}
+
+/// A homogeneous multi-GPU node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    /// Number of GPUs in the node.
+    pub gpus_per_node: usize,
+    /// GPU characteristics (identical within a node).
+    pub gpu: GpuSpec,
+    /// Number of NICs in the node.
+    pub nic_count: usize,
+    /// NIC characteristics (identical within a node).
+    pub nic: NicSpec,
+    /// `nic_affinity[local_gpu]` = local NIC index serving that GPU.
+    pub nic_affinity: Vec<usize>,
+}
+
+/// A homogeneous cluster of nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// Human-readable name (e.g. `"Cluster A"`).
+    pub name: String,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Node blueprint, identical across the cluster.
+    pub node: NodeSpec,
+}
+
+/// Converts Gb/s (network convention, bits) to bytes/s.
+pub const fn gbit(gbps: f64) -> f64 {
+    gbps * 1e9 / 8.0
+}
+
+/// Converts GB/s (fabric convention, bytes) to bytes/s.
+pub const fn gbyte(gbs: f64) -> f64 {
+    gbs * 1e9
+}
+
+/// Converts TFLOP/s to FLOP/s.
+pub const fn tflops(tf: f64) -> f64 {
+    tf * 1e12
+}
+
+impl NodeSpec {
+    /// Validates internal consistency of the node blueprint.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.gpus_per_node == 0 {
+            return Err(SimError::InvalidTopology("node has zero GPUs".into()));
+        }
+        if self.nic_count == 0 {
+            return Err(SimError::InvalidTopology("node has zero NICs".into()));
+        }
+        if self.nic_affinity.len() != self.gpus_per_node {
+            return Err(SimError::InvalidTopology(format!(
+                "nic_affinity has {} entries for {} GPUs",
+                self.nic_affinity.len(),
+                self.gpus_per_node
+            )));
+        }
+        if let Some(&bad) = self.nic_affinity.iter().find(|&&n| n >= self.nic_count) {
+            return Err(SimError::InvalidTopology(format!(
+                "nic_affinity references NIC {bad} but node has {} NICs",
+                self.nic_count
+            )));
+        }
+        if !(self.gpu.peak_flops > 0.0
+            && self.gpu.nvlink_bw > 0.0
+            && self.gpu.pcie_bw > 0.0
+            && self.nic.bw > 0.0)
+        {
+            return Err(SimError::InvalidTopology(
+                "all rates must be strictly positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl ClusterSpec {
+    /// Validates the cluster blueprint.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.nodes == 0 {
+            return Err(SimError::InvalidTopology("cluster has zero nodes".into()));
+        }
+        self.node.validate()
+    }
+
+    /// Total number of GPUs (= DP ranks when TP is folded into the GPU spec).
+    pub fn total_gpus(&self) -> usize {
+        self.nodes * self.node.gpus_per_node
+    }
+
+    /// Node index hosting `rank`.
+    pub fn node_of(&self, rank: Rank) -> usize {
+        rank / self.node.gpus_per_node
+    }
+
+    /// Local GPU index of `rank` within its node.
+    pub fn local_of(&self, rank: Rank) -> usize {
+        rank % self.node.gpus_per_node
+    }
+
+    /// Flat rank for `(node, local)`.
+    pub fn rank_of(&self, node: usize, local: usize) -> Rank {
+        node * self.node.gpus_per_node + local
+    }
+
+    /// True if the two ranks live on the same node.
+    pub fn same_node(&self, a: Rank, b: Rank) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Global NIC index affined to `rank`.
+    pub fn nic_of(&self, rank: Rank) -> usize {
+        self.node_of(rank) * self.node.nic_count + self.node.nic_affinity[self.local_of(rank)]
+    }
+
+    /// All ranks hosted on `node`.
+    pub fn ranks_on_node(&self, node: usize) -> impl Iterator<Item = Rank> + '_ {
+        let p = self.node.gpus_per_node;
+        (node * p)..(node * p + p)
+    }
+
+    /// Capacity in bytes/s of a port.
+    pub fn port_capacity(&self, port: Port) -> f64 {
+        match port {
+            Port::NvlinkOut(_) | Port::NvlinkIn(_) => self.node.gpu.nvlink_bw,
+            Port::PcieOut(_) | Port::PcieIn(_) => self.node.gpu.pcie_bw,
+            Port::NicTx(_) | Port::NicRx(_) => self.node.nic.bw,
+        }
+    }
+
+    /// Port path for a direct GPU-to-GPU transfer.
+    ///
+    /// Intra-node transfers traverse the sender's fabric egress and the
+    /// receiver's ingress. Inter-node transfers go through each side's PCIe
+    /// port and its *affined* NIC — the static affinity the routing layer
+    /// exists to break.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`; a self-transfer has no path and indicates a
+    /// planning bug.
+    pub fn direct_path(&self, src: Rank, dst: Rank) -> Vec<Port> {
+        assert_ne!(src, dst, "self-transfer has no network path");
+        if self.same_node(src, dst) {
+            vec![Port::NvlinkOut(src), Port::NvlinkIn(dst)]
+        } else {
+            vec![
+                Port::PcieOut(src),
+                Port::NicTx(self.nic_of(src)),
+                Port::NicRx(self.nic_of(dst)),
+                Port::PcieIn(dst),
+            ]
+        }
+    }
+
+    /// Effective inter-node bandwidth of a single direct GPU pair, bytes/s.
+    pub fn direct_internode_bw(&self) -> f64 {
+        self.node.nic.bw.min(self.node.gpu.pcie_bw)
+    }
+
+    /// Aggregate per-node inter-node bandwidth across all NICs, bytes/s.
+    pub fn aggregate_internode_bw(&self) -> f64 {
+        self.node.nic.bw * self.node.nic_count as f64
+    }
+
+    /// Intra-node per-GPU-pair bandwidth, bytes/s.
+    pub fn intranode_bw(&self) -> f64 {
+        self.node.gpu.nvlink_bw
+    }
+}
+
+/// Builds the paper's Cluster A: 8× A800-80G per node, NVSwitch 400 GB/s,
+/// 4× 200 Gb/s RoCE NICs with one NIC shared by each pair of GPUs.
+pub fn cluster_a(nodes: usize) -> ClusterSpec {
+    ClusterSpec {
+        name: "Cluster A (A800)".into(),
+        nodes,
+        node: NodeSpec {
+            gpus_per_node: 8,
+            gpu: GpuSpec {
+                peak_flops: tflops(312.0),
+                mem_bytes: 80 * (1 << 30),
+                nvlink_bw: gbyte(400.0),
+                pcie_bw: gbyte(32.0),
+            },
+            nic_count: 4,
+            nic: NicSpec { bw: gbit(200.0) },
+            // GPUs 2i and 2i+1 share NIC i via one PCIe switch.
+            nic_affinity: vec![0, 0, 1, 1, 2, 2, 3, 3],
+        },
+    }
+}
+
+/// Builds the paper's Cluster B: 8× H800 per node, 8× 200 Gb/s RoCE NICs
+/// with one-to-one GPU–NIC mapping.
+pub fn cluster_b(nodes: usize) -> ClusterSpec {
+    ClusterSpec {
+        name: "Cluster B (H800)".into(),
+        nodes,
+        node: NodeSpec {
+            gpus_per_node: 8,
+            gpu: GpuSpec {
+                peak_flops: tflops(989.0),
+                mem_bytes: 80 * (1 << 30),
+                nvlink_bw: gbyte(400.0),
+                pcie_bw: gbyte(64.0),
+            },
+            nic_count: 8,
+            nic: NicSpec { bw: gbit(200.0) },
+            nic_affinity: (0..8).collect(),
+        },
+    }
+}
+
+/// Builds the paper's Cluster C: 8× H200 per node, 8× 400 Gb/s CX7 NICs
+/// with one-to-one GPU–NIC mapping.
+pub fn cluster_c(nodes: usize) -> ClusterSpec {
+    ClusterSpec {
+        name: "Cluster C (H200)".into(),
+        nodes,
+        node: NodeSpec {
+            gpus_per_node: 8,
+            gpu: GpuSpec {
+                peak_flops: tflops(989.0),
+                mem_bytes: 141 * (1 << 30),
+                nvlink_bw: gbyte(900.0),
+                pcie_bw: gbyte(64.0),
+            },
+            nic_count: 8,
+            nic: NicSpec { bw: gbit(400.0) },
+            nic_affinity: (0..8).collect(),
+        },
+    }
+}
+
+/// Builds a small synthetic cluster, handy for tests and examples.
+pub fn tiny_cluster(nodes: usize, gpus_per_node: usize) -> ClusterSpec {
+    ClusterSpec {
+        name: format!("tiny-{nodes}x{gpus_per_node}"),
+        nodes,
+        node: NodeSpec {
+            gpus_per_node,
+            gpu: GpuSpec {
+                peak_flops: tflops(100.0),
+                mem_bytes: 16 * (1 << 30),
+                nvlink_bw: gbyte(200.0),
+                pcie_bw: gbyte(32.0),
+            },
+            nic_count: gpus_per_node,
+            nic: NicSpec { bw: gbit(100.0) },
+            nic_affinity: (0..gpus_per_node).collect(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for c in [cluster_a(2), cluster_b(4), cluster_c(8), tiny_cluster(2, 4)] {
+            c.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn rank_addressing_round_trips() {
+        let c = cluster_a(3);
+        for rank in 0..c.total_gpus() {
+            let (n, l) = (c.node_of(rank), c.local_of(rank));
+            assert_eq!(c.rank_of(n, l), rank);
+            assert!(l < 8);
+        }
+        assert_eq!(c.total_gpus(), 24);
+    }
+
+    #[test]
+    fn cluster_a_shares_nics_pairwise() {
+        let c = cluster_a(2);
+        assert_eq!(c.nic_of(0), c.nic_of(1));
+        assert_ne!(c.nic_of(1), c.nic_of(2));
+        // Second node's NICs are distinct globals.
+        assert_eq!(c.nic_of(8), 4);
+        assert_eq!(c.nic_of(15), 7);
+    }
+
+    #[test]
+    fn direct_path_shapes() {
+        let c = cluster_a(2);
+        assert_eq!(
+            c.direct_path(0, 3),
+            vec![Port::NvlinkOut(0), Port::NvlinkIn(3)]
+        );
+        let cross = c.direct_path(0, 9);
+        assert_eq!(
+            cross,
+            vec![
+                Port::PcieOut(0),
+                Port::NicTx(0),
+                Port::NicRx(4),
+                Port::PcieIn(9),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "self-transfer")]
+    fn self_path_panics() {
+        cluster_a(1).direct_path(2, 2);
+    }
+
+    #[test]
+    fn bandwidth_helpers() {
+        let c = cluster_a(2);
+        // 200 Gb/s = 25 GB/s, below PCIe.
+        assert!((c.direct_internode_bw() - 25e9).abs() < 1.0);
+        assert!((c.aggregate_internode_bw() - 100e9).abs() < 1.0);
+        assert!((c.intranode_bw() - 400e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_affinity() {
+        let mut c = tiny_cluster(1, 2);
+        c.node.nic_affinity = vec![0, 5];
+        assert!(matches!(c.validate(), Err(SimError::InvalidTopology(_))));
+        c.node.nic_affinity = vec![0];
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_sizes() {
+        let mut c = tiny_cluster(1, 2);
+        c.nodes = 0;
+        assert!(c.validate().is_err());
+        let mut c = tiny_cluster(1, 2);
+        c.node.gpus_per_node = 0;
+        assert!(c.validate().is_err());
+        let mut c = tiny_cluster(1, 2);
+        c.node.gpu.peak_flops = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn ranks_on_node_enumerates_contiguously() {
+        let c = cluster_a(2);
+        let ranks: Vec<_> = c.ranks_on_node(1).collect();
+        assert_eq!(ranks, (8..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert!((gbit(200.0) - 25e9).abs() < 1e-3);
+        assert!((gbyte(400.0) - 4e11).abs() < 1e-3);
+        assert!((tflops(312.0) - 3.12e14).abs() < 1e-1);
+    }
+}

@@ -1,0 +1,40 @@
+//! # zeppelin-solver
+//!
+//! Optimization substrate replacing the paper's external solver (Gurobi).
+//!
+//! - [`mcmf`]: exact min-cost max-flow (successive shortest paths with
+//!   potentials);
+//! - [`transport`]: balanced transportation problems (minimum total cost);
+//! - [`simplex`]: dense two-phase primal simplex for small LPs;
+//! - [`bottleneck`]: the remapping layer's min-max transport (Eq. 2), with
+//!   an exact combinatorial algorithm cross-validated against the LP.
+//!
+//! # Examples
+//!
+//! ```
+//! use zeppelin_solver::bottleneck::{solve_bottleneck, RemapProblem};
+//!
+//! let p = RemapProblem {
+//!     tokens: vec![10, 2, 7, 1],
+//!     node_of: vec![0, 0, 1, 1],
+//!     intra_cost: 1.0,
+//!     inter_cost: 10.0,
+//! };
+//! let plan = solve_bottleneck(&p);
+//! assert_eq!(plan.apply(&p.tokens), plan.targets);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bottleneck;
+pub mod mcmf;
+pub mod simplex;
+pub mod transport;
+
+pub use bottleneck::{
+    solve_bottleneck, solve_bottleneck_to, solve_lp, Move, RemapPlan, RemapProblem,
+};
+pub use mcmf::{EdgeId, FlowResult, MinCostFlow};
+pub use simplex::{LinearProgram, LpOutcome};
+pub use transport::{min_cost_transport, TransportError};

@@ -1,0 +1,286 @@
+//! Min-cost max-flow via successive shortest paths with potentials.
+//!
+//! Integer capacities and costs; Dijkstra with Johnson potentials keeps
+//! reduced costs non-negative, so the solver is exact for graphs whose
+//! initial costs are non-negative (all graphs built by this crate).
+
+/// Edge handle returned by [`MinCostFlow::add_edge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeId(usize);
+
+#[derive(Debug, Clone)]
+struct Edge {
+    to: usize,
+    cap: i64,
+    cost: i64,
+    flow: i64,
+}
+
+/// A min-cost max-flow problem instance.
+#[derive(Debug, Clone, Default)]
+pub struct MinCostFlow {
+    /// `graph[v]` lists indices into `edges` (even = forward, odd = back).
+    graph: Vec<Vec<usize>>,
+    edges: Vec<Edge>,
+}
+
+/// Result of a flow computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowResult {
+    /// Total flow routed.
+    pub flow: i64,
+    /// Total cost of the routed flow.
+    pub cost: i64,
+}
+
+impl MinCostFlow {
+    /// Creates an instance with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        MinCostFlow {
+            graph: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Adds a directed edge `u -> v` with capacity `cap` and per-unit `cost`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range nodes, negative capacity, or negative cost
+    /// (potentials require non-negative initial costs).
+    pub fn add_edge(&mut self, u: usize, v: usize, cap: i64, cost: i64) -> EdgeId {
+        assert!(
+            u < self.graph.len() && v < self.graph.len(),
+            "node out of range"
+        );
+        assert!(cap >= 0, "capacity must be non-negative");
+        assert!(cost >= 0, "cost must be non-negative");
+        let id = self.edges.len();
+        self.graph[u].push(id);
+        self.edges.push(Edge {
+            to: v,
+            cap,
+            cost,
+            flow: 0,
+        });
+        self.graph[v].push(id + 1);
+        self.edges.push(Edge {
+            to: u,
+            cap: 0,
+            cost: -cost,
+            flow: 0,
+        });
+        EdgeId(id)
+    }
+
+    /// Flow currently assigned to a forward edge.
+    pub fn flow_on(&self, e: EdgeId) -> i64 {
+        self.edges[e.0].flow
+    }
+
+    /// Computes the min-cost max-flow from `s` to `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t` or either is out of range.
+    pub fn solve(&mut self, s: usize, t: usize) -> FlowResult {
+        assert!(
+            s < self.graph.len() && t < self.graph.len(),
+            "node out of range"
+        );
+        assert_ne!(s, t, "source equals sink");
+        let n = self.graph.len();
+        let mut potential = vec![0i64; n];
+        let mut total_flow = 0i64;
+        let mut total_cost = 0i64;
+
+        loop {
+            // Dijkstra on reduced costs.
+            const INF: i64 = i64::MAX / 4;
+            let mut dist = vec![INF; n];
+            let mut prev_edge = vec![usize::MAX; n];
+            dist[s] = 0;
+            let mut heap = std::collections::BinaryHeap::new();
+            heap.push(std::cmp::Reverse((0i64, s)));
+            while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+                if d > dist[u] {
+                    continue;
+                }
+                for &ei in &self.graph[u] {
+                    let e = &self.edges[ei];
+                    if e.cap - e.flow <= 0 {
+                        continue;
+                    }
+                    let nd = d + e.cost + potential[u] - potential[e.to];
+                    debug_assert!(
+                        e.cost + potential[u] - potential[e.to] >= 0,
+                        "negative reduced cost"
+                    );
+                    if nd < dist[e.to] {
+                        dist[e.to] = nd;
+                        prev_edge[e.to] = ei;
+                        heap.push(std::cmp::Reverse((nd, e.to)));
+                    }
+                }
+            }
+            if dist[t] >= INF {
+                break; // No augmenting path remains.
+            }
+            for v in 0..n {
+                if dist[v] < INF {
+                    potential[v] += dist[v];
+                }
+            }
+            // Find bottleneck along the path.
+            let mut push = i64::MAX;
+            let mut v = t;
+            while v != s {
+                let ei = prev_edge[v];
+                push = push.min(self.edges[ei].cap - self.edges[ei].flow);
+                v = self.edges[ei ^ 1].to;
+            }
+            // Apply.
+            let mut v = t;
+            while v != s {
+                let ei = prev_edge[v];
+                self.edges[ei].flow += push;
+                self.edges[ei ^ 1].flow -= push;
+                total_cost += push * self.edges[ei].cost;
+                v = self.edges[ei ^ 1].to;
+            }
+            total_flow += push;
+        }
+
+        FlowResult {
+            flow: total_flow,
+            cost: total_cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let mut g = MinCostFlow::new(2);
+        let e = g.add_edge(0, 1, 5, 3);
+        let r = g.solve(0, 1);
+        assert_eq!(r, FlowResult { flow: 5, cost: 15 });
+        assert_eq!(g.flow_on(e), 5);
+    }
+
+    #[test]
+    fn prefers_cheap_path_first() {
+        // Two parallel 0->1 paths: cheap cap 3 cost 1, pricey cap 3 cost 10.
+        let mut g = MinCostFlow::new(2);
+        let cheap = g.add_edge(0, 1, 3, 1);
+        let pricey = g.add_edge(0, 1, 3, 10);
+        let r = g.solve(0, 1);
+        assert_eq!(r.flow, 6);
+        assert_eq!(r.cost, 3 + 3 * 10);
+        assert_eq!(g.flow_on(cheap), 3);
+        assert_eq!(g.flow_on(pricey), 3);
+    }
+
+    #[test]
+    fn rerouting_through_residual_edges() {
+        // Classic diamond where optimal flow must "undo" a greedy choice.
+        //   0 -> 1 (cap 1, cost 1), 0 -> 2 (cap 1, cost 3),
+        //   1 -> 2 (cap 1, cost 0), 1 -> 3 (cap 1, cost 3),
+        //   2 -> 3 (cap 1, cost 1).
+        let mut g = MinCostFlow::new(4);
+        g.add_edge(0, 1, 1, 1);
+        g.add_edge(0, 2, 1, 3);
+        g.add_edge(1, 2, 1, 0);
+        g.add_edge(1, 3, 1, 3);
+        g.add_edge(2, 3, 1, 1);
+        let r = g.solve(0, 3);
+        assert_eq!(r.flow, 2);
+        // Optimal: 0-1-2-3 (cost 2) + 0-2?cap taken... routes 0-1-3 (4) and
+        // 0-2-3 (4): total 8; vs 0-1-2-3 (2) + 0-2(3)->3 blocked by cap on
+        // 2-3... cap(2->3)=1 so best is flow1: 0-1-2-3 cost 2, flow2:
+        // 0-2 cost3 then 2->3 full -> must go ... no path. Actually flow2 =
+        // 0-1? cap used. So max flow 2 uses 0-1-3 and 0-2-3: cost 4+4=8.
+        assert_eq!(r.cost, 8);
+    }
+
+    #[test]
+    fn disconnected_sink_yields_zero() {
+        let mut g = MinCostFlow::new(3);
+        g.add_edge(0, 1, 4, 2);
+        let r = g.solve(0, 2);
+        assert_eq!(r, FlowResult { flow: 0, cost: 0 });
+    }
+
+    #[test]
+    fn respects_capacity_bottleneck() {
+        let mut g = MinCostFlow::new(3);
+        g.add_edge(0, 1, 10, 1);
+        g.add_edge(1, 2, 4, 1);
+        let r = g.solve(0, 2);
+        assert_eq!(r.flow, 4);
+        assert_eq!(r.cost, 8);
+    }
+
+    #[test]
+    fn flow_conservation_holds() {
+        let mut g = MinCostFlow::new(6);
+        let mut edges = Vec::new();
+        let arcs = [
+            (0, 1, 7, 2),
+            (0, 2, 5, 4),
+            (1, 3, 4, 1),
+            (1, 4, 5, 3),
+            (2, 3, 3, 2),
+            (2, 4, 4, 1),
+            (3, 5, 6, 2),
+            (4, 5, 8, 1),
+        ];
+        for &(u, v, c, w) in &arcs {
+            edges.push(((u, v), g.add_edge(u, v, c, w)));
+        }
+        let r = g.solve(0, 5);
+        assert!(r.flow > 0);
+        // Net flow at interior nodes is zero.
+        for node in 1..5 {
+            let mut net = 0i64;
+            for &((u, v), e) in &edges {
+                if v == node {
+                    net += g.flow_on(e);
+                }
+                if u == node {
+                    net -= g.flow_on(e);
+                }
+            }
+            assert_eq!(net, 0, "conservation violated at {node}");
+        }
+        // No edge exceeds capacity.
+        for &((u, v), e) in &edges {
+            let cap = arcs
+                .iter()
+                .find(|&&(a, b, _, _)| (a, b) == (u, v))
+                .unwrap()
+                .2;
+            assert!(g.flow_on(e) <= cap && g.flow_on(e) >= 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "source equals sink")]
+    fn same_source_sink_panics() {
+        MinCostFlow::new(2).solve(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_cost_panics() {
+        MinCostFlow::new(2).add_edge(0, 1, 1, -1);
+    }
+}

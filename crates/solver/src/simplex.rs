@@ -1,0 +1,364 @@
+//! Dense two-phase primal simplex for small linear programs.
+//!
+//! This is the reproduction's stand-in for the "standard solver (Gurobi)"
+//! the paper uses for its remapping LP (Eq. 2). It solves
+//!
+//! ```text
+//! minimize    c · x
+//! subject to  A_eq x  = b_eq
+//!             A_le x <= b_le
+//!             x >= 0
+//! ```
+//!
+//! with Bland's anti-cycling rule, sized for the instances that arise in
+//! remapping (at most a few hundred rows, a few thousand columns). The
+//! combinatorial remapping solver in [`crate::bottleneck`] is verified
+//! against this LP in tests.
+
+// Indexed loops here walk parallel arrays (tableau columns, per-rank
+// slots); iterator rewrites would obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+/// Tolerance for zero/feasibility tests.
+const EPS: f64 = 1e-9;
+
+/// A linear program in the mixed equality / inequality form above.
+#[derive(Debug, Clone, Default)]
+pub struct LinearProgram {
+    /// Number of decision variables.
+    pub n_vars: usize,
+    /// Objective coefficients (minimized); length `n_vars`.
+    pub objective: Vec<f64>,
+    /// Equality rows `(coeffs, rhs)`.
+    pub eq: Vec<(Vec<f64>, f64)>,
+    /// Inequality rows `(coeffs, rhs)` meaning `coeffs · x <= rhs`.
+    pub le: Vec<(Vec<f64>, f64)>,
+}
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal solution was found.
+    Optimal {
+        /// Optimal variable assignment.
+        x: Vec<f64>,
+        /// Optimal objective value.
+        value: f64,
+    },
+    /// The constraints admit no solution.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
+impl LinearProgram {
+    /// Creates an empty LP over `n_vars` variables with a zero objective.
+    pub fn new(n_vars: usize) -> Self {
+        LinearProgram {
+            n_vars,
+            objective: vec![0.0; n_vars],
+            eq: Vec::new(),
+            le: Vec::new(),
+        }
+    }
+
+    /// Adds an equality constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coefficient vector length differs from `n_vars`.
+    pub fn add_eq(&mut self, coeffs: Vec<f64>, rhs: f64) {
+        assert_eq!(coeffs.len(), self.n_vars, "coefficient length mismatch");
+        self.eq.push((coeffs, rhs));
+    }
+
+    /// Adds a `<=` constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coefficient vector length differs from `n_vars`.
+    pub fn add_le(&mut self, coeffs: Vec<f64>, rhs: f64) {
+        assert_eq!(coeffs.len(), self.n_vars, "coefficient length mismatch");
+        self.le.push((coeffs, rhs));
+    }
+
+    /// Solves the LP with two-phase simplex.
+    pub fn solve(&self) -> LpOutcome {
+        let m = self.eq.len() + self.le.len();
+        let n_slack = self.le.len();
+        let n_struct = self.n_vars + n_slack;
+        let n_total = n_struct + m; // + one artificial per row.
+        let width = n_total + 1; // + rhs column.
+
+        // Build rows: structural vars, slacks, artificials, rhs.
+        let mut t = vec![vec![0.0f64; width]; m + 1];
+        let mut basis = vec![0usize; m];
+        for (r, (coeffs, rhs)) in self.eq.iter().chain(self.le.iter()).enumerate() {
+            let slack_idx = r.checked_sub(self.eq.len());
+            let mut rhs = *rhs;
+            let mut sign = 1.0;
+            if rhs < 0.0 {
+                sign = -1.0;
+                rhs = -rhs;
+            }
+            for (j, &c) in coeffs.iter().enumerate() {
+                t[r][j] = sign * c;
+            }
+            if let Some(s) = slack_idx {
+                t[r][self.n_vars + s] = sign;
+            }
+            t[r][n_struct + r] = 1.0; // Artificial.
+            t[r][n_total] = rhs;
+            basis[r] = n_struct + r;
+        }
+
+        // Phase 1 objective: minimize sum of artificials. Reduced-cost row:
+        // for non-artificial columns j: -(sum of rows), value -(sum rhs).
+        for j in 0..n_struct {
+            t[m][j] = -(0..m).map(|r| t[r][j]).sum::<f64>();
+        }
+        t[m][n_total] = -(0..m).map(|r| t[r][n_total]).sum::<f64>();
+
+        let banned_from = n_struct; // Columns >= this are artificials.
+        if !run_simplex(&mut t, &mut basis, n_total, usize::MAX) {
+            unreachable!("phase 1 is always bounded");
+        }
+        if -t[m][n_total] > 1e-7 {
+            return LpOutcome::Infeasible;
+        }
+        // Pivot any artificial still in the basis out on a structural column.
+        for r in 0..m {
+            if basis[r] >= banned_from {
+                if let Some(j) = (0..n_struct).find(|&j| t[r][j].abs() > EPS) {
+                    pivot(&mut t, &mut basis, r, j, n_total);
+                }
+                // If the row is all zeros it is redundant; the artificial
+                // stays basic at value 0 and is banned from re-entering.
+            }
+        }
+
+        // Phase 2: rebuild the objective row from the true costs.
+        for j in 0..width {
+            t[m][j] = 0.0;
+        }
+        for (j, &c) in self.objective.iter().enumerate() {
+            t[m][j] = c;
+        }
+        let basis_snapshot = basis.clone();
+        for (r, &b) in basis_snapshot.iter().enumerate() {
+            let cb = if b < self.n_vars {
+                self.objective[b]
+            } else {
+                0.0
+            };
+            if cb != 0.0 {
+                let row = t[r].clone();
+                for (j, cell) in t[m].iter_mut().enumerate() {
+                    *cell -= cb * row[j];
+                }
+            }
+        }
+
+        if !run_simplex(&mut t, &mut basis, n_total, banned_from) {
+            return LpOutcome::Unbounded;
+        }
+
+        let mut x = vec![0.0; self.n_vars];
+        for (r, &b) in basis.iter().enumerate() {
+            if b < self.n_vars {
+                x[b] = t[r][n_total];
+            }
+        }
+        let value = self
+            .objective
+            .iter()
+            .zip(&x)
+            .map(|(c, v)| c * v)
+            .sum::<f64>();
+        LpOutcome::Optimal { x, value }
+    }
+}
+
+/// Runs simplex iterations on the tableau; returns false on unboundedness.
+///
+/// Columns with index `>= banned_from` may not enter the basis (used to
+/// exclude artificials in phase 2; pass `usize::MAX` to allow all).
+fn run_simplex(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    rhs_col: usize,
+    banned_from: usize,
+) -> bool {
+    let m = basis.len();
+    loop {
+        // Bland's rule: smallest-index column with negative reduced cost.
+        let Some(enter) = (0..rhs_col).find(|&j| j < banned_from && t[m][j] < -EPS) else {
+            return true;
+        };
+        // Ratio test; Bland tie-break on basis index.
+        let mut leave: Option<usize> = None;
+        let mut best = f64::INFINITY;
+        for r in 0..m {
+            if t[r][enter] > EPS {
+                let ratio = t[r][rhs_col] / t[r][enter];
+                let better = ratio < best - EPS
+                    || (ratio < best + EPS && leave.is_some_and(|l| basis[r] < basis[l]));
+                if better {
+                    best = ratio;
+                    leave = Some(r);
+                }
+            }
+        }
+        let Some(leave) = leave else {
+            return false; // Unbounded direction.
+        };
+        pivot(t, basis, leave, enter, rhs_col);
+    }
+}
+
+/// Pivots the tableau on `(row, col)`.
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, rhs_col: usize) {
+    let m = basis.len();
+    let p = t[row][col];
+    debug_assert!(p.abs() > EPS, "pivot on ~zero element");
+    for j in 0..=rhs_col {
+        t[row][j] /= p;
+    }
+    for r in 0..=m {
+        if r == row {
+            continue;
+        }
+        let factor = t[r][col];
+        if factor.abs() > EPS {
+            let src = t[row].clone();
+            for (j, cell) in t[r].iter_mut().enumerate() {
+                *cell -= factor * src[j];
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expect_optimal(o: LpOutcome) -> (Vec<f64>, f64) {
+        match o {
+            LpOutcome::Optimal { x, value } => (x, value),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trivial_bounded_minimum() {
+        // min x0 s.t. x0 >= 2 (as -x0 <= -2).
+        let mut lp = LinearProgram::new(1);
+        lp.objective = vec![1.0];
+        lp.add_le(vec![-1.0], -2.0);
+        let (x, v) = expect_optimal(lp.solve());
+        assert!((x[0] - 2.0).abs() < 1e-7);
+        assert!((v - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn classic_two_variable_lp() {
+        // min -(3x + 5y) s.t. x <= 4, 2y <= 12, 3x + 2y <= 18.
+        // Optimum at (2, 6), objective -36.
+        let mut lp = LinearProgram::new(2);
+        lp.objective = vec![-3.0, -5.0];
+        lp.add_le(vec![1.0, 0.0], 4.0);
+        lp.add_le(vec![0.0, 2.0], 12.0);
+        lp.add_le(vec![3.0, 2.0], 18.0);
+        let (x, v) = expect_optimal(lp.solve());
+        assert!((x[0] - 2.0).abs() < 1e-7, "{x:?}");
+        assert!((x[1] - 6.0).abs() < 1e-7, "{x:?}");
+        assert!((v + 36.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + 2y s.t. x + y = 10, x <= 4  ->  x=4, y=6, value 16.
+        let mut lp = LinearProgram::new(2);
+        lp.objective = vec![1.0, 2.0];
+        lp.add_eq(vec![1.0, 1.0], 10.0);
+        lp.add_le(vec![1.0, 0.0], 4.0);
+        let (x, v) = expect_optimal(lp.solve());
+        assert!((x[0] - 4.0).abs() < 1e-7);
+        assert!((x[1] - 6.0).abs() < 1e-7);
+        assert!((v - 16.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        // x = 5 and x <= 3 conflict.
+        let mut lp = LinearProgram::new(1);
+        lp.add_eq(vec![1.0], 5.0);
+        lp.add_le(vec![1.0], 3.0);
+        assert_eq!(lp.solve(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn detects_unboundedness() {
+        // min -x with only x >= 0: unbounded.
+        let mut lp = LinearProgram::new(1);
+        lp.objective = vec![-1.0];
+        assert_eq!(lp.solve(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // min x s.t. -x <= -3 and x <= 10.
+        let mut lp = LinearProgram::new(1);
+        lp.objective = vec![1.0];
+        lp.add_le(vec![-1.0], -3.0);
+        lp.add_le(vec![1.0], 10.0);
+        let (x, _) = expect_optimal(lp.solve());
+        assert!((x[0] - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn redundant_equalities_are_tolerated() {
+        // x + y = 4 stated twice.
+        let mut lp = LinearProgram::new(2);
+        lp.objective = vec![1.0, 3.0];
+        lp.add_eq(vec![1.0, 1.0], 4.0);
+        lp.add_eq(vec![1.0, 1.0], 4.0);
+        let (x, v) = expect_optimal(lp.solve());
+        assert!((x[0] - 4.0).abs() < 1e-7);
+        assert!((v - 4.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn minmax_via_epigraph_variable() {
+        // The remapping pattern: minimize t with a·x1 <= t, b·x2 <= t and
+        // x1 = 4, x2 = 2, a=1, b=3  ->  t = max(4, 6) = 6.
+        let mut lp = LinearProgram::new(3); // x1, x2, t.
+        lp.objective = vec![0.0, 0.0, 1.0];
+        lp.add_eq(vec![1.0, 0.0, 0.0], 4.0);
+        lp.add_eq(vec![0.0, 1.0, 0.0], 2.0);
+        lp.add_le(vec![1.0, 0.0, -1.0], 0.0);
+        lp.add_le(vec![0.0, 3.0, -1.0], 0.0);
+        let (_, v) = expect_optimal(lp.solve());
+        assert!((v - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Multiple constraints active at origin; Bland must not cycle.
+        let mut lp = LinearProgram::new(2);
+        lp.objective = vec![-1.0, -1.0];
+        lp.add_le(vec![1.0, 0.0], 0.0);
+        lp.add_le(vec![0.0, 1.0], 0.0);
+        lp.add_le(vec![1.0, 1.0], 0.0);
+        let (x, v) = expect_optimal(lp.solve());
+        assert!(x[0].abs() < 1e-9 && x[1].abs() < 1e-9);
+        assert!(v.abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn wrong_width_panics() {
+        LinearProgram::new(2).add_eq(vec![1.0], 0.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Transportation problems: minimum *total* cost supply/demand matching.
+//!
+//! A thin wrapper over [`crate::mcmf`] used wherever a scheduler needs a
+//! cheapest token re-distribution without the min-max objective (the
+//! bottleneck variant used by the remapping layer lives in
+//! [`crate::bottleneck`]).
+
+use crate::mcmf::MinCostFlow;
+
+/// Error from transportation solving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// Total supply differs from total demand.
+    Unbalanced {
+        /// Sum of supplies.
+        supply: i64,
+        /// Sum of demands.
+        demand: i64,
+    },
+    /// Negative supply or demand entry.
+    Negative,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Unbalanced { supply, demand } => {
+                write!(f, "supply {supply} != demand {demand}")
+            }
+            TransportError::Negative => write!(f, "negative supply or demand"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Solves the balanced transportation problem, minimizing total cost.
+///
+/// `cost[i][j]` is the per-unit cost from supplier `i` to consumer `j`.
+/// Returns the shipment matrix and its total cost.
+///
+/// # Errors
+///
+/// Returns [`TransportError`] if entries are negative or totals mismatch.
+///
+/// # Panics
+///
+/// Panics if `cost` dimensions do not match the supply/demand lengths.
+pub fn min_cost_transport(
+    supply: &[i64],
+    demand: &[i64],
+    cost: &[Vec<i64>],
+) -> Result<(Vec<Vec<i64>>, i64), TransportError> {
+    assert_eq!(cost.len(), supply.len(), "cost rows != suppliers");
+    for row in cost {
+        assert_eq!(row.len(), demand.len(), "cost cols != consumers");
+    }
+    if supply.iter().any(|&s| s < 0) || demand.iter().any(|&d| d < 0) {
+        return Err(TransportError::Negative);
+    }
+    let total_s: i64 = supply.iter().sum();
+    let total_d: i64 = demand.iter().sum();
+    if total_s != total_d {
+        return Err(TransportError::Unbalanced {
+            supply: total_s,
+            demand: total_d,
+        });
+    }
+
+    let ns = supply.len();
+    let nd = demand.len();
+    // Nodes: 0 = source, 1..=ns suppliers, ns+1..=ns+nd consumers, sink last.
+    let mut g = MinCostFlow::new(ns + nd + 2);
+    let (src, sink) = (0, ns + nd + 1);
+    for (i, &s) in supply.iter().enumerate() {
+        g.add_edge(src, 1 + i, s, 0);
+    }
+    let mut ship_edges = vec![vec![None; nd]; ns];
+    for i in 0..ns {
+        for j in 0..nd {
+            let cap = supply[i].min(demand[j]);
+            if cap > 0 {
+                ship_edges[i][j] = Some(g.add_edge(1 + i, 1 + ns + j, cap, cost[i][j]));
+            }
+        }
+    }
+    for (j, &d) in demand.iter().enumerate() {
+        g.add_edge(1 + ns + j, sink, d, 0);
+    }
+    let result = g.solve(src, sink);
+    debug_assert_eq!(result.flow, total_s, "balanced problem must saturate");
+
+    let mut ship = vec![vec![0i64; nd]; ns];
+    for i in 0..ns {
+        for j in 0..nd {
+            if let Some(e) = ship_edges[i][j] {
+                ship[i][j] = g.flow_on(e);
+            }
+        }
+    }
+    Ok((ship, result.cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_two_by_two() {
+        // Supplier 0 prefers consumer 0, supplier 1 prefers consumer 1.
+        let ship = min_cost_transport(&[3, 4], &[3, 4], &[vec![1, 10], vec![10, 1]]).unwrap();
+        assert_eq!(ship.0[0][0], 3);
+        assert_eq!(ship.0[1][1], 4);
+        assert_eq!(ship.1, 3 + 4);
+    }
+
+    #[test]
+    fn forced_expensive_shipment() {
+        // Demand forces crossing: supplier 0 has 5, consumers need 2 + 3.
+        let (ship, cost) = min_cost_transport(&[5, 0], &[2, 3], &[vec![1, 4], vec![0, 0]]).unwrap();
+        assert_eq!(ship[0][0], 2);
+        assert_eq!(ship[0][1], 3);
+        assert_eq!(cost, 2 + 12);
+    }
+
+    #[test]
+    fn conservation_invariants() {
+        let supply = [7, 2, 5];
+        let demand = [4, 4, 6];
+        let cost = vec![vec![3, 1, 4], vec![1, 5, 9], vec![2, 6, 5]];
+        let (ship, _) = min_cost_transport(&supply, &demand, &cost).unwrap();
+        for (i, &s) in supply.iter().enumerate() {
+            assert_eq!(ship[i].iter().sum::<i64>(), s, "row {i}");
+        }
+        for (j, &d) in demand.iter().enumerate() {
+            assert_eq!(ship.iter().map(|r| r[j]).sum::<i64>(), d, "col {j}");
+        }
+    }
+
+    #[test]
+    fn optimality_vs_bruteforce_small() {
+        // 2x2 with all integer splits enumerable.
+        let supply = [4, 3];
+        let demand = [5, 2];
+        let cost = vec![vec![2, 7], vec![3, 1]];
+        let (_, best) = min_cost_transport(&supply, &demand, &cost).unwrap();
+        let mut brute = i64::MAX;
+        // x = amount supplier 0 sends to consumer 0.
+        for x in 0..=4i64 {
+            let s0c1 = 4 - x;
+            let s1c0 = 5 - x;
+            let s1c1 = 2 - s0c1;
+            if s0c1 < 0 || s1c0 < 0 || s1c1 < 0 || s1c0 + s1c1 != 3 {
+                continue;
+            }
+            brute = brute.min(2 * x + 7 * s0c1 + 3 * s1c0 + s1c1);
+        }
+        assert_eq!(best, brute);
+    }
+
+    #[test]
+    fn unbalanced_is_rejected() {
+        let err = min_cost_transport(&[1], &[2], &[vec![1]]).unwrap_err();
+        assert!(matches!(err, TransportError::Unbalanced { .. }));
+    }
+
+    #[test]
+    fn negative_entries_are_rejected() {
+        let err = min_cost_transport(&[-1], &[-1], &[vec![1]]).unwrap_err();
+        assert_eq!(err, TransportError::Negative);
+    }
+
+    #[test]
+    fn zero_everything_is_fine() {
+        let (ship, cost) = min_cost_transport(&[0, 0], &[0], &[vec![5], vec![5]]).unwrap();
+        assert_eq!(cost, 0);
+        assert!(ship.iter().flatten().all(|&f| f == 0));
+    }
+}

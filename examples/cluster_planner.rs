@@ -1,0 +1,83 @@
+//! Cluster planning what-if: sweep the NIC fabric (count × bandwidth) of a
+//! hypothetical cluster and see how much of Zeppelin's advantage comes from
+//! working around scarce inter-node bandwidth — useful when deciding
+//! whether to buy NICs or rely on software routing.
+//!
+//! Run with: `cargo run --release --example cluster_planner`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use zeppelin_baselines::te_cp::TeCp;
+use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
+use zeppelin_core::zeppelin::Zeppelin;
+use zeppelin_data::batch::sample_batch;
+use zeppelin_data::datasets::arxiv;
+use zeppelin_exec::step::{simulate_step, StepConfig};
+use zeppelin_model::config::llama_7b;
+use zeppelin_sim::topology::{gbit, gbyte, tflops, ClusterSpec, GpuSpec, NicSpec, NodeSpec};
+
+fn custom_cluster(nodes: usize, nic_count: usize, nic_gbps: f64) -> ClusterSpec {
+    let gpus_per_node = 8;
+    ClusterSpec {
+        name: format!("custom {nic_count}x{nic_gbps:.0}Gbps"),
+        nodes,
+        node: NodeSpec {
+            gpus_per_node,
+            gpu: GpuSpec {
+                peak_flops: tflops(312.0),
+                mem_bytes: 80 * (1 << 30),
+                nvlink_bw: gbyte(400.0),
+                pcie_bw: gbyte(32.0),
+            },
+            nic_count,
+            nic: NicSpec { bw: gbit(nic_gbps) },
+            nic_affinity: (0..gpus_per_node)
+                .map(|g| g * nic_count / gpus_per_node)
+                .collect(),
+        },
+    }
+}
+
+fn main() {
+    let model = llama_7b();
+    let mut rng = StdRng::seed_from_u64(21);
+    let batch = sample_batch(&arxiv(), &mut rng, 131_072);
+    let cfg = StepConfig::default();
+
+    println!("LLaMA-7B, 4 nodes x 8 GPUs, 128k ArXiv batch\n");
+    println!(
+        "{:<22} {:>12} {:>12} {:>9}",
+        "fabric", "TE CP tok/s", "Zeppelin", "speedup"
+    );
+    for (nic_count, gbps) in [
+        (1usize, 200.0),
+        (2, 200.0),
+        (4, 200.0),
+        (8, 200.0),
+        (8, 400.0),
+        (8, 800.0),
+    ] {
+        let cluster = custom_cluster(4, nic_count, gbps);
+        let ctx = SchedulerCtx::new(&cluster, &model);
+        let run = |s: &dyn Scheduler| {
+            simulate_step(s, &batch, &ctx, &cfg)
+                .map(|r| r.throughput)
+                .unwrap_or(f64::NAN)
+        };
+        let te = run(&TeCp::new());
+        let zep = run(&Zeppelin::new());
+        println!(
+            "{:<22} {:>12.0} {:>12.0} {:>8.2}x",
+            format!("{nic_count} x {gbps:.0} Gb/s"),
+            te,
+            zep,
+            zep / te
+        );
+    }
+    println!(
+        "\nreading: Zeppelin's edge shrinks as raw inter-node bandwidth \
+         grows — the routing layer is a substitute for NIC spend, and the \
+         partitioner's zone thresholds shift with the fabric."
+    );
+}

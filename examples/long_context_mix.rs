@@ -1,0 +1,75 @@
+//! Long-context dataset mixture: the Fig. 1 motivation as a runnable
+//! scenario. Samples batches from a weighted mixture of corpora with very
+//! different length profiles, shows how the partitioner classifies work
+//! into the three zones per batch, and compares sustained throughput of
+//! every method over a short training run.
+//!
+//! Run with: `cargo run --release --example long_context_mix`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use zeppelin_baselines::{HybridDp, LlamaCp, TeCp};
+use zeppelin_core::plan::Zone;
+use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
+use zeppelin_core::zeppelin::Zeppelin;
+use zeppelin_data::mixture::pretraining_mix;
+use zeppelin_exec::step::{simulate_step, StepConfig};
+use zeppelin_model::config::llama_7b;
+use zeppelin_sim::topology::cluster_a;
+
+fn main() {
+    let cluster = cluster_a(4); // 32 GPUs.
+    let model = llama_7b();
+    let ctx = SchedulerCtx::new(&cluster, &model);
+    let mix = pretraining_mix();
+    let target = 131_072u64;
+    let steps = 6;
+    let mut rng = StdRng::seed_from_u64(11);
+    let cfg = StepConfig::default();
+
+    println!(
+        "dataset mixture on {} ({} GPUs), {}k tokens/step\n",
+        cluster.name,
+        cluster.total_gpus(),
+        target / 1024
+    );
+
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(TeCp::new()),
+        Box::new(LlamaCp::new()),
+        Box::new(HybridDp::new()),
+        Box::new(Zeppelin::new()),
+    ];
+    let mut sums = vec![0.0f64; schedulers.len()];
+
+    for step in 0..steps {
+        let batch = mix.sample_batch(&mut rng, target);
+        // Zone census for this batch under Zeppelin.
+        let plan = Zeppelin::new().plan(&batch, &ctx).expect("plan");
+        let count = |z: Zone| plan.placements.iter().filter(|p| p.zone == z).count();
+        println!(
+            "step {step}: {} seqs (max {:>6}) -> zones local={} intra={} inter={}",
+            batch.len(),
+            batch.max_len(),
+            count(Zone::Local),
+            count(Zone::IntraNode),
+            count(Zone::InterNode)
+        );
+        for (i, s) in schedulers.iter().enumerate() {
+            match simulate_step(s.as_ref(), &batch, &ctx, &cfg) {
+                Ok(r) => sums[i] += r.throughput,
+                Err(e) => println!("    {} failed: {e}", s.name()),
+            }
+        }
+    }
+
+    println!("\nmean throughput over {steps} steps:");
+    for (i, s) in schedulers.iter().enumerate() {
+        println!(
+            "  {:<10} {:>10.0} tokens/s",
+            s.name(),
+            sums[i] / steps as f64
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: schedule and simulate one training step with Zeppelin and
+//! the Transformer Engine CP baseline, and compare step times.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use zeppelin_baselines::te_cp::TeCp;
+use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
+use zeppelin_core::zeppelin::Zeppelin;
+use zeppelin_data::batch::Batch;
+use zeppelin_exec::step::{simulate_step, StepConfig};
+use zeppelin_model::config::llama_7b;
+use zeppelin_sim::topology::cluster_a;
+
+fn main() {
+    // Two 8-GPU A800 nodes (the paper's Cluster A) training LLaMA-7B.
+    let cluster = cluster_a(2);
+    let model = llama_7b();
+    let ctx = SchedulerCtx::new(&cluster, &model);
+    println!(
+        "cluster: {} ({} GPUs), model: {}, capacity {} tokens/GPU",
+        cluster.name,
+        cluster.total_gpus(),
+        model.name,
+        ctx.capacity
+    );
+
+    // A variable-length batch: one long document, several medium ones, and
+    // a pile of short ones — 64k tokens in total.
+    let batch = Batch::new(vec![
+        30_000, 9_000, 6_000, 5_000, 4_000, 3_000, 2_000, 1_500, 1_200, 1_000, 800, 500, 400, 300,
+        200, 636,
+    ]);
+    println!(
+        "batch: {} sequences, {} tokens, longest {}\n",
+        batch.len(),
+        batch.total_tokens(),
+        batch.max_len()
+    );
+
+    let cfg = StepConfig::default();
+    for scheduler in [&Zeppelin::new() as &dyn Scheduler, &TeCp::new()] {
+        let report = simulate_step(scheduler, &batch, &ctx, &cfg).expect("step");
+        println!(
+            "{:<10}  step {}  ({:>8.0} tokens/s)  layer fwd {}  bwd {}",
+            report.scheduler,
+            report.step_time,
+            report.throughput,
+            report.layer_forward,
+            report.layer_backward
+        );
+    }
+
+    // Peek at Zeppelin's placement decisions.
+    let plan = Zeppelin::new().plan(&batch, &ctx).expect("plan");
+    println!("\nZeppelin placements (zone, ring size) per sequence:");
+    for p in &plan.placements {
+        println!(
+            "  seq {:>2} ({:>6} tokens): {:?} over {} rank(s)",
+            p.seq_index,
+            p.len,
+            p.zone,
+            p.ranks.len()
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Timeline tracing: simulate one layer of a custom batch and export the
+//! execution timeline as Chrome-trace JSON (open in `chrome://tracing` or
+//! https://ui.perfetto.dev) plus an ASCII rendering in the terminal.
+//!
+//! Run with: `cargo run --release --example timeline_trace [-- <out.json>]`
+
+use zeppelin_core::scheduler::SchedulerCtx;
+use zeppelin_core::zeppelin::Zeppelin;
+use zeppelin_data::batch::Batch;
+use zeppelin_exec::step::{simulate_step, StepConfig};
+use zeppelin_model::config::llama_3b;
+use zeppelin_sim::topology::cluster_a;
+use zeppelin_sim::trace::TraceCategory;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "zeppelin_trace.json".to_string());
+
+    let cluster = cluster_a(2);
+    let model = llama_3b();
+    let ctx = SchedulerCtx::new(&cluster, &model);
+    let batch = Batch::new(vec![40_000, 12_000, 6_000, 3_000, 2_000, 1_000, 800, 736]);
+    let report =
+        simulate_step(&Zeppelin::new(), &batch, &ctx, &StepConfig::default()).expect("step");
+
+    println!(
+        "one layer: forward {} / backward {}; {} trace events",
+        report.layer_forward,
+        report.layer_backward,
+        report.trace_forward.events().len()
+    );
+
+    // Category census.
+    println!("\nbusy time per category (forward):");
+    for (cat, busy) in report.trace_forward.busy_by_category() {
+        println!("  {:<12} {busy}", cat.name());
+    }
+
+    // How much of the inter-node communication the routing layer absorbed.
+    let routed: usize = report
+        .trace_forward
+        .events()
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.category,
+                TraceCategory::Dispatch | TraceCategory::InterNode | TraceCategory::Combine
+            )
+        })
+        .count();
+    println!("\nrouted-transfer stage events: {routed}");
+
+    println!("\nASCII timeline (forward, 110 columns):");
+    print!("{}", report.trace_forward.to_ascii(110));
+
+    std::fs::write(&out_path, report.trace_forward.to_chrome_json()).expect("write trace");
+    println!("\nwrote Chrome trace to {out_path}");
+}

@@ -1,0 +1,18 @@
+//! Thin binary wrapper over [`zeppelin::cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = zeppelin::cli::parse_args(&args);
+    if opts.command.is_empty() || opts.flags.contains_key("help") {
+        print!("{}", zeppelin::cli::usage());
+        return;
+    }
+    match zeppelin::cli::run(&opts) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{}", zeppelin::cli::usage());
+            std::process::exit(1);
+        }
+    }
+}

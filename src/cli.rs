@@ -1,0 +1,576 @@
+//! Command-line interface: plan, simulate, and trace training steps from a
+//! terminal. Argument parsing is hand-rolled (no external dependencies) and
+//! unit-tested here; the `zeppelin-cli` binary is a thin wrapper.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use zeppelin_baselines::{DoubleRingCp, HybridDp, LlamaCp, Packing, TeCp, Ulysses};
+use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
+use zeppelin_core::zeppelin::Zeppelin;
+use zeppelin_core::zones::zone_thresholds;
+use zeppelin_data::batch::{sample_batch, Batch};
+use zeppelin_data::datasets as ds;
+use zeppelin_data::distribution::LengthDistribution;
+use zeppelin_exec::step::{simulate_step, StepConfig};
+use zeppelin_model::config as models;
+use zeppelin_model::config::ModelConfig;
+use zeppelin_sim::topology::{cluster_a, cluster_b, cluster_c, ClusterSpec};
+
+/// Parsed command-line options: flag name → value (`""` for bare flags).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Options {
+    /// Positional command (first non-flag argument).
+    pub command: String,
+    /// `--flag value` and `--flag` entries.
+    pub flags: BTreeMap<String, String>,
+}
+
+/// Errors from CLI parsing or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// No command given or an unknown command.
+    UnknownCommand(String),
+    /// A flag value failed to parse or referenced an unknown name.
+    BadFlag {
+        /// Flag name.
+        flag: String,
+        /// Offending value.
+        value: String,
+    },
+    /// Planning or simulation failed.
+    RunFailed(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::UnknownCommand(c) => {
+                write!(f, "unknown command '{c}' (try: {})", COMMANDS.join(", "))
+            }
+            CliError::BadFlag { flag, value } => write!(f, "bad value '{value}' for --{flag}"),
+            CliError::RunFailed(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Supported commands.
+pub const COMMANDS: [&str; 7] = [
+    "clusters", "models", "zones", "plan", "step", "compare", "explain",
+];
+
+/// Parses raw arguments (excluding the program name).
+pub fn parse_args(args: &[String]) -> Options {
+    let mut opts = Options::default();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
+                _ => String::new(),
+            };
+            opts.flags.insert(name.to_string(), value);
+        } else if opts.command.is_empty() {
+            opts.command = arg.clone();
+        }
+    }
+    opts
+}
+
+fn model_by_name(name: &str) -> Result<ModelConfig, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "3b" | "llama-3b" => Ok(models::llama_3b()),
+        "7b" | "llama-7b" => Ok(models::llama_7b()),
+        "13b" | "llama-13b" => Ok(models::llama_13b()),
+        "30b" | "llama-30b" => Ok(models::llama_30b()),
+        "moe" | "8x550m" => Ok(models::moe_8x550m()),
+        other => Err(CliError::BadFlag {
+            flag: "model".into(),
+            value: other.into(),
+        }),
+    }
+}
+
+fn cluster_by_name(name: &str, nodes: usize) -> Result<ClusterSpec, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "a" => Ok(cluster_a(nodes)),
+        "b" => Ok(cluster_b(nodes)),
+        "c" => Ok(cluster_c(nodes)),
+        other => Err(CliError::BadFlag {
+            flag: "cluster".into(),
+            value: other.into(),
+        }),
+    }
+}
+
+fn dataset_by_name(name: &str) -> Result<LengthDistribution, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "arxiv" => Ok(ds::arxiv()),
+        "github" => Ok(ds::github()),
+        "prolong64k" | "prolong" => Ok(ds::prolong64k()),
+        "stackexchange" => Ok(ds::stackexchange()),
+        "openwebmath" => Ok(ds::openwebmath()),
+        "fineweb" => Ok(ds::fineweb()),
+        other => Err(CliError::BadFlag {
+            flag: "dataset".into(),
+            value: other.into(),
+        }),
+    }
+}
+
+fn scheduler_by_name(name: &str) -> Result<Box<dyn Scheduler>, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "zeppelin" => Ok(Box::new(Zeppelin::new())),
+        "te" | "te-cp" => Ok(Box::new(TeCp::new())),
+        "llama" | "llama-cp" => Ok(Box::new(LlamaCp::new())),
+        "hybrid" | "hybrid-dp" => Ok(Box::new(HybridDp::new())),
+        "packing" => Ok(Box::new(Packing::new())),
+        "ulysses" => Ok(Box::new(Ulysses::new())),
+        "double-ring" | "doublering" => Ok(Box::new(DoubleRingCp::new())),
+        other => Err(CliError::BadFlag {
+            flag: "method".into(),
+            value: other.into(),
+        }),
+    }
+}
+
+fn flag_usize(opts: &Options, name: &str, default: usize) -> Result<usize, CliError> {
+    match opts.flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| CliError::BadFlag {
+            flag: name.into(),
+            value: v.clone(),
+        }),
+    }
+}
+
+fn flag_u64(opts: &Options, name: &str, default: u64) -> Result<u64, CliError> {
+    match opts.flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| CliError::BadFlag {
+            flag: name.into(),
+            value: v.clone(),
+        }),
+    }
+}
+
+fn parse_seqs(opts: &Options) -> Result<Option<Batch>, CliError> {
+    let Some(spec) = opts.flags.get("seqs") else {
+        return Ok(None);
+    };
+    let mut lens = Vec::new();
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let len: u64 = part.trim().parse().map_err(|_| CliError::BadFlag {
+            flag: "seqs".into(),
+            value: part.into(),
+        })?;
+        if len == 0 {
+            return Err(CliError::BadFlag {
+                flag: "seqs".into(),
+                value: part.into(),
+            });
+        }
+        lens.push(len);
+    }
+    if lens.is_empty() {
+        return Err(CliError::BadFlag {
+            flag: "seqs".into(),
+            value: spec.clone(),
+        });
+    }
+    Ok(Some(Batch::new(lens)))
+}
+
+/// Builds the batch: explicit `--seqs` wins, then `--seqs-file` (one length
+/// per line), otherwise sampled from `--dataset` (default arxiv) at
+/// `--tokens` (default 65536).
+fn build_batch(opts: &Options) -> Result<Batch, CliError> {
+    if let Some(batch) = parse_seqs(opts)? {
+        return Ok(batch);
+    }
+    if let Some(path) = opts.flags.get("seqs-file") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::RunFailed(format!("reading {path}: {e}")))?;
+        return zeppelin_data::batch::parse_lengths(&text)
+            .map_err(|e| CliError::RunFailed(format!("{path}: {e}")));
+    }
+    let dist = dataset_by_name(opts.flags.get("dataset").map_or("arxiv", |s| s))?;
+    let tokens = flag_u64(opts, "tokens", 65_536)?;
+    let seed = flag_u64(opts, "seed", 42)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    Ok(sample_batch(&dist, &mut rng, tokens))
+}
+
+fn build_ctx(opts: &Options) -> Result<(ClusterSpec, ModelConfig, SchedulerCtx), CliError> {
+    let nodes = flag_usize(opts, "nodes", 2)?;
+    let cluster = cluster_by_name(opts.flags.get("cluster").map_or("a", |s| s), nodes)?;
+    let model = model_by_name(opts.flags.get("model").map_or("3b", |s| s))?;
+    let ctx = SchedulerCtx::new(&cluster, &model);
+    Ok((cluster, model, ctx))
+}
+
+/// Executes a parsed command, returning the text to print.
+pub fn run(opts: &Options) -> Result<String, CliError> {
+    match opts.command.as_str() {
+        "clusters" => {
+            let mut out = String::new();
+            for c in [cluster_a(1), cluster_b(1), cluster_c(1)] {
+                out.push_str(&format!(
+                    "{}: {} GPUs/node @ {:.0} TFLOP/s, NVLink {:.0} GB/s, {} NIC(s) @ {:.0} Gb/s\n",
+                    c.name,
+                    c.node.gpus_per_node,
+                    c.node.gpu.peak_flops / 1e12,
+                    c.node.gpu.nvlink_bw / 1e9,
+                    c.node.nic_count,
+                    c.node.nic.bw * 8.0 / 1e9,
+                ));
+            }
+            Ok(out)
+        }
+        "models" => {
+            let mut out = String::new();
+            for m in models::paper_models() {
+                out.push_str(&format!(
+                    "{}: hidden {}, layers {}, heads {}, ~{:.1}B params{}\n",
+                    m.name,
+                    m.hidden,
+                    m.layers,
+                    m.num_heads,
+                    m.param_count() as f64 / 1e9,
+                    if m.is_moe() { " (MoE)" } else { "" },
+                ));
+            }
+            Ok(out)
+        }
+        "zones" => {
+            let (cluster, model, ctx) = build_ctx(opts)?;
+            let t = zone_thresholds(&model, &cluster);
+            Ok(format!(
+                "{} on {} (capacity {} tokens/GPU):\n  local      < {} tokens\n  intra-node < {} tokens\n  inter-node >= {} tokens\n",
+                model.name, cluster.name, ctx.capacity, t.local_max, t.intra_max, t.intra_max
+            ))
+        }
+        "plan" => {
+            let (cluster, _, ctx) = build_ctx(opts)?;
+            let batch = build_batch(opts)?;
+            let scheduler = scheduler_by_name(opts.flags.get("method").map_or("zeppelin", |s| s))?;
+            let plan = scheduler
+                .plan(&batch, &ctx)
+                .map_err(|e| CliError::RunFailed(e.to_string()))?;
+            if let Some(path) = opts.flags.get("out") {
+                std::fs::write(path, zeppelin_core::plan_io::plan_to_json(&plan))
+                    .map_err(|e| CliError::RunFailed(format!("writing {path}: {e}")))?;
+                return Ok(format!("wrote plan to {path}\n"));
+            }
+            let mut out = format!(
+                "{}: {} sequences, {} tokens over {} GPUs\n",
+                plan.scheduler,
+                batch.len(),
+                batch.total_tokens(),
+                cluster.total_gpus()
+            );
+            for p in &plan.placements {
+                out.push_str(&format!(
+                    "  seq {:>3} {:>7} tokens  {:?} x{} ({:?})\n",
+                    p.seq_index,
+                    p.len,
+                    p.zone,
+                    p.ranks.len(),
+                    p.mode
+                ));
+            }
+            Ok(out)
+        }
+        "step" => {
+            let (_, _, ctx) = build_ctx(opts)?;
+            let batch = build_batch(opts)?;
+            let report = if let Some(path) = opts.flags.get("plan") {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| CliError::RunFailed(format!("reading {path}: {e}")))?;
+                let plan = zeppelin_core::plan_io::plan_from_json(&text)
+                    .map_err(|e| CliError::RunFailed(e.to_string()))?;
+                zeppelin_exec::step::simulate_plan(&plan, &batch, &ctx, &StepConfig::default())
+                    .map_err(|e| CliError::RunFailed(e.to_string()))?
+            } else {
+                let scheduler =
+                    scheduler_by_name(opts.flags.get("method").map_or("zeppelin", |s| s))?;
+                simulate_step(scheduler.as_ref(), &batch, &ctx, &StepConfig::default())
+                    .map_err(|e| CliError::RunFailed(e.to_string()))?
+            };
+            let mut out = format!(
+                "{}: step {} ({:.0} tokens/s)\n  layer forward {}, backward {}\n",
+                report.scheduler,
+                report.step_time,
+                report.throughput,
+                report.layer_forward,
+                report.layer_backward
+            );
+            if let Some(path) = opts.flags.get("trace") {
+                std::fs::write(path, report.trace_forward.to_chrome_json())
+                    .map_err(|e| CliError::RunFailed(format!("writing {path}: {e}")))?;
+                out.push_str(&format!("  wrote forward trace to {path}\n"));
+            }
+            Ok(out)
+        }
+        "compare" => {
+            let (_, _, ctx) = build_ctx(opts)?;
+            let batch = build_batch(opts)?;
+            let mut out = String::new();
+            let mut te: Option<f64> = None;
+            for name in [
+                "te",
+                "double-ring",
+                "ulysses",
+                "llama",
+                "hybrid",
+                "zeppelin",
+            ] {
+                let scheduler = scheduler_by_name(name)?;
+                let line =
+                    match simulate_step(scheduler.as_ref(), &batch, &ctx, &StepConfig::default()) {
+                        Ok(r) => {
+                            if name == "te" {
+                                te = Some(r.throughput);
+                            }
+                            let speedup = te
+                                .map(|b| format!("{:.2}x", r.throughput / b))
+                                .unwrap_or_else(|| "-".into());
+                            format!(
+                                "{:<14} {:>12.0} tokens/s  {speedup}\n",
+                                r.scheduler, r.throughput
+                            )
+                        }
+                        Err(e) => format!("{name:<14} failed: {e}\n"),
+                    };
+                out.push_str(&line);
+            }
+            Ok(out)
+        }
+        "run" => {
+            let (_, _, ctx) = build_ctx(opts)?;
+            let dist = dataset_by_name(opts.flags.get("dataset").map_or("arxiv", |s| s))?;
+            let scheduler = scheduler_by_name(opts.flags.get("method").map_or("zeppelin", |s| s))?;
+            let cfg = zeppelin_exec::trainer::RunConfig {
+                steps: flag_usize(opts, "steps", 10)?,
+                tokens_per_step: flag_u64(opts, "tokens", 65_536)?,
+                seed: flag_u64(opts, "seed", 42)?,
+                step: StepConfig::default(),
+            };
+            let report =
+                zeppelin_exec::trainer::run_training(scheduler.as_ref(), &dist, &ctx, &cfg)
+                    .map_err(|e| CliError::RunFailed(e.to_string()))?;
+            if let Some(path) = opts.flags.get("json") {
+                std::fs::write(path, zeppelin_exec::report::run_report_json(&report))
+                    .map_err(|e| CliError::RunFailed(format!("writing {path}: {e}")))?;
+                return Ok(format!("wrote run report to {path}\n"));
+            }
+            Ok(format!(
+                "{}: {} steps on {}\n  mean {:.0} tokens/s (min {:.0}, max {:.0}), mean step {}\n",
+                report.scheduler,
+                report.steps.len(),
+                dist.name,
+                report.mean_throughput,
+                report.min_throughput,
+                report.max_throughput,
+                report.mean_step_time
+            ))
+        }
+        "explain" => {
+            let (cluster, model, ctx) = build_ctx(opts)?;
+            let batch = build_batch(opts)?;
+            let scheduler = scheduler_by_name(opts.flags.get("method").map_or("zeppelin", |s| s))?;
+            let plan = scheduler
+                .plan(&batch, &ctx)
+                .map_err(|e| CliError::RunFailed(e.to_string()))?;
+            let a = zeppelin_core::analysis::analyze(&plan, &model, &cluster);
+            let mut out = format!(
+                "{}: zones local/intra/inter = {}/{}/{}\nattention critical path {:.3} ms, imbalance {:.3}, cross-node KV {:.1} MB\n",
+                plan.scheduler,
+                a.zone_counts.0,
+                a.zone_counts.1,
+                a.zone_counts.2,
+                a.attn_critical_secs * 1e3,
+                a.attn_imbalance(),
+                a.total_inter_bytes() / 1e6,
+            );
+            out.push_str("rank  attn_ms  peak_tokens  intra_MB  inter_MB\n");
+            for (r, est) in a.ranks.iter().enumerate() {
+                out.push_str(&format!(
+                    "{:>4}  {:>7.3}  {:>11}  {:>8.1}  {:>8.1}\n",
+                    r,
+                    est.attn_secs * 1e3,
+                    est.peak_tokens,
+                    est.intra_sent_bytes / 1e6,
+                    est.inter_sent_bytes / 1e6,
+                ));
+            }
+            Ok(out)
+        }
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    "zeppelin-cli <command> [flags]\n\
+     commands:\n\
+       clusters                         list cluster presets\n\
+       models                           list model presets\n\
+       zones    [--model M --cluster C --nodes N]\n\
+       plan     [--method S --seqs 3000,500 | --dataset D --tokens T] [--out plan.json]\n\
+       step     [--method S ... --trace out.json | --plan plan.json]\n\
+       compare  [... same workload flags]\n\
+       explain  [... same workload flags]  static per-rank cost analysis\n\
+       run      [--steps N --json out.json] multi-step training run\n\
+     flags:\n\
+       --model    3b|7b|13b|30b|moe        (default 3b)\n\
+       --cluster  a|b|c                    (default a)\n\
+       --nodes    N                        (default 2)\n\
+       --method   zeppelin|te|llama|hybrid|packing|ulysses|double-ring\n\
+       --dataset  arxiv|github|prolong64k|stackexchange|openwebmath|fineweb\n\
+       --tokens   total batch tokens       (default 65536)\n\
+       --seqs     comma-separated lengths  (overrides --dataset)\n\
+       --seqs-file path with one length per line (trace replay)\n\
+       --seed     sampling seed            (default 42)\n\
+       --trace    write Chrome trace JSON  (step only)\n"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Options {
+        parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parser_splits_command_and_flags() {
+        let o = opts(&["plan", "--model", "7b", "--seqs", "100,200", "--quiet"]);
+        assert_eq!(o.command, "plan");
+        assert_eq!(o.flags["model"], "7b");
+        assert_eq!(o.flags["seqs"], "100,200");
+        assert_eq!(o.flags["quiet"], "");
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let e = run(&opts(&["frobnicate"])).unwrap_err();
+        assert!(matches!(e, CliError::UnknownCommand(_)));
+        assert!(e.to_string().contains("compare"));
+    }
+
+    #[test]
+    fn clusters_and_models_render() {
+        let c = run(&opts(&["clusters"])).unwrap();
+        assert!(c.contains("A800") && c.contains("H200"));
+        let m = run(&opts(&["models"])).unwrap();
+        assert!(m.contains("LLaMA-7B") && m.contains("MoE"));
+    }
+
+    #[test]
+    fn zones_command_reports_thresholds() {
+        let out = run(&opts(&["zones", "--model", "7b"])).unwrap();
+        assert!(out.contains("local"));
+        assert!(out.contains("intra-node"));
+    }
+
+    #[test]
+    fn plan_with_explicit_seqs() {
+        let out = run(&opts(&["plan", "--seqs", "30000,2000,500"])).unwrap();
+        assert!(out.contains("3 sequences"));
+        assert!(out.contains("32500 tokens"));
+    }
+
+    #[test]
+    fn step_and_compare_run() {
+        let out = run(&opts(&["step", "--seqs", "8000,4000", "--method", "te"])).unwrap();
+        assert!(out.contains("tokens/s"));
+        let out = run(&opts(&["compare", "--tokens", "16384", "--nodes", "1"])).unwrap();
+        assert!(out.contains("Zeppelin"));
+        assert!(out.contains("TE CP"));
+    }
+
+    #[test]
+    fn bad_flags_are_reported() {
+        assert!(matches!(
+            run(&opts(&["zones", "--model", "70b"])),
+            Err(CliError::BadFlag { .. })
+        ));
+        assert!(matches!(
+            run(&opts(&["plan", "--seqs", "10,x"])),
+            Err(CliError::BadFlag { .. })
+        ));
+        assert!(matches!(
+            run(&opts(&["plan", "--seqs", "0"])),
+            Err(CliError::BadFlag { .. })
+        ));
+        assert!(matches!(
+            run(&opts(&["step", "--dataset", "wikipedia"])),
+            Err(CliError::BadFlag { .. })
+        ));
+        assert!(matches!(
+            run(&opts(&["step", "--nodes", "two"])),
+            Err(CliError::BadFlag { .. })
+        ));
+    }
+
+    #[test]
+    fn explain_reports_static_analysis() {
+        let out = run(&opts(&[
+            "explain",
+            "--seqs",
+            "9000,2000,500",
+            "--nodes",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("zones local/intra/inter"));
+        assert!(out.contains("attn_ms"));
+    }
+
+    #[test]
+    fn plan_json_round_trips_through_files() {
+        let dir = std::env::temp_dir().join("zeppelin-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plan.json");
+        let path_s = path.to_str().unwrap().to_string();
+        run(&opts(&["plan", "--seqs", "9000,500", "--out", &path_s])).unwrap();
+        let out = run(&opts(&["step", "--plan", &path_s, "--seqs", "9000,500"])).unwrap();
+        assert!(out.contains("tokens/s"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_command_aggregates_and_exports_json() {
+        let out = run(&opts(&[
+            "run", "--steps", "2", "--tokens", "16384", "--nodes", "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("2 steps"));
+        assert!(out.contains("tokens/s"));
+        let dir = std::env::temp_dir().join("zeppelin-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.json");
+        let path_s = path.to_str().unwrap().to_string();
+        run(&opts(&[
+            "run", "--steps", "2", "--tokens", "16384", "--nodes", "1", "--json", &path_s,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(zeppelin_exec::report::looks_like_json(&text));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn usage_mentions_every_command() {
+        let u = usage();
+        for c in COMMANDS {
+            assert!(u.contains(c), "usage missing {c}");
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Cross-checks `zeppelin-core`'s static analyzer against the executor:
+//! the analyzer's per-rank attention seconds use the same kernel model and
+//! the same exact pair accounting as the lowered DAG, so the simulated
+//! attention busy time must match to the nanosecond (modulo the executor's
+//! `SimDuration` round-up per kernel).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use zeppelin::baselines::{DoubleRingCp, LlamaCp, TeCp, Ulysses};
+use zeppelin::core::analysis::analyze;
+use zeppelin::core::scheduler::{Scheduler, SchedulerCtx};
+use zeppelin::core::zeppelin::Zeppelin;
+use zeppelin::data::batch::{sample_batch, Batch};
+use zeppelin::data::datasets::github;
+use zeppelin::exec::step::{simulate_plan, StepConfig};
+use zeppelin::model::config::llama_3b;
+use zeppelin::sim::topology::cluster_a;
+
+fn check(scheduler: &dyn Scheduler, batch: &Batch) {
+    let cluster = cluster_a(2);
+    let model = llama_3b();
+    let ctx = SchedulerCtx::new(&cluster, &model);
+    let plan = scheduler.plan(batch, &ctx).expect("plan");
+    let analysis = analyze(&plan, &model, &cluster);
+    let report = simulate_plan(&plan, batch, &ctx, &StepConfig::default()).expect("simulate");
+    // Per-kernel round-up to whole nanoseconds bounds the divergence by
+    // 1 ns per kernel; a generous epsilon covers every batch here.
+    for (rank, est) in analysis.ranks.iter().enumerate() {
+        let simulated = report.forward_phase.attention[rank].as_secs_f64();
+        let diff = (est.attn_secs - simulated).abs();
+        assert!(
+            diff < 5e-6,
+            "{}: rank {rank} static {} vs simulated {}",
+            plan.scheduler,
+            est.attn_secs,
+            simulated
+        );
+    }
+    // The simulated forward phase can never beat the static critical path.
+    assert!(
+        report.layer_forward.as_secs_f64() >= analysis.attn_critical_secs * 0.999,
+        "{}: forward {} below static bound {}",
+        plan.scheduler,
+        report.layer_forward.as_secs_f64(),
+        analysis.attn_critical_secs
+    );
+}
+
+#[test]
+fn static_attention_matches_simulated_for_every_scheduler() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let batch = sample_batch(&github(), &mut rng, 65_536);
+    check(&TeCp::new(), &batch);
+    check(&LlamaCp::new(), &batch);
+    check(&DoubleRingCp::new(), &batch);
+    check(&Ulysses::new(), &batch);
+    check(&Zeppelin::new(), &batch);
+}
+
+#[test]
+fn static_attention_matches_on_adversarial_batches() {
+    for batch in [
+        Batch::new(vec![65_536]),
+        Batch::new(vec![1; 64]),
+        Batch::new(vec![40_000, 1, 1, 1, 25_533]),
+    ] {
+        check(&Zeppelin::new(), &batch);
+        check(&TeCp::new(), &batch);
+    }
+}
+
+#[test]
+fn analyzer_memory_check_agrees_with_scheduler_capacity() {
+    let cluster = cluster_a(2);
+    let model = llama_3b();
+    let ctx = SchedulerCtx::new(&cluster, &model).with_capacity(8_192);
+    let mut rng = StdRng::seed_from_u64(3);
+    let batch = sample_batch(&github(), &mut rng, 65_536);
+    let plan = Zeppelin::new().plan(&batch, &ctx).expect("plan");
+    let analysis = analyze(&plan, &model, &cluster);
+    // The partitioner enforced capacity (+ fragment rounding slack).
+    assert!(analysis.fits(ctx.capacity + 64));
+}

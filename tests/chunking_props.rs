@@ -1,0 +1,95 @@
+//! Property-based tests of the zigzag chunk math that all ring cost
+//! accounting rests on.
+
+use proptest::prelude::*;
+
+use zeppelin::core::chunking::{
+    chunks, kv_source, position_pair_flops, position_tokens, position_total_flops,
+    ring_round_flops, ring_round_kv_tokens,
+};
+use zeppelin::model::config::llama_3b;
+use zeppelin::model::flops::attention_seq_flops;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn chunks_partition_any_sequence(len in 0u64..200_000, g in 1usize..64) {
+        let cs = chunks(len, g);
+        prop_assert_eq!(cs.len(), 2 * g);
+        prop_assert_eq!(cs.iter().map(|c| c.len).sum::<u64>(), len);
+        let mut offset = 0;
+        for c in &cs {
+            prop_assert_eq!(c.offset, offset);
+            offset += c.len;
+        }
+        // Sizes within one token of each other.
+        let max = cs.iter().map(|c| c.len).max().unwrap();
+        let min = cs.iter().map(|c| c.len).min().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn position_tokens_sum_to_len(len in 0u64..200_000, g in 1usize..48) {
+        let total: u64 = (0..g).map(|p| position_tokens(len, g, p)).sum();
+        prop_assert_eq!(total, len);
+    }
+
+    #[test]
+    fn ring_rounds_conserve_flops(len in 1u64..50_000, g in 1usize..24) {
+        let cfg = llama_3b();
+        let total: f64 = (0..g)
+            .flat_map(|p| (0..g).map(move |r| (p, r)))
+            .map(|(p, r)| ring_round_flops(&cfg, len, g, p, r))
+            .sum();
+        let expected = attention_seq_flops(&cfg, len);
+        prop_assert!((total - expected).abs() <= expected * 1e-9 + 1.0);
+    }
+
+    #[test]
+    fn pairwise_flops_cover_the_grid_once(len in 1u64..50_000, g in 1usize..16) {
+        // Summing position_pair_flops over all (q, kv) pairs must equal the
+        // per-round decomposition (both enumerate each pair exactly once).
+        let cfg = llama_3b();
+        let by_pairs: f64 = (0..g)
+            .flat_map(|q| (0..g).map(move |kv| (q, kv)))
+            .map(|(q, kv)| position_pair_flops(&cfg, len, g, q, kv))
+            .sum();
+        let by_rounds: f64 = (0..g)
+            .flat_map(|p| (0..g).map(move |r| (p, r)))
+            .map(|(p, r)| ring_round_flops(&cfg, len, g, p, r))
+            .sum();
+        prop_assert!((by_pairs - by_rounds).abs() <= by_pairs * 1e-12 + 1.0);
+    }
+
+    #[test]
+    fn zigzag_positions_balance_within_rounding(len in 4_096u64..200_000, g in 2usize..32) {
+        let cfg = llama_3b();
+        let per: Vec<f64> = (0..g)
+            .map(|p| position_total_flops(&cfg, len, g, p))
+            .collect();
+        let max = per.iter().cloned().fold(0.0f64, f64::max);
+        let min = per.iter().cloned().fold(f64::INFINITY, f64::min);
+        // Long sequences balance tightly; short ones are rounding-bound.
+        let tolerance = if len as usize > 64 * g { 0.05 } else { 0.8 };
+        prop_assert!(
+            (max - min) / max <= tolerance,
+            "imbalance {} at len {} g {}", (max - min) / max, len, g
+        );
+    }
+
+    #[test]
+    fn kv_rotation_is_a_permutation_every_round(g in 1usize..64, r in 0usize..64) {
+        prop_assume!(r < g);
+        let mut seen: Vec<usize> = (0..g).map(|p| kv_source(g, p, r)).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..g).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn in_flight_kv_covers_the_sequence(len in 0u64..100_000, g in 1usize..24, r in 0usize..24) {
+        prop_assume!(r < g);
+        let total: u64 = (0..g).map(|p| ring_round_kv_tokens(len, g, p, r)).sum();
+        prop_assert_eq!(total, len);
+    }
+}

@@ -1,0 +1,199 @@
+//! Cross-crate integration tests: every scheduler, every dataset, one
+//! simulated pipeline, with the paper's qualitative claims asserted.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use zeppelin::baselines::{HybridDp, LlamaCp, Packing, TeCp};
+use zeppelin::core::scheduler::{Scheduler, SchedulerCtx};
+use zeppelin::core::zeppelin::{Zeppelin, ZeppelinConfig};
+use zeppelin::data::batch::{sample_batch, Batch};
+use zeppelin::data::datasets::{arxiv, github, paper_datasets, prolong64k};
+use zeppelin::exec::step::{simulate_step, StepConfig};
+use zeppelin::exec::tp::fold_tp;
+use zeppelin::exec::trainer::{run_training, RunConfig};
+use zeppelin::model::config::{llama_13b, llama_3b};
+use zeppelin::sim::topology::{cluster_a, cluster_b, cluster_c};
+
+fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(TeCp::new()),
+        Box::new(TeCp::with_routing()),
+        Box::new(LlamaCp::new()),
+        Box::new(HybridDp::new()),
+        Box::new(Packing::new()),
+        Box::new(Zeppelin::new()),
+        Box::new(Zeppelin::with_config(ZeppelinConfig {
+            routing: false,
+            remapping: false,
+        })),
+    ]
+}
+
+#[test]
+fn every_scheduler_runs_on_every_dataset() {
+    let cluster = cluster_a(2);
+    let model = llama_3b();
+    let ctx = SchedulerCtx::new(&cluster, &model);
+    let cfg = StepConfig::default();
+    let mut rng = StdRng::seed_from_u64(123);
+    for dist in paper_datasets() {
+        let batch = sample_batch(&dist, &mut rng, 65_536);
+        for scheduler in all_schedulers() {
+            let report = simulate_step(scheduler.as_ref(), &batch, &ctx, &cfg)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", scheduler.name(), dist.name));
+            assert!(
+                report.throughput > 0.0,
+                "{} on {}",
+                scheduler.name(),
+                dist.name
+            );
+            assert!(report.layer_backward > report.layer_forward);
+            assert_eq!(report.tokens, 65_536);
+        }
+    }
+}
+
+#[test]
+fn zeppelin_beats_te_cp_on_all_paper_datasets() {
+    let cluster = cluster_a(2);
+    let model = llama_3b();
+    let ctx = SchedulerCtx::new(&cluster, &model);
+    let cfg = StepConfig::default();
+    let mut rng = StdRng::seed_from_u64(77);
+    for dist in paper_datasets() {
+        let batch = sample_batch(&dist, &mut rng, 65_536);
+        let te = simulate_step(&TeCp::new(), &batch, &ctx, &cfg).unwrap();
+        let zep = simulate_step(&Zeppelin::new(), &batch, &ctx, &cfg).unwrap();
+        assert!(
+            zep.throughput > 1.2 * te.throughput,
+            "{}: zeppelin {} vs te {}",
+            dist.name,
+            zep.throughput,
+            te.throughput
+        );
+    }
+}
+
+#[test]
+fn routing_helps_te_cp_on_internode_rings() {
+    let cluster = cluster_a(2);
+    let model = llama_3b();
+    let ctx = SchedulerCtx::new(&cluster, &model);
+    let cfg = StepConfig::default();
+    let batch = Batch::new(vec![65_536]);
+    let plain = simulate_step(&TeCp::new(), &batch, &ctx, &cfg).unwrap();
+    let routed = simulate_step(&TeCp::with_routing(), &batch, &ctx, &cfg).unwrap();
+    assert!(
+        routed.throughput > 1.3 * plain.throughput,
+        "routing {} vs plain {}",
+        routed.throughput,
+        plain.throughput
+    );
+}
+
+#[test]
+fn full_zeppelin_is_at_least_as_good_as_engine_only() {
+    let cluster = cluster_a(2);
+    let model = llama_3b();
+    let ctx = SchedulerCtx::new(&cluster, &model);
+    let cfg = StepConfig::default();
+    let mut rng = StdRng::seed_from_u64(5);
+    let batch = sample_batch(&arxiv(), &mut rng, 65_536);
+    let full = simulate_step(&Zeppelin::new(), &batch, &ctx, &cfg).unwrap();
+    let engine_only = simulate_step(
+        &Zeppelin::with_config(ZeppelinConfig {
+            routing: false,
+            remapping: false,
+        }),
+        &batch,
+        &ctx,
+        &cfg,
+    )
+    .unwrap();
+    assert!(full.throughput >= engine_only.throughput * 0.99);
+}
+
+#[test]
+fn training_runs_are_reproducible_across_processes_shapes() {
+    let cluster = cluster_b(2);
+    let model = llama_3b();
+    let ctx = SchedulerCtx::new(&cluster, &model);
+    let cfg = RunConfig {
+        steps: 3,
+        tokens_per_step: 65_536,
+        seed: 9,
+        step: StepConfig::default(),
+    };
+    let a = run_training(&Zeppelin::new(), &github(), &ctx, &cfg).unwrap();
+    let b = run_training(&Zeppelin::new(), &github(), &ctx, &cfg).unwrap();
+    assert_eq!(a.mean_step_time, b.mean_step_time);
+    assert_eq!(a.steps.len(), 3);
+}
+
+#[test]
+fn tp_folding_runs_end_to_end() {
+    let physical = cluster_a(2);
+    let folded = fold_tp(&physical, 2).unwrap();
+    let model = llama_13b();
+    let ctx = SchedulerCtx::new(&folded, &model);
+    let mut rng = StdRng::seed_from_u64(1);
+    let batch = sample_batch(&prolong64k(), &mut rng, 65_536);
+    let report = simulate_step(&Zeppelin::new(), &batch, &ctx, &StepConfig::default()).unwrap();
+    assert!(report.throughput > 0.0);
+    // 8 logical workers (16 GPUs / tp2).
+    assert_eq!(report.forward_phase.attention.len(), 8);
+}
+
+#[test]
+fn faster_cluster_yields_faster_training() {
+    let model = llama_3b();
+    let cfg = StepConfig::default();
+    let mut rng = StdRng::seed_from_u64(2);
+    let batch = sample_batch(&arxiv(), &mut rng, 65_536);
+    let t = |cluster: &zeppelin::sim::topology::ClusterSpec| {
+        let ctx = SchedulerCtx::new(cluster, &model);
+        simulate_step(&Zeppelin::new(), &batch, &ctx, &cfg)
+            .unwrap()
+            .throughput
+    };
+    let a = t(&cluster_a(2));
+    let c = t(&cluster_c(2));
+    assert!(c > a, "H200 cluster {c} should beat A800 cluster {a}");
+}
+
+#[test]
+fn step_time_scales_linearly_with_layer_count() {
+    let cluster = cluster_a(2);
+    let mut shallow = llama_3b();
+    shallow.layers = 13;
+    let deep = llama_3b(); // 26 layers.
+    let batch = Batch::new(vec![16_000, 8_000, 4_000, 2_000, 1_000, 500, 250, 36_786]);
+    let cfg = StepConfig::default();
+    let t = |m: &zeppelin::model::config::ModelConfig| {
+        let ctx = SchedulerCtx::new(&cluster, m);
+        simulate_step(&Zeppelin::new(), &batch, &ctx, &cfg)
+            .unwrap()
+            .step_time
+            .as_secs_f64()
+    };
+    let ts = t(&shallow);
+    let td = t(&deep);
+    let ratio = td / ts;
+    assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+}
+
+#[test]
+fn packing_pays_for_redundant_attention() {
+    // On a short-sequence batch, packing's attention includes the windowed
+    // cross-sequence waste, so Zeppelin must beat it comfortably.
+    let cluster = cluster_a(2);
+    let model = llama_3b();
+    let ctx = SchedulerCtx::new(&cluster, &model);
+    let cfg = StepConfig::default();
+    let batch = Batch::new(vec![512; 128]);
+    let packing = simulate_step(&Packing::new(), &batch, &ctx, &cfg).unwrap();
+    let zeppelin = simulate_step(&Zeppelin::new(), &batch, &ctx, &cfg).unwrap();
+    assert!(packing.plan.redundant_attn_frac > 0.5);
+    assert!(zeppelin.throughput > packing.throughput);
+}

@@ -1,0 +1,158 @@
+//! Cross-crate physical invariants of the executor: FLOP conservation,
+//! remap balancing, and comparative behaviour that must hold for any
+//! correct lowering.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use zeppelin::baselines::{DoubleRingCp, TeCp, Ulysses};
+use zeppelin::core::scheduler::{Scheduler, SchedulerCtx};
+use zeppelin::core::zeppelin::{Zeppelin, ZeppelinConfig};
+use zeppelin::data::batch::{sample_batch, Batch};
+use zeppelin::data::datasets::arxiv;
+use zeppelin::exec::step::{simulate_step, StepConfig};
+use zeppelin::model::config::llama_3b;
+use zeppelin::model::flops::attention_seq_flops;
+use zeppelin::model::kernel::KernelModel;
+use zeppelin::sim::time::SimDuration;
+use zeppelin::sim::topology::cluster_a;
+
+fn mixed_batch() -> Batch {
+    Batch::new(vec![
+        30_000, 9_000, 6_000, 5_000, 4_000, 3_000, 2_000, 1_500, 1_200, 1_000, 800, 500, 400, 300,
+        200, 636,
+    ])
+}
+
+/// Total attention busy time must be at least the ideal FLOP time; the
+/// excess is launch overhead and granularity loss, which must stay bounded
+/// for every distributed method (packing excluded: it changes the FLOPs).
+#[test]
+fn attention_busy_time_matches_flop_accounting() {
+    let cluster = cluster_a(2);
+    let model = llama_3b();
+    let ctx = SchedulerCtx::new(&cluster, &model);
+    let cfg = StepConfig::default();
+    let batch = mixed_batch();
+    let kernel = KernelModel::attention();
+    let ideal_secs: f64 = batch
+        .seqs
+        .iter()
+        .map(|&s| attention_seq_flops(&model, s))
+        .sum::<f64>()
+        / (cluster.node.gpu.peak_flops * kernel.max_efficiency);
+
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(TeCp::new()),
+        Box::new(Ulysses::new()),
+        Box::new(DoubleRingCp::new()),
+        Box::new(Zeppelin::new()),
+    ];
+    for s in schedulers {
+        let report = simulate_step(s.as_ref(), &batch, &ctx, &cfg).unwrap();
+        let busy: f64 = report
+            .forward_phase
+            .attention
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .sum();
+        assert!(
+            busy >= ideal_secs * 0.999,
+            "{}: busy {busy} below ideal {ideal_secs}",
+            s.name()
+        );
+        assert!(
+            busy <= ideal_secs * 1.5,
+            "{}: busy {busy} vastly exceeds ideal {ideal_secs} — overhead bug?",
+            s.name()
+        );
+    }
+}
+
+/// With remapping on, per-rank linear busy time must be flat; without it,
+/// the attention-optimal layout leaves it ragged.
+#[test]
+fn remapping_flattens_linear_phase() {
+    let cluster = cluster_a(2);
+    let model = llama_3b();
+    let ctx = SchedulerCtx::new(&cluster, &model);
+    let cfg = StepConfig::default();
+    // A skewed batch: one giant local-ish sequence plus dust.
+    let batch = Batch::new(vec![24_000, 600, 500, 400, 300, 200, 1_000, 5_000, 32_536]);
+    let spread = |remapping: bool| {
+        let z = Zeppelin::with_config(ZeppelinConfig {
+            routing: true,
+            remapping,
+        });
+        let r = simulate_step(&z, &batch, &ctx, &cfg).unwrap();
+        let v = &r.forward_phase.linear;
+        let max = v.iter().max().copied().unwrap_or(SimDuration::ZERO);
+        let min = v.iter().min().copied().unwrap_or(SimDuration::ZERO);
+        (max.as_secs_f64(), min.as_secs_f64())
+    };
+    let (max_on, min_on) = spread(true);
+    let (max_off, min_off) = spread(false);
+    let ratio_on = max_on / min_on.max(1e-12);
+    let ratio_off = max_off / min_off.max(1e-12);
+    assert!(
+        ratio_on < ratio_off,
+        "remap on ratio {ratio_on} vs off {ratio_off}"
+    );
+    assert!(ratio_on < 1.2, "linear still imbalanced: {ratio_on}");
+}
+
+/// Backward communication doubles forward's; comm busy time must reflect it.
+#[test]
+fn backward_comm_scales_with_multiplier() {
+    let cluster = cluster_a(2);
+    let model = llama_3b();
+    let ctx = SchedulerCtx::new(&cluster, &model);
+    let batch = Batch::new(vec![65_536]);
+    let r = simulate_step(&TeCp::new(), &batch, &ctx, &StepConfig::default()).unwrap();
+    let fwd: f64 = r.forward_phase.comm.iter().map(|d| d.as_secs_f64()).sum();
+    let bwd: f64 = r.backward_phase.comm.iter().map(|d| d.as_secs_f64()).sum();
+    let ratio = bwd / fwd;
+    assert!((1.8..2.2).contains(&ratio), "comm ratio {ratio}");
+}
+
+/// Zone-hinted partitioning must never be slower than the capacity-only
+/// variant by more than noise on a realistic batch (it exists to help).
+#[test]
+fn zone_hints_pay_for_themselves_on_average() {
+    let cluster = cluster_a(2);
+    let model = llama_3b();
+    let ctx = SchedulerCtx::new(&cluster, &model);
+    let cfg = StepConfig::default();
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut hinted_total = 0.0;
+    let mut te_total = 0.0;
+    for _ in 0..4 {
+        let batch = sample_batch(&arxiv(), &mut rng, 65_536);
+        hinted_total += simulate_step(&Zeppelin::new(), &batch, &ctx, &cfg)
+            .unwrap()
+            .throughput;
+        te_total += simulate_step(&TeCp::new(), &batch, &ctx, &cfg)
+            .unwrap()
+            .throughput;
+    }
+    assert!(hinted_total > 1.5 * te_total);
+}
+
+/// JSON reports for a full step must be well-formed and reflect the run.
+#[test]
+fn json_report_round_trip_sanity() {
+    let cluster = cluster_a(2);
+    let model = llama_3b();
+    let ctx = SchedulerCtx::new(&cluster, &model);
+    let r = simulate_step(
+        &Zeppelin::new(),
+        &mixed_batch(),
+        &ctx,
+        &StepConfig::default(),
+    )
+    .unwrap();
+    let json = zeppelin::exec::report::step_report_json(&r);
+    assert!(zeppelin::exec::report::looks_like_json(&json));
+    assert!(json.contains("\"scheduler\":\"Zeppelin\""));
+    assert!(json.contains(&format!("\"tokens\":{}", r.tokens)));
+}

@@ -1,0 +1,107 @@
+//! Property-based round-trip tests for plan JSON serialization.
+
+use proptest::prelude::*;
+
+use zeppelin::core::plan::{AttnMode, IterationPlan, PlanOptions, SeqPlacement, Zone};
+use zeppelin::core::plan_io::{plan_from_json, plan_to_json};
+
+fn arb_zone() -> impl Strategy<Value = Zone> {
+    prop_oneof![
+        Just(Zone::Local),
+        Just(Zone::IntraNode),
+        Just(Zone::InterNode)
+    ]
+}
+
+fn arb_mode() -> impl Strategy<Value = AttnMode> {
+    prop_oneof![
+        Just(AttnMode::Ring),
+        Just(AttnMode::AllGather),
+        Just(AttnMode::Ulysses),
+        Just(AttnMode::DoubleRing)
+    ]
+}
+
+fn arb_placement() -> impl Strategy<Value = SeqPlacement> {
+    (
+        0usize..1000,
+        1u64..1_000_000,
+        arb_zone(),
+        prop::collection::vec(0usize..256, 1..16),
+        arb_mode(),
+        0usize..4,
+    )
+        .prop_map(
+            |(seq_index, len, zone, ranks, mode, micro_batch)| SeqPlacement {
+                seq_index,
+                len,
+                zone,
+                ranks,
+                mode,
+                micro_batch,
+            },
+        )
+}
+
+fn arb_plan() -> impl Strategy<Value = IterationPlan> {
+    (
+        // Scheduler names exercise escaping: quotes, backslashes, unicode.
+        "[a-zA-Z0-9 \"\\\\\u{e9}\u{4e2d}]{0,24}",
+        prop::collection::vec(arb_placement(), 0..20),
+        any::<bool>(),
+        any::<bool>(),
+        1usize..5,
+        0.0f64..1.0,
+    )
+        .prop_map(
+            |(scheduler, placements, routing, remapping, micro_batches, frac)| IterationPlan {
+                scheduler,
+                placements,
+                options: PlanOptions { routing, remapping },
+                micro_batches,
+                redundant_attn_frac: frac,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn json_round_trip_is_identity(plan in arb_plan()) {
+        let json = plan_to_json(&plan);
+        let back = plan_from_json(&json).expect("serialized plans parse");
+        prop_assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn serialized_plans_are_wellformed_json(plan in arb_plan()) {
+        let json = plan_to_json(&plan);
+        prop_assert!(zeppelin::exec::report::looks_like_json(&json));
+        // And the generic parser agrees.
+        prop_assert!(zeppelin::core::plan_io::parse_json(&json).is_ok());
+    }
+
+    #[test]
+    fn junk_never_panics_the_parser(junk in "\\PC{0,64}") {
+        // Any outcome is fine as long as it's a Result, not a panic.
+        let _ = plan_from_json(&junk);
+    }
+
+    #[test]
+    fn truncation_is_rejected_not_panicking(plan in arb_plan(), cut in 0usize..100) {
+        let json = plan_to_json(&plan);
+        if cut < json.len() && cut > 0 {
+            let mut truncated = json.clone();
+            // Cut at a char boundary.
+            let mut idx = json.len() - cut.min(json.len() - 1);
+            while !json.is_char_boundary(idx) {
+                idx -= 1;
+            }
+            truncated.truncate(idx);
+            if idx > 0 {
+                prop_assert!(plan_from_json(&truncated).is_err());
+            }
+        }
+    }
+}

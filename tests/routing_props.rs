@@ -1,0 +1,96 @@
+//! Property-based tests of the communication routing layer (§3.3).
+
+use proptest::prelude::*;
+
+use zeppelin::core::routing::{direct_cost, eq1_cost, proxies_of_node, route_internode};
+use zeppelin::sim::topology::{cluster_a, cluster_b, cluster_c, ClusterSpec};
+
+fn clusters() -> impl Strategy<Value = ClusterSpec> {
+    (1usize..=2, 2usize..=4).prop_map(|(kind, nodes)| match kind {
+        1 => cluster_a(nodes),
+        _ => cluster_b(nodes),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn routed_transfers_conserve_bytes_and_chain_stages(
+        cluster in clusters(),
+        src_local in 0usize..8,
+        dst_local in 0usize..8,
+        bytes in 0.0f64..1e9,
+    ) {
+        let nodes = cluster.nodes;
+        prop_assume!(nodes >= 2);
+        let src = src_local; // Node 0.
+        let dst = cluster.node.gpus_per_node + dst_local; // Node 1.
+        let rt = route_internode(&cluster, src, dst, bytes);
+        prop_assert!((rt.inter_bytes() - bytes).abs() <= bytes * 1e-9 + 1e-6);
+        prop_assert!(rt.lanes() >= 1 && rt.lanes() <= cluster.node.nic_count);
+        let mut tx_nics = std::collections::HashSet::new();
+        for (d, i, g) in &rt.shares {
+            // Stage chaining and locality.
+            if let Some(d) = d {
+                prop_assert_eq!(d.src, src);
+                prop_assert_eq!(d.dst, i.src);
+                prop_assert!(cluster.same_node(d.src, d.dst));
+            } else {
+                prop_assert_eq!(i.src, src);
+            }
+            if let Some(g) = g {
+                prop_assert_eq!(g.dst, dst);
+                prop_assert_eq!(i.dst, g.src);
+                prop_assert!(cluster.same_node(g.src, g.dst));
+            } else {
+                prop_assert_eq!(i.dst, dst);
+            }
+            prop_assert!(!cluster.same_node(i.src, i.dst));
+            // Distinct NIC per lane.
+            prop_assert!(tx_nics.insert(cluster.nic_of(i.src)));
+        }
+    }
+
+    #[test]
+    fn proxies_cover_each_nic_exactly_once(cluster in clusters(), node_sel in 0usize..4) {
+        let node = node_sel % cluster.nodes;
+        let proxies = proxies_of_node(&cluster, node);
+        prop_assert_eq!(proxies.len(), cluster.node.nic_count);
+        let mut nics: Vec<usize> = proxies.iter().map(|&r| cluster.nic_of(r)).collect();
+        nics.sort_unstable();
+        nics.dedup();
+        prop_assert_eq!(nics.len(), cluster.node.nic_count);
+        prop_assert!(proxies.iter().all(|&r| cluster.node_of(r) == node));
+    }
+
+    #[test]
+    fn eq1_never_beats_the_intra_floor_nor_loses_to_direct(
+        n in 1.0f64..1e9,
+        x1 in 1usize..16,
+        x2 in 1usize..16,
+    ) {
+        let b_intra = 1.0 / 400e9;
+        let b_inter = 1.0 / 25e9;
+        let cost = eq1_cost(n, x1, x2, b_intra, b_inter);
+        // Lower bound: the bottleneck inter share must still cross.
+        let floor = b_inter * (n / x1 as f64).max(n / x2 as f64);
+        prop_assert!(cost >= floor - 1e-12);
+        // Routing with one proxy each degenerates to the direct send.
+        if x1 == 1 && x2 == 1 {
+            prop_assert!((cost - direct_cost(n, b_inter)).abs() < 1e-12);
+        }
+        // More proxies never hurt (monotone non-increasing in x1 = x2).
+        if x1 == x2 && x1 > 1 {
+            let fewer = eq1_cost(n, x1 - 1, x2 - 1, b_intra, b_inter);
+            prop_assert!(cost <= fewer + 1e-12);
+        }
+    }
+
+    #[test]
+    fn routing_on_one_to_one_clusters_uses_every_gpu(nodes in 2usize..4, src in 0usize..8) {
+        let cluster = cluster_c(nodes);
+        let rt = route_internode(&cluster, src, cluster.node.gpus_per_node, 1e8);
+        prop_assert_eq!(rt.lanes(), 8);
+    }
+}

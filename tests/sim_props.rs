@@ -1,0 +1,155 @@
+//! Property-based tests of the simulator: DAG completion, monotone spans,
+//! critical-path lower bounds, and max-min fairness capacity invariants on
+//! randomized workloads.
+
+use proptest::prelude::*;
+
+use zeppelin::sim::engine::{Simulator, Stream};
+use zeppelin::sim::network::FlowNetwork;
+use zeppelin::sim::time::SimDuration;
+use zeppelin::sim::topology::{tiny_cluster, Port};
+
+/// A randomized task description.
+#[derive(Debug, Clone)]
+enum Job {
+    Compute { rank: usize, micros: u64 },
+    Transfer { src: usize, dst: usize, mbytes: u64 },
+}
+
+fn jobs() -> impl Strategy<Value = Vec<(Job, Vec<prop::sample::Index>)>> {
+    let job = prop_oneof![
+        (0usize..8, 1u64..500).prop_map(|(rank, micros)| Job::Compute { rank, micros }),
+        (0usize..8, 0usize..8, 1u64..200).prop_filter_map("distinct endpoints", |(s, d, m)| {
+            (s != d).then_some(Job::Transfer {
+                src: s,
+                dst: d,
+                mbytes: m,
+            })
+        }),
+    ];
+    prop::collection::vec(
+        (
+            job,
+            prop::collection::vec(any::<prop::sample::Index>(), 0..3),
+        ),
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_dags_complete_with_consistent_spans(spec in jobs()) {
+        let cluster = tiny_cluster(2, 4);
+        let mut sim = Simulator::new(&cluster);
+        let mut ids = Vec::new();
+        for (job, dep_idx) in &spec {
+            let deps: Vec<_> = if ids.is_empty() {
+                vec![]
+            } else {
+                let mut d: Vec<_> = dep_idx.iter().map(|ix| *ix.get(&ids)).collect();
+                d.sort_unstable();
+                d.dedup();
+                d
+            };
+            let id = match job {
+                Job::Compute { rank, micros } => sim
+                    .compute(*rank, Stream::Compute, SimDuration::from_micros(*micros), deps, None)
+                    .unwrap(),
+                Job::Transfer { src, dst, mbytes } => sim
+                    .transfer(*mbytes as f64 * 1e6, cluster.direct_path(*src, *dst), deps, None)
+                    .unwrap(),
+            };
+            ids.push(id);
+        }
+        let report = sim.run().expect("acyclic DAG completes");
+        for (i, (job, _)) in spec.iter().enumerate() {
+            let (start, end) = report.spans[i];
+            prop_assert!(end >= start);
+            if let Job::Compute { micros, .. } = job {
+                prop_assert_eq!((end - start).as_nanos(), micros * 1000);
+            }
+            prop_assert!(end <= report.makespan);
+        }
+    }
+
+    #[test]
+    fn makespan_is_at_least_any_rank_busy_sum(spec in jobs()) {
+        let cluster = tiny_cluster(2, 4);
+        let mut sim = Simulator::new(&cluster);
+        let mut busy = [0u64; 8];
+        for (job, _) in &spec {
+            match job {
+                Job::Compute { rank, micros } => {
+                    busy[*rank] += micros * 1000;
+                    sim.compute(*rank, Stream::Compute, SimDuration::from_micros(*micros), vec![], None)
+                        .unwrap();
+                }
+                Job::Transfer { src, dst, mbytes } => {
+                    sim.transfer(*mbytes as f64 * 1e6, cluster.direct_path(*src, *dst), vec![], None)
+                        .unwrap();
+                }
+            }
+        }
+        let report = sim.run().unwrap();
+        let max_busy = busy.iter().max().copied().unwrap_or(0);
+        prop_assert!(
+            report.makespan.as_nanos() >= max_busy,
+            "makespan {} < busiest stream {}", report.makespan.as_nanos(), max_busy
+        );
+    }
+
+    #[test]
+    fn maxmin_rates_respect_every_port(
+        flows in prop::collection::vec((0usize..8, 0usize..8, 1u64..100), 1..40)
+    ) {
+        let cluster = tiny_cluster(2, 4);
+        let mut net = FlowNetwork::new();
+        let mut started = 0;
+        for (s, d, mb) in flows {
+            if s == d {
+                continue;
+            }
+            net.start_flow(mb as f64 * 1e6, &cluster.direct_path(s, d), |p| {
+                cluster.port_capacity(p)
+            });
+            started += 1;
+        }
+        prop_assume!(started > 0);
+        // Every port's aggregate usage stays within capacity.
+        for r in 0..8 {
+            for port in [
+                Port::NvlinkOut(r), Port::NvlinkIn(r),
+                Port::PcieOut(r), Port::PcieIn(r),
+            ] {
+                prop_assert!(net.port_usage(port) <= cluster.port_capacity(port) * (1.0 + 1e-9));
+            }
+        }
+        for nic in 0..8 {
+            for port in [Port::NicTx(nic), Port::NicRx(nic)] {
+                prop_assert!(net.port_usage(port) <= cluster.port_capacity(port) * (1.0 + 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn maxmin_is_work_conserving_on_a_single_bottleneck(
+        n in 1usize..16,
+    ) {
+        // n identical flows through one NIC pair: each gets exactly cap/n.
+        let cluster = tiny_cluster(2, 1);
+        let mut net = FlowNetwork::new();
+        let mut keys = Vec::new();
+        for _ in 0..n {
+            keys.push(net.start_flow(1e9, &cluster.direct_path(0, 1), |p| {
+                cluster.port_capacity(p)
+            }));
+        }
+        let cap = cluster.port_capacity(Port::NicTx(0));
+        for k in keys {
+            let rate = net.rate_of(k);
+            prop_assert!((rate - cap / n as f64).abs() / cap < 1e-9);
+        }
+    }
+}

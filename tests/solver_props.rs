@@ -1,0 +1,129 @@
+//! Property-based tests of the optimization substrate: the combinatorial
+//! bottleneck-transport solver against the LP reference, transportation
+//! conservation, and min-cost-flow invariants.
+
+use proptest::prelude::*;
+
+use zeppelin::solver::bottleneck::{solve_bottleneck, solve_lp, RemapProblem};
+use zeppelin::solver::mcmf::MinCostFlow;
+use zeppelin::solver::transport::min_cost_transport;
+
+fn remap_instance() -> impl Strategy<Value = RemapProblem> {
+    (2usize..=3, 1usize..=4, 1.0f64..=20.0).prop_flat_map(|(nodes, per_node, ratio)| {
+        let d = nodes * per_node;
+        prop::collection::vec(0u64..200, d).prop_map(move |tokens| RemapProblem {
+            tokens,
+            node_of: (0..d).map(|i| i / per_node).collect(),
+            intra_cost: 1.0,
+            inter_cost: ratio.max(1.0),
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn bottleneck_plan_achieves_balanced_targets(p in remap_instance()) {
+        let plan = solve_bottleneck(&p);
+        let after = plan.apply(&p.tokens);
+        prop_assert_eq!(&after, &plan.targets);
+        let total: u64 = p.tokens.iter().sum();
+        prop_assert_eq!(after.iter().sum::<u64>(), total);
+        // Targets are balanced within one token.
+        let max = after.iter().max().copied().unwrap_or(0);
+        let min = after.iter().min().copied().unwrap_or(0);
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn combinatorial_never_loses_to_the_lp(p in remap_instance()) {
+        let comb = solve_bottleneck(&p);
+        let lp = solve_lp(&p);
+        // The LP solution is rounded to integers, so allow it the benefit
+        // of a token's worth of inter-node cost.
+        prop_assert!(
+            comb.max_sender_cost <= lp.max_sender_cost + p.inter_cost + 1e-6,
+            "comb {} vs lp {} on {:?}", comb.max_sender_cost, lp.max_sender_cost, p.tokens
+        );
+    }
+
+    #[test]
+    fn senders_only_send_surplus(p in remap_instance()) {
+        let plan = solve_bottleneck(&p);
+        let targets = &plan.targets;
+        let mut sent = vec![0u64; p.tokens.len()];
+        let mut recv = vec![0u64; p.tokens.len()];
+        for m in &plan.moves {
+            prop_assert!(m.tokens > 0);
+            prop_assert_ne!(m.from, m.to);
+            sent[m.from] += m.tokens;
+            recv[m.to] += m.tokens;
+        }
+        for i in 0..p.tokens.len() {
+            prop_assert_eq!(sent[i], p.tokens[i].saturating_sub(targets[i]));
+            prop_assert_eq!(recv[i], targets[i].saturating_sub(p.tokens[i]));
+        }
+    }
+
+    #[test]
+    fn transport_conserves_and_is_optimal_2x2(
+        s0 in 0i64..50, s1 in 0i64..50,
+        d_split in 0i64..=100,
+        c in prop::array::uniform4(1i64..20),
+    ) {
+        let total = s0 + s1;
+        let d0 = (total * d_split / 100).min(total);
+        let d1 = total - d0;
+        let supply = [s0, s1];
+        let demand = [d0, d1];
+        let cost = vec![vec![c[0], c[1]], vec![c[2], c[3]]];
+        let (ship, best) = min_cost_transport(&supply, &demand, &cost).unwrap();
+        // Conservation.
+        for i in 0..2 {
+            prop_assert_eq!(ship[i].iter().sum::<i64>(), supply[i]);
+            prop_assert_eq!(ship[0][i] + ship[1][i], demand[i]);
+        }
+        // Brute force over the single degree of freedom.
+        let mut brute = i64::MAX;
+        for x in 0..=s0.min(d0) {
+            let r0 = s0 - x; // s0 -> d1.
+            let r1 = d0 - x; // s1 -> d0.
+            let r2 = s1 - r1; // s1 -> d1.
+            if r0 < 0 || r1 < 0 || r2 < 0 || r0 + r2 != d1 {
+                continue;
+            }
+            brute = brute.min(c[0] * x + c[1] * r0 + c[2] * r1 + c[3] * r2);
+        }
+        if brute != i64::MAX {
+            prop_assert_eq!(best, brute);
+        }
+    }
+
+    #[test]
+    fn mcmf_flow_is_within_capacity_and_conserved(
+        caps in prop::collection::vec(0i64..30, 6),
+        costs in prop::collection::vec(0i64..10, 6),
+    ) {
+        // Fixed diamond topology with random capacities/costs.
+        let arcs = [(0usize, 1usize), (0, 2), (1, 2), (1, 3), (2, 3), (0, 3)];
+        let mut g = MinCostFlow::new(4);
+        let mut edges = Vec::new();
+        for ((&(u, v), &cap), &cost) in arcs.iter().zip(&caps).zip(&costs) {
+            edges.push(((u, v), cap, g.add_edge(u, v, cap, cost)));
+        }
+        let r = g.solve(0, 3);
+        prop_assert!(r.flow >= 0);
+        let mut net = [0i64; 4];
+        for &((u, v), cap, e) in &edges {
+            let f = g.flow_on(e);
+            prop_assert!(f >= 0 && f <= cap);
+            net[u] -= f;
+            net[v] += f;
+        }
+        prop_assert_eq!(net[0], -r.flow);
+        prop_assert_eq!(net[3], r.flow);
+        prop_assert_eq!(net[1], 0);
+        prop_assert_eq!(net[2], 0);
+    }
+}
