@@ -3,12 +3,15 @@
 //! These bound how large a cluster / iteration the exhibit suite can
 //! simulate in reasonable wall time.
 
+use std::collections::VecDeque;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use zeppelin_sim::engine::{Simulator, Stream};
+use zeppelin_sim::engine::{Simulator, Stream, TaskId};
 use zeppelin_sim::network::FlowNetwork;
+use zeppelin_sim::reference::ReferenceNet;
 use zeppelin_sim::time::SimDuration;
-use zeppelin_sim::topology::{cluster_a, tiny_cluster};
+use zeppelin_sim::topology::{cluster_a, tiny_cluster, Port};
 
 fn bench_flow_network(c: &mut Criterion) {
     let mut group = c.benchmark_group("flow_network");
@@ -27,6 +30,74 @@ fn bench_flow_network(c: &mut Criterion) {
                 std::hint::black_box(net.active_flows())
             })
         });
+    }
+    group.finish();
+}
+
+/// Steady-state churn: one flow finishes and one starts per iteration while
+/// `flows` stay active, then the next completion instant is queried. Traffic
+/// follows a DP-style node-pair pattern (the shape the collective planners
+/// emit), so contention forms bounded components. `churn_incremental` is the
+/// production allocator; `churn_reference` drives the frozen from-scratch
+/// oracle through the same schedule as the before/after baseline.
+fn bench_flow_churn(c: &mut Criterion) {
+    let cluster = cluster_a(16); // 128 ranks, 64 NICs.
+    let paths: Vec<Vec<Port>> = (0..2048usize)
+        .map(|i| {
+            let pair = i % 8;
+            let src = (2 * pair) * 8 + (i / 8) % 8;
+            let dst = (2 * pair + 1) * 8 + (i / 64) % 8;
+            cluster.direct_path(src, dst)
+        })
+        .collect();
+    let mut group = c.benchmark_group("flow_network");
+    for flows in [256usize, 1024, 4096] {
+        group.bench_with_input(
+            BenchmarkId::new("churn_incremental", flows),
+            &flows,
+            |b, &n| {
+                let mut net = FlowNetwork::new();
+                let mut keys = VecDeque::new();
+                let mut i = 0usize;
+                for _ in 0..n {
+                    keys.push_back(
+                        net.start_flow(1e12, &paths[i % paths.len()], |p| cluster.port_capacity(p)),
+                    );
+                    i += 1;
+                }
+                b.iter(|| {
+                    net.finish_flow(keys.pop_front().expect("steady state"));
+                    keys.push_back(
+                        net.start_flow(1e12, &paths[i % paths.len()], |p| cluster.port_capacity(p)),
+                    );
+                    i += 1;
+                    std::hint::black_box(net.next_completion())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("churn_reference", flows),
+            &flows,
+            |b, &n| {
+                let mut net = ReferenceNet::new();
+                let mut keys = VecDeque::new();
+                let mut i = 0usize;
+                for _ in 0..n {
+                    keys.push_back(
+                        net.start_flow(1e12, &paths[i % paths.len()], |p| cluster.port_capacity(p)),
+                    );
+                    i += 1;
+                }
+                b.iter(|| {
+                    net.finish_flow(keys.pop_front().expect("steady state"));
+                    keys.push_back(
+                        net.start_flow(1e12, &paths[i % paths.len()], |p| cluster.port_capacity(p)),
+                    );
+                    i += 1;
+                    std::hint::black_box(net.next_completion())
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -58,8 +129,33 @@ fn bench_engine(c: &mut Criterion) {
             b.iter(|| std::hint::black_box(sim.run().unwrap().makespan))
         });
     }
+    // Many transfers become ready at the same instant (barrier-synchronized
+    // rounds): the case the engine's batched begin/commit updates target.
+    for (rounds, width) in [(16usize, 64usize)] {
+        let cluster = cluster_a(2);
+        let mut sim = Simulator::new(&cluster);
+        let mut barrier: Option<TaskId> = None;
+        for r in 0..rounds {
+            let mut round_ids = Vec::new();
+            for j in 0..width {
+                let src = (r * 13 + j) % 16;
+                let dst = (src + 1 + j % 15) % 16;
+                let deps = barrier.into_iter().collect();
+                round_ids.push(
+                    sim.transfer(2e8, cluster.direct_path(src, dst), deps, None)
+                        .unwrap(),
+                );
+            }
+            barrier = Some(sim.marker(round_ids).unwrap());
+        }
+        group.bench_with_input(
+            BenchmarkId::new("fanout_rounds", rounds * width),
+            &rounds,
+            |b, _| b.iter(|| std::hint::black_box(sim.run().unwrap().makespan)),
+        );
+    }
     group.finish();
 }
 
-criterion_group!(benches, bench_flow_network, bench_engine);
+criterion_group!(benches, bench_flow_network, bench_flow_churn, bench_engine);
 criterion_main!(benches);

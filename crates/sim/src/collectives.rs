@@ -102,8 +102,7 @@ pub fn ring_allgather(
         arrive = next_arrive;
     }
     let mut done = Vec::with_capacity(g);
-    for p in 0..g {
-        let mut d = inbound[p].clone();
+    for (p, mut d) in inbound.into_iter().enumerate() {
         d.extend(deps.get(p).copied().flatten());
         done.push(sim.marker(d)?);
     }
@@ -219,8 +218,7 @@ pub fn all_to_all(
         }
     }
     let mut done = Vec::with_capacity(g);
-    for p in 0..g {
-        let mut d = inbound[p].clone();
+    for (p, mut d) in inbound.into_iter().enumerate() {
         d.extend(deps.get(p).copied().flatten());
         done.push(sim.marker(d)?);
     }

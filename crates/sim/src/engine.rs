@@ -255,6 +255,9 @@ impl Simulator {
         let mut net = FlowNetwork::new();
         let mut flow_task: HashMap<FlowKey, TaskId> = HashMap::new();
         let mut port_bytes: HashMap<Port, f64> = HashMap::new();
+        // Reused across instants: deduplicated transfer path / drained keys.
+        let mut dedup_path: Vec<Port> = Vec::new();
+        let mut drained_keys: Vec<FlowKey> = Vec::new();
         let mut streams: HashMap<(Rank, Stream), StreamState> = HashMap::new();
         let mut spans = vec![(SimTime::ZERO, SimTime::ZERO); n];
         let mut done = vec![false; n];
@@ -332,22 +335,30 @@ impl Simulator {
                                 }
                             }
                         } else {
-                            net.advance_to(now);
-                            let key =
-                                net.start_flow(*bytes, path, |p| self.cluster.port_capacity(p));
-                            let mut seen = path.clone();
-                            seen.sort_unstable();
-                            seen.dedup();
-                            for port in seen {
+                            if !net_dirty {
+                                // One clock advance and one rate rebalance
+                                // cover every flow launched at this instant.
+                                net.advance_to(now);
+                                net.begin_update();
+                                net_dirty = true;
+                            }
+                            dedup_path.clear();
+                            dedup_path.extend_from_slice(path);
+                            dedup_path.sort_unstable();
+                            dedup_path.dedup();
+                            for &port in &dedup_path {
                                 *port_bytes.entry(port).or_insert(0.0) += *bytes;
                             }
+                            let key = net.start_flow_deduped(*bytes, &dedup_path, |p| {
+                                self.cluster.port_capacity(p)
+                            });
                             flow_task.insert(key, id);
-                            net_dirty = true;
                         }
                     }
                 }
             }
             if net_dirty {
+                net.commit_update();
                 reschedule_net!();
             }
 
@@ -392,13 +403,17 @@ impl Simulator {
                         continue; // Stale: the flow set changed since scheduling.
                     }
                     net.advance_to(now);
-                    let drained = net.drained();
-                    if drained.is_empty() {
+                    drained_keys.clear();
+                    net.collect_drained(&mut drained_keys);
+                    if drained_keys.is_empty() {
                         // Rounding moved completion past this instant; re-arm.
                         reschedule_net!();
                         continue;
                     }
-                    for key in drained {
+                    // Batch the removals: one rebalance for the whole
+                    // completion group instead of one per finished flow.
+                    net.begin_update();
+                    for &key in &drained_keys {
                         net.finish_flow(key);
                         let id = flow_task.remove(&key).expect("flow has owner task");
                         spans[id.0].1 = now;
@@ -411,6 +426,7 @@ impl Simulator {
                             }
                         }
                     }
+                    net.commit_update();
                     reschedule_net!();
                 }
             }

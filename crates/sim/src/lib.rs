@@ -11,7 +11,8 @@
 //! - **bandwidth contention** ([`network`]): transfers are fluid flows over
 //!   capacitated ports with max-min fair sharing, so shared NICs, asymmetric
 //!   ring traffic and multi-NIC routing behave as they do on real RoCE
-//!   fabrics;
+//!   fabrics (allocated incrementally per connected component; the frozen
+//!   from-scratch allocator survives in [`reference`] as a test oracle);
 //! - **execution** ([`engine`]): task DAGs with per-GPU compute streams,
 //!   giving compute/communication overlap semantics;
 //! - **observability** ([`trace`]): per-rank timelines with Chrome-trace
@@ -43,6 +44,7 @@ pub mod collectives;
 pub mod engine;
 pub mod error;
 pub mod network;
+pub mod reference;
 pub mod time;
 pub mod topology;
 pub mod trace;

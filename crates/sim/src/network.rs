@@ -10,14 +10,52 @@
 //!
 //! The network is advanced lazily: callers move it to the current simulation
 //! time, mutate the flow set, and ask for the next completion instant.
+//!
+//! # Incremental allocation
+//!
+//! The allocator is *incremental*: a port→flow reverse index identifies the
+//! connected component of flows that transitively share ports with a mutated
+//! flow, and progressive filling runs over that component only. This is exact,
+//! not approximate — the max-min fair fixed point is unique, and flows in
+//! disjoint components share no port, so their saturation levels are computed
+//! from component-local state in both the global and the component-restricted
+//! filling. Every floating-point expression matches the from-scratch
+//! reference ([`crate::reference`]) operation for operation, so rates come
+//! out bit-for-bit equal (the one theoretical exception is a cross-component
+//! *near*-tie inside the 1e-12 freeze tolerance, which would require two
+//! independently computed levels to differ by less than one part in 10^12
+//! without being equal).
+//!
+//! Callers that mutate several flows at one instant should wrap the mutations
+//! in [`FlowNetwork::begin_update`] / [`FlowNetwork::commit_update`] so the
+//! network pays one component recomputation per event instant instead of one
+//! per mutation. Batching is also exact: the allocation depends only on the
+//! final flow set, never on rates left over from intermediate states.
+//!
+//! Completion queries are served from a lazily invalidated min-heap of
+//! projected completion instants instead of a full scan; see
+//! [`FlowNetwork::next_completion`].
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Port;
 
 /// Bytes below which a flow is considered drained (absorbs f64 rounding).
 const EPS_BYTES: f64 = 1e-6;
+
+/// Tolerance (in nanoseconds) when deciding whether a heap entry's projected
+/// completion could still beat the best freshly evaluated candidate.
+///
+/// Heap keys can be stale by the drift between a projection made at an older
+/// clock and one made now: the real-arithmetic value is identical (remaining
+/// shrinks exactly as the clock advances), so the drift is a few ulps of f64
+/// rounding plus at most 1 ns of ceil-boundary movement. 16 ns is orders of
+/// magnitude above any reachable drift; entries within the slack are simply
+/// re-evaluated exactly, so a generous slack costs a little work, never
+/// correctness.
+const SLACK_NS: u64 = 16;
 
 /// Handle to an active flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -31,6 +69,34 @@ struct ActiveFlow {
     remaining: f64,
     /// Current max-min fair rate in bytes/s.
     rate: f64,
+    /// Whether the flow already sits in the drained-ready list.
+    drained_listed: bool,
+}
+
+/// Reusable workspace for component discovery and progressive filling.
+///
+/// Epoch-stamped marks make clearing O(component) instead of O(network):
+/// an entry is "set" only if its stamp equals the current epoch.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Current recomputation epoch (stamps start at 0, epochs at 1).
+    epoch: u64,
+    /// Per-port: stamped when the port joins the current component.
+    port_mark: Vec<u64>,
+    /// Per-slot: stamped when the flow joins the current component.
+    flow_mark: Vec<u64>,
+    /// Per-slot: stamped when the flow freezes in the current filling.
+    frozen_mark: Vec<u64>,
+    /// Per-port: bandwidth already committed to frozen flows.
+    frozen_usage: Vec<f64>,
+    /// Per-port: number of unfrozen component flows crossing the port.
+    unfrozen_count: Vec<usize>,
+    /// Ports of the current component.
+    comp_ports: Vec<usize>,
+    /// Flow slots of the current component, sorted ascending.
+    comp_flows: Vec<usize>,
+    /// BFS work list of ports.
+    stack: Vec<usize>,
 }
 
 /// The set of concurrently active flows over a shared port inventory.
@@ -38,10 +104,29 @@ struct ActiveFlow {
 pub struct FlowNetwork {
     port_caps: Vec<f64>,
     port_index: HashMap<Port, usize>,
+    /// Reverse index: flows currently crossing each port.
+    port_flows: Vec<Vec<usize>>,
+    /// Maintained sum of rates through each port (exact per rebalance).
+    port_rate_sum: Vec<f64>,
     flows: Vec<Option<ActiveFlow>>,
+    /// Per-slot generation; bumped whenever the slot's heap keys go stale.
+    slot_gen: Vec<u64>,
     free_keys: Vec<usize>,
     clock: SimTime,
     active: usize,
+    /// Whether a `begin_update` batch is open.
+    batching: bool,
+    /// Ports touched by mutations since the last rebalance.
+    dirty_ports: Vec<usize>,
+    /// Min-heap of `(projected completion ns, slot, generation)` entries
+    /// computed at the *current* clock — their keys are exact.
+    heap_fresh: BinaryHeap<Reverse<(u64, usize, u64)>>,
+    /// Entries surviving from before the last clock advance; their keys can
+    /// drift from a fresh projection by f64 rounding, bounded by [`SLACK_NS`].
+    heap_stale: BinaryHeap<Reverse<(u64, usize, u64)>>,
+    /// Slots whose flows have drained but are not yet finished.
+    drained_ready: Vec<usize>,
+    scratch: Scratch,
 }
 
 impl FlowNetwork {
@@ -66,8 +151,44 @@ impl FlowNetwork {
         }
         let i = self.port_caps.len();
         self.port_caps.push(capacity);
+        self.port_flows.push(Vec::new());
+        self.port_rate_sum.push(0.0);
         self.port_index.insert(port, i);
         i
+    }
+
+    /// Opens a batch: subsequent flow mutations accumulate without
+    /// rebalancing until [`FlowNetwork::commit_update`].
+    ///
+    /// Batching is exact — the max-min allocation depends only on the final
+    /// flow set — and saves one recomputation per mutation when several flows
+    /// start or finish at the same instant. The clock must not be advanced
+    /// and completions must not be queried while a batch is open.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a batch is already open.
+    pub fn begin_update(&mut self) {
+        assert!(!self.batching, "begin_update while a batch is already open");
+        self.batching = true;
+    }
+
+    /// Closes the batch opened by [`FlowNetwork::begin_update`] and
+    /// rebalances once for all accumulated mutations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batch is open.
+    pub fn commit_update(&mut self) {
+        assert!(self.batching, "commit_update without begin_update");
+        self.batching = false;
+        self.rebalance();
+    }
+
+    fn after_mutation(&mut self) {
+        if !self.batching {
+            self.rebalance();
+        }
     }
 
     /// Starts a flow of `bytes` over `path` at the current clock.
@@ -102,10 +223,51 @@ impl FlowNetwork {
             .collect();
         interned.sort_unstable();
         interned.dedup();
+        self.insert_flow(bytes, interned)
+    }
+
+    /// Like [`FlowNetwork::start_flow`] for a path already free of duplicate
+    /// ports, skipping the dedup pass. The engine dedups each transfer path
+    /// once for byte accounting and hands the result straight here.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`FlowNetwork::start_flow`]; additionally, duplicate ports
+    /// in `path` are a caller bug (checked in debug builds).
+    pub fn start_flow_deduped(
+        &mut self,
+        bytes: f64,
+        path: &[Port],
+        mut capacity_of: impl FnMut(Port) -> f64,
+    ) -> FlowKey {
+        assert!(!path.is_empty(), "flow path must be non-empty");
+        assert!(
+            bytes.is_finite() && bytes >= 0.0,
+            "flow size must be finite and non-negative, got {bytes}"
+        );
+        let mut interned: Vec<usize> = path
+            .iter()
+            .map(|&p| {
+                let cap = capacity_of(p);
+                assert!(cap > 0.0, "port {p:?} must have positive capacity");
+                self.intern(p, cap)
+            })
+            .collect();
+        interned.sort_unstable();
+        debug_assert!(
+            interned.windows(2).all(|w| w[0] != w[1]),
+            "start_flow_deduped requires a duplicate-free path"
+        );
+        self.insert_flow(bytes, interned)
+    }
+
+    fn insert_flow(&mut self, bytes: f64, interned: Vec<usize>) -> FlowKey {
+        let drained = bytes <= EPS_BYTES;
         let flow = ActiveFlow {
             path: interned,
             remaining: bytes,
             rate: 0.0,
+            drained_listed: drained,
         };
         let key = match self.free_keys.pop() {
             Some(k) => {
@@ -114,11 +276,21 @@ impl FlowNetwork {
             }
             None => {
                 self.flows.push(Some(flow));
+                self.slot_gen.push(0);
                 self.flows.len() - 1
             }
         };
+        self.slot_gen[key] += 1;
+        let f = self.flows[key].as_ref().expect("just inserted");
+        for &p in &f.path {
+            self.port_flows[p].push(key);
+            self.dirty_ports.push(p);
+        }
+        if drained {
+            self.drained_ready.push(key);
+        }
         self.active += 1;
-        self.recompute_rates();
+        self.after_mutation();
         FlowKey(key)
     }
 
@@ -126,18 +298,32 @@ impl FlowNetwork {
     ///
     /// # Panics
     ///
-    /// Panics if `now` precedes the internal clock.
+    /// Panics if `now` precedes the internal clock, or if a batch is open
+    /// (rates are stale mid-batch, so draining against them would be wrong).
     pub fn advance_to(&mut self, now: SimTime) {
+        assert!(!self.batching, "advance_to during an open batch");
         let dt = now.since(self.clock).as_secs_f64();
         if dt > 0.0 {
-            for slot in self.flows.iter_mut().flatten() {
-                slot.remaining = (slot.remaining - slot.rate * dt).max(0.0);
+            // Projections made before this instant are no longer exact:
+            // demote them to the slack-checked heap.
+            self.heap_stale.append(&mut self.heap_fresh);
+            for (k, slot) in self.flows.iter_mut().enumerate() {
+                if let Some(f) = slot {
+                    f.remaining = (f.remaining - f.rate * dt).max(0.0);
+                    if !f.drained_listed && f.remaining <= EPS_BYTES {
+                        f.drained_listed = true;
+                        self.drained_ready.push(k);
+                    }
+                }
             }
         }
         self.clock = now;
     }
 
     /// Keys of flows that have fully drained as of the current clock.
+    ///
+    /// Allocates a fresh `Vec`; hot paths should prefer
+    /// [`FlowNetwork::collect_drained`].
     pub fn drained(&self) -> Vec<FlowKey> {
         self.flows
             .iter()
@@ -149,8 +335,16 @@ impl FlowNetwork {
             .collect()
     }
 
-    /// Removes a flow (normally one reported by [`FlowNetwork::drained`]) and
-    /// rebalances the remaining flows.
+    /// Appends the keys of drained-but-unfinished flows to `out` in
+    /// ascending key order, without scanning the flow table or allocating
+    /// (beyond `out`'s own growth).
+    pub fn collect_drained(&mut self, out: &mut Vec<FlowKey>) {
+        self.drained_ready.sort_unstable();
+        out.extend(self.drained_ready.iter().map(|&k| FlowKey(k)));
+    }
+
+    /// Removes a flow (normally one reported by [`FlowNetwork::drained`] or
+    /// [`FlowNetwork::collect_drained`]) and rebalances the remaining flows.
     ///
     /// # Panics
     ///
@@ -162,31 +356,88 @@ impl FlowNetwork {
             "finishing a flow with {} bytes left",
             slot.remaining
         );
+        for &p in &slot.path {
+            let on_port = &mut self.port_flows[p];
+            let pos = on_port
+                .iter()
+                .position(|&k| k == key.0)
+                .expect("flow indexed on its ports");
+            on_port.swap_remove(pos);
+            self.dirty_ports.push(p);
+        }
+        if slot.drained_listed {
+            if let Some(pos) = self.drained_ready.iter().position(|&k| k == key.0) {
+                self.drained_ready.swap_remove(pos);
+            }
+        }
+        self.slot_gen[key.0] += 1; // Invalidate any heap entries for the slot.
         self.free_keys.push(key.0);
         self.active -= 1;
-        self.recompute_rates();
+        self.after_mutation();
     }
 
     /// Earliest instant at which some active flow drains, if any are active.
     ///
     /// The instant is rounded up to nanosecond granularity; callers should
     /// `advance_to` it and then collect [`FlowNetwork::drained`] flows.
-    pub fn next_completion(&self) -> Option<SimTime> {
-        let mut best: Option<f64> = None;
-        for f in self.flows.iter().flatten() {
-            let secs = if f.remaining <= EPS_BYTES {
-                0.0
-            } else if f.rate > 0.0 {
-                f.remaining / f.rate
-            } else {
-                continue; // Starved flow: cannot finish until rates change.
-            };
-            best = Some(match best {
-                Some(b) => b.min(secs),
-                None => secs,
-            });
+    ///
+    /// Served from two min-heaps of projected completion instants. Keys
+    /// pushed since the last clock advance are *exact* (identical to what a
+    /// full scan would compute right now, because nothing moved the
+    /// remaining-bytes values they were derived from); keys surviving from
+    /// older clocks can drift by f64 rounding, bounded by [`SLACK_NS`].
+    /// Dead entries — the flow finished or was re-projected (detected by a
+    /// per-slot generation) — are dropped lazily. Any old entry that could
+    /// still beat the best exact key is re-projected with the exact
+    /// full-scan expression and re-homed, so the returned instant is
+    /// identical to what a scan over all flows would produce.
+    pub fn next_completion(&mut self) -> Option<SimTime> {
+        debug_assert!(!self.batching, "next_completion during an open batch");
+        if self.active == 0 {
+            return None;
         }
-        best.map(|secs| self.clock + SimDuration::from_secs_f64(secs))
+        if !self.drained_ready.is_empty() {
+            // A drained flow completes "now" (the scan's secs = 0.0 case).
+            return Some(self.clock);
+        }
+        loop {
+            // Current best exact candidate: the first live fresh entry.
+            let best = loop {
+                match self.heap_fresh.peek() {
+                    Some(&Reverse((ns, k, gen))) => {
+                        if self.slot_gen[k] == gen {
+                            break Some(ns);
+                        }
+                        self.heap_fresh.pop();
+                    }
+                    None => break None,
+                }
+            };
+            // Examine every surviving old entry that could still beat it.
+            let Some(&Reverse((key_ns, k, gen))) = self.heap_stale.peek() else {
+                return best.map(SimTime::from_nanos);
+            };
+            if let Some(b) = best {
+                if key_ns > b.saturating_add(SLACK_NS) {
+                    // Its exact value is ≥ key - SLACK_NS > best: keep it for
+                    // a later call; nothing deeper can beat best either.
+                    return Some(SimTime::from_nanos(b));
+                }
+            }
+            self.heap_stale.pop();
+            if self.slot_gen[k] != gen {
+                continue; // Dead: finished or already re-projected.
+            }
+            let f = self.flows[k].as_ref().expect("live generation");
+            debug_assert!(f.remaining > EPS_BYTES, "drained flow missing from list");
+            if f.rate <= 0.0 {
+                continue; // Starved: re-projected at the next rebalance.
+            }
+            let t = self.clock + SimDuration::from_secs_f64(f.remaining / f.rate);
+            self.slot_gen[k] += 1;
+            self.heap_fresh
+                .push(Reverse((t.as_nanos(), k, self.slot_gen[k])));
+        }
     }
 
     /// Current rate of a flow in bytes/s (for tests and introspection).
@@ -203,45 +454,89 @@ impl FlowNetwork {
     }
 
     /// Sum of current rates through `port`, in bytes/s.
+    ///
+    /// O(1): read from a per-port sum maintained by the allocator (this backs
+    /// the per-NIC utilization accounting behind the paper's Fig. 2).
     pub fn port_usage(&self, port: Port) -> f64 {
         let Some(&idx) = self.port_index.get(&port) else {
             return 0.0;
         };
-        self.flows
-            .iter()
-            .flatten()
-            .filter(|f| f.path.contains(&idx))
-            .map(|f| f.rate)
-            .sum()
+        self.port_rate_sum[idx]
     }
 
-    /// Recomputes the progressive-filling max-min fair allocation.
+    /// Recomputes the max-min fair allocation for the connected component of
+    /// flows reachable from the ports dirtied since the last rebalance.
     ///
-    /// All active flows rise from rate 0 together; each port `p` saturates at
-    /// level `(cap_p - frozen_p) / unfrozen_p`. The minimum such level across
-    /// ports freezes every unfrozen flow crossing a bottleneck port, and the
-    /// process repeats until all flows are frozen.
-    fn recompute_rates(&mut self) {
-        let n_ports = self.port_caps.len();
-        let mut frozen_usage = vec![0.0f64; n_ports];
-        let mut unfrozen_count = vec![0usize; n_ports];
-        let mut live: Vec<usize> = Vec::new();
-        for (k, slot) in self.flows.iter().enumerate() {
-            if let Some(f) = slot {
-                live.push(k);
-                for &p in &f.path {
-                    unfrozen_count[p] += 1;
+    /// Progressive filling: component flows rise from rate 0 together; each
+    /// port `p` saturates at level `(cap_p - frozen_p) / unfrozen_p`. The
+    /// minimum such level across component ports freezes every unfrozen flow
+    /// crossing a bottleneck port, and the process repeats until all
+    /// component flows are frozen. Flows outside the component share no port
+    /// with it (directly or transitively), so their rates are already at the
+    /// fixed point and stay untouched.
+    fn rebalance(&mut self) {
+        if self.dirty_ports.is_empty() {
+            return;
+        }
+        let s = &mut self.scratch;
+        s.port_mark.resize(self.port_caps.len(), 0);
+        s.frozen_usage.resize(self.port_caps.len(), 0.0);
+        s.unfrozen_count.resize(self.port_caps.len(), 0);
+        s.flow_mark.resize(self.flows.len(), 0);
+        s.frozen_mark.resize(self.flows.len(), 0);
+        s.epoch += 1;
+        let epoch = s.epoch;
+
+        // Flood out from the dirty ports over the port→flow→port adjacency.
+        s.comp_ports.clear();
+        s.comp_flows.clear();
+        s.stack.clear();
+        for &p in &self.dirty_ports {
+            if s.port_mark[p] != epoch {
+                s.port_mark[p] = epoch;
+                s.comp_ports.push(p);
+                s.stack.push(p);
+            }
+        }
+        self.dirty_ports.clear();
+        while let Some(p) = s.stack.pop() {
+            for &k in &self.port_flows[p] {
+                if s.flow_mark[k] != epoch {
+                    s.flow_mark[k] = epoch;
+                    s.comp_flows.push(k);
+                    let f = self.flows[k].as_ref().expect("indexed flow is live");
+                    for &q in &f.path {
+                        if s.port_mark[q] != epoch {
+                            s.port_mark[q] = epoch;
+                            s.comp_ports.push(q);
+                            s.stack.push(q);
+                        }
+                    }
                 }
             }
         }
-        let mut frozen = vec![false; self.flows.len()];
-        let mut remaining_live = live.len();
+        // Ascending key order: the freeze pass mutates per-port state while
+        // iterating, so flow order is observable and must match the
+        // reference's whole-table order.
+        s.comp_flows.sort_unstable();
+
+        for &p in &s.comp_ports {
+            s.frozen_usage[p] = 0.0;
+            s.unfrozen_count[p] = 0;
+        }
+        for &k in &s.comp_flows {
+            let f = self.flows[k].as_ref().expect("component flow is live");
+            for &p in &f.path {
+                s.unfrozen_count[p] += 1;
+            }
+        }
+        let mut remaining_live = s.comp_flows.len();
         while remaining_live > 0 {
             // Find the lowest saturation level among contended ports.
             let mut level = f64::INFINITY;
-            for p in 0..n_ports {
-                if unfrozen_count[p] > 0 {
-                    let l = (self.port_caps[p] - frozen_usage[p]) / unfrozen_count[p] as f64;
+            for &p in &s.comp_ports {
+                if s.unfrozen_count[p] > 0 {
+                    let l = (self.port_caps[p] - s.frozen_usage[p]) / s.unfrozen_count[p] as f64;
                     if l < level {
                         level = l;
                     }
@@ -251,24 +546,24 @@ impl FlowNetwork {
             let level = level.max(0.0);
             // Freeze every unfrozen flow that crosses a bottleneck port.
             let mut froze_any = false;
-            for &k in &live {
-                if frozen[k] {
+            for &k in &s.comp_flows {
+                if s.frozen_mark[k] == epoch {
                     continue;
                 }
                 let f = self.flows[k].as_ref().expect("live flow");
                 let at_bottleneck = f.path.iter().any(|&p| {
-                    let l = (self.port_caps[p] - frozen_usage[p]) / unfrozen_count[p] as f64;
+                    let l = (self.port_caps[p] - s.frozen_usage[p]) / s.unfrozen_count[p] as f64;
                     l <= level + level.abs() * 1e-12
                 });
                 if at_bottleneck {
-                    frozen[k] = true;
+                    s.frozen_mark[k] = epoch;
                     froze_any = true;
                     remaining_live -= 1;
-                    let path = self.flows[k].as_ref().expect("live flow").path.clone();
                     self.flows[k].as_mut().expect("live flow").rate = level;
-                    for p in path {
-                        frozen_usage[p] += level;
-                        unfrozen_count[p] -= 1;
+                    let f = self.flows[k].as_ref().expect("live flow");
+                    for &p in &f.path {
+                        s.frozen_usage[p] += level;
+                        s.unfrozen_count[p] -= 1;
                     }
                 }
             }
@@ -277,12 +572,61 @@ impl FlowNetwork {
                 break; // Defensive: avoid an infinite loop under fp anomalies.
             }
         }
+
+        // Refresh the maintained per-port rate sums for the component.
+        for &p in &s.comp_ports {
+            let mut sum = 0.0;
+            for &k in &self.port_flows[p] {
+                sum += self.flows[k].as_ref().expect("indexed flow is live").rate;
+            }
+            self.port_rate_sum[p] = sum;
+        }
+        // Re-project completion instants for the component's flows.
+        for &k in &s.comp_flows {
+            self.slot_gen[k] += 1;
+            let f = self.flows[k].as_ref().expect("component flow is live");
+            if f.remaining <= EPS_BYTES {
+                continue; // Listed in drained_ready; completes "now".
+            }
+            if f.rate > 0.0 {
+                let t = self.clock + SimDuration::from_secs_f64(f.remaining / f.rate);
+                self.heap_fresh
+                    .push(Reverse((t.as_nanos(), k, self.slot_gen[k])));
+            }
+            // rate == 0: starved; re-projected once a rebalance feeds it.
+        }
+        // Shed dead entries if churn let the heaps outgrow the flow set.
+        if self.heap_fresh.len() + self.heap_stale.len() > 64 + 4 * self.active {
+            self.rebuild_heap();
+        }
+    }
+
+    /// Drops every dead or drifted heap entry by re-projecting all live
+    /// flows at the current clock (projections at the current clock are
+    /// exact, so this never changes what
+    /// [`FlowNetwork::next_completion`] returns).
+    fn rebuild_heap(&mut self) {
+        self.heap_fresh.clear();
+        self.heap_stale.clear();
+        for k in 0..self.flows.len() {
+            let Some(f) = self.flows[k].as_ref() else {
+                continue;
+            };
+            if f.remaining <= EPS_BYTES || f.rate <= 0.0 {
+                continue;
+            }
+            let t = self.clock + SimDuration::from_secs_f64(f.remaining / f.rate);
+            self.slot_gen[k] += 1;
+            self.heap_fresh
+                .push(Reverse((t.as_nanos(), k, self.slot_gen[k])));
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::ReferenceNet;
     use crate::topology::{cluster_a, tiny_cluster};
 
     fn cap_fn(c: &crate::topology::ClusterSpec) -> impl FnMut(Port) -> f64 + '_ {
@@ -436,5 +780,140 @@ mod tests {
         let k2 = net.start_flow(5.0, &c.direct_path(1, 0), cap_fn(&c));
         assert_eq!(k, k2, "slot should be recycled");
         assert!(net.remaining_of(k2) > 0.0);
+    }
+
+    #[test]
+    fn batched_updates_match_individual_bitwise() {
+        let c = cluster_a(2);
+        let paths: Vec<Vec<Port>> = (0..6).map(|i| c.direct_path(i, 8 + i % 8)).collect();
+        let mut one_by_one = FlowNetwork::new();
+        let keys_a: Vec<FlowKey> = paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| one_by_one.start_flow(1e9 + i as f64, p, cap_fn(&c)))
+            .collect();
+        let mut batched = FlowNetwork::new();
+        batched.begin_update();
+        let keys_b: Vec<FlowKey> = paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| batched.start_flow(1e9 + i as f64, p, cap_fn(&c)))
+            .collect();
+        batched.commit_update();
+        for (ka, kb) in keys_a.iter().zip(&keys_b) {
+            assert_eq!(
+                one_by_one.rate_of(*ka).to_bits(),
+                batched.rate_of(*kb).to_bits()
+            );
+        }
+        assert_eq!(one_by_one.next_completion(), batched.next_completion());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch is already open")]
+    fn nested_batches_panic() {
+        let mut net = FlowNetwork::new();
+        net.begin_update();
+        net.begin_update();
+    }
+
+    #[test]
+    fn deduped_start_matches_plain_start() {
+        let c = cluster_a(2);
+        let mut plain = FlowNetwork::new();
+        let mut deduped = FlowNetwork::new();
+        let mut path = c.direct_path(0, 8);
+        let ka = plain.start_flow(3e9, &path, cap_fn(&c));
+        path.sort_unstable();
+        path.dedup();
+        let kb = deduped.start_flow_deduped(3e9, &path, cap_fn(&c));
+        assert_eq!(plain.rate_of(ka).to_bits(), deduped.rate_of(kb).to_bits());
+        assert_eq!(plain.next_completion(), deduped.next_completion());
+    }
+
+    #[test]
+    fn collect_drained_matches_scan() {
+        let c = tiny_cluster(2, 2);
+        let mut net = FlowNetwork::new();
+        let _slow = net.start_flow(100e9, &c.direct_path(0, 2), cap_fn(&c));
+        let fast = net.start_flow(1e9, &c.direct_path(1, 3), cap_fn(&c));
+        let t = net.next_completion().unwrap();
+        net.advance_to(t);
+        let mut collected = Vec::new();
+        net.collect_drained(&mut collected);
+        assert_eq!(collected, net.drained());
+        assert_eq!(collected, vec![fast]);
+    }
+
+    /// Random interleaved churn stays bit-identical to the from-scratch
+    /// reference allocator across starts, advances, and finishes.
+    #[test]
+    fn incremental_matches_reference_under_churn() {
+        let c = cluster_a(4);
+        let ranks = 32u64;
+        let mut net = FlowNetwork::new();
+        let mut oracle = ReferenceNet::new();
+        let mut live: Vec<(FlowKey, crate::reference::RefFlowKey)> = Vec::new();
+        // Deterministic LCG so the schedule is reproducible.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        for step in 0..400 {
+            match next(3) {
+                0 | 1 => {
+                    let src = next(ranks) as usize;
+                    let mut dst = next(ranks) as usize;
+                    if dst == src {
+                        dst = (dst + 1) % ranks as usize;
+                    }
+                    let bytes = if step % 17 == 0 {
+                        0.0
+                    } else {
+                        1e6 * (1 + next(5000)) as f64
+                    };
+                    let path = c.direct_path(src, dst);
+                    let k = net.start_flow(bytes, &path, cap_fn(&c));
+                    let r = oracle.start_flow(bytes, &path, cap_fn(&c));
+                    live.push((k, r));
+                }
+                _ => {
+                    // Advance both to the earliest completion and retire
+                    // everything that drained.
+                    let (a, b) = (net.next_completion(), oracle.next_completion());
+                    assert_eq!(a, b, "next_completion diverged at step {step}");
+                    if let Some(t) = a {
+                        net.advance_to(t);
+                        oracle.advance_to(t);
+                        let mut done = Vec::new();
+                        net.collect_drained(&mut done);
+                        assert_eq!(done, net.drained());
+                        let oracle_done = oracle.drained();
+                        assert_eq!(done.len(), oracle_done.len());
+                        for k in done {
+                            let pos = live.iter().position(|&(a, _)| a == k).unwrap();
+                            let (_, r) = live.swap_remove(pos);
+                            assert!(oracle_done.contains(&r));
+                            net.finish_flow(k);
+                            oracle.finish_flow(r);
+                        }
+                    }
+                }
+            }
+            for &(k, r) in &live {
+                assert_eq!(
+                    net.rate_of(k).to_bits(),
+                    oracle.rate_of(r).to_bits(),
+                    "rate diverged at step {step}"
+                );
+                assert_eq!(
+                    net.remaining_of(k).to_bits(),
+                    oracle.remaining_of(r).to_bits()
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,266 @@
+//! Frozen from-scratch max-min fair allocator, kept as a test oracle.
+//!
+//! [`ReferenceNet`] is the pre-incremental allocator preserved verbatim: every
+//! mutation triggers a whole-network progressive filling, completions are
+//! found by scanning all flows, and drained flows are collected into a fresh
+//! `Vec`. It is deliberately simple and obviously correct, which makes it the
+//! oracle for the equivalence property suite (`tests/netflow_equiv_props.rs`)
+//! and the from-scratch baseline in the churn benchmarks.
+//!
+//! [`crate::network::FlowNetwork`] must agree with this implementation
+//! bit-for-bit on rates and completion instants; see the module docs there
+//! for the argument of why the incremental algorithm preserves that.
+
+use std::collections::HashMap;
+
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Port;
+
+/// Bytes below which a flow is considered drained (absorbs f64 rounding).
+const EPS_BYTES: f64 = 1e-6;
+
+/// Handle to an active flow in a [`ReferenceNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RefFlowKey(usize);
+
+#[derive(Debug)]
+struct ActiveFlow {
+    /// Interned port indices the flow traverses (deduplicated).
+    path: Vec<usize>,
+    /// Bytes still to move.
+    remaining: f64,
+    /// Current max-min fair rate in bytes/s.
+    rate: f64,
+}
+
+/// From-scratch reference implementation of the flow network.
+#[derive(Debug, Default)]
+pub struct ReferenceNet {
+    port_caps: Vec<f64>,
+    port_index: HashMap<Port, usize>,
+    flows: Vec<Option<ActiveFlow>>,
+    free_keys: Vec<usize>,
+    clock: SimTime,
+    active: usize,
+}
+
+impl ReferenceNet {
+    /// Creates an empty network; ports are interned on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current internal clock (latest `advance_to` instant).
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of currently active flows.
+    pub fn active_flows(&self) -> usize {
+        self.active
+    }
+
+    fn intern(&mut self, port: Port, capacity: f64) -> usize {
+        if let Some(&i) = self.port_index.get(&port) {
+            return i;
+        }
+        let i = self.port_caps.len();
+        self.port_caps.push(capacity);
+        self.port_index.insert(port, i);
+        i
+    }
+
+    /// Starts a flow of `bytes` over `path` at the current clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is empty or `bytes` is not finite and non-negative.
+    pub fn start_flow(
+        &mut self,
+        bytes: f64,
+        path: &[Port],
+        mut capacity_of: impl FnMut(Port) -> f64,
+    ) -> RefFlowKey {
+        assert!(!path.is_empty(), "flow path must be non-empty");
+        assert!(
+            bytes.is_finite() && bytes >= 0.0,
+            "flow size must be finite and non-negative, got {bytes}"
+        );
+        let mut interned: Vec<usize> = path
+            .iter()
+            .map(|&p| {
+                let cap = capacity_of(p);
+                assert!(cap > 0.0, "port {p:?} must have positive capacity");
+                self.intern(p, cap)
+            })
+            .collect();
+        interned.sort_unstable();
+        interned.dedup();
+        let flow = ActiveFlow {
+            path: interned,
+            remaining: bytes,
+            rate: 0.0,
+        };
+        let key = match self.free_keys.pop() {
+            Some(k) => {
+                self.flows[k] = Some(flow);
+                k
+            }
+            None => {
+                self.flows.push(Some(flow));
+                self.flows.len() - 1
+            }
+        };
+        self.active += 1;
+        self.recompute_rates();
+        RefFlowKey(key)
+    }
+
+    /// Advances the fluid model to `now`, draining all flows at their rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the internal clock.
+    pub fn advance_to(&mut self, now: SimTime) {
+        let dt = now.since(self.clock).as_secs_f64();
+        if dt > 0.0 {
+            for slot in self.flows.iter_mut().flatten() {
+                slot.remaining = (slot.remaining - slot.rate * dt).max(0.0);
+            }
+        }
+        self.clock = now;
+    }
+
+    /// Keys of flows that have fully drained as of the current clock.
+    pub fn drained(&self) -> Vec<RefFlowKey> {
+        self.flows
+            .iter()
+            .enumerate()
+            .filter_map(|(k, s)| match s {
+                Some(f) if f.remaining <= EPS_BYTES => Some(RefFlowKey(k)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Removes a flow and rebalances the remaining flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is stale.
+    pub fn finish_flow(&mut self, key: RefFlowKey) {
+        let slot = self.flows[key.0].take().expect("stale flow key");
+        debug_assert!(
+            slot.remaining <= EPS_BYTES,
+            "finishing a flow with {} bytes left",
+            slot.remaining
+        );
+        self.free_keys.push(key.0);
+        self.active -= 1;
+        self.recompute_rates();
+    }
+
+    /// Earliest instant at which some active flow drains, if any are active.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        let mut best: Option<f64> = None;
+        for f in self.flows.iter().flatten() {
+            let secs = if f.remaining <= EPS_BYTES {
+                0.0
+            } else if f.rate > 0.0 {
+                f.remaining / f.rate
+            } else {
+                continue; // Starved flow: cannot finish until rates change.
+            };
+            best = Some(match best {
+                Some(b) => b.min(secs),
+                None => secs,
+            });
+        }
+        best.map(|secs| self.clock + SimDuration::from_secs_f64(secs))
+    }
+
+    /// Current rate of a flow in bytes/s.
+    pub fn rate_of(&self, key: RefFlowKey) -> f64 {
+        self.flows[key.0].as_ref().expect("stale flow key").rate
+    }
+
+    /// Remaining bytes of a flow.
+    pub fn remaining_of(&self, key: RefFlowKey) -> f64 {
+        self.flows[key.0]
+            .as_ref()
+            .expect("stale flow key")
+            .remaining
+    }
+
+    /// Sum of current rates through `port`, in bytes/s (O(flows · path)).
+    pub fn port_usage(&self, port: Port) -> f64 {
+        let Some(&idx) = self.port_index.get(&port) else {
+            return 0.0;
+        };
+        self.flows
+            .iter()
+            .flatten()
+            .filter(|f| f.path.contains(&idx))
+            .map(|f| f.rate)
+            .sum()
+    }
+
+    /// Whole-network progressive-filling max-min fair allocation.
+    fn recompute_rates(&mut self) {
+        let n_ports = self.port_caps.len();
+        let mut frozen_usage = vec![0.0f64; n_ports];
+        let mut unfrozen_count = vec![0usize; n_ports];
+        let mut live: Vec<usize> = Vec::new();
+        for (k, slot) in self.flows.iter().enumerate() {
+            if let Some(f) = slot {
+                live.push(k);
+                for &p in &f.path {
+                    unfrozen_count[p] += 1;
+                }
+            }
+        }
+        let mut frozen = vec![false; self.flows.len()];
+        let mut remaining_live = live.len();
+        while remaining_live > 0 {
+            // Find the lowest saturation level among contended ports.
+            let mut level = f64::INFINITY;
+            for p in 0..n_ports {
+                if unfrozen_count[p] > 0 {
+                    let l = (self.port_caps[p] - frozen_usage[p]) / unfrozen_count[p] as f64;
+                    if l < level {
+                        level = l;
+                    }
+                }
+            }
+            debug_assert!(level.is_finite(), "live flows but no contended port");
+            let level = level.max(0.0);
+            // Freeze every unfrozen flow that crosses a bottleneck port.
+            let mut froze_any = false;
+            for &k in &live {
+                if frozen[k] {
+                    continue;
+                }
+                let f = self.flows[k].as_ref().expect("live flow");
+                let at_bottleneck = f.path.iter().any(|&p| {
+                    let l = (self.port_caps[p] - frozen_usage[p]) / unfrozen_count[p] as f64;
+                    l <= level + level.abs() * 1e-12
+                });
+                if at_bottleneck {
+                    frozen[k] = true;
+                    froze_any = true;
+                    remaining_live -= 1;
+                    let path = self.flows[k].as_ref().expect("live flow").path.clone();
+                    self.flows[k].as_mut().expect("live flow").rate = level;
+                    for p in path {
+                        frozen_usage[p] += level;
+                        unfrozen_count[p] -= 1;
+                    }
+                }
+            }
+            debug_assert!(froze_any, "max-min fair filling made no progress");
+            if !froze_any {
+                break; // Defensive: avoid an infinite loop under fp anomalies.
+            }
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Equivalence properties for the incremental max-min fair allocator.
+//!
+//! The incremental allocator in `zeppelin_sim::network` claims to be
+//! *observationally identical* to the frozen from-scratch implementation in
+//! `zeppelin_sim::reference`: same rates, same completion instants, same
+//! drained sets, same engine schedules. These properties drive both
+//! implementations through randomized flow churn — interleaved starts and
+//! finishes, shared and disjoint paths, zero-byte flows, recycled keys —
+//! and through whole-DAG simulations, checking rates to 1e-9 relative and
+//! every simulated instant exactly.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use proptest::prelude::*;
+
+use zeppelin::sim::engine::Simulator;
+use zeppelin::sim::network::{FlowKey, FlowNetwork};
+use zeppelin::sim::reference::{RefFlowKey, ReferenceNet};
+use zeppelin::sim::time::{SimDuration, SimTime};
+use zeppelin::sim::topology::{cluster_a, ClusterSpec, Port};
+
+const RANKS: usize = 16; // cluster_a(2): two 8-GPU nodes, GPU pairs share NICs.
+
+/// One step of flow churn applied identically to both implementations.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Start a flow; `mbytes == 0` exercises the instantly-drained path.
+    Start { src: usize, dst: usize, mbytes: u64 },
+    /// Advance to the next completion instant and finish what drained
+    /// (recycles keys, so later starts reuse slots).
+    Drain,
+    /// Advance partway without finishing anything.
+    Nudge { micros: u64 },
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    let start = || {
+        (0usize..RANKS, 0usize..RANKS, 0u64..4000)
+            .prop_filter_map("distinct endpoints", |(src, dst, mbytes)| {
+                (src != dst).then_some(Op::Start { src, dst, mbytes })
+            })
+    };
+    let op = prop_oneof![
+        start(),
+        start(),
+        Just(Op::Drain),
+        (1u64..50_000).prop_map(|micros| Op::Nudge { micros }),
+    ];
+    prop::collection::vec(op, 1..120)
+}
+
+fn rel_close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Asserts every live flow and sampled port agrees between the two nets.
+fn check_state(
+    net: &FlowNetwork,
+    oracle: &ReferenceNet,
+    live: &[(FlowKey, RefFlowKey)],
+) -> Result<(), TestCaseError> {
+    for &(k, r) in live {
+        let (a, b) = (net.rate_of(k), oracle.rate_of(r));
+        prop_assert!(rel_close(a, b), "rate {a} vs oracle {b}");
+        let (a, b) = (net.remaining_of(k), oracle.remaining_of(r));
+        prop_assert!(rel_close(a, b), "remaining {a} vs oracle {b}");
+    }
+    for nic in 0..8 {
+        let port = Port::NicTx(nic);
+        let (a, b) = (net.port_usage(port), oracle.port_usage(port));
+        prop_assert!(rel_close(a, b), "port_usage({port:?}) {a} vs oracle {b}");
+    }
+    prop_assert_eq!(net.active_flows(), oracle.active_flows());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random churn: the incremental allocator tracks the from-scratch
+    /// oracle on rates, remaining bytes, port usage, drained sets, and
+    /// (exactly) on completion instants.
+    #[test]
+    fn incremental_allocator_matches_oracle_under_churn(ops in ops()) {
+        let c = cluster_a(2);
+        let cap = |p: Port| c.port_capacity(p);
+        let mut net = FlowNetwork::new();
+        let mut oracle = ReferenceNet::new();
+        let mut live: Vec<(FlowKey, RefFlowKey)> = Vec::new();
+        let mut drained_buf: Vec<FlowKey> = Vec::new();
+        for op in &ops {
+            match *op {
+                Op::Start { src, dst, mbytes } => {
+                    let bytes = mbytes as f64 * 1e6;
+                    let path = c.direct_path(src, dst);
+                    let k = net.start_flow(bytes, &path, cap);
+                    let r = oracle.start_flow(bytes, &path, cap);
+                    live.push((k, r));
+                }
+                Op::Drain => {
+                    let (a, b) = (net.next_completion(), oracle.next_completion());
+                    prop_assert_eq!(a, b, "next_completion diverged");
+                    let Some(t) = a else { continue };
+                    net.advance_to(t);
+                    oracle.advance_to(t);
+                    drained_buf.clear();
+                    net.collect_drained(&mut drained_buf);
+                    prop_assert_eq!(&drained_buf, &net.drained(), "collect_drained != scan");
+                    let oracle_drained = oracle.drained();
+                    prop_assert_eq!(drained_buf.len(), oracle_drained.len());
+                    net.begin_update();
+                    for &k in &drained_buf {
+                        let pos = live.iter().position(|&(a, _)| a == k).expect("live key");
+                        let (_, r) = live.swap_remove(pos);
+                        prop_assert!(oracle_drained.contains(&r), "drained sets diverged");
+                        net.finish_flow(k);
+                        oracle.finish_flow(r);
+                    }
+                    net.commit_update();
+                }
+                Op::Nudge { micros } => {
+                    let t = net.clock() + SimDuration::from_micros(micros);
+                    net.advance_to(t);
+                    oracle.advance_to(t);
+                }
+            }
+            let (a, b) = (net.next_completion(), oracle.next_completion());
+            prop_assert_eq!(a, b, "next_completion diverged after op {:?}", op);
+            check_state(&net, &oracle, &live)?;
+        }
+    }
+
+    /// A batched group of starts must land on the same allocation as
+    /// applying the same starts one by one — bitwise, because the fixed
+    /// point depends only on the final flow set.
+    #[test]
+    fn batched_mutations_match_sequential(
+        specs in prop::collection::vec((0usize..RANKS, 0usize..RANKS, 1u64..3000), 1..40)
+    ) {
+        let c = cluster_a(2);
+        let cap = |p: Port| c.port_capacity(p);
+        let mut sequential = FlowNetwork::new();
+        let mut batched = FlowNetwork::new();
+        batched.begin_update();
+        let mut pairs = Vec::new();
+        for &(src, dst, mbytes) in &specs {
+            let dst = if src == dst { (dst + 1) % RANKS } else { dst };
+            let bytes = mbytes as f64 * 1e6;
+            let path = c.direct_path(src, dst);
+            let ks = sequential.start_flow(bytes, &path, cap);
+            let kb = batched.start_flow(bytes, &path, cap);
+            pairs.push((ks, kb));
+        }
+        batched.commit_update();
+        for &(ks, kb) in &pairs {
+            prop_assert_eq!(
+                sequential.rate_of(ks).to_bits(),
+                batched.rate_of(kb).to_bits(),
+                "batched rate diverged from sequential"
+            );
+        }
+        prop_assert_eq!(sequential.next_completion(), batched.next_completion());
+    }
+
+    /// Whole-DAG check: the engine (incremental allocator, batched event
+    /// handling, min-heap completions) produces exactly the schedule of a
+    /// step-by-step event loop over the from-scratch reference network.
+    #[test]
+    fn engine_schedules_match_reference_net(spec in transfer_dags()) {
+        let c = cluster_a(2);
+        let tasks = build_tasks(&c, &spec);
+        let mut sim = Simulator::new(&c);
+        let mut ids = Vec::new();
+        for (bytes, path, deps) in &tasks {
+            let deps = deps.iter().map(|&d| ids[d]).collect();
+            ids.push(sim.transfer(*bytes, path.clone(), deps, None).unwrap());
+        }
+        let report = sim.run().unwrap();
+        let (makespan, spans) = run_reference(&c, &tasks);
+        prop_assert_eq!(report.makespan, makespan, "makespan diverged");
+        for (i, &id) in ids.iter().enumerate() {
+            prop_assert_eq!(report.span(id), spans[i], "span of task {} diverged", i);
+        }
+    }
+}
+
+/// Raw DAG spec: per task `(flags, mbytes, src, dst, dep, dep)`.
+type TaskDraw = (
+    u8,
+    u64,
+    prop::sample::Index,
+    prop::sample::Index,
+    prop::sample::Index,
+    prop::sample::Index,
+);
+
+fn transfer_dags() -> impl Strategy<Value = Vec<TaskDraw>> {
+    prop::collection::vec(
+        (
+            any::<u8>(),
+            1u64..4000,
+            any::<prop::sample::Index>(),
+            any::<prop::sample::Index>(),
+            any::<prop::sample::Index>(),
+            any::<prop::sample::Index>(),
+        ),
+        1..32,
+    )
+}
+
+/// Lowers the raw draws into `(bytes, path, deps)` transfer tasks.
+fn build_tasks(c: &ClusterSpec, spec: &[TaskDraw]) -> Vec<(f64, Vec<Port>, Vec<usize>)> {
+    let mut tasks: Vec<(f64, Vec<Port>, Vec<usize>)> = Vec::new();
+    for (i, (flags, mbytes, isrc, idst, idep1, idep2)) in spec.iter().enumerate() {
+        let src = isrc.index(RANKS);
+        let mut dst = idst.index(RANKS);
+        if dst == src {
+            dst = (dst + 1) % RANKS;
+        }
+        // 1-in-8 zero-byte transfers exercise the instant-completion path.
+        let bytes = if flags & 7 == 0 {
+            0.0
+        } else {
+            *mbytes as f64 * 1e6
+        };
+        let mut deps = Vec::new();
+        if i > 0 {
+            if flags & 8 != 0 {
+                deps.push(idep1.index(i));
+            }
+            if flags & 16 != 0 {
+                deps.push(idep2.index(i));
+            }
+            deps.sort_unstable();
+            deps.dedup();
+        }
+        tasks.push((bytes, c.direct_path(src, dst), deps));
+    }
+    tasks
+}
+
+/// Event loop mirroring the seed engine semantics for transfer-only DAGs,
+/// backed by the from-scratch [`ReferenceNet`]: per-mutation recompute,
+/// full-scan completions, Vec-allocating drained collection.
+fn run_reference(
+    c: &ClusterSpec,
+    tasks: &[(f64, Vec<Port>, Vec<usize>)],
+) -> (SimTime, Vec<(SimTime, SimTime)>) {
+    let n = tasks.len();
+    let mut indeg = vec![0usize; n];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, (_, _, deps)) in tasks.iter().enumerate() {
+        indeg[i] = deps.len();
+        for &d in deps {
+            dependents[d].push(i);
+        }
+    }
+    let mut net = ReferenceNet::new();
+    let mut flow_task: HashMap<RefFlowKey, usize> = HashMap::new();
+    let mut spans = vec![(SimTime::ZERO, SimTime::ZERO); n];
+    let mut now = SimTime::ZERO;
+    let mut net_gen = 0u64;
+    let mut seq = 0u64;
+    // (instant, insertion seq, generation) — same ordering as the engine.
+    let mut events: BinaryHeap<Reverse<(SimTime, u64, u64)>> = BinaryHeap::new();
+    let mut ready: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    macro_rules! reschedule {
+        () => {
+            net_gen += 1;
+            if let Some(t) = net.next_completion() {
+                seq += 1;
+                events.push(Reverse((t.max(now), seq, net_gen)));
+            }
+        };
+    }
+    loop {
+        let mut net_dirty = false;
+        while let Some(id) = ready.pop_front() {
+            let (bytes, path, _) = &tasks[id];
+            spans[id].0 = now;
+            if *bytes <= 0.0 {
+                spans[id].1 = now;
+                for &dep in &dependents[id] {
+                    indeg[dep] -= 1;
+                    if indeg[dep] == 0 {
+                        ready.push_back(dep);
+                    }
+                }
+            } else {
+                net.advance_to(now);
+                let key = net.start_flow(*bytes, path, |p| c.port_capacity(p));
+                flow_task.insert(key, id);
+                net_dirty = true;
+            }
+        }
+        if net_dirty {
+            reschedule!();
+        }
+        let Some(Reverse((t, _, gen))) = events.pop() else {
+            break;
+        };
+        now = t;
+        if gen != net_gen {
+            continue;
+        }
+        net.advance_to(now);
+        let drained = net.drained();
+        if drained.is_empty() {
+            reschedule!();
+            continue;
+        }
+        for key in drained {
+            net.finish_flow(key);
+            let id = flow_task.remove(&key).expect("flow has owner task");
+            spans[id].1 = now;
+            for &dep in &dependents[id] {
+                indeg[dep] -= 1;
+                if indeg[dep] == 0 {
+                    ready.push_back(dep);
+                }
+            }
+        }
+        reschedule!();
+    }
+    let makespan = spans.iter().map(|&(_, e)| e).max().unwrap_or(SimTime::ZERO);
+    (makespan, spans)
+}

@@ -1,0 +1,233 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the Criterion API the bench harnesses use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group`, `bench_with_input`, `BenchmarkId`, `Bencher::iter` —
+//! with a plain wall-clock measurement loop instead of Criterion's
+//! statistical machinery. Each benchmark warms up briefly, then runs enough
+//! iterations to fill a measurement window and reports the mean time per
+//! iteration. Good enough for before/after comparisons recorded in
+//! EXPERIMENTS.md; not a replacement for real Criterion statistics.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine` over this sample's iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark driver (measurement configuration + reporting).
+pub struct Criterion {
+    sample_size: usize,
+    measurement_window: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_window: Duration::from_millis(400),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the nominal sample count (scales the measurement window).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepts CLI configuration; this stub only honours a name substring
+    /// filter (first free argument) and ignores harness flags.
+    pub fn configure_from_args(mut self) -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        self.filter = filter;
+        self
+    }
+
+    fn should_run(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        if !self.should_run(id) {
+            return;
+        }
+        // Calibration pass: one iteration to estimate per-iter cost.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let window = self.measurement_window.mul_f64((self.sample_size as f64 / 100.0).clamp(0.05, 1.0));
+        let iters = (window.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+        // Warmup, then the measured pass.
+        let mut warm = Bencher {
+            iters: (iters / 4).max(1),
+            elapsed: Duration::ZERO,
+        };
+        f(&mut warm);
+        let mut meas = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut meas);
+        let mean_ns = meas.elapsed.as_nanos() as f64 / meas.iters as f64;
+        println!("{:<48} time: {:>12}   ({} iters)", id, fmt_ns(mean_ns), meas.iters);
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark identified by `id` with `input` passed by reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark identified by `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Ends the group (reporting is immediate in this stub; no-op).
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function, mirroring Criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the harness `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,302 @@
+//! Concrete [`Strategy`] implementations: combinators, numeric ranges,
+//! tuples, and simple character-class string patterns.
+
+use core::fmt::Debug;
+use core::ops::{Range, RangeInclusive};
+
+use crate::{BoxedStrategy, Strategy, TestRng};
+
+/// How many times filtering combinators retry before giving the draw back
+/// to the runner as a rejection.
+const LOCAL_RETRIES: usize = 64;
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    pub(crate) inner: S,
+    pub(crate) f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O + 'static> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.sample(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    pub(crate) inner: S,
+    pub(crate) f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2 + 'static> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<S2::Value> {
+        let first = self.inner.sample(rng)?;
+        (self.f)(first).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    pub(crate) inner: S,
+    pub(crate) f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool + 'static> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        for _ in 0..LOCAL_RETRIES {
+            if let Some(v) = self.inner.sample(rng) {
+                if (self.f)(&v) {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    pub(crate) inner: S,
+    pub(crate) f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> Option<O> + 'static> Strategy for FilterMap<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<O> {
+        for _ in 0..LOCAL_RETRIES {
+            if let Some(v) = self.inner.sample(rng) {
+                if let Some(o) = (self.f)(v) {
+                    return Some(o);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Uniform choice among boxed strategies; built by [`crate::prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; `arms` must be non-empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: Debug + 'static> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        let arm = rng.below(self.arms.len() as u64) as usize;
+        self.arms[arm].sample(rng)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<f64> {
+        assert!(self.start < self.end, "empty f64 range strategy");
+        let v = self.start + rng.next_f64() * (self.end - self.start);
+        Some(if v >= self.end { self.start } else { v })
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<f64> {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty f64 range strategy");
+        Some(lo + rng.next_f64() * (hi - lo))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                Some((self.start as i128 + rng.below(span) as i128) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return Some(rng.next_u64() as $t);
+                }
+                Some((lo as i128 + rng.below(span as u64) as i128) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($S:ident $idx:tt),+);)*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.sample(rng)?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+}
+
+/// String strategies from simple regex-like patterns.
+///
+/// Supported forms, which cover this repository's tests:
+///
+/// - `\PC{a,b}` — `a..=b` arbitrary non-control characters;
+/// - `[chars]{a,b}` — `a..=b` characters from an explicit class
+///   (literal characters, `x-y` ranges, and backslash escapes);
+/// - a bare class or escape without `{a,b}` generates exactly one char.
+///
+/// Anything unsupported panics so a silently-wrong generator can't hide.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<String> {
+        let (gen_char, lo, hi) = parse_pattern(self);
+        let span = (hi - lo) as u64 + 1;
+        let len = lo + rng.below(span) as usize;
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            out.push(match gen_char {
+                CharClass::NonControl => random_non_control(rng),
+                CharClass::Set(ref set) => set[rng.below(set.len() as u64) as usize],
+            });
+        }
+        Some(out)
+    }
+}
+
+enum CharClass {
+    NonControl,
+    Set(Vec<char>),
+}
+
+fn parse_pattern(pat: &str) -> (CharClass, usize, usize) {
+    let (class_src, rest) = if let Some(rest) = pat.strip_prefix("\\PC") {
+        (CharClass::NonControl, rest)
+    } else if let Some(body_start) = pat.strip_prefix('[') {
+        let mut chars = body_start.chars();
+        let mut set = Vec::new();
+        let mut prev: Option<char> = None;
+        let mut pending_range = false;
+        let mut consumed = 1usize; // The '['.
+        let mut closed = false;
+        while let Some(c) = chars.next() {
+            consumed += c.len_utf8();
+            match c {
+                ']' => {
+                    closed = true;
+                    break;
+                }
+                '\\' => {
+                    let esc = chars.next().expect("dangling escape in pattern");
+                    consumed += esc.len_utf8();
+                    push_class_char(&mut set, &mut prev, &mut pending_range, esc);
+                }
+                '-' if prev.is_some() && !pending_range => pending_range = true,
+                c => push_class_char(&mut set, &mut prev, &mut pending_range, c),
+            }
+        }
+        assert!(closed, "unterminated character class in pattern {pat:?}");
+        assert!(!set.is_empty(), "empty character class in pattern {pat:?}");
+        (CharClass::Set(set), &body_start[consumed - 1..])
+    } else {
+        panic!("unsupported string pattern {pat:?} (stub proptest)");
+    };
+    let (lo, hi) = parse_repeat(rest, pat);
+    (class_src, lo, hi)
+}
+
+fn push_class_char(
+    set: &mut Vec<char>,
+    prev: &mut Option<char>,
+    pending_range: &mut bool,
+    c: char,
+) {
+    if *pending_range {
+        let start = prev.expect("range without start");
+        for u in (start as u32)..=(c as u32) {
+            if let Some(ch) = char::from_u32(u) {
+                set.push(ch);
+            }
+        }
+        *pending_range = false;
+        *prev = None;
+    } else {
+        set.push(c);
+        *prev = Some(c);
+    }
+}
+
+fn parse_repeat(rest: &str, pat: &str) -> (usize, usize) {
+    if rest.is_empty() {
+        return (1, 1);
+    }
+    let inner = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported repetition {rest:?} in pattern {pat:?}"));
+    let (lo, hi) = match inner.split_once(',') {
+        Some((a, b)) => (a.trim(), b.trim()),
+        None => (inner.trim(), inner.trim()),
+    };
+    let lo: usize = lo.parse().expect("bad repetition lower bound");
+    let hi: usize = hi.parse().expect("bad repetition upper bound");
+    assert!(lo <= hi, "inverted repetition in pattern {pat:?}");
+    (lo, hi)
+}
+
+fn random_non_control(rng: &mut TestRng) -> char {
+    loop {
+        let c = match rng.below(8) {
+            // Mostly printable ASCII, with Latin-1, CJK, and emoji mixed in.
+            0..=4 => char::from_u32(0x20 + rng.below(0x5F) as u32),
+            5 => char::from_u32(0xA1 + rng.below(0x1FF) as u32),
+            6 => char::from_u32(0x4E00 + rng.below(0x200) as u32),
+            _ => char::from_u32(0x1F600 + rng.below(0x40) as u32),
+        };
+        if let Some(c) = c {
+            if !c.is_control() {
+                return c;
+            }
+        }
+    }
+}
