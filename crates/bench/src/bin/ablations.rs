@@ -60,17 +60,21 @@ fn proxy_sweep() {
             .filter(|e| e.category == zeppelin_sim::trace::TraceCategory::InterNode)
             .map(|e| e.duration().as_micros_f64())
             .collect();
+        // No inter-node stage in the trace is reported as such, not as NaN.
         let measured = if stages.is_empty() {
-            f64::NAN
+            "no inter-node stages".to_string()
         } else {
-            stages.iter().sum::<f64>() / stages.len() as f64 * 4.0
+            format!(
+                "{:.0}",
+                stages.iter().sum::<f64>() / stages.len() as f64 * 4.0
+            )
         };
         let analytic = eq1_cost(n, x, x, b_intra, b_inter) * 1e6;
         table.row(vec![
             format!("{x}"),
             format!("{analytic:.0}"),
             format!("{:.2}x", direct_cost(n, b_inter) * 1e6 / analytic),
-            format!("{measured:.0}"),
+            measured,
         ]);
     }
     println!("{}", table.render());
@@ -216,19 +220,21 @@ fn hierarchy_ablation() {
     let mut table = Table::new(vec!["dataset", "flat (tok/s)", "hierarchical", "gain"]);
     for dist in paper_datasets() {
         let batch = sample_batch(&dist, &mut rng, 65_536);
-        let run = |s: &dyn zeppelin_core::scheduler::Scheduler| {
+        // Failures become explicit "failed" cells, not NaN.
+        let run = |s: &dyn zeppelin_core::scheduler::Scheduler, label: &str| {
             simulate_step(s, &batch, &ctx, &StepConfig::default())
                 .map(|r| r.throughput)
-                .unwrap_or(f64::NAN)
+                .map_err(|e| eprintln!("{}: {label} failed: {e}", dist.name))
+                .ok()
         };
-        let flat = run(&zeppelin_baselines::FlatQuadratic::new());
-        let hier = run(&Zeppelin::new());
-        table.row(vec![
-            dist.name.clone(),
-            format!("{flat:.0}"),
-            format!("{hier:.0}"),
-            format!("{:.2}x", hier / flat),
-        ]);
+        let flat = run(&zeppelin_baselines::FlatQuadratic::new(), "flat");
+        let hier = run(&Zeppelin::new(), "hierarchical");
+        let cell = |v: Option<f64>| v.map_or("failed".to_string(), |t| format!("{t:.0}"));
+        let gain = match (hier, flat) {
+            (Some(h), Some(f)) => format!("{:.2}x", h / f),
+            _ => "n/a".to_string(),
+        };
+        table.row(vec![dist.name.clone(), cell(flat), cell(hier), gain]);
     }
     println!("{}", table.render());
     println!("(both balance quadratic FLOPs per sequence; the hierarchy keeps");

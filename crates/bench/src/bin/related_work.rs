@@ -47,6 +47,7 @@ fn main() {
             for s in &schedulers {
                 let ctx = zeppelin_core::scheduler::SchedulerCtx::new(&cluster, &model);
                 let tput = run_training(s.as_ref(), &dist, &ctx, &cfg)
+                    .map_err(|e| eprintln!("{}: {} failed: {e}", dist.name, s.name()))
                     .ok()
                     .map(|r| r.mean_throughput);
                 if s.name() == "TE CP" {

@@ -54,22 +54,39 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(PAPER_SEED);
     for dist in [stackexchange(), openwebmath(), arxiv()] {
         let batch = sample_batch(&dist, &mut rng, 65_536);
+        // A failed point is reported explicitly, never rendered as NaN.
         let run = |s: &dyn Scheduler, ctx: &SchedulerCtx, c: &StepConfig| {
-            simulate_step(s, &batch, ctx, c)
-                .map(|r| r.throughput)
-                .unwrap_or(f64::NAN)
+            simulate_step(s, &batch, ctx, c).map(|r| r.throughput)
+        };
+        let cell = |r: &Result<f64, _>| match r {
+            Ok(tput) => format!("{tput:.0}"),
+            Err(_) => "failed".to_string(),
         };
         let te_h = run(&TeCp::new(), &healthy_ctx, &healthy_cfg);
         let te_d = run(&TeCp::new(), &healthy_ctx, &cfg);
         let zep_unaware = run(&Zeppelin::new(), &healthy_ctx, &cfg);
         let zep_aware = run(&Zeppelin::new(), &aware_ctx, &aware_cfg);
+        for (label, r) in [
+            ("TE CP healthy", &te_h),
+            ("TE CP degraded", &te_d),
+            ("Zeppelin unaware", &zep_unaware),
+            ("Zeppelin aware", &zep_aware),
+        ] {
+            if let Err(e) = r {
+                eprintln!("{}: {label} failed: {e}", dist.name);
+            }
+        }
+        let delta = match (&zep_aware, &zep_unaware) {
+            (Ok(a), Ok(u)) => format!("{:+.1}%", 100.0 * (a / u - 1.0)),
+            _ => "n/a".to_string(),
+        };
         table.row(vec![
             dist.name.clone(),
-            format!("{te_h:.0}"),
-            format!("{te_d:.0}"),
-            format!("{zep_unaware:.0}"),
-            format!("{zep_aware:.0}"),
-            format!("{:+.1}%", 100.0 * (zep_aware / zep_unaware - 1.0)),
+            cell(&te_h),
+            cell(&te_d),
+            cell(&zep_unaware),
+            cell(&zep_aware),
+            delta,
         ]);
     }
     println!("{}", table.render());

@@ -5,7 +5,7 @@ use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
 use zeppelin_core::zeppelin::{Zeppelin, ZeppelinConfig};
 use zeppelin_data::distribution::LengthDistribution;
 use zeppelin_exec::step::StepConfig;
-use zeppelin_exec::trainer::{run_training, RunConfig, RunReport};
+use zeppelin_exec::trainer::{run_training, RunConfig, RunError, RunReport};
 use zeppelin_exec::StepError;
 use zeppelin_model::config::ModelConfig;
 use zeppelin_sim::topology::{cluster_a, cluster_b, cluster_c, ClusterSpec};
@@ -135,7 +135,10 @@ pub fn run_method(
             throughput: Some(report.mean_throughput),
             report: Some(report),
         },
-        Err(StepError::Plan(_)) => MethodOutcome {
+        Err(RunError::Step {
+            source: StepError::Plan(_),
+            ..
+        }) => MethodOutcome {
             name: method.name().to_string(),
             throughput: None,
             report: None,

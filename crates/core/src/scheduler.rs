@@ -3,7 +3,7 @@
 use zeppelin_data::batch::Batch;
 use zeppelin_model::config::ModelConfig;
 use zeppelin_model::memory::token_capacity;
-use zeppelin_sim::topology::ClusterSpec;
+use zeppelin_sim::topology::{ClusterSpec, Rank};
 
 use crate::plan::{IterationPlan, PlanError};
 
@@ -55,6 +55,89 @@ impl SchedulerCtx {
         self.rank_speed = Some(speed);
         self
     }
+
+    /// Re-derives a context over the ranks that survive the loss of `dead`.
+    ///
+    /// The cluster model is homogeneous per node, so eviction is
+    /// whole-node: every node hosting a dead rank is drained (its healthy
+    /// siblings share the failed host's power, PCIe switches, and NICs).
+    /// Survivor ranks are renumbered contiguously; the second return value
+    /// maps each *old* rank to its new rank (`None` = evicted), which the
+    /// trainer uses to migrate per-rank state such as speed factors.
+    ///
+    /// The token capacity is re-derived from the memory model when the
+    /// current capacity equals the derived value for the old cluster (i.e.
+    /// it was never overridden); an explicit [`SchedulerCtx::with_capacity`]
+    /// override is preserved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::Malformed`] if no node survives, or
+    /// [`PlanError::BadRank`] if `dead` references a rank outside the
+    /// cluster.
+    pub fn shrink_to_survivors(
+        &self,
+        dead: &[Rank],
+    ) -> Result<(SchedulerCtx, Vec<Option<Rank>>), PlanError> {
+        let total = self.cluster.total_gpus();
+        if let Some(&bad) = dead.iter().find(|&&r| r >= total) {
+            return Err(PlanError::BadRank(bad));
+        }
+        let mut dead_nodes = vec![false; self.cluster.nodes];
+        for &r in dead {
+            dead_nodes[self.cluster.node_of(r)] = true;
+        }
+        let survivors = dead_nodes.iter().filter(|&&d| !d).count();
+        if survivors == 0 {
+            return Err(PlanError::Malformed(
+                "no node survives the failure set".into(),
+            ));
+        }
+        if survivors == self.cluster.nodes {
+            let identity = (0..total).map(Some).collect();
+            return Ok((self.clone(), identity));
+        }
+
+        let mut cluster = self.cluster.clone();
+        cluster.nodes = survivors;
+        let mut rank_map: Vec<Option<Rank>> = vec![None; total];
+        let mut next = 0;
+        for old in 0..total {
+            if !dead_nodes[self.cluster.node_of(old)] {
+                rank_map[old] = Some(next);
+                next += 1;
+            }
+        }
+
+        let derived_old =
+            token_capacity(&self.model, self.cluster.node.gpu.mem_bytes, total.max(1));
+        let capacity = if self.capacity == derived_old {
+            token_capacity(
+                &self.model,
+                cluster.node.gpu.mem_bytes,
+                cluster.total_gpus().max(1),
+            )
+        } else {
+            self.capacity
+        };
+
+        let rank_speed = self.rank_speed.as_ref().map(|speed| {
+            (0..total)
+                .filter(|&old| rank_map[old].is_some())
+                .map(|old| speed[old])
+                .collect()
+        });
+
+        Ok((
+            SchedulerCtx {
+                cluster,
+                model: self.model.clone(),
+                capacity,
+                rank_speed,
+            },
+            rank_map,
+        ))
+    }
 }
 
 /// A training-step scheduler: turns a batch into an [`IterationPlan`].
@@ -88,5 +171,59 @@ mod tests {
     fn capacity_override() {
         let ctx = SchedulerCtx::new(&cluster_a(2), &llama_7b()).with_capacity(1234);
         assert_eq!(ctx.capacity, 1234);
+    }
+
+    #[test]
+    fn shrink_evicts_whole_nodes_and_renumbers() {
+        let ctx = SchedulerCtx::new(&cluster_a(3), &llama_7b());
+        // Rank 9 lives on node 1: the whole node drains.
+        let (small, map) = ctx.shrink_to_survivors(&[9]).unwrap();
+        assert_eq!(small.cluster.nodes, 2);
+        assert_eq!(small.cluster.total_gpus(), 16);
+        // Node 0 keeps its ranks, node 2 renumbers to 8..16.
+        assert_eq!(map[0], Some(0));
+        assert_eq!(map[7], Some(7));
+        assert!((8..16).all(|r| map[r].is_none()));
+        assert_eq!(map[16], Some(8));
+        assert_eq!(map[23], Some(15));
+        // Derived capacity is re-derived for the smaller DP group.
+        let fresh = SchedulerCtx::new(&small.cluster, &llama_7b());
+        assert_eq!(small.capacity, fresh.capacity);
+    }
+
+    #[test]
+    fn shrink_preserves_capacity_override_and_filters_speed() {
+        let speed: Vec<f64> = (0..16).map(|r| 1.0 + r as f64 / 100.0).collect();
+        let ctx = SchedulerCtx::new(&cluster_a(2), &llama_7b())
+            .with_capacity(5000)
+            .with_rank_speed(speed);
+        let (small, map) = ctx.shrink_to_survivors(&[0, 3]).unwrap();
+        assert_eq!(small.capacity, 5000);
+        let kept = small.rank_speed.unwrap();
+        assert_eq!(kept.len(), 8);
+        // Survivors are node 1's ranks, in order.
+        assert!((kept[0] - 1.08).abs() < 1e-12);
+        assert_eq!(map[8], Some(0));
+    }
+
+    #[test]
+    fn shrink_rejects_total_loss_and_bad_ranks() {
+        let ctx = SchedulerCtx::new(&cluster_a(2), &llama_7b());
+        assert!(matches!(
+            ctx.shrink_to_survivors(&[0, 8]),
+            Err(PlanError::Malformed(_))
+        ));
+        assert!(matches!(
+            ctx.shrink_to_survivors(&[99]),
+            Err(PlanError::BadRank(99))
+        ));
+    }
+
+    #[test]
+    fn shrink_with_no_dead_ranks_is_identity() {
+        let ctx = SchedulerCtx::new(&cluster_a(2), &llama_7b());
+        let (same, map) = ctx.shrink_to_survivors(&[]).unwrap();
+        assert_eq!(same.cluster.total_gpus(), 16);
+        assert!(map.iter().enumerate().all(|(i, &m)| m == Some(i)));
     }
 }

@@ -10,6 +10,9 @@
 //!   layer, scaled by layer count) with per-rank phase breakdowns;
 //! - [`trainer`]: multi-step runs with sampled batches and averaged
 //!   throughput;
+//! - [`recovery`]: fault-aware runs — failure detection, recovery
+//!   policies (fail-stop, retry, elastic replanning, checkpoint
+//!   restart), and goodput-vs-throughput accounting;
 //! - [`tp`]: tensor-parallel folding of the cluster (TP groups become
 //!   logical workers), reproducing the 13B/30B + TP=2 setups.
 //!
@@ -19,16 +22,20 @@
 #![warn(missing_docs)]
 
 pub mod lower;
+pub mod recovery;
 pub mod report;
 pub mod step;
 pub mod tp;
 pub mod trainer;
 
 pub use lower::{lower_layer, Direction, ExecConfig, GradSync, LayerOutcome, QueueOrder};
+pub use recovery::{
+    run_training_faults, FaultRunConfig, FaultRunReport, RecoveryEvent, RecoveryPolicy,
+};
 pub use report::{run_report_json, step_report_json};
 pub use step::{
     moe_linear_factor, simulate_plan, simulate_step, PhaseBreakdown, StepConfig, StepError,
     StepReport,
 };
 pub use tp::{fold_tp, tp_linear_overhead_per_token};
-pub use trainer::{run_training, run_training_with, RunConfig, RunReport, StepSummary};
+pub use trainer::{run_training, run_training_with, RunConfig, RunError, RunReport, StepSummary};

@@ -1,0 +1,710 @@
+//! Fault-aware training runs: failure detection, recovery policies, and
+//! goodput accounting.
+//!
+//! [`run_training_faults`] drives the same scheduler/step machinery as
+//! [`run_training`](crate::trainer::run_training) but against a run-level
+//! [`FaultSchedule`] expressed in wall-clock time. Each step attempt maps
+//! the slice of the schedule that overlaps its window into step-simulation
+//! terms:
+//!
+//! - GPU slowdown windows become per-rank speed factors
+//!   ([`ExecConfig::rank_speed`](crate::lower::ExecConfig::rank_speed)),
+//!   overlap-weighted over the window;
+//! - NIC degradations and link flaps become sim-level NIC capacity faults
+//!   covering the whole attempt;
+//! - rank crashes are injected as sim-level crashes, so the failure signal
+//!   (`SimError::RankUnavailable`) genuinely comes from the engine rather
+//!   than from bookkeeping.
+//!
+//! Failure detection combines that crash signal with a step-time anomaly
+//! threshold (a flap-stretched step past `anomaly_threshold ×` the healthy
+//! baseline models a collective timeout). What happens next is the
+//! [`RecoveryPolicy`]: fail-stop, blind retry, elastic replanning over the
+//! survivors ([`SchedulerCtx::shrink_to_survivors`]), or checkpoint
+//! rollback with a restore-cost model.
+//!
+//! The resulting [`FaultRunReport`] separates **throughput** (useful tokens
+//! per second of productive step time) from **goodput** (useful tokens per
+//! second of wall time, including lost attempts, detection, backoff, and
+//! restores). Goodput ≤ throughput always; the gap is the price of the
+//! faults under the chosen policy.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
+use zeppelin_data::batch::{sample_batch, Batch};
+use zeppelin_data::distribution::LengthDistribution;
+use zeppelin_sim::fault::FaultSchedule;
+use zeppelin_sim::time::{SimDuration, SimTime};
+use zeppelin_sim::topology::Rank;
+
+use crate::step::simulate_step;
+use crate::trainer::{RunConfig, RunError, StepSummary};
+
+/// What the trainer does when a failure is detected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryPolicy {
+    /// Surface the failure as a typed error and stop. Crashes abort the run
+    /// with [`RunError::RankLost`]; flap-degraded steps merely run slow.
+    FailStop,
+    /// Re-run the failed step on the unchanged cluster after a backoff.
+    /// Recovers from transient faults (flaps); a permanent crash burns
+    /// every retry and ends in [`RunError::RetriesExhausted`].
+    RetryWithBackoff {
+        /// Retries after the first failed attempt.
+        max_retries: usize,
+        /// Wall time between attempts.
+        backoff: SimDuration,
+    },
+    /// Shrink the cluster to the surviving ranks (whole-node eviction),
+    /// re-derive the plan, and continue the run elastically.
+    ReplanSurvivors,
+    /// Like [`RecoveryPolicy::ReplanSurvivors`], but training state only
+    /// exists at periodic checkpoints: committed steps since the last
+    /// checkpoint are rolled back and re-run, and each recovery pays a
+    /// restore cost.
+    CheckpointRestart {
+        /// Checkpoint period in steps (a checkpoint exists before step 0).
+        every_steps: usize,
+        /// Wall time to restore from a checkpoint.
+        restore_cost: SimDuration,
+    },
+}
+
+impl RecoveryPolicy {
+    /// Stable name used in tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RecoveryPolicy::FailStop => "fail-stop",
+            RecoveryPolicy::RetryWithBackoff { .. } => "retry+backoff",
+            RecoveryPolicy::ReplanSurvivors => "replan-survivors",
+            RecoveryPolicy::CheckpointRestart { .. } => "checkpoint-restart",
+        }
+    }
+}
+
+/// Configuration of a fault-aware training run.
+#[derive(Debug, Clone)]
+pub struct FaultRunConfig {
+    /// The underlying run (steps, tokens, seed, step config).
+    pub run: RunConfig,
+    /// Recovery policy applied on detected failures.
+    pub policy: RecoveryPolicy,
+    /// A completed step slower than `anomaly_threshold ×` the healthy
+    /// baseline is flagged degraded; combined with an overlapping link
+    /// flap it is treated as a collective timeout (the attempt is
+    /// abandoned and charged `anomaly_threshold ×` baseline of wall time).
+    pub anomaly_threshold: f64,
+    /// Wall time to detect a failure and coordinate the response (health
+    /// checks, collective teardown).
+    pub detection_overhead: SimDuration,
+}
+
+impl Default for FaultRunConfig {
+    fn default() -> Self {
+        FaultRunConfig {
+            run: RunConfig::default(),
+            policy: RecoveryPolicy::ReplanSurvivors,
+            anomaly_threshold: 1.5,
+            detection_overhead: SimDuration::from_millis(50),
+        }
+    }
+}
+
+/// One recovery action taken during the run.
+#[derive(Debug, Clone)]
+pub struct RecoveryEvent {
+    /// Step during which the failure was detected.
+    pub step: usize,
+    /// Wall-clock instant of detection.
+    pub at: SimTime,
+    /// Human-readable description of the failure and response.
+    pub action: String,
+    /// Wall time charged to this failure (lost attempt, detection,
+    /// backoff, restore).
+    pub lost: SimDuration,
+}
+
+/// Result of a fault-aware training run, separating goodput from
+/// throughput.
+#[derive(Debug, Clone)]
+pub struct FaultRunReport {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Recovery policy name.
+    pub policy: String,
+    /// Steps whose work survived to the end of the run.
+    pub committed_steps: usize,
+    /// Total wall time: productive steps, lost attempts, detection,
+    /// backoff, and restores.
+    pub wall_time: SimDuration,
+    /// Wall time spent in steps that stayed committed.
+    pub productive_time: SimDuration,
+    /// Tokens in committed steps.
+    pub useful_tokens: u64,
+    /// Tokens of discarded work: failed attempts and rolled-back steps
+    /// (each failed attempt is charged its full batch — an upper bound).
+    pub lost_tokens: u64,
+    /// `useful_tokens / productive_time` in tokens/second.
+    pub throughput: f64,
+    /// `useful_tokens / wall_time` in tokens/second; ≤ throughput, equal
+    /// only on a fault-free run.
+    pub goodput: f64,
+    /// Committed steps slower than the anomaly threshold (ran under a
+    /// slowdown or degradation but finished).
+    pub degraded_steps: usize,
+    /// Wall time spent detecting, backing off, and restoring (excludes the
+    /// lost attempts themselves).
+    pub recovery_latency: SimDuration,
+    /// Every recovery action, in order.
+    pub recoveries: Vec<RecoveryEvent>,
+    /// Ranks still alive at the end of the run.
+    pub final_ranks: usize,
+    /// Per-step records of the committed steps.
+    pub steps: Vec<StepSummary>,
+}
+
+/// Attempts per step before giving up on transient failures.
+const MAX_TRANSIENT_RETRIES: usize = 16;
+
+fn scale(d: SimDuration, f: f64) -> SimDuration {
+    SimDuration::from_secs_f64(d.as_secs_f64() * f)
+}
+
+fn offset_in(window_start: SimTime, at: SimTime) -> SimDuration {
+    SimDuration::from_nanos(at.as_nanos().saturating_sub(window_start.as_nanos()))
+}
+
+/// Runs `scheduler` under `faults` with the recovery behaviour of
+/// `cfg.policy`, accounting wall time, lost work, and goodput.
+///
+/// Batches are sampled up front from `dist` with the run seed, so a retried
+/// or rolled-back step replays exactly the batch its failed attempt saw.
+///
+/// # Errors
+///
+/// - [`RunError::NoSteps`] / [`RunError::EmptyBatch`] as for
+///   [`run_training`](crate::trainer::run_training);
+/// - [`RunError::Faults`] if the schedule is inconsistent with the cluster;
+/// - [`RunError::RankLost`] when a crash is detected under
+///   [`RecoveryPolicy::FailStop`];
+/// - [`RunError::RetriesExhausted`] when retries cannot complete a step;
+/// - [`RunError::NoSurvivors`] when every node has died;
+/// - [`RunError::Step`] for planning/simulation failures unrelated to the
+///   schedule (e.g. the surviving memory no longer fits the batch).
+pub fn run_training_faults(
+    scheduler: &dyn Scheduler,
+    dist: &LengthDistribution,
+    ctx: &SchedulerCtx,
+    cfg: &FaultRunConfig,
+    faults: &FaultSchedule,
+) -> Result<FaultRunReport, RunError> {
+    if cfg.run.steps == 0 {
+        return Err(RunError::NoSteps);
+    }
+    faults.validate(&ctx.cluster).map_err(RunError::Faults)?;
+
+    let mut rng = StdRng::seed_from_u64(cfg.run.seed);
+    let mut batches: Vec<Batch> = Vec::with_capacity(cfg.run.steps);
+    for i in 0..cfg.run.steps {
+        let b = sample_batch(dist, &mut rng, cfg.run.tokens_per_step);
+        if b.total_tokens() == 0 {
+            return Err(RunError::EmptyBatch { step: i });
+        }
+        batches.push(b);
+    }
+
+    // Healthy-baseline step time on a given cluster: the anomaly detector's
+    // reference, re-derived after every elastic shrink.
+    let healthy = |c: &SchedulerCtx, batch: &Batch, step: usize| -> Result<SimDuration, RunError> {
+        let mut scfg = cfg.run.step.clone();
+        scfg.seed = cfg.run.seed.wrapping_add(step as u64);
+        let rep = simulate_step(scheduler, batch, c, &scfg)
+            .map_err(|source| RunError::Step { step, source })?;
+        Ok(rep.step_time)
+    };
+
+    // Elastic state: dead ranks in *original* numbering, the current
+    // (possibly shrunk) context, and the old→new rank/node maps.
+    let orig_ranks = ctx.cluster.total_gpus();
+    let nic_count = ctx.cluster.node.nic_count;
+    let mut dead_old: BTreeSet<Rank> = BTreeSet::new();
+    let mut cur_ctx = ctx.clone();
+    let mut rank_map: Vec<Option<Rank>> = (0..orig_ranks).map(Some).collect();
+    let mut node_map: Vec<Option<usize>> = (0..ctx.cluster.nodes).map(Some).collect();
+
+    let mut baseline = healthy(&cur_ctx, &batches[0], 0)?;
+
+    let mut wall = SimTime::ZERO;
+    let mut recovery_latency = SimDuration::ZERO;
+    let mut lost_tokens = 0u64;
+    let mut recoveries: Vec<RecoveryEvent> = Vec::new();
+    let mut committed: Vec<StepSummary> = Vec::new();
+    let mut committed_degraded: Vec<bool> = Vec::new();
+    let mut name = String::new();
+
+    let mut step = 0usize;
+    let mut attempts_this_step = 0usize;
+    while step < cfg.run.steps {
+        let batch = &batches[step];
+        let w0 = wall;
+        let w1 = w0 + baseline;
+        attempts_this_step += 1;
+
+        // Map the schedule slice overlapping [w0, w1) into step terms.
+        let nnew = cur_ctx.cluster.total_gpus();
+        let mut old_of = vec![0usize; nnew];
+        for (old, &m) in rank_map.iter().enumerate() {
+            if let Some(nr) = m {
+                old_of[nr] = old;
+            }
+        }
+        let mut scfg = cfg.run.step.clone();
+        scfg.seed = cfg.run.seed.wrapping_add(step as u64);
+        let speeds: Vec<f64> = (0..nnew)
+            .map(|nr| faults.speed_over(old_of[nr], w0, w1))
+            .collect();
+        if speeds.iter().any(|&s| s != 1.0) {
+            scfg.exec.rank_speed = speeds;
+        }
+        let mut stf = FaultSchedule::new();
+        for old_nic in faults.affected_nics() {
+            let f = faults.nic_factor_over(old_nic, w0, w1);
+            if f < 1.0 {
+                if let Some(new_node) = node_map[old_nic / nic_count] {
+                    stf = stf.nic_degrade(
+                        new_node * nic_count + old_nic % nic_count,
+                        f,
+                        SimTime::ZERO,
+                        None,
+                    );
+                }
+            }
+        }
+        for (r, _) in faults.crashes_in(w0, w1) {
+            if let Some(nr) = rank_map[r] {
+                // Injected just after t=0 so the engine itself raises
+                // RankUnavailable (t=0 would be FaultBeforeStart).
+                stf = stf.rank_crash(nr, SimTime::from_nanos(1));
+            }
+        }
+        scfg.faults = stf;
+
+        let outcome = simulate_step(scheduler, batch, &cur_ctx, &scfg);
+
+        // Crash detection: anything scheduled up to the end of what this
+        // attempt actually spanned and not yet handled. A committed step
+        // can run past the estimated window; a failed one is bounded by it.
+        let span_end = match &outcome {
+            Ok(rep) => w0 + rep.step_time,
+            Err(_) => w1,
+        };
+        let new_crashes: Vec<(Rank, SimTime)> = faults
+            .crashes_in(SimTime::ZERO, span_end)
+            .into_iter()
+            .filter(|(r, _)| !dead_old.contains(r))
+            .collect();
+
+        if !new_crashes.is_empty() {
+            for &(r, _) in &new_crashes {
+                dead_old.insert(r);
+            }
+            let (first_rank, first_at) = new_crashes[0];
+            let detect_at = first_at.max(w0).saturating_add(cfg.detection_overhead);
+            // Wall burnt by the doomed attempt plus detection.
+            let mut lost_wall = offset_in(w0, first_at).saturating_add(cfg.detection_overhead);
+            lost_tokens += batch.total_tokens();
+
+            match &cfg.policy {
+                RecoveryPolicy::FailStop => {
+                    return Err(RunError::RankLost {
+                        rank: first_rank,
+                        step,
+                    });
+                }
+                RecoveryPolicy::RetryWithBackoff { max_retries, .. } => {
+                    // The dead rank stays in the collective: every retry
+                    // would time out at the anomaly threshold, so the run
+                    // ends after exhausting them. The report is discarded
+                    // with the run, so no further accounting is needed.
+                    return Err(RunError::RetriesExhausted {
+                        step,
+                        attempts: max_retries.saturating_add(1),
+                    });
+                }
+                RecoveryPolicy::ReplanSurvivors | RecoveryPolicy::CheckpointRestart { .. } => {
+                    let dead: Vec<Rank> = dead_old.iter().copied().collect();
+                    let (new_ctx, map) = ctx
+                        .shrink_to_survivors(&dead)
+                        .map_err(|_| RunError::NoSurvivors { step })?;
+                    node_map = (0..ctx.cluster.nodes)
+                        .map(|n| {
+                            map[ctx.cluster.rank_of(n, 0)].map(|nr| new_ctx.cluster.node_of(nr))
+                        })
+                        .collect();
+                    rank_map = map;
+                    cur_ctx = new_ctx;
+                    let survivors = cur_ctx.cluster.total_gpus();
+
+                    let mut action = format!(
+                        "rank {first_rank} crashed ({} rank(s) lost); replanned onto {survivors} survivor(s)",
+                        new_crashes.len(),
+                    );
+                    if let RecoveryPolicy::CheckpointRestart {
+                        every_steps,
+                        restore_cost,
+                    } = &cfg.policy
+                    {
+                        let period = (*every_steps).max(1);
+                        let last_ckpt = step - (step % period);
+                        let rolled = committed.len().saturating_sub(last_ckpt);
+                        while committed.len() > last_ckpt {
+                            let s = committed.pop().expect("len checked");
+                            committed_degraded.pop();
+                            lost_tokens += s.tokens;
+                        }
+                        lost_wall = lost_wall.saturating_add(*restore_cost);
+                        step = last_ckpt;
+                        action.push_str(&format!(
+                            "; restored checkpoint at step {last_ckpt} ({rolled} step(s) rolled back)"
+                        ));
+                    }
+
+                    wall = w0.saturating_add(lost_wall);
+                    recovery_latency = recovery_latency.saturating_add(lost_wall);
+                    recoveries.push(RecoveryEvent {
+                        step,
+                        at: detect_at,
+                        action,
+                        lost: lost_wall,
+                    });
+                    // The anomaly baseline changes with the cluster.
+                    baseline = healthy(&cur_ctx, &batches[step], step)?;
+                    attempts_this_step = 0;
+                    continue;
+                }
+            }
+        }
+
+        let rep = outcome.map_err(|source| RunError::Step { step, source })?;
+        let slow = rep.step_time.as_secs_f64() > cfg.anomaly_threshold * baseline.as_secs_f64();
+        if slow && faults.flap_overlaps(w0, w1) && !matches!(cfg.policy, RecoveryPolicy::FailStop) {
+            // Collective timeout on a flapping link: abandon the attempt at
+            // the threshold, back off, and retry once the link settles.
+            if attempts_this_step > MAX_TRANSIENT_RETRIES {
+                return Err(RunError::RetriesExhausted {
+                    step,
+                    attempts: attempts_this_step,
+                });
+            }
+            let mut lost_wall =
+                scale(baseline, cfg.anomaly_threshold).saturating_add(cfg.detection_overhead);
+            if let RecoveryPolicy::RetryWithBackoff { backoff, .. } = &cfg.policy {
+                lost_wall = lost_wall.saturating_add(*backoff);
+            }
+            lost_tokens += batch.total_tokens();
+            wall = w0.saturating_add(lost_wall);
+            recovery_latency = recovery_latency.saturating_add(lost_wall);
+            recoveries.push(RecoveryEvent {
+                step,
+                at: wall,
+                action: format!(
+                    "step {step} timed out ({}x baseline) during a link flap; retrying",
+                    cfg.anomaly_threshold
+                ),
+                lost: lost_wall,
+            });
+            continue;
+        }
+
+        // Commit.
+        wall = w0.saturating_add(rep.step_time);
+        name = rep.scheduler.clone();
+        committed.push(StepSummary::from(&rep));
+        committed_degraded.push(slow);
+        step += 1;
+        attempts_this_step = 0;
+    }
+
+    let productive = committed
+        .iter()
+        .fold(SimDuration::ZERO, |a, s| a.saturating_add(s.step_time));
+    let useful_tokens: u64 = committed.iter().map(|s| s.tokens).sum();
+    let wall_time = SimDuration::from_nanos(wall.as_nanos());
+    let throughput = if productive > SimDuration::ZERO {
+        useful_tokens as f64 / productive.as_secs_f64()
+    } else {
+        0.0
+    };
+    let goodput = if wall_time > SimDuration::ZERO {
+        useful_tokens as f64 / wall_time.as_secs_f64()
+    } else {
+        0.0
+    };
+
+    Ok(FaultRunReport {
+        scheduler: name,
+        policy: cfg.policy.name().to_string(),
+        committed_steps: committed.len(),
+        wall_time,
+        productive_time: productive,
+        useful_tokens,
+        lost_tokens,
+        throughput,
+        goodput,
+        degraded_steps: committed_degraded.iter().filter(|&&d| d).count(),
+        recovery_latency,
+        recoveries,
+        final_ranks: cur_ctx.cluster.total_gpus(),
+        steps: committed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::StepConfig;
+    use zeppelin_core::zeppelin::Zeppelin;
+    use zeppelin_data::datasets::arxiv;
+    use zeppelin_model::config::llama_3b;
+    use zeppelin_sim::topology::cluster_a;
+
+    fn ctx() -> SchedulerCtx {
+        SchedulerCtx::new(&cluster_a(2), &llama_3b()).with_capacity(8192)
+    }
+
+    fn cfg(steps: usize, policy: RecoveryPolicy) -> FaultRunConfig {
+        FaultRunConfig {
+            run: RunConfig {
+                steps,
+                tokens_per_step: 32_768,
+                seed: 11,
+                step: StepConfig::default(),
+            },
+            policy,
+            ..FaultRunConfig::default()
+        }
+    }
+
+    /// Mean fault-free step time, used to place faults mid-run.
+    fn nominal_step(c: &SchedulerCtx) -> SimDuration {
+        let r = run_training_faults(
+            &Zeppelin::new(),
+            &arxiv(),
+            c,
+            &cfg(2, RecoveryPolicy::FailStop),
+            &FaultSchedule::new(),
+        )
+        .unwrap();
+        scale(r.productive_time, 0.5)
+    }
+
+    #[test]
+    fn fault_free_run_has_equal_goodput_and_throughput() {
+        let r = run_training_faults(
+            &Zeppelin::new(),
+            &arxiv(),
+            &ctx(),
+            &cfg(3, RecoveryPolicy::ReplanSurvivors),
+            &FaultSchedule::new(),
+        )
+        .unwrap();
+        assert_eq!(r.committed_steps, 3);
+        assert_eq!(r.lost_tokens, 0);
+        assert!(r.recoveries.is_empty());
+        assert_eq!(r.final_ranks, 16);
+        assert!((r.goodput - r.throughput).abs() < 1e-6 * r.throughput);
+    }
+
+    #[test]
+    fn failstop_surfaces_rank_lost() {
+        let c = ctx();
+        let crash_at = SimTime::ZERO + scale(nominal_step(&c), 1.5);
+        let faults = FaultSchedule::new().node_crash(&c.cluster, 1, crash_at);
+        let err = run_training_faults(
+            &Zeppelin::new(),
+            &arxiv(),
+            &c,
+            &cfg(4, RecoveryPolicy::FailStop),
+            &faults,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, RunError::RankLost { rank, step: 1 } if (8..16).contains(&rank)),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn retry_with_backoff_exhausts_on_permanent_crash() {
+        let c = ctx();
+        let crash_at = SimTime::ZERO + scale(nominal_step(&c), 0.5);
+        let faults = FaultSchedule::new().rank_crash(9, crash_at);
+        let policy = RecoveryPolicy::RetryWithBackoff {
+            max_retries: 2,
+            backoff: SimDuration::from_millis(10),
+        };
+        let err = run_training_faults(&Zeppelin::new(), &arxiv(), &c, &cfg(4, policy), &faults)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RunError::RetriesExhausted {
+                    step: 0,
+                    attempts: 3
+                }
+            ),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn replan_survivors_completes_with_goodput_below_throughput() {
+        let c = ctx();
+        let crash_at = SimTime::ZERO + scale(nominal_step(&c), 1.4);
+        let faults = FaultSchedule::new().node_crash(&c.cluster, 0, crash_at);
+        let r = run_training_faults(
+            &Zeppelin::new(),
+            &arxiv(),
+            &c,
+            &cfg(5, RecoveryPolicy::ReplanSurvivors),
+            &faults,
+        )
+        .unwrap();
+        assert_eq!(r.committed_steps, 5);
+        assert_eq!(r.final_ranks, 8);
+        assert_eq!(r.recoveries.len(), 1);
+        assert!(r.lost_tokens > 0);
+        assert!(
+            r.goodput < r.throughput,
+            "goodput {} vs {}",
+            r.goodput,
+            r.throughput
+        );
+        assert!(r.recovery_latency > SimDuration::ZERO);
+        assert!(r.wall_time > r.productive_time);
+    }
+
+    #[test]
+    fn checkpoint_restart_rolls_back_committed_steps() {
+        let c = ctx();
+        let nominal = nominal_step(&c);
+        let crash_at = SimTime::ZERO + scale(nominal, 3.4);
+        let faults = FaultSchedule::new().node_crash(&c.cluster, 1, crash_at);
+        let policy = RecoveryPolicy::CheckpointRestart {
+            every_steps: 2,
+            restore_cost: SimDuration::from_millis(200),
+        };
+        let r =
+            run_training_faults(&Zeppelin::new(), &arxiv(), &c, &cfg(6, policy), &faults).unwrap();
+        assert_eq!(r.committed_steps, 6);
+        assert_eq!(r.final_ranks, 8);
+        // The crash in step 3 rolled back to the checkpoint at step 2:
+        // at least one committed step was discarded along with the attempt.
+        assert!(r.recoveries[0].action.contains("rolled back"));
+        assert!(
+            r.lost_tokens > r.steps[0].tokens,
+            "rollback should lose a committed step's tokens"
+        );
+        assert!(r.goodput < r.throughput);
+    }
+
+    #[test]
+    fn transient_flap_is_retried_and_the_run_completes() {
+        let c = ctx();
+        let nominal = nominal_step(&c);
+        // All NICs of node 0 flap during step 1's window, healing shortly
+        // after: retries eventually land past the flap.
+        let start = SimTime::ZERO + nominal;
+        let end = start + scale(nominal, 2.0);
+        let mut faults = FaultSchedule::new();
+        for nic in 0..4 {
+            faults = faults.link_flap(nic, start, Some(end));
+        }
+        let policy = RecoveryPolicy::RetryWithBackoff {
+            max_retries: 8,
+            backoff: SimDuration::from_millis(20),
+        };
+        let r =
+            run_training_faults(&Zeppelin::new(), &arxiv(), &c, &cfg(4, policy), &faults).unwrap();
+        assert_eq!(r.committed_steps, 4);
+        assert_eq!(r.final_ranks, 16, "no rank died");
+        assert!(
+            !r.recoveries.is_empty() || r.degraded_steps > 0,
+            "the flap must be visible somewhere"
+        );
+        assert!(r.goodput <= r.throughput + 1e-9);
+    }
+
+    #[test]
+    fn gpu_slowdown_degrades_without_recovery_events() {
+        let c = ctx();
+        // Rank 3 at 30% speed for the whole run: steps stretch but commit.
+        let faults = FaultSchedule::new().gpu_slowdown(3, 0.3, SimTime::ZERO, None);
+        let r = run_training_faults(
+            &Zeppelin::new(),
+            &arxiv(),
+            &c,
+            &cfg(3, RecoveryPolicy::ReplanSurvivors),
+            &faults,
+        )
+        .unwrap();
+        assert_eq!(r.committed_steps, 3);
+        assert!(r.recoveries.is_empty(), "a slow GPU is not a failure");
+        let healthy = run_training_faults(
+            &Zeppelin::new(),
+            &arxiv(),
+            &c,
+            &cfg(3, RecoveryPolicy::ReplanSurvivors),
+            &FaultSchedule::new(),
+        )
+        .unwrap();
+        assert!(
+            r.wall_time > healthy.wall_time,
+            "slowdown must cost wall time: {} vs {}",
+            r.wall_time,
+            healthy.wall_time
+        );
+    }
+
+    #[test]
+    fn deterministic_across_invocations() {
+        let c = ctx();
+        let crash_at = SimTime::ZERO + scale(nominal_step(&c), 1.2);
+        let faults = FaultSchedule::new().node_crash(&c.cluster, 1, crash_at);
+        let run = || {
+            run_training_faults(
+                &Zeppelin::new(),
+                &arxiv(),
+                &c,
+                &cfg(4, RecoveryPolicy::ReplanSurvivors),
+                &faults,
+            )
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.wall_time, b.wall_time);
+        assert_eq!(a.useful_tokens, b.useful_tokens);
+        assert_eq!(a.lost_tokens, b.lost_tokens);
+        assert_eq!(a.committed_steps, b.committed_steps);
+    }
+
+    #[test]
+    fn invalid_schedule_is_a_typed_error() {
+        let c = ctx();
+        let faults = FaultSchedule::new().rank_crash(99, SimTime::from_nanos(5));
+        let err = run_training_faults(
+            &Zeppelin::new(),
+            &arxiv(),
+            &c,
+            &cfg(2, RecoveryPolicy::ReplanSurvivors),
+            &faults,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RunError::Faults(_)), "got {err}");
+    }
+}

@@ -15,6 +15,7 @@ use zeppelin_model::flops::linear_flops_per_token;
 use zeppelin_model::moe::{imbalance_factor, sample_expert_loads};
 use zeppelin_sim::engine::Simulator;
 use zeppelin_sim::error::SimError;
+use zeppelin_sim::fault::FaultSchedule;
 use zeppelin_sim::time::SimDuration;
 use zeppelin_sim::topology::Rank;
 use zeppelin_sim::trace::{Trace, TraceCategory};
@@ -71,6 +72,10 @@ pub struct StepConfig {
     /// parameter shard and the updated bf16 weights are ring all-gathered
     /// once per step. Off by default (identical across methods).
     pub zero_optimizer: bool,
+    /// Infrastructure faults active during this step's layer simulations
+    /// (NIC degradation, link flaps, rank crashes). Empty by default; the
+    /// fault-aware trainer rebases its run-level schedule into this.
+    pub faults: FaultSchedule,
 }
 
 impl Default for StepConfig {
@@ -81,6 +86,7 @@ impl Default for StepConfig {
             moe_skew: 0.5,
             chained_layers: 1,
             zero_optimizer: false,
+            faults: FaultSchedule::default(),
         }
     }
 }
@@ -279,7 +285,7 @@ pub fn simulate_plan(
                 let out = lower_layer(&mut sim, &ctx.model, plan, &exec, dir, &entry)?;
                 entry = out.exit.into_iter().map(Some).collect();
             }
-            let report = sim.run()?;
+            let report = sim.run_with_faults(&cfg.faults)?;
             let makespan = SimDuration::from_nanos(report.makespan.as_nanos() / chained as u64);
             let nics = ctx.cluster.nodes * ctx.cluster.node.nic_count;
             let nic_util: Vec<f64> = (0..nics)

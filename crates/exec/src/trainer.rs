@@ -10,9 +10,97 @@ use rand::SeedableRng;
 use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
 use zeppelin_data::batch::sample_batch;
 use zeppelin_data::distribution::LengthDistribution;
+use zeppelin_sim::error::SimError;
 use zeppelin_sim::time::SimDuration;
+use zeppelin_sim::topology::Rank;
 
 use crate::step::{simulate_step, StepConfig, StepError, StepReport};
+
+/// Errors from multi-step training runs.
+///
+/// Marked `#[non_exhaustive]`: the recovery layer adds failure modes over
+/// time; match with a wildcard arm.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RunError {
+    /// The run was configured with zero steps.
+    NoSteps,
+    /// A sampled batch carried zero tokens; there is nothing to train on.
+    EmptyBatch {
+        /// Step whose batch was empty.
+        step: usize,
+    },
+    /// A step failed to plan or simulate.
+    Step {
+        /// The failing step.
+        step: usize,
+        /// The underlying step error.
+        source: StepError,
+    },
+    /// The fault schedule is inconsistent with the cluster.
+    Faults(SimError),
+    /// A rank died and the [`FailStop`](crate::recovery::RecoveryPolicy::FailStop)
+    /// policy aborted the run.
+    RankLost {
+        /// The dead rank (numbered in the original cluster).
+        rank: Rank,
+        /// Step during which the crash was detected.
+        step: usize,
+    },
+    /// Retries were exhausted without completing the step.
+    RetriesExhausted {
+        /// The step that kept failing.
+        step: usize,
+        /// Attempts made (including the first).
+        attempts: usize,
+    },
+    /// Every node was lost; there is no surviving cluster to replan onto.
+    NoSurvivors {
+        /// Step during which the last node died.
+        step: usize,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::NoSteps => write!(f, "training run needs at least one step"),
+            RunError::EmptyBatch { step } => {
+                write!(f, "step {step} sampled an empty batch (zero tokens)")
+            }
+            RunError::Step { step, source } => write!(f, "step {step} failed: {source}"),
+            RunError::Faults(e) => write!(f, "invalid fault schedule: {e}"),
+            RunError::RankLost { rank, step } => {
+                write!(
+                    f,
+                    "rank {rank} lost at step {step}; fail-stop policy aborts the run"
+                )
+            }
+            RunError::RetriesExhausted { step, attempts } => {
+                write!(f, "step {step} still failing after {attempts} attempt(s)")
+            }
+            RunError::NoSurvivors { step } => {
+                write!(f, "no surviving nodes to replan onto at step {step}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Step { source, .. } => Some(source),
+            RunError::Faults(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        RunError::Faults(e)
+    }
+}
 
 /// Configuration of a multi-step training run.
 #[derive(Debug, Clone)]
@@ -83,8 +171,10 @@ impl From<&StepReport> for StepSummary {
 ///
 /// # Errors
 ///
-/// Returns the first [`StepError`] encountered (plans from presets should
-/// not fail; capacity errors indicate a mis-sized experiment).
+/// Returns [`RunError::NoSteps`] for a zero-step config,
+/// [`RunError::EmptyBatch`] if a sampled batch has no tokens, and wraps the
+/// first [`StepError`] encountered in [`RunError::Step`] (plans from presets
+/// should not fail; capacity errors indicate a mis-sized experiment).
 ///
 /// # Examples
 ///
@@ -111,7 +201,7 @@ pub fn run_training(
     dist: &LengthDistribution,
     ctx: &SchedulerCtx,
     cfg: &RunConfig,
-) -> Result<RunReport, StepError> {
+) -> Result<RunReport, RunError> {
     run_training_with(scheduler, ctx, cfg, |rng, tokens| {
         sample_batch(dist, rng, tokens)
     })
@@ -122,11 +212,9 @@ pub fn run_training(
 ///
 /// # Errors
 ///
-/// Returns the first [`StepError`] encountered.
-///
-/// # Panics
-///
-/// Panics if `cfg.steps == 0`.
+/// Returns [`RunError::NoSteps`] for `cfg.steps == 0`,
+/// [`RunError::EmptyBatch`] if the sampler produces a zero-token batch, and
+/// the first step failure as [`RunError::Step`].
 ///
 /// # Examples
 ///
@@ -152,8 +240,10 @@ pub fn run_training_with(
     ctx: &SchedulerCtx,
     cfg: &RunConfig,
     mut sampler: impl FnMut(&mut StdRng, u64) -> zeppelin_data::batch::Batch,
-) -> Result<RunReport, StepError> {
-    assert!(cfg.steps > 0, "need at least one step");
+) -> Result<RunReport, RunError> {
+    if cfg.steps == 0 {
+        return Err(RunError::NoSteps);
+    }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut steps = Vec::with_capacity(cfg.steps);
     let mut sum_tp = 0.0;
@@ -163,9 +253,13 @@ pub fn run_training_with(
     let mut name = String::new();
     for i in 0..cfg.steps {
         let batch = sampler(&mut rng, cfg.tokens_per_step);
+        if batch.total_tokens() == 0 {
+            return Err(RunError::EmptyBatch { step: i });
+        }
         let mut scfg = cfg.step.clone();
         scfg.seed = cfg.seed.wrapping_add(i as u64);
-        let report = simulate_step(scheduler, &batch, ctx, &scfg)?;
+        let report = simulate_step(scheduler, &batch, ctx, &scfg)
+            .map_err(|source| RunError::Step { step: i, source })?;
         sum_tp += report.throughput;
         min_tp = min_tp.min(report.throughput);
         max_tp = max_tp.max(report.throughput);
@@ -233,8 +327,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one step")]
-    fn zero_steps_panics() {
-        let _ = run_training(&TeCp::new(), &arxiv(), &ctx(), &cfg(0));
+    fn zero_steps_is_a_typed_error() {
+        let err = run_training(&TeCp::new(), &arxiv(), &ctx(), &cfg(0)).unwrap_err();
+        assert!(matches!(err, RunError::NoSteps));
+        assert!(err.to_string().contains("at least one step"));
+    }
+
+    #[test]
+    fn empty_batch_is_a_typed_error() {
+        let err = run_training_with(&TeCp::new(), &ctx(), &cfg(2), |_, _| {
+            zeppelin_data::batch::Batch::new(vec![])
+        })
+        .unwrap_err();
+        assert!(matches!(err, RunError::EmptyBatch { step: 0 }));
+        assert!(err.to_string().contains("empty batch"));
+    }
+
+    #[test]
+    fn step_failures_carry_the_step_index() {
+        let tiny = ctx().with_capacity(64);
+        let err = run_training(&TeCp::new(), &arxiv(), &tiny, &cfg(2)).unwrap_err();
+        match err {
+            RunError::Step { step, source } => {
+                assert_eq!(step, 0);
+                assert!(matches!(source, crate::step::StepError::Plan(_)));
+            }
+            other => panic!("expected Step error, got {other}"),
+        }
     }
 }

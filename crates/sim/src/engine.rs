@@ -15,9 +15,10 @@
 //! identical schedules.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
 
 use crate::error::SimError;
+use crate::fault::FaultSchedule;
 use crate::network::{FlowKey, FlowNetwork};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{ClusterSpec, Port, Rank};
@@ -122,14 +123,42 @@ impl SimReport {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Event {
-    ComputeDone(TaskId),
+    /// A kernel completes; the generation invalidates completions scheduled
+    /// before a fault changed the rank's compute speed.
+    ComputeDone(TaskId, u64),
     NetCheck(u64),
+    /// A fault window opens, closes, or a crash fires at this instant.
+    Fault,
+}
+
+/// A kernel currently occupying a stream, tracked so fault boundaries can
+/// settle partial progress and reschedule the completion.
+struct RunningKernel {
+    task: TaskId,
+    /// Nominal (full-speed) nanoseconds of work left as of `since`.
+    left_ns: f64,
+    /// Instant the current speed segment began.
+    since: SimTime,
 }
 
 #[derive(Default)]
 struct StreamState {
     busy: bool,
     queue: VecDeque<TaskId>,
+    running: Option<RunningKernel>,
+}
+
+/// Wall-clock duration for `left_ns` nominal nanoseconds at `speed`.
+///
+/// Full speed takes the exact integer path: `from_secs_f64(ns / 1e9)` is not
+/// bit-exact for all integers (f64 division rounds), and fault-free runs must
+/// reproduce the pre-fault engine schedule bit for bit.
+fn kernel_eta(left_ns: f64, speed: f64) -> SimDuration {
+    if speed == 1.0 {
+        SimDuration::from_nanos(left_ns.ceil() as u64)
+    } else {
+        SimDuration::from_secs_f64(left_ns / (speed * 1e9))
+    }
 }
 
 /// Builds and runs one task DAG over a cluster.
@@ -234,7 +263,9 @@ impl Simulator {
         })
     }
 
-    /// Runs the DAG to completion.
+    /// Runs the DAG to completion on healthy hardware.
+    ///
+    /// Equivalent to [`Simulator::run_with_faults`] with an empty schedule.
     ///
     /// # Errors
     ///
@@ -242,7 +273,84 @@ impl Simulator {
     /// ready (unreachable with the forward-reference check, kept as a
     /// defensive invariant).
     pub fn run(&self) -> Result<SimReport, SimError> {
+        self.run_with_faults(&FaultSchedule::default())
+    }
+
+    /// Runs the DAG to completion under a scripted [`FaultSchedule`].
+    ///
+    /// GPU slowdown windows stretch kernels (partial progress is settled at
+    /// every window boundary), NIC degradations and flaps re-rate in-flight
+    /// flows through the incremental max-min allocator, and rank crashes
+    /// abort the run if any task assigned to the dead rank has not finished.
+    /// With an empty schedule the produced report is bit-for-bit identical
+    /// to [`Simulator::run`].
+    ///
+    /// # Errors
+    ///
+    /// - [`SimError::InvalidTopology`] if the schedule references ranks or
+    ///   NICs outside the cluster or has malformed windows;
+    /// - [`SimError::FaultBeforeStart`] if a rank is dead at time zero yet
+    ///   the DAG assigns work to it;
+    /// - [`SimError::RankUnavailable`] if a crash fires while work assigned
+    ///   to the rank is still pending;
+    /// - [`SimError::DependencyCycle`] as for [`Simulator::run`].
+    pub fn run_with_faults(&self, faults: &FaultSchedule) -> Result<SimReport, SimError> {
+        faults.validate(&self.cluster)?;
         let n = self.tasks.len();
+
+        // Ranks referenced by crash events, with the ids of every task that
+        // needs that rank alive (kernels on it, transfers through its
+        // NVLink/PCIe ports — NICs are node-shared and handled as flaps).
+        let crash_ranks: BTreeSet<Rank> = faults
+            .crashes_in(SimTime::ZERO, SimTime::MAX)
+            .into_iter()
+            .map(|(rank, _)| rank)
+            .collect();
+        let mut rank_tasks: HashMap<Rank, Vec<usize>> = HashMap::new();
+        if !crash_ranks.is_empty() {
+            let mut touched: Vec<Rank> = Vec::new();
+            for (i, t) in self.tasks.iter().enumerate() {
+                touched.clear();
+                match &t.kind {
+                    TaskKind::Compute { rank, .. } => touched.push(*rank),
+                    TaskKind::Transfer { path, .. } => {
+                        for &p in path {
+                            match p {
+                                Port::NvlinkOut(r)
+                                | Port::NvlinkIn(r)
+                                | Port::PcieOut(r)
+                                | Port::PcieIn(r) => touched.push(r),
+                                Port::NicTx(_) | Port::NicRx(_) => {}
+                            }
+                        }
+                    }
+                    TaskKind::Marker => {}
+                }
+                touched.sort_unstable();
+                touched.dedup();
+                for &r in &touched {
+                    if crash_ranks.contains(&r) {
+                        rank_tasks.entry(r).or_default().push(i);
+                    }
+                }
+            }
+            // A rank dead at t=0 with work assigned can never make progress.
+            for (rank, _) in faults.crashes_in(SimTime::ZERO, SimTime::from_nanos(1)) {
+                if rank_tasks.get(&rank).is_some_and(|ts| !ts.is_empty()) {
+                    return Err(SimError::FaultBeforeStart { rank });
+                }
+            }
+        }
+
+        // Per-rank compute speed and per-NIC capacity factor at time zero.
+        let slow_ranks = faults.slowdown_ranks();
+        let affected_nics = faults.affected_nics();
+        let mut kernel_speed = vec![1.0f64; self.cluster.total_gpus()];
+        for &r in &slow_ranks {
+            kernel_speed[r] = faults.speed_at(r, SimTime::ZERO);
+        }
+        let mut nic_factor: HashMap<usize, f64> =
+            affected_nics.iter().map(|&nic| (nic, 1.0)).collect();
         let mut indeg = vec![0usize; n];
         let mut dependents: Vec<Vec<TaskId>> = vec![Vec::new(); n];
         for (i, t) in self.tasks.iter().enumerate() {
@@ -273,6 +381,29 @@ impl Simulator {
             *seq += 1;
             events.push(Reverse((t, *seq, 0usize, ev)));
         };
+
+        // Fault boundaries enter the heap first: their low sequence numbers
+        // make them pop before completions at the same instant, so capacity
+        // and speed changes apply before same-instant launches, and a crash
+        // at t kills work that would have finished exactly at t (windows are
+        // half-open).
+        for t in faults.boundaries() {
+            push_event(&mut events, t, Event::Fault, &mut seq);
+        }
+        // NIC windows already open at time zero (the t=0 boundary pops only
+        // after the first launch phase below).
+        for &nicn in &affected_nics {
+            let f = faults.nic_factor_at(nicn, SimTime::ZERO);
+            if f != 1.0 {
+                nic_factor.insert(nicn, f);
+                let bw = self.cluster.node.nic.bw;
+                net.set_port_capacity(Port::NicTx(nicn), bw * f);
+                net.set_port_capacity(Port::NicRx(nicn), bw * f);
+            }
+        }
+        // Per-task generation stamp; bumped when a speed change reschedules
+        // a running kernel, invalidating the previously queued completion.
+        let mut compute_gen = vec![0u64; n];
 
         // Work list of tasks that just became ready.
         let mut ready: VecDeque<TaskId> = (0..n).filter(|&i| indeg[i] == 0).map(TaskId).collect();
@@ -309,14 +440,22 @@ impl Simulator {
                         if !st.busy {
                             st.busy = true;
                             let head = st.queue.pop_front().expect("just pushed");
-                            let TaskKind::Compute { duration, .. } = self.tasks[head.0].kind else {
+                            let TaskKind::Compute { rank, duration, .. } = self.tasks[head.0].kind
+                            else {
                                 unreachable!("compute queue holds compute tasks")
                             };
+                            let left_ns = duration.as_nanos() as f64;
+                            let speed = kernel_speed.get(rank).copied().unwrap_or(1.0);
                             spans[head.0].0 = now;
+                            st.running = Some(RunningKernel {
+                                task: head,
+                                left_ns,
+                                since: now,
+                            });
                             push_event(
                                 &mut events,
-                                now + duration,
-                                Event::ComputeDone(head),
+                                now + kernel_eta(left_ns, speed),
+                                Event::ComputeDone(head, compute_gen[head.0]),
                                 &mut seq,
                             );
                         }
@@ -350,7 +489,13 @@ impl Simulator {
                                 *port_bytes.entry(port).or_insert(0.0) += *bytes;
                             }
                             let key = net.start_flow_deduped(*bytes, &dedup_path, |p| {
-                                self.cluster.port_capacity(p)
+                                let f = match p {
+                                    Port::NicTx(nicn) | Port::NicRx(nicn) => {
+                                        nic_factor.get(&nicn).copied().unwrap_or(1.0)
+                                    }
+                                    _ => 1.0,
+                                };
+                                self.cluster.port_capacity(p) * f
                             });
                             flow_task.insert(key, id);
                         }
@@ -362,13 +507,23 @@ impl Simulator {
                 reschedule_net!();
             }
 
+            // Fault boundaries can outlive the workload; once every task is
+            // done the remaining events are irrelevant (in particular a
+            // crash after the last completion must not fail the run).
+            if done_count == n {
+                break;
+            }
+
             // Pull the next event.
             let Some(Reverse((t, _, _, ev))) = events.pop() else {
                 break;
             };
             now = t;
             match ev {
-                Event::ComputeDone(id) => {
+                Event::ComputeDone(id, gen) => {
+                    if gen != compute_gen[id.0] {
+                        continue; // Stale: a fault rescheduled this kernel.
+                    }
                     spans[id.0].1 = now;
                     done[id.0] = true;
                     done_count += 1;
@@ -377,15 +532,23 @@ impl Simulator {
                         unreachable!("compute-done for non-compute task")
                     };
                     let st = streams.get_mut(&(rank, stream)).expect("stream exists");
+                    st.running = None;
                     if let Some(next) = st.queue.pop_front() {
                         let TaskKind::Compute { duration, .. } = self.tasks[next.0].kind else {
                             unreachable!("compute queue holds compute tasks")
                         };
+                        let left_ns = duration.as_nanos() as f64;
+                        let speed = kernel_speed.get(rank).copied().unwrap_or(1.0);
                         spans[next.0].0 = now;
+                        st.running = Some(RunningKernel {
+                            task: next,
+                            left_ns,
+                            since: now,
+                        });
                         push_event(
                             &mut events,
-                            now + duration,
-                            Event::ComputeDone(next),
+                            now + kernel_eta(left_ns, speed),
+                            Event::ComputeDone(next, compute_gen[next.0]),
                             &mut seq,
                         );
                     } else {
@@ -428,6 +591,72 @@ impl Simulator {
                     }
                     net.commit_update();
                     reschedule_net!();
+                }
+                Event::Fault => {
+                    // Crashes first: any unfinished work on a dead rank is
+                    // unrecoverable, and at equal instants the crash wins
+                    // (windows are half-open, so t is inside the fault).
+                    let next_ns = SimTime::from_nanos(now.as_nanos().saturating_add(1));
+                    for (rank, at) in faults.crashes_in(now, next_ns) {
+                        let pending = rank_tasks
+                            .get(&rank)
+                            .map(|ts| ts.iter().filter(|&&i| !done[i]).count())
+                            .unwrap_or(0);
+                        if pending > 0 {
+                            return Err(SimError::RankUnavailable { rank, at, pending });
+                        }
+                    }
+                    // Re-rate NICs whose capacity factor changed here; one
+                    // batched rebalance covers every affected port.
+                    let mut nic_dirty = false;
+                    for &nicn in &affected_nics {
+                        let f = faults.nic_factor_at(nicn, now);
+                        if f != nic_factor[&nicn] {
+                            if !nic_dirty {
+                                net.advance_to(now);
+                                net.begin_update();
+                                nic_dirty = true;
+                            }
+                            let bw = self.cluster.node.nic.bw;
+                            net.set_port_capacity(Port::NicTx(nicn), bw * f);
+                            net.set_port_capacity(Port::NicRx(nicn), bw * f);
+                            nic_factor.insert(nicn, f);
+                        }
+                    }
+                    if nic_dirty {
+                        net.commit_update();
+                        reschedule_net!();
+                    }
+                    // Settle running kernels on ranks whose speed changed
+                    // and reschedule their completions at the new speed.
+                    for &r in &slow_ranks {
+                        let s = faults.speed_at(r, now);
+                        let old = kernel_speed[r];
+                        if s == old {
+                            continue;
+                        }
+                        kernel_speed[r] = s;
+                        // Sorted keys: HashMap iteration order must not
+                        // leak into event sequence numbers.
+                        let mut keys: Vec<(Rank, Stream)> =
+                            streams.keys().copied().filter(|&(rk, _)| rk == r).collect();
+                        keys.sort_unstable();
+                        for k in keys {
+                            let st = streams.get_mut(&k).expect("key from iteration");
+                            if let Some(run) = st.running.as_mut() {
+                                let elapsed = now.since(run.since).as_nanos() as f64;
+                                run.left_ns = (run.left_ns - elapsed * old).max(0.0);
+                                run.since = now;
+                                compute_gen[run.task.0] += 1;
+                                push_event(
+                                    &mut events,
+                                    now + kernel_eta(run.left_ns, s),
+                                    Event::ComputeDone(run.task, compute_gen[run.task.0]),
+                                    &mut seq,
+                                );
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -746,6 +975,215 @@ mod tests {
         assert_eq!(r1.spans.len(), r2.spans.len());
         for (a, b) in r1.spans.iter().zip(&r2.spans) {
             assert_eq!(a, b);
+        }
+    }
+
+    mod faults {
+        use super::*;
+        use crate::fault::FaultSchedule;
+        use crate::time::SimTime;
+
+        fn at_ms(v: u64) -> SimTime {
+            SimTime::from_nanos(v * 1_000_000)
+        }
+
+        #[test]
+        fn empty_schedule_matches_plain_run_bitwise() {
+            let c = tiny_cluster(2, 2);
+            let mut sim = Simulator::new(&c);
+            let a = sim
+                .compute(0, Stream::Compute, ms(3), vec![], None)
+                .unwrap();
+            sim.compute(0, Stream::Compute, ms(2), vec![], None)
+                .unwrap();
+            sim.transfer(5e9, c.direct_path(0, 2), vec![a], None)
+                .unwrap();
+            sim.transfer(3e9, c.direct_path(1, 3), vec![], None)
+                .unwrap();
+            let plain = sim.run().unwrap();
+            let faulted = sim.run_with_faults(&FaultSchedule::new()).unwrap();
+            assert_eq!(plain.makespan, faulted.makespan);
+            assert_eq!(plain.spans, faulted.spans);
+        }
+
+        #[test]
+        fn slowdown_stretches_kernel() {
+            let mut sim = Simulator::new(&tiny_cluster(1, 2));
+            let k = sim
+                .compute(0, Stream::Compute, ms(10), vec![], None)
+                .unwrap();
+            // Half speed for the whole run: 10 ms of work takes 20 ms.
+            let f = FaultSchedule::new().gpu_slowdown(0, 0.5, SimTime::ZERO, None);
+            let r = sim.run_with_faults(&f).unwrap();
+            assert!(
+                (r.duration(k).as_secs_f64() - 0.020).abs() < 1e-6,
+                "duration {}",
+                r.duration(k)
+            );
+        }
+
+        #[test]
+        fn slowdown_window_settles_partial_progress() {
+            let mut sim = Simulator::new(&tiny_cluster(1, 2));
+            sim.compute(0, Stream::Compute, ms(10), vec![], None)
+                .unwrap();
+            // Half speed during [0, 5ms): 2.5 ms of nominal work done, the
+            // remaining 7.5 ms runs at full speed -> ends at 12.5 ms.
+            let f = FaultSchedule::new().gpu_slowdown(0, 0.5, SimTime::ZERO, Some(at_ms(5)));
+            let r = sim.run_with_faults(&f).unwrap();
+            assert!(
+                (r.makespan.as_secs_f64() - 0.0125).abs() < 1e-6,
+                "makespan {}",
+                r.makespan
+            );
+            // Unaffected ranks are untouched.
+            let mut sim2 = Simulator::new(&tiny_cluster(1, 2));
+            sim2.compute(1, Stream::Compute, ms(10), vec![], None)
+                .unwrap();
+            let r2 = sim2.run_with_faults(&f).unwrap();
+            assert_eq!(r2.makespan.as_nanos(), 10_000_000);
+        }
+
+        #[test]
+        fn nic_degrade_stretches_transfer() {
+            let c = tiny_cluster(2, 1);
+            let mut sim = Simulator::new(&c);
+            // 25 GB over a 12.5 GB/s NIC takes 2 s; at half capacity 4 s.
+            sim.transfer(25e9, c.direct_path(0, 1), vec![], None)
+                .unwrap();
+            let f = FaultSchedule::new().nic_degrade(0, 0.5, SimTime::ZERO, None);
+            let r = sim.run_with_faults(&f).unwrap();
+            assert!(
+                (r.makespan.as_secs_f64() - 4.0).abs() < 1e-5,
+                "makespan {}",
+                r.makespan
+            );
+        }
+
+        #[test]
+        fn link_flap_heals_and_traffic_resumes() {
+            let c = tiny_cluster(2, 1);
+            let mut sim = Simulator::new(&c);
+            // 12.5 GB normally takes 1 s. The NIC flaps for the first
+            // second (residual 1e-3), then heals: ~2 s total.
+            sim.transfer(12.5e9, c.direct_path(0, 1), vec![], None)
+                .unwrap();
+            let f = FaultSchedule::new().link_flap(
+                0,
+                SimTime::ZERO,
+                Some(SimTime::from_nanos(1_000_000_000)),
+            );
+            let r = sim.run_with_faults(&f).unwrap();
+            let got = r.makespan.as_secs_f64();
+            assert!((got - 2.0).abs() < 0.01, "makespan {got}");
+        }
+
+        #[test]
+        fn crash_with_pending_work_errors() {
+            let mut sim = Simulator::new(&tiny_cluster(1, 2));
+            sim.compute(1, Stream::Compute, ms(10), vec![], None)
+                .unwrap();
+            let f = FaultSchedule::new().rank_crash(1, at_ms(5));
+            let err = sim.run_with_faults(&f).unwrap_err();
+            assert_eq!(
+                err,
+                SimError::RankUnavailable {
+                    rank: 1,
+                    at: at_ms(5),
+                    pending: 1
+                }
+            );
+        }
+
+        #[test]
+        fn crash_after_completion_is_harmless() {
+            let mut sim = Simulator::new(&tiny_cluster(1, 2));
+            sim.compute(1, Stream::Compute, ms(10), vec![], None)
+                .unwrap();
+            let f = FaultSchedule::new().rank_crash(1, at_ms(20));
+            let r = sim.run_with_faults(&f).unwrap();
+            assert_eq!(r.makespan.as_nanos(), 10_000_000);
+        }
+
+        #[test]
+        fn crash_of_idle_rank_is_harmless() {
+            let mut sim = Simulator::new(&tiny_cluster(1, 2));
+            sim.compute(0, Stream::Compute, ms(10), vec![], None)
+                .unwrap();
+            let f = FaultSchedule::new().rank_crash(1, at_ms(5));
+            let r = sim.run_with_faults(&f).unwrap();
+            assert_eq!(r.makespan.as_nanos(), 10_000_000);
+        }
+
+        #[test]
+        fn crash_kills_pending_transfer_through_its_ports() {
+            let c = tiny_cluster(2, 1);
+            let mut sim = Simulator::new(&c);
+            sim.transfer(25e9, c.direct_path(0, 1), vec![], None)
+                .unwrap();
+            // Rank 1 is the receiver (PcieIn(1) in the path): its crash
+            // mid-transfer dooms the flow.
+            let f = FaultSchedule::new().rank_crash(1, at_ms(100));
+            let err = sim.run_with_faults(&f).unwrap_err();
+            assert!(matches!(err, SimError::RankUnavailable { rank: 1, .. }));
+        }
+
+        #[test]
+        fn dead_on_arrival_rank_is_reported_before_start() {
+            let mut sim = Simulator::new(&tiny_cluster(1, 2));
+            sim.compute(0, Stream::Compute, ms(1), vec![], None)
+                .unwrap();
+            let f = FaultSchedule::new().rank_crash(0, SimTime::ZERO);
+            let err = sim.run_with_faults(&f).unwrap_err();
+            assert_eq!(err, SimError::FaultBeforeStart { rank: 0 });
+        }
+
+        #[test]
+        fn invalid_schedule_is_rejected() {
+            let sim = Simulator::new(&tiny_cluster(1, 2));
+            let f = FaultSchedule::new().rank_crash(99, at_ms(1));
+            assert!(matches!(
+                sim.run_with_faults(&f),
+                Err(SimError::InvalidTopology(_))
+            ));
+        }
+
+        #[test]
+        fn faulted_runs_are_deterministic() {
+            let c = tiny_cluster(2, 2);
+            let run = |seed: u64| {
+                let mut sim = Simulator::new(&c);
+                let mut last = None;
+                for i in 0..24 {
+                    let deps = last.map(|l| vec![l]).unwrap_or_default();
+                    let t = if i % 3 == 0 {
+                        sim.transfer(
+                            2e9 * (i + 1) as f64,
+                            c.direct_path(i % 4, (i + 1) % 4),
+                            deps,
+                            None,
+                        )
+                        .unwrap()
+                    } else {
+                        sim.compute(i % 4, Stream::Compute, ms(i as u64 % 5 + 1), deps, None)
+                            .unwrap()
+                    };
+                    last = Some(t);
+                }
+                let f = FaultSchedule::new()
+                    .gpu_slowdown(0, 0.4, at_ms(1), Some(at_ms(9)))
+                    .gpu_slowdown(2, 0.7, at_ms(2), None)
+                    .nic_degrade(1, 0.3, at_ms(3), Some(at_ms(7)))
+                    .link_flap(0, at_ms(5), Some(at_ms(6)))
+                    .gpu_slowdown(seed as usize % 4, 0.9, at_ms(4), Some(at_ms(8)));
+                sim.run_with_faults(&f).unwrap()
+            };
+            for seed in 0..4 {
+                let a = run(seed);
+                let b = run(seed);
+                assert_eq!(a.makespan, b.makespan, "seed {seed}");
+                assert_eq!(a.spans, b.spans, "seed {seed}");
+            }
         }
     }
 }

@@ -2,8 +2,16 @@
 
 use core::fmt;
 
+use crate::time::SimTime;
+use crate::topology::Rank;
+
 /// Errors surfaced by simulator construction and execution.
+///
+/// Marked `#[non_exhaustive]`: fault-injection work showed the variant set
+/// grows over time, and downstream crates should match with a wildcard arm
+/// so new failure modes are not breaking changes.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SimError {
     /// The cluster description is internally inconsistent.
     InvalidTopology(String),
@@ -26,6 +34,22 @@ pub enum SimError {
     },
     /// A generic invariant violation with context.
     Invariant(String),
+    /// A rank crashed (per the fault schedule) while tasks assigned to it
+    /// were still pending or running, so the DAG can never complete.
+    RankUnavailable {
+        /// The crashed rank.
+        rank: Rank,
+        /// Instant of the crash.
+        at: SimTime,
+        /// Tasks on the rank that had not completed at the crash instant.
+        pending: usize,
+    },
+    /// A fault schedule declares a rank dead at `SimTime::ZERO` yet the DAG
+    /// assigns work to it: the run is doomed before it starts.
+    FaultBeforeStart {
+        /// The rank that is dead on arrival.
+        rank: Rank,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -42,6 +66,15 @@ impl fmt::Display for SimError {
                 write!(f, "transfer task {task} has an empty port path")
             }
             SimError::Invariant(msg) => write!(f, "invariant violation: {msg}"),
+            SimError::RankUnavailable { rank, at, pending } => {
+                write!(
+                    f,
+                    "rank {rank} crashed at {at} with {pending} task(s) unfinished"
+                )
+            }
+            SimError::FaultBeforeStart { rank } => {
+                write!(f, "rank {rank} is dead before the simulation starts")
+            }
         }
     }
 }
@@ -66,5 +99,21 @@ mod tests {
             .to_string()
             .contains("1"));
         assert!(SimError::Invariant("y".into()).to_string().contains("y"));
+    }
+
+    #[test]
+    fn fault_variants_render_rank_and_instant() {
+        let e = SimError::RankUnavailable {
+            rank: 9,
+            at: SimTime::from_nanos(2_000_000_000),
+            pending: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("rank 9"), "{msg}");
+        assert!(msg.contains("2.000s"), "{msg}");
+        assert!(msg.contains("4 task(s)"), "{msg}");
+        assert!(SimError::FaultBeforeStart { rank: 3 }
+            .to_string()
+            .contains("rank 3"));
     }
 }

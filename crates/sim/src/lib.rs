@@ -43,6 +43,7 @@
 pub mod collectives;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod network;
 pub mod reference;
 pub mod time;
@@ -52,6 +53,7 @@ pub mod trace;
 pub use collectives::{all_to_all, ring_allgather, ring_allreduce};
 pub use engine::{SimReport, Simulator, Stream, TaskId, TaskKind, TaskSpec, TraceInfo};
 pub use error::SimError;
+pub use fault::{FaultEvent, FaultSchedule, FLAP_RESIDUAL};
 pub use network::FlowNetwork;
 pub use time::{SimDuration, SimTime};
 pub use topology::{

@@ -191,6 +191,33 @@ impl FlowNetwork {
         }
     }
 
+    /// Updates (or interns) the capacity of `port`, re-rating every flow in
+    /// its connected component.
+    ///
+    /// This is how time-varying infrastructure (NIC degradation, link flaps)
+    /// enters the allocator: the port is marked dirty and the next rebalance
+    /// floods its component exactly as it does for a flow start or finish.
+    /// Batchable inside [`FlowNetwork::begin_update`] /
+    /// [`FlowNetwork::commit_update`] like any other mutation. Callers should
+    /// [`FlowNetwork::advance_to`] the change instant first so bytes already
+    /// moved were drained at the old rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `capacity` is finite and positive; a dead link is
+    /// modelled as a tiny residual capacity, never zero, so projected
+    /// completion instants stay finite.
+    pub fn set_port_capacity(&mut self, port: Port, capacity: f64) {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "port {port:?} capacity must be finite and positive, got {capacity}"
+        );
+        let i = self.intern(port, capacity);
+        self.port_caps[i] = capacity;
+        self.dirty_ports.push(i);
+        self.after_mutation();
+    }
+
     /// Starts a flow of `bytes` over `path` at the current clock.
     ///
     /// `capacity_of` supplies the bandwidth of each port the first time it is
@@ -843,6 +870,69 @@ mod tests {
         net.collect_drained(&mut collected);
         assert_eq!(collected, net.drained());
         assert_eq!(collected, vec![fast]);
+    }
+
+    #[test]
+    fn capacity_change_rerates_inflight_flows() {
+        let c = cluster_a(2);
+        let mut net = FlowNetwork::new();
+        // 50 GB over the 25 GB/s NIC: 2 s nominal.
+        let k = net.start_flow(50e9, &c.direct_path(0, 8), cap_fn(&c));
+        assert!((net.rate_of(k) - 25e9).abs() / 25e9 < 1e-9);
+        // At t=1s the NIC degrades to 20% capacity.
+        let t1 = SimTime::from_nanos(1_000_000_000);
+        net.advance_to(t1);
+        net.begin_update();
+        net.set_port_capacity(Port::NicTx(0), 5e9);
+        net.set_port_capacity(Port::NicRx(4), 5e9);
+        net.commit_update();
+        assert!((net.rate_of(k) - 5e9).abs() / 5e9 < 1e-9);
+        // 25 GB left at 5 GB/s: finishes at t = 1 + 5 = 6 s.
+        let done = net.next_completion().unwrap();
+        assert!((done.as_secs_f64() - 6.0).abs() < 1e-6, "{done}");
+        // Restoring capacity speeds it back up.
+        net.advance_to(SimTime::from_nanos(2_000_000_000));
+        net.begin_update();
+        net.set_port_capacity(Port::NicTx(0), 25e9);
+        net.set_port_capacity(Port::NicRx(4), 25e9);
+        net.commit_update();
+        let done = net.next_completion().unwrap();
+        // 20 GB left at 25 GB/s from t=2: done at 2.8 s.
+        assert!((done.as_secs_f64() - 2.8).abs() < 1e-6, "{done}");
+    }
+
+    #[test]
+    fn capacity_change_matches_reference_bitwise() {
+        let c = cluster_a(2);
+        let mut net = FlowNetwork::new();
+        let mut oracle = ReferenceNet::new();
+        // Two flows sharing NIC 0, one on NIC 1.
+        let specs = [(0usize, 8usize, 40e9), (1, 9, 30e9), (2, 10, 20e9)];
+        let mut live = Vec::new();
+        for &(src, dst, bytes) in &specs {
+            let path = c.direct_path(src, dst);
+            live.push((
+                net.start_flow(bytes, &path, cap_fn(&c)),
+                oracle.start_flow(bytes, &path, cap_fn(&c)),
+            ));
+        }
+        let t1 = SimTime::from_nanos(500_000_000);
+        net.advance_to(t1);
+        oracle.advance_to(t1);
+        for (port, cap) in [(Port::NicTx(0), 10e9), (Port::NicRx(5), 8e9)] {
+            net.set_port_capacity(port, cap);
+            oracle.set_port_capacity(port, cap);
+            for &(k, r) in &live {
+                assert_eq!(net.rate_of(k).to_bits(), oracle.rate_of(r).to_bits());
+            }
+            assert_eq!(net.next_completion(), oracle.next_completion());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        FlowNetwork::new().set_port_capacity(Port::NicTx(0), 0.0);
     }
 
     /// Random interleaved churn stays bit-identical to the from-scratch

@@ -116,6 +116,24 @@ impl ReferenceNet {
         RefFlowKey(key)
     }
 
+    /// Updates (or interns) the capacity of `port` and recomputes every
+    /// rate from scratch (mirror of [`FlowNetwork::set_port_capacity`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `capacity` is finite and positive.
+    ///
+    /// [`FlowNetwork::set_port_capacity`]: crate::network::FlowNetwork::set_port_capacity
+    pub fn set_port_capacity(&mut self, port: Port, capacity: f64) {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "port {port:?} capacity must be finite and positive, got {capacity}"
+        );
+        let i = self.intern(port, capacity);
+        self.port_caps[i] = capacity;
+        self.recompute_rates();
+    }
+
     /// Advances the fluid model to `now`, draining all flows at their rates.
     ///
     /// # Panics

@@ -59,8 +59,8 @@ impl std::fmt::Display for CliError {
 impl std::error::Error for CliError {}
 
 /// Supported commands.
-pub const COMMANDS: [&str; 7] = [
-    "clusters", "models", "zones", "plan", "step", "compare", "explain",
+pub const COMMANDS: [&str; 9] = [
+    "clusters", "models", "zones", "plan", "step", "compare", "explain", "run", "faults",
 ];
 
 /// Parses raw arguments (excluding the program name).
@@ -379,6 +379,84 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
                 report.mean_step_time
             ))
         }
+        "faults" => {
+            use zeppelin_exec::recovery::{run_training_faults, FaultRunConfig, RecoveryPolicy};
+            use zeppelin_sim::fault::FaultSchedule;
+            use zeppelin_sim::time::{SimDuration, SimTime};
+
+            let (cluster, _, ctx) = build_ctx(opts)?;
+            let dist = dataset_by_name(opts.flags.get("dataset").map_or("arxiv", |s| s))?;
+            let scheduler = scheduler_by_name(opts.flags.get("method").map_or("zeppelin", |s| s))?;
+            let steps = flag_usize(opts, "steps", 8)?;
+            let crash_node = flag_usize(opts, "crash-node", cluster.nodes.saturating_sub(1))?;
+            if crash_node >= cluster.nodes {
+                return Err(CliError::BadFlag {
+                    flag: "crash-node".into(),
+                    value: crash_node.to_string(),
+                });
+            }
+            let crash_ms = flag_u64(opts, "crash-at-ms", 1200)?;
+            let faults = FaultSchedule::new().node_crash(
+                &cluster,
+                crash_node,
+                SimTime::from_nanos(crash_ms.saturating_mul(1_000_000)),
+            );
+            let run_cfg = zeppelin_exec::trainer::RunConfig {
+                steps,
+                tokens_per_step: flag_u64(opts, "tokens", 65_536)?,
+                seed: flag_u64(opts, "seed", 42)?,
+                step: StepConfig::default(),
+            };
+            let mut out = format!(
+                "node {crash_node} of {} crashes at t={crash_ms}ms; {} steps on {}\n\
+                 {:<20} {:<10} {:>5} {:>10} {:>10} {:>9} {:>9} {:>5}\n",
+                cluster.name,
+                steps,
+                dist.name,
+                "policy",
+                "outcome",
+                "steps",
+                "tokens/s",
+                "goodput",
+                "lost tok",
+                "recovery",
+                "ranks"
+            );
+            for policy in [
+                RecoveryPolicy::FailStop,
+                RecoveryPolicy::RetryWithBackoff {
+                    max_retries: 3,
+                    backoff: SimDuration::from_millis(25),
+                },
+                RecoveryPolicy::ReplanSurvivors,
+                RecoveryPolicy::CheckpointRestart {
+                    every_steps: 4,
+                    restore_cost: SimDuration::from_millis(500),
+                },
+            ] {
+                let name = policy.name();
+                let cfg = FaultRunConfig {
+                    run: run_cfg.clone(),
+                    policy,
+                    ..FaultRunConfig::default()
+                };
+                match run_training_faults(scheduler.as_ref(), &dist, &ctx, &cfg, &faults) {
+                    Ok(r) => out.push_str(&format!(
+                        "{:<20} {:<10} {:>5} {:>10.0} {:>10.0} {:>9} {:>8.2}s {:>5}\n",
+                        name,
+                        "completed",
+                        r.committed_steps,
+                        r.throughput,
+                        r.goodput,
+                        r.lost_tokens,
+                        r.recovery_latency.as_secs_f64(),
+                        r.final_ranks,
+                    )),
+                    Err(e) => out.push_str(&format!("{name:<20} error: {e}\n")),
+                }
+            }
+            Ok(out)
+        }
         "explain" => {
             let (cluster, model, ctx) = build_ctx(opts)?;
             let batch = build_batch(opts)?;
@@ -426,6 +504,7 @@ pub fn usage() -> String {
        compare  [... same workload flags]\n\
        explain  [... same workload flags]  static per-rank cost analysis\n\
        run      [--steps N --json out.json] multi-step training run\n\
+       faults   [--crash-node N --crash-at-ms T --steps N] recovery-policy table\n\
      flags:\n\
        --model    3b|7b|13b|30b|moe        (default 3b)\n\
        --cluster  a|b|c                    (default a)\n\
@@ -564,6 +643,30 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(zeppelin_exec::report::looks_like_json(&text));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn faults_command_prints_a_recovery_table() {
+        let out = run(&opts(&[
+            "faults",
+            "--steps",
+            "3",
+            "--tokens",
+            "16384",
+            "--crash-at-ms",
+            "200",
+        ]))
+        .unwrap();
+        assert!(out.contains("fail-stop"));
+        assert!(out.contains("replan-survivors"));
+        assert!(out.contains("goodput"));
+        // Fail-stop aborts while replanning completes on the survivors.
+        assert!(out.contains("fail-stop") && out.contains("error: rank"));
+        assert!(out.contains("completed"));
+        assert!(matches!(
+            run(&opts(&["faults", "--crash-node", "9"])),
+            Err(CliError::BadFlag { .. })
+        ));
     }
 
     #[test]

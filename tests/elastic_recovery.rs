@@ -1,0 +1,167 @@
+//! End-to-end elastic recovery: a node of a 2-node Cluster A crashes
+//! mid-run and the trainer's recovery policies face it. The acceptance bar
+//! is the paper-style goodput contract — replanning onto the survivors
+//! lands within 10% of a fresh run on the surviving node, while fail-stop
+//! surfaces a typed error.
+
+use zeppelin::core::scheduler::SchedulerCtx;
+use zeppelin::core::zeppelin::Zeppelin;
+use zeppelin::data::datasets::arxiv;
+use zeppelin::exec::recovery::{run_training_faults, FaultRunConfig, RecoveryPolicy};
+use zeppelin::exec::step::StepConfig;
+use zeppelin::exec::trainer::{RunConfig, RunError};
+use zeppelin::model::config::llama_3b;
+use zeppelin::sim::fault::FaultSchedule;
+use zeppelin::sim::time::{SimDuration, SimTime};
+use zeppelin::sim::topology::cluster_a;
+
+const STEPS: usize = 8;
+const TOKENS: u64 = 32_768;
+const SEED: u64 = 2026;
+
+fn cfg(policy: RecoveryPolicy) -> FaultRunConfig {
+    FaultRunConfig {
+        run: RunConfig {
+            steps: STEPS,
+            tokens_per_step: TOKENS,
+            seed: SEED,
+            step: StepConfig::default(),
+        },
+        policy,
+        ..FaultRunConfig::default()
+    }
+}
+
+/// Mean healthy step time on `ctx`, from a short fault-free run.
+fn nominal(ctx: &SchedulerCtx) -> SimDuration {
+    let r = run_training_faults(
+        &Zeppelin::new(),
+        &arxiv(),
+        ctx,
+        &cfg(RecoveryPolicy::FailStop),
+        &FaultSchedule::new(),
+    )
+    .expect("fault-free run");
+    SimDuration::from_nanos(r.productive_time.as_nanos() / r.committed_steps as u64)
+}
+
+/// Crash schedule killing node 1 about 2.5 steps into the run.
+fn crash_mid_run(ctx: &SchedulerCtx) -> (FaultSchedule, SimTime) {
+    let step = nominal(ctx);
+    let at = SimTime::ZERO + SimDuration::from_secs_f64(step.as_secs_f64() * 2.5);
+    (FaultSchedule::new().node_crash(&ctx.cluster, 1, at), at)
+}
+
+#[test]
+fn replan_survivors_recovers_within_ten_percent_of_a_fresh_run() {
+    let ctx = SchedulerCtx::new(&cluster_a(2), &llama_3b());
+    let (faults, _) = crash_mid_run(&ctx);
+
+    let replanned = run_training_faults(
+        &Zeppelin::new(),
+        &arxiv(),
+        &ctx,
+        &cfg(RecoveryPolicy::ReplanSurvivors),
+        &faults,
+    )
+    .expect("elastic run completes");
+    assert_eq!(replanned.committed_steps, STEPS);
+    assert_eq!(replanned.final_ranks, 8, "one node survives");
+    assert_eq!(replanned.recoveries.len(), 1, "one recovery event");
+    assert!(replanned.lost_tokens > 0, "the doomed attempt is charged");
+    assert!(replanned.goodput <= replanned.throughput * (1.0 + 1e-9));
+    assert!(replanned.wall_time > replanned.productive_time);
+
+    // Yardstick: the same workload run fresh on the surviving node.
+    let survivor_ctx = SchedulerCtx::new(&cluster_a(1), &llama_3b());
+    let fresh = run_training_faults(
+        &Zeppelin::new(),
+        &arxiv(),
+        &survivor_ctx,
+        &cfg(RecoveryPolicy::FailStop),
+        &FaultSchedule::new(),
+    )
+    .expect("fresh survivor run");
+
+    // The elastic run's pre-crash steps ran on twice the GPUs, so despite
+    // one lost attempt + detection its goodput must stay within 10% of the
+    // fresh single-node run.
+    assert!(
+        replanned.goodput >= 0.9 * fresh.goodput,
+        "replan goodput {:.0} below 90% of fresh survivor goodput {:.0}",
+        replanned.goodput,
+        fresh.goodput
+    );
+
+    // Post-recovery steps run on the same cluster as the fresh run: their
+    // throughput matches it step for step (same seeds, same batches).
+    let post: Vec<f64> = replanned
+        .steps
+        .iter()
+        .skip(2)
+        .map(|s| s.throughput)
+        .collect();
+    let post_mean = post.iter().sum::<f64>() / post.len() as f64;
+    assert!(
+        post_mean >= 0.9 * fresh.throughput,
+        "post-recovery throughput {post_mean:.0} below 90% of fresh {:.0}",
+        fresh.throughput
+    );
+}
+
+#[test]
+fn fail_stop_surfaces_a_typed_rank_lost_error() {
+    let ctx = SchedulerCtx::new(&cluster_a(2), &llama_3b());
+    let (faults, _) = crash_mid_run(&ctx);
+    let err = run_training_faults(
+        &Zeppelin::new(),
+        &arxiv(),
+        &ctx,
+        &cfg(RecoveryPolicy::FailStop),
+        &faults,
+    )
+    .unwrap_err();
+    match err {
+        RunError::RankLost { rank, step } => {
+            assert!(
+                (8..16).contains(&rank),
+                "node 1 hosts ranks 8-15, got {rank}"
+            );
+            assert_eq!(step, 2, "crash lands during step 2");
+        }
+        other => panic!("expected RankLost, got {other}"),
+    }
+}
+
+#[test]
+fn crash_before_any_work_is_survivable_by_replanning() {
+    let ctx = SchedulerCtx::new(&cluster_a(2), &llama_3b());
+    let faults = FaultSchedule::new().node_crash(&ctx.cluster, 0, SimTime::from_nanos(1));
+    let r = run_training_faults(
+        &Zeppelin::new(),
+        &arxiv(),
+        &ctx,
+        &cfg(RecoveryPolicy::ReplanSurvivors),
+        &faults,
+    )
+    .expect("replanning survives a crash at the first step");
+    assert_eq!(r.committed_steps, STEPS);
+    assert_eq!(r.final_ranks, 8);
+}
+
+#[test]
+fn losing_every_node_is_a_typed_no_survivors_error() {
+    let ctx = SchedulerCtx::new(&cluster_a(2), &llama_3b());
+    let faults = FaultSchedule::new()
+        .node_crash(&ctx.cluster, 0, SimTime::from_nanos(1))
+        .node_crash(&ctx.cluster, 1, SimTime::from_nanos(2));
+    let err = run_training_faults(
+        &Zeppelin::new(),
+        &arxiv(),
+        &ctx,
+        &cfg(RecoveryPolicy::ReplanSurvivors),
+        &faults,
+    )
+    .unwrap_err();
+    assert!(matches!(err, RunError::NoSurvivors { .. }), "got {err}");
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of deterministic fault injection: seeded schedules
+//! replay identically, fault-free schedules leave the engine bit-exact, and
+//! faults can only slow a workload down.
+
+use proptest::prelude::*;
+
+use zeppelin::sim::engine::{Simulator, Stream};
+use zeppelin::sim::fault::FaultSchedule;
+use zeppelin::sim::time::{SimDuration, SimTime};
+use zeppelin::sim::topology::{tiny_cluster, ClusterSpec};
+
+/// A randomized task description (compute + transfers, optional deps).
+#[derive(Debug, Clone)]
+enum Job {
+    Compute { rank: usize, micros: u64 },
+    Transfer { src: usize, dst: usize, mbytes: u64 },
+}
+
+type Spec = Vec<(Job, Vec<prop::sample::Index>)>;
+
+fn jobs() -> impl Strategy<Value = Spec> {
+    let job = prop_oneof![
+        (0usize..8, 1u64..500).prop_map(|(rank, micros)| Job::Compute { rank, micros }),
+        (0usize..8, 0usize..8, 1u64..200).prop_filter_map("distinct endpoints", |(s, d, m)| {
+            (s != d).then_some(Job::Transfer {
+                src: s,
+                dst: d,
+                mbytes: m,
+            })
+        }),
+    ];
+    prop::collection::vec(
+        (
+            job,
+            prop::collection::vec(any::<prop::sample::Index>(), 0..3),
+        ),
+        1..40,
+    )
+}
+
+fn build(cluster: &ClusterSpec, spec: &Spec) -> Simulator {
+    let mut sim = Simulator::new(cluster);
+    let mut ids = Vec::new();
+    for (job, dep_idx) in spec {
+        let deps: Vec<_> = if ids.is_empty() {
+            vec![]
+        } else {
+            let mut d: Vec<_> = dep_idx.iter().map(|ix| *ix.get(&ids)).collect();
+            d.sort_unstable();
+            d.dedup();
+            d
+        };
+        let id = match job {
+            Job::Compute { rank, micros } => sim
+                .compute(
+                    *rank,
+                    Stream::Compute,
+                    SimDuration::from_micros(*micros),
+                    deps,
+                    None,
+                )
+                .unwrap(),
+            Job::Transfer { src, dst, mbytes } => sim
+                .transfer(
+                    *mbytes as f64 * 1e6,
+                    cluster.direct_path(*src, *dst),
+                    deps,
+                    None,
+                )
+                .unwrap(),
+        };
+        ids.push(id);
+    }
+    sim
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `FaultSchedule::random` is a pure function of its seed, and running
+    /// the same schedule over the same DAG twice yields the identical
+    /// report — same makespan, same spans — or the identical typed error.
+    #[test]
+    fn seeded_fault_runs_replay_identically(spec in jobs(), seed in any::<u64>()) {
+        let cluster = tiny_cluster(2, 4);
+        let horizon = SimTime::from_nanos(2_000_000); // 2 ms: mid-workload
+        let faults_a = FaultSchedule::random(seed, &cluster, horizon);
+        let faults_b = FaultSchedule::random(seed, &cluster, horizon);
+        prop_assert_eq!(&faults_a, &faults_b, "schedule generation not seeded");
+
+        let sim = build(&cluster, &spec);
+        match (sim.run_with_faults(&faults_a), sim.run_with_faults(&faults_b)) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.makespan, b.makespan, "makespan diverged");
+                prop_assert_eq!(a.spans, b.spans, "spans diverged");
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b, "errors diverged"),
+            (a, b) => prop_assert!(false, "outcomes diverged: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// An empty schedule is exactly the plain `run()`: fault plumbing off
+    /// the fault path is bit-free.
+    #[test]
+    fn empty_schedule_is_bit_identical_to_plain_run(spec in jobs()) {
+        let cluster = tiny_cluster(2, 4);
+        let sim = build(&cluster, &spec);
+        let plain = sim.run().unwrap();
+        let faulted = sim.run_with_faults(&FaultSchedule::new()).unwrap();
+        prop_assert_eq!(plain.makespan, faulted.makespan);
+        prop_assert_eq!(plain.spans, faulted.spans);
+    }
+
+    /// Slowdowns and degradations never speed a workload up.
+    #[test]
+    fn degradation_never_shrinks_the_makespan(
+        spec in jobs(),
+        rank in 0usize..8,
+        nic in 0usize..8,
+        speed_pct in 10u64..100,
+        nic_pct in 10u64..100,
+    ) {
+        let cluster = tiny_cluster(2, 4);
+        let sim = build(&cluster, &spec);
+        let healthy = sim.run().unwrap();
+        let faults = FaultSchedule::new()
+            .gpu_slowdown(rank, speed_pct as f64 / 100.0, SimTime::ZERO, None)
+            .nic_degrade(nic, nic_pct as f64 / 100.0, SimTime::ZERO, None);
+        let degraded = sim.run_with_faults(&faults).unwrap();
+        prop_assert!(
+            degraded.makespan >= healthy.makespan,
+            "degraded {} < healthy {}",
+            degraded.makespan,
+            healthy.makespan
+        );
+    }
+}

@@ -32,6 +32,9 @@ enum Op {
     Drain,
     /// Advance partway without finishing anything.
     Nudge { micros: u64 },
+    /// Re-rate a NIC pair (fault injection's degradation path): both
+    /// implementations must rebalance onto the same allocation.
+    SetCap { nic: usize, pct: u64 },
 }
 
 fn ops() -> impl Strategy<Value = Vec<Op>> {
@@ -46,6 +49,7 @@ fn ops() -> impl Strategy<Value = Vec<Op>> {
         start(),
         Just(Op::Drain),
         (1u64..50_000).prop_map(|micros| Op::Nudge { micros }),
+        (0usize..8, 1u64..=100).prop_map(|(nic, pct)| Op::SetCap { nic, pct }),
     ];
     prop::collection::vec(op, 1..120)
 }
@@ -123,6 +127,13 @@ proptest! {
                     let t = net.clock() + SimDuration::from_micros(micros);
                     net.advance_to(t);
                     oracle.advance_to(t);
+                }
+                Op::SetCap { nic, pct } => {
+                    for port in [Port::NicTx(nic), Port::NicRx(nic)] {
+                        let capacity = c.port_capacity(port) * pct as f64 / 100.0;
+                        net.set_port_capacity(port, capacity);
+                        oracle.set_port_capacity(port, capacity);
+                    }
                 }
             }
             let (a, b) = (net.next_completion(), oracle.next_completion());
