@@ -8,10 +8,7 @@
 //! 6. remapping slack threshold;
 //! 7. hierarchical vs flat (topology-blind) quadratic partitioning.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use zeppelin_bench::harness::PAPER_SEED;
+use zeppelin_bench::harness::{paper_rng, paper_testbed};
 use zeppelin_bench::table::Table;
 use zeppelin_core::chunking::{contiguous_position_flops, position_total_flops};
 use zeppelin_core::routing::{direct_cost, eq1_cost};
@@ -82,7 +79,7 @@ fn proxy_sweep() {
 
 fn pipeline_sweep() {
     println!("2. routed-transfer pipeline depth (single 64k sequence)");
-    let cluster = cluster_a(2);
+    let (cluster, _, _) = paper_testbed();
     let batch = Batch::new(vec![65_536]);
     let mut table = Table::new(vec!["chunks", "layer fwd (ms)", "tokens/s"]);
     for depth in [1usize, 2, 4, 8, 16] {
@@ -126,8 +123,8 @@ fn chunking_balance() {
 
 fn ordering_ablation() {
     println!("4. attention-engine queue ordering (Zeppelin, 2 nodes, 64k)");
-    let cluster = cluster_a(2);
-    let mut rng = StdRng::seed_from_u64(PAPER_SEED);
+    let (cluster, _, _) = paper_testbed();
+    let mut rng = paper_rng(0);
     let mut table = Table::new(vec![
         "dataset",
         "inter-first (ms)",
@@ -161,8 +158,8 @@ fn ordering_ablation() {
 
 fn grad_sync_ablation() {
     println!("5. gradient synchronization (3B, 2 nodes, 64k ArXiv)");
-    let cluster = cluster_a(2);
-    let mut rng = StdRng::seed_from_u64(PAPER_SEED);
+    let (cluster, _, _) = paper_testbed();
+    let mut rng = paper_rng(0);
     let batch = sample_batch(&arxiv(), &mut rng, 65_536);
     let mut table = Table::new(vec!["mode", "layer bwd (ms)", "tokens/s"]);
     for (name, sync) in [
@@ -186,8 +183,8 @@ fn grad_sync_ablation() {
 
 fn remap_slack_sweep() {
     println!("6. remapping slack threshold (ArXiv, 2 nodes, 64k)");
-    let cluster = cluster_a(2);
-    let mut rng = StdRng::seed_from_u64(PAPER_SEED + 1);
+    let (cluster, _, _) = paper_testbed();
+    let mut rng = paper_rng(1);
     let batch = sample_batch(&arxiv(), &mut rng, 65_536);
     let mut table = Table::new(vec!["slack", "remap flows", "tokens/s"]);
     for slack in [0.0, 0.02, 0.1, 0.5, 2.0] {
@@ -213,10 +210,8 @@ fn remap_slack_sweep() {
 
 fn hierarchy_ablation() {
     println!("7. hierarchical (Zeppelin) vs flat quadratic partitioning");
-    let cluster = cluster_a(2);
-    let model = llama_3b();
-    let ctx = SchedulerCtx::new(&cluster, &model);
-    let mut rng = StdRng::seed_from_u64(PAPER_SEED + 2);
+    let (_, _, ctx) = paper_testbed();
+    let mut rng = paper_rng(2);
     let mut table = Table::new(vec!["dataset", "flat (tok/s)", "hierarchical", "gain"]);
     for dist in paper_datasets() {
         let batch = sample_batch(&dist, &mut rng, 65_536);

@@ -11,18 +11,15 @@
 //! NIC group — where no rank dies and the question is degradation and
 //! retry behaviour rather than survival.
 
-use zeppelin_bench::harness::PAPER_SEED;
+use zeppelin_bench::harness::{paper_testbed, paper_testbed_nodes, PAPER_SEED};
 use zeppelin_bench::table::Table;
-use zeppelin_core::scheduler::SchedulerCtx;
 use zeppelin_core::zeppelin::Zeppelin;
 use zeppelin_data::datasets::arxiv;
 use zeppelin_exec::recovery::{run_training_faults, FaultRunConfig, RecoveryPolicy};
 use zeppelin_exec::step::StepConfig;
 use zeppelin_exec::trainer::RunConfig;
-use zeppelin_model::config::llama_3b;
 use zeppelin_sim::fault::FaultSchedule;
 use zeppelin_sim::time::{SimDuration, SimTime};
-use zeppelin_sim::topology::cluster_a;
 
 const STEPS: usize = 12;
 const TOKENS: u64 = 32_768;
@@ -45,9 +42,7 @@ fn fmt_s(d: SimDuration) -> String {
 }
 
 fn main() {
-    let cluster = cluster_a(2);
-    let model = llama_3b();
-    let ctx = SchedulerCtx::new(&cluster, &model);
+    let (cluster, _, ctx) = paper_testbed();
     let dist = arxiv();
     let zeppelin = Zeppelin::new();
 
@@ -120,7 +115,7 @@ fn main() {
 
     // Yardstick: the same run on a fresh single-node cluster (what the
     // elastic policies shrink to).
-    let survivor_ctx = SchedulerCtx::new(&cluster_a(1), &model);
+    let (_, _, survivor_ctx) = paper_testbed_nodes(1);
     let fresh = run_training_faults(
         &zeppelin,
         &dist,

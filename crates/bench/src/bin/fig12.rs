@@ -14,12 +14,11 @@
 //! Chrome-trace JSON files under `target/fig12/`.
 
 use zeppelin_baselines::te_cp::TeCp;
-use zeppelin_core::scheduler::SchedulerCtx;
+use zeppelin_bench::harness::paper_testbed;
 use zeppelin_core::zeppelin::Zeppelin;
 use zeppelin_data::batch::Batch;
 use zeppelin_exec::step::{simulate_step, StepConfig, StepReport};
-use zeppelin_model::config::llama_3b;
-use zeppelin_sim::topology::{cluster_a, ClusterSpec};
+use zeppelin_sim::topology::ClusterSpec;
 use zeppelin_sim::trace::{Trace, TraceCategory};
 
 /// Mean/max duration in microseconds of events in a category, filtered on
@@ -102,9 +101,7 @@ fn describe(name: &str, report: &StepReport, cluster: &ClusterSpec) {
 }
 
 fn main() {
-    let cluster = cluster_a(2);
-    let model = llama_3b();
-    let ctx = SchedulerCtx::new(&cluster, &model);
+    let (cluster, _, ctx) = paper_testbed();
     let cfg = StepConfig::default();
 
     let single = Batch::new(vec![65_536]);

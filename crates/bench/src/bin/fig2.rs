@@ -10,19 +10,14 @@
 //! and the resulting throughput. Zeppelin should sit in the
 //! high-compute-busy / high-NIC-balance corner.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use zeppelin_baselines::{DoubleRingCp, HybridDp, LlamaCp, Packing, TeCp, Ulysses};
-use zeppelin_bench::harness::PAPER_SEED;
+use zeppelin_bench::harness::{paper_rng, paper_testbed};
 use zeppelin_bench::table::Table;
-use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
+use zeppelin_core::scheduler::Scheduler;
 use zeppelin_core::zeppelin::Zeppelin;
 use zeppelin_data::batch::sample_batch;
 use zeppelin_data::datasets::arxiv;
 use zeppelin_exec::step::{simulate_step, StepConfig};
-use zeppelin_model::config::llama_3b;
-use zeppelin_sim::topology::cluster_a;
 
 fn mean(v: &[f64]) -> f64 {
     if v.is_empty() {
@@ -32,10 +27,8 @@ fn mean(v: &[f64]) -> f64 {
 }
 
 fn main() {
-    let cluster = cluster_a(2);
-    let model = llama_3b();
-    let ctx = SchedulerCtx::new(&cluster, &model);
-    let mut rng = StdRng::seed_from_u64(PAPER_SEED);
+    let (_, _, ctx) = paper_testbed();
+    let mut rng = paper_rng(0);
     let batch = sample_batch(&arxiv(), &mut rng, 65_536);
     let cfg = StepConfig::default();
 

@@ -10,20 +10,17 @@
 //!     time per length bin — short sequences drown in communication.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use zeppelin_baselines::packing::pack_into_bins_tagged;
-use zeppelin_bench::harness::PAPER_SEED;
+use zeppelin_bench::harness::{paper_rng, paper_testbed};
 use zeppelin_bench::table::Table;
 use zeppelin_data::batch::sample_batch;
 use zeppelin_data::datasets::{fig1_datasets, paper_datasets};
 use zeppelin_data::distribution::LengthDistribution;
 use zeppelin_data::stats::table2_edges;
-use zeppelin_model::config::llama_3b;
 use zeppelin_model::flops::{causal_pairs_full, flops_per_pair};
 use zeppelin_model::kernel::KernelModel;
 use zeppelin_model::memory::kv_bytes;
-use zeppelin_sim::topology::cluster_a;
 
 const RANKS: usize = 16;
 const TOTAL: u64 = 65_536;
@@ -67,8 +64,7 @@ fn packing_analysis(dist: &LengthDistribution, rng: &mut StdRng, edges: &[u64]) 
 /// Fig. 3b: per-bin attention compute time vs ring communication time under
 /// even-split CP across all 16 ranks.
 fn cp_analysis(dist: &LengthDistribution, rng: &mut StdRng, edges: &[u64]) -> Vec<(f64, f64)> {
-    let cfg = llama_3b();
-    let cluster = cluster_a(2);
+    let (cluster, cfg, _) = paper_testbed();
     let kernel = KernelModel::attention();
     let peak = cluster.node.gpu.peak_flops;
     let inter_bw = cluster.direct_internode_bw();
@@ -97,7 +93,7 @@ fn cp_analysis(dist: &LengthDistribution, rng: &mut StdRng, edges: &[u64]) -> Ve
 
 fn main() {
     let edges = table2_edges();
-    let mut rng = StdRng::seed_from_u64(PAPER_SEED);
+    let mut rng = paper_rng(0);
 
     println!("Fig. 3 — attention cost distribution per length bin");
     println!("(2 nodes x 8 A800, 64k total context, {BATCHES} sampled batches)\n");

@@ -6,14 +6,14 @@
 //! intra-node (400 GB/s) and inter-node (200 Gb/s) bandwidths, then the
 //! crossover-derived zone thresholds for each paper model.
 
+use zeppelin_bench::harness::paper_testbed;
 use zeppelin_bench::table::Table;
 use zeppelin_core::zones::{attn_compute_time, kv_transfer_time, zone_thresholds};
 use zeppelin_model::config::{llama_3b, llama_7b, paper_models};
 use zeppelin_model::kernel::KernelModel;
-use zeppelin_sim::topology::cluster_a;
 
 fn main() {
-    let cluster = cluster_a(2);
+    let (cluster, _, _) = paper_testbed();
     let kernel = KernelModel::attention();
     let peak = cluster.node.gpu.peak_flops;
     let intra_bw = cluster.intranode_bw();

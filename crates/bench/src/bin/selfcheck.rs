@@ -3,21 +3,16 @@
 //! 30-second smoke test after changes (`cargo run --release -p
 //! zeppelin-bench --bin selfcheck`); exits non-zero on any failure.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use zeppelin_baselines::{DoubleRingCp, FlatQuadratic, HybridDp, LlamaCp, Packing, TeCp, Ulysses};
-use zeppelin_bench::harness::PAPER_SEED;
+use zeppelin_bench::harness::{paper_rng, paper_testbed};
 use zeppelin_core::analysis::analyze;
 use zeppelin_core::plan_io::{plan_from_json, plan_to_json};
-use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
+use zeppelin_core::scheduler::Scheduler;
 use zeppelin_core::zeppelin::Zeppelin;
 use zeppelin_data::batch::sample_batch;
 use zeppelin_data::datasets::paper_datasets;
 use zeppelin_data::stats::{table2_edges, Histogram};
 use zeppelin_exec::step::{simulate_step, StepConfig};
-use zeppelin_model::config::llama_3b;
-use zeppelin_sim::topology::cluster_a;
 
 struct Checker {
     failures: usize,
@@ -36,11 +31,9 @@ impl Checker {
 
 fn main() {
     let mut c = Checker { failures: 0 };
-    let cluster = cluster_a(2);
-    let model = llama_3b();
-    let ctx = SchedulerCtx::new(&cluster, &model);
+    let (cluster, model, ctx) = paper_testbed();
     let cfg = StepConfig::default();
-    let mut rng = StdRng::seed_from_u64(PAPER_SEED);
+    let mut rng = paper_rng(0);
 
     // 1. Samplers track Table 2.
     for dist in paper_datasets() {

@@ -6,19 +6,14 @@
 //! Zeppelin planned with straggler-aware placement (degraded ranks get
 //! lighter local queues and join intra-node rings last).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use zeppelin_baselines::te_cp::TeCp;
-use zeppelin_bench::harness::PAPER_SEED;
+use zeppelin_bench::harness::{paper_rng, paper_testbed};
 use zeppelin_bench::table::Table;
 use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
 use zeppelin_core::zeppelin::Zeppelin;
 use zeppelin_data::batch::sample_batch;
 use zeppelin_data::datasets::{arxiv, openwebmath, stackexchange};
 use zeppelin_exec::step::{simulate_step, StepConfig};
-use zeppelin_model::config::llama_3b;
-use zeppelin_sim::topology::cluster_a;
 
 fn main() {
     const SLOW_RANK: usize = 5;
@@ -26,12 +21,10 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.5);
-    let cluster = cluster_a(2);
-    let model = llama_3b();
+    let (cluster, _, healthy_ctx) = paper_testbed();
     let mut speed = vec![1.0; cluster.total_gpus()];
     speed[SLOW_RANK] = slow_factor;
 
-    let healthy_ctx = SchedulerCtx::new(&cluster, &model);
     let aware_ctx = healthy_ctx.clone().with_rank_speed(speed.clone());
     let mut cfg = StepConfig::default();
     cfg.exec.rank_speed = speed.clone();
@@ -51,7 +44,7 @@ fn main() {
         "Zeppelin aware",
         "aware vs unaware",
     ]);
-    let mut rng = StdRng::seed_from_u64(PAPER_SEED);
+    let mut rng = paper_rng(0);
     for dist in [stackexchange(), openwebmath(), arxiv()] {
         let batch = sample_batch(&dist, &mut rng, 65_536);
         // A failed point is reported explicitly, never rendered as NaN.

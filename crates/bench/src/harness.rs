@@ -1,5 +1,8 @@
 //! Shared experiment plumbing for the figure/table binaries.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
 use zeppelin_baselines::{HybridDp, LlamaCp, Packing, TeCp};
 use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
 use zeppelin_core::zeppelin::{Zeppelin, ZeppelinConfig};
@@ -7,11 +10,32 @@ use zeppelin_data::distribution::LengthDistribution;
 use zeppelin_exec::step::StepConfig;
 use zeppelin_exec::trainer::{run_training, RunConfig, RunError, RunReport};
 use zeppelin_exec::StepError;
-use zeppelin_model::config::ModelConfig;
+use zeppelin_model::config::{llama_3b, ModelConfig};
 use zeppelin_sim::topology::{cluster_a, cluster_b, cluster_c, ClusterSpec};
 
 /// Base seed used by every exhibit so results are reproducible.
 pub const PAPER_SEED: u64 = 2026;
+
+/// The default exhibit testbed: two nodes of cluster A driving LLaMA-3B —
+/// the configuration nearly every figure/table binary starts from.
+pub fn paper_testbed() -> (ClusterSpec, ModelConfig, SchedulerCtx) {
+    paper_testbed_nodes(2)
+}
+
+/// [`paper_testbed`] with an explicit node count (fault exhibits shrink to
+/// the survivor set, scaling exhibits grow it).
+pub fn paper_testbed_nodes(nodes: usize) -> (ClusterSpec, ModelConfig, SchedulerCtx) {
+    let cluster = cluster_a(nodes);
+    let model = llama_3b();
+    let ctx = SchedulerCtx::new(&cluster, &model);
+    (cluster, model, ctx)
+}
+
+/// The exhibit RNG: [`PAPER_SEED`] plus a per-section offset so sections
+/// draw independent but reproducible batches.
+pub fn paper_rng(offset: u64) -> StdRng {
+    StdRng::seed_from_u64(PAPER_SEED.wrapping_add(offset))
+}
 
 /// The paper's three clusters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

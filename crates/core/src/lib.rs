@@ -46,6 +46,8 @@ pub mod zones;
 
 pub use analysis::{analyze, PlanAnalysis, RankEstimate};
 pub use plan::{AttnMode, IterationPlan, PlanError, PlanOptions, SeqPlacement, Zone};
-pub use plan_io::{parse_json, plan_from_json, plan_to_json, Json, PlanIoError};
+pub use plan_io::{
+    parse_json, plan_from_json, plan_to_json, Json, PlanIoError, PLAN_SCHEMA_VERSION,
+};
 pub use scheduler::{Scheduler, SchedulerCtx};
 pub use zeppelin::{Zeppelin, ZeppelinConfig};

@@ -38,6 +38,10 @@ impl std::fmt::Display for PlanIoError {
 
 impl std::error::Error for PlanIoError {}
 
+/// Schema version written by [`plan_to_json`]. Documents absent in the wild
+/// predate versioning and are treated as version 1.
+pub const PLAN_SCHEMA_VERSION: u64 = 1;
+
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -53,6 +57,88 @@ pub enum Json {
     Array(Vec<Json>),
     /// An object (order-insensitive).
     Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Field lookup on an object; `None` for other variants or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(o) => o.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The payload as a non-negative integer, if this is a whole number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Renders the value back to compact JSON text (inverse of [`parse_json`]
+/// up to number formatting). Shared by plan serialization and the serving
+/// protocol, which builds responses as [`Json`] trees.
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Json::String(s) => write!(f, "\"{}\"", escape(s)),
+            Json::Array(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Object(map) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "\"{}\":{v}", escape(k))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
 }
 
 /// Parses a JSON document.
@@ -286,6 +372,7 @@ fn mode_name(m: AttnMode) -> &'static str {
 /// Serializes a plan to JSON.
 pub fn plan_to_json(plan: &IterationPlan) -> String {
     let mut out = String::from("{");
+    let _ = write!(out, "\"schema_version\":{PLAN_SCHEMA_VERSION},");
     let _ = write!(out, "\"scheduler\":\"{}\",", escape(&plan.scheduler));
     let _ = write!(
         out,
@@ -338,6 +425,22 @@ pub fn plan_from_json(text: &str) -> Result<IterationPlan, PlanIoError> {
     let Json::Object(root) = parse_json(text)? else {
         return Err(PlanIoError::Schema("root must be an object".into()));
     };
+    // Absent ⇒ v1 (pre-versioning documents); anything else must match.
+    if let Some(v) = root.get("schema_version") {
+        match v.as_u64() {
+            Some(PLAN_SCHEMA_VERSION) => {}
+            Some(other) => {
+                return Err(PlanIoError::Schema(format!(
+                    "unsupported schema_version {other} (this build reads version {PLAN_SCHEMA_VERSION})"
+                )))
+            }
+            None => {
+                return Err(PlanIoError::Schema(
+                    "'schema_version' must be a non-negative integer".into(),
+                ))
+            }
+        }
+    }
     let scheduler = match get(&root, "scheduler")? {
         Json::String(s) => s.clone(),
         _ => return Err(PlanIoError::Schema("'scheduler' must be a string".into())),
@@ -504,6 +607,48 @@ mod tests {
         assert_eq!(a[1], Json::Number(-2.5));
         assert_eq!(a[5], Json::String("sA".into()));
         assert_eq!(o["b"], Json::Object(Default::default()));
+    }
+
+    #[test]
+    fn schema_version_is_written_and_checked() {
+        let json = plan_to_json(&sample_plan());
+        assert!(json.contains("\"schema_version\":1"), "{json}");
+        // Absent ⇒ v1: stripping the field still parses.
+        let legacy = json.replace("\"schema_version\":1,", "");
+        assert_eq!(plan_from_json(&legacy).unwrap(), sample_plan());
+        // A future version is a typed schema error naming the version.
+        let future = json.replace("\"schema_version\":1", "\"schema_version\":99");
+        let err = plan_from_json(&future).unwrap_err();
+        assert!(matches!(err, PlanIoError::Schema(_)));
+        assert!(err.to_string().contains("99"), "{err}");
+        // A mistyped version is rejected, not silently ignored.
+        let bad = json.replace("\"schema_version\":1", "\"schema_version\":\"one\"");
+        assert!(matches!(plan_from_json(&bad), Err(PlanIoError::Schema(_))));
+    }
+
+    #[test]
+    fn json_accessors_and_rendering_round_trip() {
+        let v = parse_json(r#"{"a":[1,2.5,"s\"x"],"b":{"c":true},"n":null}"#).unwrap();
+        assert_eq!(v.get("b").and_then(|b| b.get("c")), Some(&Json::Bool(true)));
+        assert_eq!(
+            v.get("a").and_then(|a| a.as_array()).map(<[Json]>::len),
+            Some(3)
+        );
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[0].as_u64(), Some(1));
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[1].as_f64(),
+            Some(2.5)
+        );
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[1].as_u64(), None);
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::Null.get("x"), None);
+        // Display renders text that parses back to the same tree.
+        let rendered = v.to_string();
+        assert_eq!(parse_json(&rendered).unwrap(), v);
+        // Plans rendered through the Json tree match the parsed original.
+        let plan_text = plan_to_json(&sample_plan());
+        let tree = parse_json(&plan_text).unwrap();
+        assert_eq!(parse_json(&tree.to_string()).unwrap(), tree);
     }
 
     #[test]

@@ -1,0 +1,348 @@
+//! The canonicalizing plan cache.
+//!
+//! Key = (scheduler name, sorted length multiset, quantized context
+//! signature). Value = the plan computed for the *canonical* batch, tagged
+//! with whether its placements reference real sequences. Hits for
+//! index-faithful plans are re-indexed through the requesting batch's sort
+//! permutation; synthetic-id plans (packing windows) are returned verbatim
+//! — they only depend on the multiset in the first place.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use zeppelin_core::plan::{IterationPlan, PlanError};
+use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
+use zeppelin_data::batch::Batch;
+
+use crate::canonical::{is_index_faithful, reindex_plan, CanonicalBatch, CtxSignature};
+
+/// Cache key: everything that can change a plan.
+///
+/// Hashing goes through a digest precomputed in [`PlanKey::new`] — hit-path
+/// lookups must not re-feed a multi-thousand-entry length vector through
+/// SipHash on every request, or key hashing grows with batch size just like
+/// planning does. Equality still compares the full fields, so a digest
+/// collision costs one memcmp, never a wrong plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanKey {
+    /// Scheduler name (encodes ablation toggles — each variant has one).
+    pub scheduler: String,
+    /// Sorted (descending) sequence lengths.
+    pub lens: Vec<u64>,
+    /// Quantized context signature.
+    pub ctx: CtxSignature,
+    digest: u64,
+}
+
+impl Hash for PlanKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.digest);
+    }
+}
+
+impl PlanKey {
+    /// Builds the key and the canonicalization it derives from.
+    pub fn new(scheduler: &str, batch: &Batch, ctx: &SchedulerCtx) -> (PlanKey, CanonicalBatch) {
+        let canonical = CanonicalBatch::new(batch);
+        let ctx = CtxSignature::new(ctx);
+        let digest = {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            scheduler.hash(&mut h);
+            ctx.hash(&mut h);
+            // FNV-1a over whole words: one multiply per length instead of
+            // SipHash over the raw bytes.
+            let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+            for &len in &canonical.lens {
+                acc = (acc ^ len).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            acc.hash(&mut h);
+            h.finish()
+        };
+        let key = PlanKey {
+            scheduler: scheduler.to_string(),
+            lens: canonical.lens.clone(),
+            ctx,
+            digest,
+        };
+        (key, canonical)
+    }
+}
+
+/// A cached canonical plan.
+#[derive(Debug)]
+pub struct CachedPlan {
+    /// Plan for the canonical (descending) batch.
+    pub plan: Arc<IterationPlan>,
+    /// Whether `seq_index` references real sequences (re-indexable).
+    pub faithful: bool,
+}
+
+impl CachedPlan {
+    /// Wraps a freshly planned canonical plan, tagging faithfulness.
+    pub fn new(plan: IterationPlan, lens: &[u64]) -> CachedPlan {
+        CachedPlan {
+            faithful: is_index_faithful(&plan, lens),
+            plan: Arc::new(plan),
+        }
+    }
+
+    /// Instantiates the cached plan for a batch with the given
+    /// canonicalization. Zero-copy (a shared handle) when the batch was
+    /// already in canonical order or the plan uses synthetic ids; otherwise
+    /// the placements are re-indexed through the sort permutation.
+    pub fn materialize(&self, canonical: &CanonicalBatch) -> Arc<IterationPlan> {
+        if self.faithful && !canonical.is_identity() {
+            Arc::new(reindex_plan(&self.plan, canonical))
+        } else {
+            Arc::clone(&self.plan)
+        }
+    }
+}
+
+/// Hit/miss/eviction counters (monotonic over the cache's lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required planning.
+    pub misses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// An LRU cache of canonical plans.
+#[derive(Debug)]
+pub struct PlanCache {
+    entries: HashMap<PlanKey, Entry>,
+    capacity: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+#[derive(Debug)]
+struct Entry {
+    plan: Arc<CachedPlan>,
+    last_used: u64,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` plans (min 1).
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up a canonical plan, counting a hit or miss.
+    pub fn lookup(&mut self, key: &PlanKey) -> Option<Arc<CachedPlan>> {
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(Arc::clone(&entry.plan))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a canonical plan, evicting the least-recently-used entry if
+    /// the cache is full. Re-inserting an existing key refreshes it.
+    pub fn insert(&mut self, key: PlanKey, plan: Arc<CachedPlan>) {
+        self.tick += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&lru);
+                self.stats.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                plan,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Drops every entry whose context signature differs from `ctx` —
+    /// called after elastic events (`shrink_to_survivors`) re-derive the
+    /// cluster, so stale pre-failure plans cannot linger in memory. Entries
+    /// for the current context survive. Returns how many were purged.
+    pub fn purge_stale(&mut self, ctx: &SchedulerCtx) -> usize {
+        let sig = CtxSignature::new(ctx);
+        let before = self.entries.len();
+        self.entries.retain(|k, _| k.ctx == sig);
+        before - self.entries.len()
+    }
+
+    /// Plans `batch` through the cache: on a hit the cached canonical plan
+    /// is materialized for this batch's ordering (zero-copy when the batch
+    /// is already canonical); on a miss the canonical batch is planned,
+    /// cached, and materialized the same way. Returns the plan and whether
+    /// it was a hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the scheduler's [`PlanError`] (nothing is cached then).
+    pub fn get_or_plan(
+        &mut self,
+        scheduler: &dyn Scheduler,
+        batch: &Batch,
+        ctx: &SchedulerCtx,
+    ) -> Result<(Arc<IterationPlan>, bool), PlanError> {
+        let (key, canonical) = PlanKey::new(scheduler.name(), batch, ctx);
+        if let Some(cached) = self.lookup(&key) {
+            return Ok((cached.materialize(&canonical), true));
+        }
+        let plan = scheduler.plan(&canonical.to_batch(), ctx)?;
+        let cached = Arc::new(CachedPlan::new(plan, &canonical.lens));
+        let materialized = cached.materialize(&canonical);
+        self.insert(key, cached);
+        Ok((materialized, false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeppelin_core::zeppelin::Zeppelin;
+    use zeppelin_model::config::llama_3b;
+    use zeppelin_sim::topology::cluster_a;
+
+    fn ctx() -> SchedulerCtx {
+        SchedulerCtx::new(&cluster_a(2), &llama_3b()).with_capacity(8192)
+    }
+
+    #[test]
+    fn repeated_shapes_hit_regardless_of_order() {
+        let ctx = ctx();
+        let mut cache = PlanCache::new(16);
+        let (first, hit) = cache
+            .get_or_plan(&Zeppelin::new(), &Batch::new(vec![9000, 500, 2500]), &ctx)
+            .unwrap();
+        assert!(!hit);
+        // A permuted batch with the same multiset hits and re-indexes.
+        let permuted = Batch::new(vec![500, 2500, 9000]);
+        let (second, hit) = cache
+            .get_or_plan(&Zeppelin::new(), &permuted, &ctx)
+            .unwrap();
+        assert!(hit);
+        assert_eq!(*second, Zeppelin::new().plan(&permuted, &ctx).unwrap());
+        // The first call's plan equals direct planning too.
+        assert_eq!(
+            *first,
+            Zeppelin::new()
+                .plan(&Batch::new(vec![9000, 500, 2500]), &ctx)
+                .unwrap()
+        );
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_shapes_and_contexts_occupy_distinct_entries() {
+        let ctx = ctx();
+        let mut cache = PlanCache::new(16);
+        let z = Zeppelin::new();
+        cache
+            .get_or_plan(&z, &Batch::new(vec![1000, 2000]), &ctx)
+            .unwrap();
+        cache
+            .get_or_plan(&z, &Batch::new(vec![1000, 2001]), &ctx)
+            .unwrap();
+        let other_ctx = ctx.clone().with_capacity(4096);
+        cache
+            .get_or_plan(&z, &Batch::new(vec![1000, 2000]), &other_ctx)
+            .unwrap();
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let ctx = ctx();
+        let mut cache = PlanCache::new(2);
+        let z = Zeppelin::new();
+        let a = Batch::new(vec![1000]);
+        let b = Batch::new(vec![2000]);
+        let c = Batch::new(vec![3000]);
+        cache.get_or_plan(&z, &a, &ctx).unwrap();
+        cache.get_or_plan(&z, &b, &ctx).unwrap();
+        cache.get_or_plan(&z, &a, &ctx).unwrap(); // refresh a; b is now LRU
+        cache.get_or_plan(&z, &c, &ctx).unwrap(); // evicts b
+        assert_eq!(cache.stats().evictions, 1);
+        let (_, hit_a) = cache.get_or_plan(&z, &a, &ctx).unwrap();
+        assert!(hit_a, "refreshed entry must survive eviction");
+        let (_, hit_b) = cache.get_or_plan(&z, &b, &ctx).unwrap();
+        assert!(!hit_b, "LRU entry must have been evicted");
+    }
+
+    #[test]
+    fn canonical_order_hits_share_the_cached_plan() {
+        let ctx = ctx();
+        let mut cache = PlanCache::new(4);
+        let z = Zeppelin::new();
+        let descending = Batch::new(vec![9000, 2500, 500]);
+        let (first, _) = cache.get_or_plan(&z, &descending, &ctx).unwrap();
+        let (again, hit) = cache.get_or_plan(&z, &descending, &ctx).unwrap();
+        assert!(hit);
+        // Already-canonical batches are served zero-copy.
+        assert!(Arc::ptr_eq(&first, &again));
+        // A permuted view re-indexes into a fresh allocation.
+        let (permuted, hit) = cache
+            .get_or_plan(&z, &Batch::new(vec![500, 9000, 2500]), &ctx)
+            .unwrap();
+        assert!(hit);
+        assert!(!Arc::ptr_eq(&first, &permuted));
+    }
+
+    #[test]
+    fn failed_plans_are_not_cached() {
+        let tiny = ctx().with_capacity(64);
+        let mut cache = PlanCache::new(4);
+        let batch = Batch::new(vec![100_000]);
+        assert!(cache.get_or_plan(&Zeppelin::new(), &batch, &tiny).is_err());
+        assert!(cache.is_empty());
+    }
+}

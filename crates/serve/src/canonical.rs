@@ -1,0 +1,202 @@
+//! Batch canonicalization: the cache key and the re-indexing that makes a
+//! canonical plan serve any batch with the same length multiset.
+//!
+//! Every scheduler in the workspace processes sequences in `(length
+//! descending, batch index ascending)` order, so its decisions depend only
+//! on the *sorted* lengths plus the context — the batch's order never
+//! matters. The cache exploits this: it plans the canonical (descending)
+//! batch once, and on a hit maps each placement's `seq_index` through the
+//! requesting batch's sort permutation. For index-faithful plans the result
+//! is placement-identical to planning the original batch directly.
+
+use zeppelin_core::plan::IterationPlan;
+use zeppelin_core::scheduler::SchedulerCtx;
+use zeppelin_data::batch::Batch;
+
+/// A batch reduced to its sorted length multiset plus the permutation that
+/// recovers the original ordering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalBatch {
+    /// Lengths sorted descending — the cache-key component.
+    pub lens: Vec<u64>,
+    /// `perm[i]` = original batch index of the `i`-th canonical sequence.
+    /// Ties are broken by ascending original index, matching the stable
+    /// sort every scheduler applies internally.
+    pub perm: Vec<usize>,
+}
+
+impl CanonicalBatch {
+    /// Canonicalizes a batch.
+    pub fn new(batch: &Batch) -> CanonicalBatch {
+        let mut perm: Vec<usize> = (0..batch.seqs.len()).collect();
+        perm.sort_by(|&a, &b| batch.seqs[b].cmp(&batch.seqs[a]).then(a.cmp(&b)));
+        let lens = perm.iter().map(|&i| batch.seqs[i]).collect();
+        CanonicalBatch { lens, perm }
+    }
+
+    /// The canonical batch itself (lengths descending), as planned on a miss.
+    pub fn to_batch(&self) -> Batch {
+        Batch::new(self.lens.clone())
+    }
+
+    /// True when the batch was already in canonical order, so the canonical
+    /// plan serves it verbatim (the cache's zero-copy fast path).
+    pub fn is_identity(&self) -> bool {
+        self.perm.iter().enumerate().all(|(i, &j)| i == j)
+    }
+}
+
+/// True when `plan` (produced for the canonical batch with lengths `lens`)
+/// references real batch sequences: every placement's `seq_index` names a
+/// sequence, every sequence is covered, and the fragment lengths of each
+/// sequence sum back to its length. Packing-style plans with synthetic
+/// window ids fail this and are served verbatim instead of re-indexed.
+pub fn is_index_faithful(plan: &IterationPlan, lens: &[u64]) -> bool {
+    let mut per_seq = vec![0u64; lens.len()];
+    for p in &plan.placements {
+        let Some(slot) = per_seq.get_mut(p.seq_index) else {
+            return false;
+        };
+        *slot += p.len;
+    }
+    per_seq == lens
+}
+
+/// Rewrites a canonical plan's placements for the original batch order:
+/// each `seq_index` maps through `perm`, and placements are re-sorted by
+/// the mapped index (stably, preserving fragment order), matching the
+/// `sort_by_key(seq_index)` pass every scheduler finishes with.
+pub fn reindex_plan(plan: &IterationPlan, canonical: &CanonicalBatch) -> IterationPlan {
+    let mut out = plan.clone();
+    for p in &mut out.placements {
+        p.seq_index = canonical.perm[p.seq_index];
+    }
+    out.placements.sort_by_key(|p| p.seq_index);
+    out
+}
+
+/// Fixed-point scale for rank-speed quantization in [`CtxSignature`].
+const SPEED_QUANTUM: f64 = 1024.0;
+
+/// A hashable signature of everything in a [`SchedulerCtx`] that can change
+/// a plan. Hardware rates are captured exactly (f64 bit patterns — presets
+/// are constants, not measurements); per-rank speed factors are quantized
+/// to 1/1024 so jittery straggler estimates within a quantum still share
+/// cache entries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CtxSignature {
+    cluster_name: String,
+    nodes: usize,
+    gpus_per_node: usize,
+    peak_flops: u64,
+    mem_bytes: u64,
+    nvlink_bw: u64,
+    pcie_bw: u64,
+    nic_count: usize,
+    nic_bw: u64,
+    nic_affinity: Vec<usize>,
+    model_name: String,
+    hidden: usize,
+    num_heads: usize,
+    ffn_hidden: usize,
+    layers: usize,
+    vocab: usize,
+    dtype_bytes: usize,
+    moe: Option<(usize, usize, usize)>,
+    capacity: u64,
+    rank_speed: Option<Vec<i64>>,
+}
+
+impl CtxSignature {
+    /// Builds the signature for a context.
+    pub fn new(ctx: &SchedulerCtx) -> CtxSignature {
+        let node = &ctx.cluster.node;
+        CtxSignature {
+            cluster_name: ctx.cluster.name.clone(),
+            nodes: ctx.cluster.nodes,
+            gpus_per_node: node.gpus_per_node,
+            peak_flops: node.gpu.peak_flops.to_bits(),
+            mem_bytes: node.gpu.mem_bytes,
+            nvlink_bw: node.gpu.nvlink_bw.to_bits(),
+            pcie_bw: node.gpu.pcie_bw.to_bits(),
+            nic_count: node.nic_count,
+            nic_bw: node.nic.bw.to_bits(),
+            nic_affinity: node.nic_affinity.clone(),
+            model_name: ctx.model.name.clone(),
+            hidden: ctx.model.hidden,
+            num_heads: ctx.model.num_heads,
+            ffn_hidden: ctx.model.ffn_hidden,
+            layers: ctx.model.layers,
+            vocab: ctx.model.vocab,
+            dtype_bytes: ctx.model.dtype_bytes,
+            moe: ctx
+                .model
+                .moe
+                .as_ref()
+                .map(|m| (m.num_experts, m.top_k, m.expert_ffn_hidden)),
+            capacity: ctx.capacity,
+            rank_speed: ctx.rank_speed.as_ref().map(|speeds| {
+                speeds
+                    .iter()
+                    .map(|s| (s * SPEED_QUANTUM).round() as i64)
+                    .collect()
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeppelin_core::scheduler::Scheduler;
+    use zeppelin_core::zeppelin::Zeppelin;
+    use zeppelin_model::config::llama_3b;
+    use zeppelin_sim::topology::cluster_a;
+
+    #[test]
+    fn canonicalization_sorts_descending_with_stable_ties() {
+        let batch = Batch::new(vec![500, 9000, 500, 40_000]);
+        let c = CanonicalBatch::new(&batch);
+        assert_eq!(c.lens, vec![40_000, 9000, 500, 500]);
+        // Equal lengths keep ascending original indices.
+        assert_eq!(c.perm, vec![3, 1, 0, 2]);
+        assert_eq!(c.to_batch().seqs, c.lens);
+    }
+
+    #[test]
+    fn reindex_recovers_original_batch_plan() {
+        let ctx = SchedulerCtx::new(&cluster_a(2), &llama_3b()).with_capacity(8192);
+        let batch = Batch::new(vec![700, 12_000, 700, 30_000, 2500]);
+        let canonical = CanonicalBatch::new(&batch);
+        let canon_plan = Zeppelin::new().plan(&canonical.to_batch(), &ctx).unwrap();
+        assert!(is_index_faithful(&canon_plan, &canonical.lens));
+        let direct = Zeppelin::new().plan(&batch, &ctx).unwrap();
+        assert_eq!(reindex_plan(&canon_plan, &canonical), direct);
+    }
+
+    #[test]
+    fn synthetic_indices_are_not_faithful() {
+        let ctx = SchedulerCtx::new(&cluster_a(2), &llama_3b()).with_capacity(8192);
+        let batch = Batch::new(vec![400, 300, 200, 100]);
+        let plan = zeppelin_baselines::Packing::new()
+            .plan(&batch, &ctx)
+            .unwrap();
+        // Packing fuses short sequences into windows with synthetic ids.
+        assert!(!is_index_faithful(&plan, &CanonicalBatch::new(&batch).lens));
+    }
+
+    #[test]
+    fn signature_distinguishes_material_context_changes() {
+        let ctx = SchedulerCtx::new(&cluster_a(2), &llama_3b());
+        let base = CtxSignature::new(&ctx);
+        assert_eq!(base, CtxSignature::new(&ctx.clone()));
+        let capped = CtxSignature::new(&ctx.clone().with_capacity(1234));
+        assert_ne!(base, capped);
+        let slow = CtxSignature::new(&ctx.clone().with_rank_speed(vec![1.0; 16]));
+        assert_ne!(base, slow);
+        // Speeds within a quantum share a signature.
+        let a = CtxSignature::new(&ctx.clone().with_rank_speed(vec![1.00001; 16]));
+        let b = CtxSignature::new(&ctx.clone().with_rank_speed(vec![1.00002; 16]));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,35 @@
+//! A minimal blocking client for the serving protocol, used by
+//! `zeppelin-cli client` and the loopback smoke tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::Request;
+
+/// Sends one request and returns the raw response line.
+///
+/// # Errors
+///
+/// Propagates connection/IO errors; a server that closes without
+/// responding yields `UnexpectedEof`.
+pub fn send_request(addr: impl ToSocketAddrs, req: &Request) -> std::io::Result<String> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    writeln!(stream, "{}", req.to_line())?;
+    stream.flush()?;
+    let mut line = String::new();
+    let n = BufReader::new(stream).read_line(&mut line)?;
+    if n == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection without responding",
+        ));
+    }
+    Ok(line.trim_end().to_string())
+}

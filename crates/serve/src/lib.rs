@@ -1,0 +1,65 @@
+//! # zeppelin-serve
+//!
+//! The online planning service: everything needed to run the repro as a
+//! long-lived planner instead of a batch tool.
+//!
+//! - [`canonical`]: batch canonicalization (sorted length multiset +
+//!   permutation) and plan re-indexing — equal-shaped batches share plans;
+//! - [`cache`]: the canonicalizing LRU plan cache keyed by scheduler name,
+//!   length multiset, and quantized context signature;
+//! - [`pipeline`]: the pipelined planner — step N+1 plans on a worker
+//!   thread while step N simulates, with hidden-vs-exposed accounting;
+//! - [`protocol`]: line-delimited JSON requests/responses (`plan`,
+//!   `stats`, `shutdown`) built on `zeppelin_core::plan_io`'s JSON;
+//! - [`server`]: the TCP front-end with a bounded worker pool,
+//!   queue-depth backpressure, and graceful shutdown;
+//! - [`client`]: a blocking one-request client for the CLI and tests;
+//! - [`metrics`]: hit rates, planning-latency percentiles, queue depth;
+//! - [`registry`]: shared name → scheduler/model/cluster/dataset
+//!   resolution, so the CLI and the wire protocol accept one vocabulary.
+//!
+//! Everything is std-only: threads, mpsc, `TcpListener`.
+//!
+//! # Examples
+//!
+//! ```
+//! use zeppelin_core::scheduler::SchedulerCtx;
+//! use zeppelin_core::zeppelin::Zeppelin;
+//! use zeppelin_data::batch::Batch;
+//! use zeppelin_model::config::llama_3b;
+//! use zeppelin_serve::cache::PlanCache;
+//! use zeppelin_sim::topology::cluster_a;
+//!
+//! let ctx = SchedulerCtx::new(&cluster_a(2), &llama_3b()).with_capacity(8192);
+//! let mut cache = PlanCache::new(64);
+//! let (plan, hit) = cache
+//!     .get_or_plan(&Zeppelin::new(), &Batch::new(vec![9000, 500]), &ctx)
+//!     .unwrap();
+//! assert!(!hit);
+//! // Same multiset, different order: served from cache, re-indexed.
+//! let (again, hit) = cache
+//!     .get_or_plan(&Zeppelin::new(), &Batch::new(vec![500, 9000]), &ctx)
+//!     .unwrap();
+//! assert!(hit);
+//! assert_eq!(plan.total_tokens(), again.total_tokens());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod canonical;
+pub mod client;
+pub mod metrics;
+pub mod pipeline;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use cache::{CacheStats, CachedPlan, PlanCache, PlanKey};
+pub use canonical::{is_index_faithful, reindex_plan, CanonicalBatch, CtxSignature};
+pub use client::send_request;
+pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use pipeline::{run_training_pipelined, PipelineConfig, PipelineReport};
+pub use protocol::{parse_request, Request};
+pub use server::{Server, ServerConfig, ServerReport};

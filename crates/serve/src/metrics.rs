@@ -1,0 +1,179 @@
+//! Service metrics: request counters, cache effectiveness, and planning
+//! latency percentiles, shared across worker threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How many recent planning latencies the reservoir keeps (ring buffer).
+const RESERVOIR: usize = 4096;
+
+/// Thread-safe metrics sink for the serving front-end.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    inner: Mutex<Inner>,
+    queue_depth: AtomicUsize,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    plan_requests: u64,
+    cache_hits: u64,
+    stats_requests: u64,
+    errors: u64,
+    rejected: u64,
+    latencies_us: Vec<u64>,
+    next_slot: usize,
+}
+
+/// A point-in-time copy of the metrics, with derived percentiles.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `plan` requests served (hit or miss).
+    pub plan_requests: u64,
+    /// `plan` requests answered from the cache.
+    pub cache_hits: u64,
+    /// `stats` requests served.
+    pub stats_requests: u64,
+    /// Malformed or failed requests.
+    pub errors: u64,
+    /// Connections rejected by queue-depth backpressure.
+    pub rejected: u64,
+    /// Connections waiting for a worker right now.
+    pub queue_depth: usize,
+    /// Median planning latency over the recent reservoir, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile planning latency, microseconds.
+    pub p99_us: u64,
+}
+
+impl MetricsSnapshot {
+    /// Cache hits as a fraction of plan requests.
+    pub fn hit_rate(&self) -> f64 {
+        if self.plan_requests == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.plan_requests as f64
+        }
+    }
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+impl ServiceMetrics {
+    /// Fresh metrics with everything at zero.
+    pub fn new() -> ServiceMetrics {
+        ServiceMetrics::default()
+    }
+
+    /// Records one served `plan` request and its planning latency.
+    pub fn record_plan(&self, latency: Duration, cache_hit: bool) {
+        let mut m = self.inner.lock().expect("metrics poisoned");
+        m.plan_requests += 1;
+        if cache_hit {
+            m.cache_hits += 1;
+        }
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        if m.latencies_us.len() < RESERVOIR {
+            m.latencies_us.push(us);
+        } else {
+            let slot = m.next_slot;
+            m.latencies_us[slot] = us;
+        }
+        m.next_slot = (m.next_slot + 1) % RESERVOIR;
+    }
+
+    /// Records one served `stats` request.
+    pub fn record_stats(&self) {
+        self.inner.lock().expect("metrics poisoned").stats_requests += 1;
+    }
+
+    /// Records a request that failed (parse error, plan error, bad flags).
+    pub fn record_error(&self) {
+        self.inner.lock().expect("metrics poisoned").errors += 1;
+    }
+
+    /// Records a connection rejected by backpressure.
+    pub fn record_rejected(&self) {
+        self.inner.lock().expect("metrics poisoned").rejected += 1;
+    }
+
+    /// Adjusts the queue-depth gauge as connections enqueue/dequeue.
+    pub fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Copies the counters and computes latency percentiles.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let m = self.inner.lock().expect("metrics poisoned");
+        let mut sorted = m.latencies_us.clone();
+        sorted.sort_unstable();
+        MetricsSnapshot {
+            plan_requests: m.plan_requests,
+            cache_hits: m.cache_hits,
+            stats_requests: m.stats_requests,
+            errors: m.errors,
+            rejected: m.rejected,
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            p50_us: percentile(&sorted, 0.50),
+            p99_us: percentile(&sorted, 0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_come_from_the_reservoir() {
+        let m = ServiceMetrics::new();
+        for us in 1..=100u64 {
+            m.record_plan(Duration::from_micros(us), us % 2 == 0);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.plan_requests, 100);
+        assert_eq!(s.cache_hits, 50);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        assert!((49..=51).contains(&s.p50_us), "p50 {}", s.p50_us);
+        assert!((98..=100).contains(&s.p99_us), "p99 {}", s.p99_us);
+    }
+
+    #[test]
+    fn reservoir_wraps_without_growing() {
+        let m = ServiceMetrics::new();
+        for _ in 0..(RESERVOIR + 100) {
+            m.record_plan(Duration::from_micros(7), false);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.p50_us, 7);
+        assert_eq!(s.plan_requests, (RESERVOIR + 100) as u64);
+    }
+
+    #[test]
+    fn empty_metrics_snapshot_is_zeroed() {
+        let s = ServiceMetrics::new().snapshot();
+        assert_eq!(s, MetricsSnapshot::default());
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn gauges_and_counters_update() {
+        let m = ServiceMetrics::new();
+        m.record_stats();
+        m.record_error();
+        m.record_rejected();
+        m.set_queue_depth(3);
+        let s = m.snapshot();
+        assert_eq!(
+            (s.stats_requests, s.errors, s.rejected, s.queue_depth),
+            (1, 1, 1, 3)
+        );
+    }
+}

@@ -1,0 +1,282 @@
+//! The pipelined planner: plan step N+1 on a worker thread while the
+//! executor simulates step N, hiding planner latency off the critical path
+//! (the paper's asynchronous-planning deployment, §2/§5).
+//!
+//! The report splits total planning wall-time into *hidden* (overlapped
+//! with simulation of the previous step) and *exposed* (time the trainer
+//! actually blocked waiting for a plan). With a warm pipeline, exposure is
+//! ≈ 0 whenever planning a batch is faster than executing one — the paper's
+//! zero-critical-path-cost claim, now measured instead of assumed.
+
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use zeppelin_core::plan::{IterationPlan, PlanError};
+use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
+use zeppelin_data::batch::{sample_batch, Batch};
+use zeppelin_data::distribution::LengthDistribution;
+use zeppelin_exec::step::{simulate_plan, StepError};
+use zeppelin_exec::trainer::{RunConfig, RunError, RunReport, StepSummary};
+use zeppelin_sim::time::SimDuration;
+
+use crate::cache::{CacheStats, PlanCache};
+
+/// Configuration of a pipelined run.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// The underlying run (steps, tokens, seed — identical semantics to
+    /// [`zeppelin_exec::trainer::run_training`]).
+    pub run: RunConfig,
+    /// Route planning through a canonicalizing [`PlanCache`] so repeated
+    /// batch shapes skip the partitioner entirely.
+    pub use_cache: bool,
+    /// Cache capacity when `use_cache` is set.
+    pub cache_capacity: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            run: RunConfig::default(),
+            use_cache: true,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// A [`RunReport`] extended with planner-overlap accounting.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// The training-run aggregate (identical numbers to the sequential
+    /// trainer — pipelining changes wall-clock, not simulated results).
+    pub run: RunReport,
+    /// Total wall-clock the worker spent planning.
+    pub plan_total: Duration,
+    /// Planning time overlapped with simulation of the previous step.
+    pub plan_hidden: Duration,
+    /// Planning time the trainer blocked on (critical-path cost).
+    pub plan_exposed: Duration,
+    /// Wall-clock the trainer spent simulating steps.
+    pub sim_wall: Duration,
+    /// Cache counters (zeros when the cache was disabled).
+    pub cache: CacheStats,
+}
+
+impl PipelineReport {
+    /// Fraction of planning time hidden off the critical path (1.0 when
+    /// nothing was exposed; 0-planning runs count as fully hidden).
+    pub fn hidden_fraction(&self) -> f64 {
+        if self.plan_total.is_zero() {
+            return 1.0;
+        }
+        self.plan_hidden.as_secs_f64() / self.plan_total.as_secs_f64()
+    }
+}
+
+struct PlannedStep {
+    step: usize,
+    result: Result<(Arc<IterationPlan>, bool), PlanError>,
+    elapsed: Duration,
+}
+
+/// Runs `cfg.run.steps` training steps with planning double-buffered on a
+/// worker thread: while step `i` simulates, step `i+1`'s batch is already
+/// being planned. Batches are sampled exactly as in
+/// [`run_training`](zeppelin_exec::trainer::run_training), so reports match
+/// the sequential trainer step for step.
+///
+/// # Errors
+///
+/// Same surface as the sequential trainer: [`RunError::NoSteps`],
+/// [`RunError::EmptyBatch`], and per-step plan/sim failures as
+/// [`RunError::Step`].
+pub fn run_training_pipelined<S: Scheduler + Sync>(
+    scheduler: &S,
+    dist: &LengthDistribution,
+    ctx: &SchedulerCtx,
+    cfg: &PipelineConfig,
+) -> Result<PipelineReport, RunError> {
+    if cfg.run.steps == 0 {
+        return Err(RunError::NoSteps);
+    }
+    // Identical sampling discipline to the sequential trainer: one RNG
+    // seeded with cfg.run.seed, batches drawn in step order.
+    let mut rng = StdRng::seed_from_u64(cfg.run.seed);
+    let mut batches = Vec::with_capacity(cfg.run.steps);
+    for i in 0..cfg.run.steps {
+        let batch = sample_batch(dist, &mut rng, cfg.run.tokens_per_step);
+        if batch.total_tokens() == 0 {
+            return Err(RunError::EmptyBatch { step: i });
+        }
+        batches.push(batch);
+    }
+
+    let mut cache = cfg.use_cache.then(|| PlanCache::new(cfg.cache_capacity));
+
+    std::thread::scope(|scope| -> Result<PipelineReport, RunError> {
+        // Channels live inside the scope: an early error return drops
+        // `batch_tx`, the worker's recv() fails, it exits, and the scope
+        // join completes — no deadlock on the error path.
+        let (batch_tx, batch_rx) = mpsc::channel::<(usize, Batch)>();
+        let (plan_tx, plan_rx) = mpsc::channel::<PlannedStep>();
+        let cache_ref = &mut cache;
+        scope.spawn(move || {
+            while let Ok((step, batch)) = batch_rx.recv() {
+                let start = Instant::now();
+                let result = match cache_ref.as_mut() {
+                    Some(cache) => cache.get_or_plan(scheduler, &batch, ctx),
+                    None => scheduler.plan(&batch, ctx).map(|p| (Arc::new(p), false)),
+                };
+                let send = plan_tx.send(PlannedStep {
+                    step,
+                    result,
+                    elapsed: start.elapsed(),
+                });
+                if send.is_err() {
+                    return; // trainer bailed on an error
+                }
+            }
+        });
+
+        batch_tx
+            .send((0, batches[0].clone()))
+            .expect("planner worker alive");
+
+        let mut steps = Vec::with_capacity(cfg.run.steps);
+        let mut sum_tp = 0.0;
+        let mut min_tp = f64::INFINITY;
+        let mut max_tp = 0.0f64;
+        let mut sum_ns: u128 = 0;
+        let mut name = String::new();
+        let mut plan_total = Duration::ZERO;
+        let mut plan_exposed = Duration::ZERO;
+        let mut sim_wall = Duration::ZERO;
+
+        for i in 0..cfg.run.steps {
+            let wait_start = Instant::now();
+            let planned = plan_rx.recv().expect("planner worker alive");
+            let wait = wait_start.elapsed();
+            debug_assert_eq!(planned.step, i, "plans arrive in step order");
+            let plan = planned
+                .result
+                .map_err(|e| RunError::Step {
+                    step: i,
+                    source: StepError::Plan(e),
+                })?
+                .0;
+            plan_total += planned.elapsed;
+            // Time blocked on recv() is the planner's critical-path cost for
+            // this step; the rest of planned.elapsed ran under step i-1's
+            // simulation. Step 0 has nothing to hide behind by definition.
+            plan_exposed += wait.min(planned.elapsed);
+
+            if i + 1 < cfg.run.steps {
+                batch_tx
+                    .send((i + 1, batches[i + 1].clone()))
+                    .expect("planner worker alive");
+            }
+
+            let mut scfg = cfg.run.step.clone();
+            scfg.seed = cfg.run.seed.wrapping_add(i as u64);
+            let sim_start = Instant::now();
+            let report = simulate_plan(&plan, &batches[i], ctx, &scfg)
+                .map_err(|source| RunError::Step { step: i, source })?;
+            sim_wall += sim_start.elapsed();
+
+            sum_tp += report.throughput;
+            min_tp = min_tp.min(report.throughput);
+            max_tp = max_tp.max(report.throughput);
+            sum_ns += report.step_time.as_nanos() as u128;
+            name = report.scheduler.clone();
+            steps.push(StepSummary::from(&report));
+        }
+        drop(batch_tx); // worker drains and exits; scope joins it
+
+        let run = RunReport {
+            scheduler: name,
+            mean_throughput: sum_tp / cfg.run.steps as f64,
+            min_throughput: min_tp,
+            max_throughput: max_tp,
+            mean_step_time: SimDuration::from_nanos((sum_ns / cfg.run.steps as u128) as u64),
+            steps,
+        };
+        Ok(PipelineReport {
+            run,
+            plan_total,
+            plan_hidden: plan_total.saturating_sub(plan_exposed),
+            plan_exposed,
+            sim_wall,
+            cache: CacheStats::default(), // patched below once the scope ends
+        })
+    })
+    .map(|mut report| {
+        if let Some(cache) = &cache {
+            report.cache = cache.stats();
+        }
+        report
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeppelin_core::zeppelin::Zeppelin;
+    use zeppelin_data::datasets::arxiv;
+    use zeppelin_exec::trainer::run_training;
+    use zeppelin_model::config::llama_3b;
+    use zeppelin_sim::topology::cluster_a;
+
+    fn ctx() -> SchedulerCtx {
+        SchedulerCtx::new(&cluster_a(2), &llama_3b()).with_capacity(8192)
+    }
+
+    fn cfg(steps: usize) -> PipelineConfig {
+        PipelineConfig {
+            run: RunConfig {
+                steps,
+                tokens_per_step: 32_768,
+                seed: 11,
+                ..RunConfig::default()
+            },
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn pipelined_results_match_the_sequential_trainer() {
+        let seq = run_training(&Zeppelin::new(), &arxiv(), &ctx(), &cfg(4).run).unwrap();
+        let pipe = run_training_pipelined(&Zeppelin::new(), &arxiv(), &ctx(), &cfg(4)).unwrap();
+        assert_eq!(pipe.run.mean_step_time, seq.mean_step_time);
+        assert_eq!(pipe.run.steps.len(), seq.steps.len());
+        assert_eq!(pipe.run.scheduler, seq.scheduler);
+        assert!((pipe.run.mean_throughput - seq.mean_throughput).abs() < 1e-9);
+    }
+
+    #[test]
+    fn planning_overlap_is_accounted() {
+        let pipe = run_training_pipelined(&Zeppelin::new(), &arxiv(), &ctx(), &cfg(6)).unwrap();
+        assert!(pipe.plan_total >= pipe.plan_exposed);
+        assert_eq!(pipe.plan_total, pipe.plan_hidden + pipe.plan_exposed);
+        let f = pipe.hidden_fraction();
+        assert!((0.0..=1.0).contains(&f), "{f}");
+        // 6 steps drew 6 plans through the cache.
+        assert_eq!(pipe.cache.hits + pipe.cache.misses, 6);
+    }
+
+    #[test]
+    fn cache_can_be_disabled() {
+        let mut c = cfg(3);
+        c.use_cache = false;
+        let pipe = run_training_pipelined(&Zeppelin::new(), &arxiv(), &ctx(), &c).unwrap();
+        assert_eq!(pipe.cache, CacheStats::default());
+    }
+
+    #[test]
+    fn zero_steps_is_a_typed_error() {
+        let err = run_training_pipelined(&Zeppelin::new(), &arxiv(), &ctx(), &cfg(0)).unwrap_err();
+        assert!(matches!(err, RunError::NoSteps));
+    }
+}

@@ -1,0 +1,254 @@
+//! The wire protocol: one JSON object per line, request → response.
+//!
+//! Requests (`op` selects the verb; unknown fields are ignored):
+//!
+//! ```json
+//! {"op":"plan","seqs":[9000,500],"method":"zeppelin","model":"3b","cluster":"a","nodes":2}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! `method`/`model`/`cluster`/`nodes` are optional on `plan`; the server
+//! falls back to its configured defaults. Responses always carry `"ok"`:
+//!
+//! ```json
+//! {"ok":true,"cached":true,"plan_us":12,"plan":{...}}
+//! {"ok":true,"stats":{...}}
+//! {"ok":true,"shutting_down":true}
+//! {"ok":false,"error":"..."}
+//! ```
+
+use zeppelin_core::plan::IterationPlan;
+use zeppelin_core::plan_io::{parse_json, plan_to_json, Json};
+
+use crate::metrics::MetricsSnapshot;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Plan a batch of sequence lengths.
+    Plan {
+        /// Sequence lengths (all positive).
+        seqs: Vec<u64>,
+        /// Scheduler name; `None` = server default.
+        method: Option<String>,
+        /// Model preset; `None` = server default.
+        model: Option<String>,
+        /// Cluster preset; `None` = server default.
+        cluster: Option<String>,
+        /// Node count; `None` = server default.
+        nodes: Option<usize>,
+    },
+    /// Report service metrics.
+    Stats,
+    /// Drain and stop the server.
+    Shutdown,
+}
+
+fn opt_string(root: &Json, key: &str) -> Result<Option<String>, String> {
+    match root.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| format!("'{key}' must be a string")),
+    }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed JSON, unknown ops, or
+/// invalid fields; the server wraps it in an error response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let root = parse_json(line).map_err(|e| e.to_string())?;
+    let op = root
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("request needs a string 'op' field")?;
+    match op {
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "plan" => {
+            let raw = root
+                .get("seqs")
+                .and_then(Json::as_array)
+                .ok_or("'plan' needs a 'seqs' array of lengths")?;
+            if raw.is_empty() {
+                return Err("'seqs' must not be empty".to_string());
+            }
+            let mut seqs = Vec::with_capacity(raw.len());
+            for v in raw {
+                match v.as_u64() {
+                    Some(len) if len > 0 => seqs.push(len),
+                    _ => return Err("'seqs' entries must be positive integers".to_string()),
+                }
+            }
+            let nodes = match root.get("nodes") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(
+                    v.as_u64()
+                        .ok_or("'nodes' must be a positive integer")?
+                        .max(1) as usize,
+                ),
+            };
+            Ok(Request::Plan {
+                seqs,
+                method: opt_string(&root, "method")?,
+                model: opt_string(&root, "model")?,
+                cluster: opt_string(&root, "cluster")?,
+                nodes,
+            })
+        }
+        other => Err(format!("unknown op '{other}'")),
+    }
+}
+
+impl Request {
+    /// Serializes the request to its wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            Request::Stats => "{\"op\":\"stats\"}".to_string(),
+            Request::Shutdown => "{\"op\":\"shutdown\"}".to_string(),
+            Request::Plan {
+                seqs,
+                method,
+                model,
+                cluster,
+                nodes,
+            } => {
+                let mut out = String::from("{\"op\":\"plan\"");
+                let lens: Vec<String> = seqs.iter().map(u64::to_string).collect();
+                out.push_str(&format!(",\"seqs\":[{}]", lens.join(",")));
+                for (key, val) in [("method", method), ("model", model), ("cluster", cluster)] {
+                    if let Some(v) = val {
+                        out.push_str(&format!(",\"{key}\":{}", Json::String(v.clone())));
+                    }
+                }
+                if let Some(n) = nodes {
+                    out.push_str(&format!(",\"nodes\":{n}"));
+                }
+                out.push('}');
+                out
+            }
+        }
+    }
+}
+
+/// Builds the success response for a served plan.
+pub fn plan_response(plan: &IterationPlan, cached: bool, plan_us: u64) -> String {
+    format!(
+        "{{\"ok\":true,\"cached\":{cached},\"plan_us\":{plan_us},\"plan\":{}}}",
+        plan_to_json(plan)
+    )
+}
+
+/// Builds the success response for a stats request.
+pub fn stats_response(s: &MetricsSnapshot) -> String {
+    format!(
+        "{{\"ok\":true,\"stats\":{{\"plan_requests\":{},\"cache_hits\":{},\"hit_rate\":{:.4},\
+         \"stats_requests\":{},\"errors\":{},\"rejected\":{},\"queue_depth\":{},\
+         \"p50_us\":{},\"p99_us\":{}}}}}",
+        s.plan_requests,
+        s.cache_hits,
+        s.hit_rate(),
+        s.stats_requests,
+        s.errors,
+        s.rejected,
+        s.queue_depth,
+        s.p50_us,
+        s.p99_us,
+    )
+}
+
+/// Builds the shutdown acknowledgement.
+pub fn shutdown_response() -> String {
+    "{\"ok\":true,\"shutting_down\":true}".to_string()
+}
+
+/// Builds an error response.
+pub fn error_response(message: &str) -> String {
+    format!(
+        "{{\"ok\":false,\"error\":{}}}",
+        Json::String(message.to_string())
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_their_wire_lines() {
+        let reqs = [
+            Request::Stats,
+            Request::Shutdown,
+            Request::Plan {
+                seqs: vec![9000, 500],
+                method: Some("te".into()),
+                model: None,
+                cluster: Some("b".into()),
+                nodes: Some(4),
+            },
+            Request::Plan {
+                seqs: vec![1],
+                method: None,
+                model: None,
+                cluster: None,
+                nodes: None,
+            },
+        ];
+        for req in reqs {
+            assert_eq!(
+                parse_request(&req.to_line()).unwrap(),
+                req,
+                "{}",
+                req.to_line()
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_named_errors() {
+        for (line, needle) in [
+            ("{", "JSON parse error"),
+            ("{\"seqs\":[1]}", "'op'"),
+            ("{\"op\":\"fly\"}", "unknown op"),
+            ("{\"op\":\"plan\"}", "'seqs'"),
+            ("{\"op\":\"plan\",\"seqs\":[]}", "empty"),
+            ("{\"op\":\"plan\",\"seqs\":[0]}", "positive"),
+            ("{\"op\":\"plan\",\"seqs\":[1.5]}", "positive"),
+            ("{\"op\":\"plan\",\"seqs\":[1],\"nodes\":\"x\"}", "'nodes'"),
+            ("{\"op\":\"plan\",\"seqs\":[1],\"method\":7}", "'method'"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "{line} → {err}");
+        }
+    }
+
+    #[test]
+    fn responses_are_parseable_json_lines() {
+        use zeppelin_core::plan_io::parse_json;
+        let snap = MetricsSnapshot {
+            plan_requests: 10,
+            cache_hits: 9,
+            ..MetricsSnapshot::default()
+        };
+        let line = stats_response(&snap);
+        let v = parse_json(&line).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        let stats = v.get("stats").unwrap();
+        assert_eq!(stats.get("cache_hits").unwrap().as_u64(), Some(9));
+        assert_eq!(stats.get("hit_rate").unwrap().as_f64(), Some(0.9));
+
+        let err = error_response("bad \"thing\"\n");
+        let v = parse_json(&err).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(v.get("error").unwrap().as_str(), Some("bad \"thing\"\n"));
+        assert!(!err.contains('\n'), "responses must stay single-line");
+
+        let v = parse_json(&shutdown_response()).unwrap();
+        assert_eq!(v.get("shutting_down"), Some(&Json::Bool(true)));
+    }
+}

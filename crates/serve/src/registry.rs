@@ -1,0 +1,120 @@
+//! Name → object resolution shared by the CLI and the serving front-end,
+//! so `zeppelin-cli plan --method te` and a `{"op":"plan","method":"te"}`
+//! request accept exactly the same vocabulary.
+
+use zeppelin_baselines::{DoubleRingCp, HybridDp, LlamaCp, Packing, TeCp, Ulysses};
+use zeppelin_core::scheduler::Scheduler;
+use zeppelin_core::zeppelin::Zeppelin;
+use zeppelin_data::datasets as ds;
+use zeppelin_data::distribution::LengthDistribution;
+use zeppelin_model::config as models;
+use zeppelin_model::config::ModelConfig;
+use zeppelin_sim::topology::{cluster_a, cluster_b, cluster_c, ClusterSpec};
+
+/// Scheduler names accepted by [`scheduler_by_name`] (canonical spellings).
+pub const SCHEDULER_NAMES: [&str; 7] = [
+    "zeppelin",
+    "te",
+    "llama",
+    "hybrid",
+    "packing",
+    "ulysses",
+    "double-ring",
+];
+
+/// Resolves a scheduler by its CLI/protocol name.
+///
+/// # Errors
+///
+/// Returns the offending name for unknown schedulers.
+pub fn scheduler_by_name(name: &str) -> Result<Box<dyn Scheduler>, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "zeppelin" => Ok(Box::new(Zeppelin::new())),
+        "te" | "te-cp" => Ok(Box::new(TeCp::new())),
+        "llama" | "llama-cp" => Ok(Box::new(LlamaCp::new())),
+        "hybrid" | "hybrid-dp" => Ok(Box::new(HybridDp::new())),
+        "packing" => Ok(Box::new(Packing::new())),
+        "ulysses" => Ok(Box::new(Ulysses::new())),
+        "double-ring" | "doublering" => Ok(Box::new(DoubleRingCp::new())),
+        other => Err(other.to_string()),
+    }
+}
+
+/// Resolves a model preset by name.
+///
+/// # Errors
+///
+/// Returns the offending name for unknown models.
+pub fn model_by_name(name: &str) -> Result<ModelConfig, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "3b" | "llama-3b" => Ok(models::llama_3b()),
+        "7b" | "llama-7b" => Ok(models::llama_7b()),
+        "13b" | "llama-13b" => Ok(models::llama_13b()),
+        "30b" | "llama-30b" => Ok(models::llama_30b()),
+        "moe" | "8x550m" => Ok(models::moe_8x550m()),
+        other => Err(other.to_string()),
+    }
+}
+
+/// Resolves a cluster preset by name with `nodes` nodes.
+///
+/// # Errors
+///
+/// Returns the offending name for unknown clusters.
+pub fn cluster_by_name(name: &str, nodes: usize) -> Result<ClusterSpec, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "a" => Ok(cluster_a(nodes)),
+        "b" => Ok(cluster_b(nodes)),
+        "c" => Ok(cluster_c(nodes)),
+        other => Err(other.to_string()),
+    }
+}
+
+/// Resolves a dataset length distribution by name.
+///
+/// # Errors
+///
+/// Returns the offending name for unknown datasets.
+pub fn dataset_by_name(name: &str) -> Result<LengthDistribution, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "arxiv" => Ok(ds::arxiv()),
+        "github" => Ok(ds::github()),
+        "prolong64k" | "prolong" => Ok(ds::prolong64k()),
+        "stackexchange" => Ok(ds::stackexchange()),
+        "openwebmath" => Ok(ds::openwebmath()),
+        "fineweb" => Ok(ds::fineweb()),
+        other => Err(other.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_canonical_scheduler_name_resolves() {
+        for name in SCHEDULER_NAMES {
+            assert!(scheduler_by_name(name).is_ok(), "{name}");
+        }
+        let err = scheduler_by_name("mesh").map(|_| ()).unwrap_err();
+        assert_eq!(err, "mesh");
+    }
+
+    #[test]
+    fn aliases_and_case_are_accepted() {
+        assert_eq!(scheduler_by_name("TE-CP").unwrap().name(), "TE CP");
+        assert_eq!(model_by_name("LLAMA-7B").unwrap().name, "LLaMA-7B");
+        assert_eq!(cluster_by_name("B", 3).unwrap().nodes, 3);
+        assert_eq!(
+            dataset_by_name("prolong").unwrap().name,
+            dataset_by_name("prolong64k").unwrap().name
+        );
+    }
+
+    #[test]
+    fn unknown_names_round_trip_in_errors() {
+        assert_eq!(model_by_name("70b").unwrap_err(), "70b");
+        assert_eq!(cluster_by_name("z", 1).unwrap_err(), "z");
+        assert_eq!(dataset_by_name("wikipedia").unwrap_err(), "wikipedia");
+    }
+}

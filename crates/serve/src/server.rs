@@ -1,0 +1,324 @@
+//! The TCP front-end: a bounded worker pool serving line-delimited JSON
+//! plan requests out of the shared canonicalizing cache.
+//!
+//! Architecture: one non-blocking acceptor loop plus `workers` handler
+//! threads draining a bounded connection queue (Mutex + Condvar). When the
+//! queue is full the acceptor answers `{"ok":false,"error":"overloaded"}`
+//! and closes the connection instead of queuing unbounded work — queue
+//! depth *is* the backpressure signal. A `shutdown` request flips a shared
+//! flag; the acceptor stops accepting, workers finish their current
+//! connection and exit, and [`Server::run`] returns the final metrics.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use zeppelin_core::scheduler::SchedulerCtx;
+use zeppelin_data::batch::Batch;
+
+use crate::cache::{CacheStats, CachedPlan, PlanCache, PlanKey};
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::protocol::{
+    error_response, parse_request, plan_response, shutdown_response, stats_response, Request,
+};
+use crate::registry;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Handler threads.
+    pub workers: usize,
+    /// Connections allowed to wait for a worker before rejection.
+    pub max_queue: usize,
+    /// Plan-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Default scheduler for requests without `method`.
+    pub method: String,
+    /// Default model preset.
+    pub model: String,
+    /// Default cluster preset.
+    pub cluster: String,
+    /// Default node count.
+    pub nodes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7077".to_string(),
+            workers: 4,
+            max_queue: 64,
+            cache_capacity: 1024,
+            method: "zeppelin".to_string(),
+            model: "3b".to_string(),
+            cluster: "a".to_string(),
+            nodes: 2,
+        }
+    }
+}
+
+/// Everything [`Server::run`] hands back after a graceful shutdown.
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    /// Final service metrics.
+    pub metrics: MetricsSnapshot,
+    /// Final cache counters.
+    pub cache: CacheStats,
+    /// Plans held in the cache at shutdown.
+    pub cached_plans: usize,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    shutdown: AtomicBool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    metrics: ServiceMetrics,
+    cache: Mutex<PlanCache>,
+}
+
+/// A bound planning server, ready to [`run`](Server::run).
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener (non-blocking accept loop).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (address in use, permission...).
+    pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let cache = Mutex::new(PlanCache::new(cfg.cache_capacity));
+        Ok(Server {
+            listener,
+            local_addr,
+            shared: Arc::new(Shared {
+                cfg,
+                shutdown: AtomicBool::new(false),
+                queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+                metrics: ServiceMetrics::new(),
+                cache,
+            }),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Serves until a `shutdown` request arrives, then drains the workers
+    /// and reports final metrics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unexpected accept errors (transient `WouldBlock` /
+    /// `Interrupted` are retried).
+    pub fn run(self) -> std::io::Result<ServerReport> {
+        let shared = Arc::clone(&self.shared);
+        // The scope joins every worker before returning, so in-flight
+        // connections finish and the final snapshot below sees them.
+        std::thread::scope(|scope| -> std::io::Result<()> {
+            for _ in 0..shared.cfg.workers.max(1) {
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || worker_loop(&shared));
+            }
+            while !shared.shutdown.load(Ordering::SeqCst) {
+                match self.listener.accept() {
+                    Ok((stream, _)) => enqueue(&shared, stream),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        shared.shutdown.store(true, Ordering::SeqCst);
+                        shared.available.notify_all();
+                        return Err(e);
+                    }
+                }
+            }
+            // Wake any workers parked on the empty queue so they can exit.
+            shared.available.notify_all();
+            Ok(())
+        })?;
+        let cache = self.shared.cache.lock().expect("cache poisoned");
+        Ok(ServerReport {
+            metrics: self.shared.metrics.snapshot(),
+            cache: cache.stats(),
+            cached_plans: cache.len(),
+        })
+    }
+}
+
+fn enqueue(shared: &Shared, stream: TcpStream) {
+    let mut queue = shared.queue.lock().expect("queue poisoned");
+    if queue.len() >= shared.cfg.max_queue {
+        drop(queue);
+        shared.metrics.record_rejected();
+        // Best-effort rejection notice; the client may already be gone.
+        let mut stream = stream;
+        let _ = stream.set_nonblocking(false);
+        let _ = writeln!(stream, "{}", error_response("overloaded: queue full"));
+        return;
+    }
+    queue.push_back(stream);
+    shared.metrics.set_queue_depth(queue.len());
+    drop(queue);
+    shared.available.notify_one();
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    shared.metrics.set_queue_depth(queue.len());
+                    break Some(stream);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .available
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .expect("queue poisoned");
+                queue = guard;
+            }
+        };
+        let Some(stream) = stream else { return };
+        handle_connection(shared, stream);
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    // Keep-alive connections poll the shutdown flag between reads so a
+    // drain cannot hang on an idle client.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client hung up
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match parse_request(line.trim()) {
+            Ok(Request::Stats) => {
+                shared.metrics.record_stats();
+                stats_response(&shared.metrics.snapshot())
+            }
+            Ok(Request::Shutdown) => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                shared.available.notify_all();
+                let _ = writeln!(writer, "{}", shutdown_response());
+                return;
+            }
+            Ok(Request::Plan {
+                seqs,
+                method,
+                model,
+                cluster,
+                nodes,
+            }) => match serve_plan(shared, &seqs, method, model, cluster, nodes) {
+                Ok(r) => r,
+                Err(msg) => {
+                    shared.metrics.record_error();
+                    error_response(&msg)
+                }
+            },
+            Err(msg) => {
+                shared.metrics.record_error();
+                error_response(&msg)
+            }
+        };
+        if writeln!(writer, "{response}").is_err() {
+            return;
+        }
+    }
+}
+
+fn serve_plan(
+    shared: &Shared,
+    seqs: &[u64],
+    method: Option<String>,
+    model: Option<String>,
+    cluster: Option<String>,
+    nodes: Option<usize>,
+) -> Result<String, String> {
+    let cfg = &shared.cfg;
+    let scheduler = registry::scheduler_by_name(method.as_deref().unwrap_or(&cfg.method))
+        .map_err(|n| format!("unknown method '{n}'"))?;
+    let model = registry::model_by_name(model.as_deref().unwrap_or(&cfg.model))
+        .map_err(|n| format!("unknown model '{n}'"))?;
+    let cluster = registry::cluster_by_name(
+        cluster.as_deref().unwrap_or(&cfg.cluster),
+        nodes.unwrap_or(cfg.nodes),
+    )
+    .map_err(|n| format!("unknown cluster '{n}'"))?;
+    let ctx = SchedulerCtx::new(&cluster, &model);
+    let batch = Batch::new(seqs.to_vec());
+
+    let start = Instant::now();
+    let (key, canonical) = PlanKey::new(scheduler.name(), &batch, &ctx);
+    let looked_up = shared.cache.lock().expect("cache poisoned").lookup(&key);
+    let (plan, hit) = match looked_up {
+        Some(cached) => (cached.materialize(&canonical), true),
+        None => {
+            // Plan outside the cache lock: a slow partition must not stall
+            // cache hits on other workers. Concurrent misses for one key
+            // plan twice and the last insert wins — both compute the same
+            // canonical plan, so either entry is valid.
+            let plan = scheduler
+                .plan(&canonical.to_batch(), &ctx)
+                .map_err(|e| format!("planning failed: {e}"))?;
+            let cached = Arc::new(CachedPlan::new(plan, &canonical.lens));
+            let materialized = cached.materialize(&canonical);
+            shared
+                .cache
+                .lock()
+                .expect("cache poisoned")
+                .insert(key, cached);
+            (materialized, false)
+        }
+    };
+    let elapsed = start.elapsed();
+    shared.metrics.record_plan(elapsed, hit);
+    Ok(plan_response(
+        &plan,
+        hit,
+        elapsed.as_micros().min(u64::MAX as u128) as u64,
+    ))
+}

@@ -7,16 +7,16 @@ use std::collections::BTreeMap;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use zeppelin_baselines::{DoubleRingCp, HybridDp, LlamaCp, Packing, TeCp, Ulysses};
 use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
-use zeppelin_core::zeppelin::Zeppelin;
 use zeppelin_core::zones::zone_thresholds;
 use zeppelin_data::batch::{sample_batch, Batch};
-use zeppelin_data::datasets as ds;
 use zeppelin_data::distribution::LengthDistribution;
 use zeppelin_exec::step::{simulate_step, StepConfig};
 use zeppelin_model::config as models;
 use zeppelin_model::config::ModelConfig;
+use zeppelin_serve::protocol::Request;
+use zeppelin_serve::registry;
+use zeppelin_serve::{Server, ServerConfig};
 use zeppelin_sim::topology::{cluster_a, cluster_b, cluster_c, ClusterSpec};
 
 /// Parsed command-line options: flag name → value (`""` for bare flags).
@@ -59,8 +59,9 @@ impl std::fmt::Display for CliError {
 impl std::error::Error for CliError {}
 
 /// Supported commands.
-pub const COMMANDS: [&str; 9] = [
-    "clusters", "models", "zones", "plan", "step", "compare", "explain", "run", "faults",
+pub const COMMANDS: [&str; 11] = [
+    "clusters", "models", "zones", "plan", "step", "compare", "explain", "run", "faults", "serve",
+    "client",
 ];
 
 /// Parses raw arguments (excluding the program name).
@@ -69,9 +70,10 @@ pub fn parse_args(args: &[String]) -> Options {
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         if let Some(name) = arg.strip_prefix("--") {
-            let value = match it.peek() {
-                Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
-                _ => String::new(),
+            let value = if it.peek().is_some_and(|v| !v.starts_with("--")) {
+                it.next().cloned().unwrap_or_default()
+            } else {
+                String::new()
             };
             opts.flags.insert(name.to_string(), value);
         } else if opts.command.is_empty() {
@@ -81,61 +83,29 @@ pub fn parse_args(args: &[String]) -> Options {
     opts
 }
 
-fn model_by_name(name: &str) -> Result<ModelConfig, CliError> {
-    match name.to_ascii_lowercase().as_str() {
-        "3b" | "llama-3b" => Ok(models::llama_3b()),
-        "7b" | "llama-7b" => Ok(models::llama_7b()),
-        "13b" | "llama-13b" => Ok(models::llama_13b()),
-        "30b" | "llama-30b" => Ok(models::llama_30b()),
-        "moe" | "8x550m" => Ok(models::moe_8x550m()),
-        other => Err(CliError::BadFlag {
-            flag: "model".into(),
-            value: other.into(),
-        }),
+// Name resolution lives in zeppelin-serve's registry so the CLI and the
+// serving protocol accept one vocabulary; here we only attach the flag name.
+fn bad_flag(flag: &str) -> impl Fn(String) -> CliError + '_ {
+    move |value| CliError::BadFlag {
+        flag: flag.into(),
+        value,
     }
+}
+
+fn model_by_name(name: &str) -> Result<ModelConfig, CliError> {
+    registry::model_by_name(name).map_err(bad_flag("model"))
 }
 
 fn cluster_by_name(name: &str, nodes: usize) -> Result<ClusterSpec, CliError> {
-    match name.to_ascii_lowercase().as_str() {
-        "a" => Ok(cluster_a(nodes)),
-        "b" => Ok(cluster_b(nodes)),
-        "c" => Ok(cluster_c(nodes)),
-        other => Err(CliError::BadFlag {
-            flag: "cluster".into(),
-            value: other.into(),
-        }),
-    }
+    registry::cluster_by_name(name, nodes).map_err(bad_flag("cluster"))
 }
 
 fn dataset_by_name(name: &str) -> Result<LengthDistribution, CliError> {
-    match name.to_ascii_lowercase().as_str() {
-        "arxiv" => Ok(ds::arxiv()),
-        "github" => Ok(ds::github()),
-        "prolong64k" | "prolong" => Ok(ds::prolong64k()),
-        "stackexchange" => Ok(ds::stackexchange()),
-        "openwebmath" => Ok(ds::openwebmath()),
-        "fineweb" => Ok(ds::fineweb()),
-        other => Err(CliError::BadFlag {
-            flag: "dataset".into(),
-            value: other.into(),
-        }),
-    }
+    registry::dataset_by_name(name).map_err(bad_flag("dataset"))
 }
 
 fn scheduler_by_name(name: &str) -> Result<Box<dyn Scheduler>, CliError> {
-    match name.to_ascii_lowercase().as_str() {
-        "zeppelin" => Ok(Box::new(Zeppelin::new())),
-        "te" | "te-cp" => Ok(Box::new(TeCp::new())),
-        "llama" | "llama-cp" => Ok(Box::new(LlamaCp::new())),
-        "hybrid" | "hybrid-dp" => Ok(Box::new(HybridDp::new())),
-        "packing" => Ok(Box::new(Packing::new())),
-        "ulysses" => Ok(Box::new(Ulysses::new())),
-        "double-ring" | "doublering" => Ok(Box::new(DoubleRingCp::new())),
-        other => Err(CliError::BadFlag {
-            flag: "method".into(),
-            value: other.into(),
-        }),
-    }
+    registry::scheduler_by_name(name).map_err(bad_flag("method"))
 }
 
 fn flag_usize(opts: &Options, name: &str, default: usize) -> Result<usize, CliError> {
@@ -457,6 +427,82 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
             }
             Ok(out)
         }
+        "serve" => {
+            let port = flag_usize(opts, "port", 7077)?;
+            let host = opts.flags.get("host").map_or("127.0.0.1", |s| s);
+            let cfg = ServerConfig {
+                addr: format!("{host}:{port}"),
+                workers: flag_usize(opts, "workers", 4)?.max(1),
+                max_queue: flag_usize(opts, "queue", 64)?.max(1),
+                cache_capacity: flag_usize(opts, "cache", 1024)?,
+                method: opts.flags.get("method").map_or("zeppelin", |s| s).into(),
+                model: opts.flags.get("model").map_or("3b", |s| s).into(),
+                cluster: opts.flags.get("cluster").map_or("a", |s| s).into(),
+                nodes: flag_usize(opts, "nodes", 2)?,
+            };
+            // Fail fast on bad defaults instead of erroring per-request.
+            scheduler_by_name(&cfg.method)?;
+            model_by_name(&cfg.model)?;
+            cluster_by_name(&cfg.cluster, cfg.nodes)?;
+            let server = Server::bind(cfg)
+                .map_err(|e| CliError::RunFailed(format!("bind {host}:{port}: {e}")))?;
+            // Announce readiness before blocking; clients and the CI smoke
+            // test wait for this line.
+            println!("zeppelin-serve listening on {}", server.local_addr());
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            let report = server
+                .run()
+                .map_err(|e| CliError::RunFailed(format!("serve: {e}")))?;
+            let m = &report.metrics;
+            Ok(format!(
+                "shutdown: {} plan requests ({} hits, {:.1}% hit rate), {} stats, \
+                 {} errors, {} rejected\n  plan latency p50 {}us p99 {}us; \
+                 {} cached plans ({} evictions)\n",
+                m.plan_requests,
+                m.cache_hits,
+                m.hit_rate() * 100.0,
+                m.stats_requests,
+                m.errors,
+                m.rejected,
+                m.p50_us,
+                m.p99_us,
+                report.cached_plans,
+                report.cache.evictions,
+            ))
+        }
+        "client" => {
+            let port = flag_usize(opts, "port", 7077)?;
+            let host = opts.flags.get("host").map_or("127.0.0.1", |s| s);
+            let addr = format!("{host}:{port}");
+            let op = opts.flags.get("op").map_or("plan", |s| s);
+            let req = match op {
+                "stats" => Request::Stats,
+                "shutdown" => Request::Shutdown,
+                "plan" => {
+                    let nodes = match opts.flags.get("nodes") {
+                        None => None,
+                        Some(_) => Some(flag_usize(opts, "nodes", 2)?),
+                    };
+                    Request::Plan {
+                        seqs: build_batch(opts)?.seqs,
+                        method: opts.flags.get("method").cloned(),
+                        model: opts.flags.get("model").cloned(),
+                        cluster: opts.flags.get("cluster").cloned(),
+                        nodes,
+                    }
+                }
+                other => {
+                    return Err(CliError::BadFlag {
+                        flag: "op".into(),
+                        value: other.into(),
+                    })
+                }
+            };
+            let line = zeppelin_serve::send_request(addr.as_str(), &req)
+                .map_err(|e| CliError::RunFailed(format!("{addr}: {e}")))?;
+            Ok(format!("{line}\n"))
+        }
         "explain" => {
             let (cluster, model, ctx) = build_ctx(opts)?;
             let batch = build_batch(opts)?;
@@ -505,6 +551,8 @@ pub fn usage() -> String {
        explain  [... same workload flags]  static per-rank cost analysis\n\
        run      [--steps N --json out.json] multi-step training run\n\
        faults   [--crash-node N --crash-at-ms T --steps N] recovery-policy table\n\
+       serve    [--port P --workers W --queue Q --cache N] online planning server\n\
+       client   [--port P --op plan|stats|shutdown ... workload flags] one request\n\
      flags:\n\
        --model    3b|7b|13b|30b|moe        (default 3b)\n\
        --cluster  a|b|c                    (default a)\n\
@@ -515,7 +563,9 @@ pub fn usage() -> String {
        --seqs     comma-separated lengths  (overrides --dataset)\n\
        --seqs-file path with one length per line (trace replay)\n\
        --seed     sampling seed            (default 42)\n\
-       --trace    write Chrome trace JSON  (step only)\n"
+       --trace    write Chrome trace JSON  (step only)\n\
+       --host/--port serving address        (default 127.0.0.1:7077)\n\
+       --op       plan|stats|shutdown      (client only, default plan)\n"
         .to_string()
 }
 
@@ -538,40 +588,46 @@ mod tests {
 
     #[test]
     fn unknown_command_errors() {
-        let e = run(&opts(&["frobnicate"])).unwrap_err();
+        let Err(e) = run(&opts(&["frobnicate"])) else {
+            panic!("expected UnknownCommand");
+        };
         assert!(matches!(e, CliError::UnknownCommand(_)));
         assert!(e.to_string().contains("compare"));
     }
 
     #[test]
-    fn clusters_and_models_render() {
-        let c = run(&opts(&["clusters"])).unwrap();
+    fn clusters_and_models_render() -> Result<(), CliError> {
+        let c = run(&opts(&["clusters"]))?;
         assert!(c.contains("A800") && c.contains("H200"));
-        let m = run(&opts(&["models"])).unwrap();
+        let m = run(&opts(&["models"]))?;
         assert!(m.contains("LLaMA-7B") && m.contains("MoE"));
+        Ok(())
     }
 
     #[test]
-    fn zones_command_reports_thresholds() {
-        let out = run(&opts(&["zones", "--model", "7b"])).unwrap();
+    fn zones_command_reports_thresholds() -> Result<(), CliError> {
+        let out = run(&opts(&["zones", "--model", "7b"]))?;
         assert!(out.contains("local"));
         assert!(out.contains("intra-node"));
+        Ok(())
     }
 
     #[test]
-    fn plan_with_explicit_seqs() {
-        let out = run(&opts(&["plan", "--seqs", "30000,2000,500"])).unwrap();
+    fn plan_with_explicit_seqs() -> Result<(), CliError> {
+        let out = run(&opts(&["plan", "--seqs", "30000,2000,500"]))?;
         assert!(out.contains("3 sequences"));
         assert!(out.contains("32500 tokens"));
+        Ok(())
     }
 
     #[test]
-    fn step_and_compare_run() {
-        let out = run(&opts(&["step", "--seqs", "8000,4000", "--method", "te"])).unwrap();
+    fn step_and_compare_run() -> Result<(), CliError> {
+        let out = run(&opts(&["step", "--seqs", "8000,4000", "--method", "te"]))?;
         assert!(out.contains("tokens/s"));
-        let out = run(&opts(&["compare", "--tokens", "16384", "--nodes", "1"])).unwrap();
+        let out = run(&opts(&["compare", "--tokens", "16384", "--nodes", "1"]))?;
         assert!(out.contains("Zeppelin"));
         assert!(out.contains("TE CP"));
+        Ok(())
     }
 
     #[test]
@@ -599,54 +655,54 @@ mod tests {
     }
 
     #[test]
-    fn explain_reports_static_analysis() {
+    fn explain_reports_static_analysis() -> Result<(), CliError> {
         let out = run(&opts(&[
             "explain",
             "--seqs",
             "9000,2000,500",
             "--nodes",
             "1",
-        ]))
-        .unwrap();
+        ]))?;
         assert!(out.contains("zones local/intra/inter"));
         assert!(out.contains("attn_ms"));
+        Ok(())
     }
 
     #[test]
-    fn plan_json_round_trips_through_files() {
+    fn plan_json_round_trips_through_files() -> Result<(), Box<dyn std::error::Error>> {
         let dir = std::env::temp_dir().join("zeppelin-cli-test");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir)?;
         let path = dir.join("plan.json");
-        let path_s = path.to_str().unwrap().to_string();
-        run(&opts(&["plan", "--seqs", "9000,500", "--out", &path_s])).unwrap();
-        let out = run(&opts(&["step", "--plan", &path_s, "--seqs", "9000,500"])).unwrap();
+        let path_s = path.to_string_lossy().to_string();
+        run(&opts(&["plan", "--seqs", "9000,500", "--out", &path_s]))?;
+        let out = run(&opts(&["step", "--plan", &path_s, "--seqs", "9000,500"]))?;
         assert!(out.contains("tokens/s"));
         std::fs::remove_file(&path).ok();
+        Ok(())
     }
 
     #[test]
-    fn run_command_aggregates_and_exports_json() {
+    fn run_command_aggregates_and_exports_json() -> Result<(), Box<dyn std::error::Error>> {
         let out = run(&opts(&[
             "run", "--steps", "2", "--tokens", "16384", "--nodes", "1",
-        ]))
-        .unwrap();
+        ]))?;
         assert!(out.contains("2 steps"));
         assert!(out.contains("tokens/s"));
         let dir = std::env::temp_dir().join("zeppelin-cli-test");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir)?;
         let path = dir.join("run.json");
-        let path_s = path.to_str().unwrap().to_string();
+        let path_s = path.to_string_lossy().to_string();
         run(&opts(&[
             "run", "--steps", "2", "--tokens", "16384", "--nodes", "1", "--json", &path_s,
-        ]))
-        .unwrap();
-        let text = std::fs::read_to_string(&path).unwrap();
+        ]))?;
+        let text = std::fs::read_to_string(&path)?;
         assert!(zeppelin_exec::report::looks_like_json(&text));
         std::fs::remove_file(&path).ok();
+        Ok(())
     }
 
     #[test]
-    fn faults_command_prints_a_recovery_table() {
+    fn faults_command_prints_a_recovery_table() -> Result<(), CliError> {
         let out = run(&opts(&[
             "faults",
             "--steps",
@@ -655,8 +711,7 @@ mod tests {
             "16384",
             "--crash-at-ms",
             "200",
-        ]))
-        .unwrap();
+        ]))?;
         assert!(out.contains("fail-stop"));
         assert!(out.contains("replan-survivors"));
         assert!(out.contains("goodput"));
@@ -665,6 +720,30 @@ mod tests {
         assert!(out.contains("completed"));
         assert!(matches!(
             run(&opts(&["faults", "--crash-node", "9"])),
+            Err(CliError::BadFlag { .. })
+        ));
+        Ok(())
+    }
+
+    #[test]
+    fn client_rejects_unknown_ops_and_dead_servers() {
+        assert!(matches!(
+            run(&opts(&["client", "--op", "fly"])),
+            Err(CliError::BadFlag { .. })
+        ));
+        // Nothing listens on this port of the discard range.
+        let err = run(&opts(&["client", "--op", "stats", "--port", "9"]));
+        assert!(matches!(err, Err(CliError::RunFailed(_))));
+    }
+
+    #[test]
+    fn serve_rejects_bad_defaults_before_binding() {
+        assert!(matches!(
+            run(&opts(&["serve", "--method", "mesh"])),
+            Err(CliError::BadFlag { .. })
+        ));
+        assert!(matches!(
+            run(&opts(&["serve", "--port", "many"])),
             Err(CliError::BadFlag { .. })
         ));
     }

@@ -15,7 +15,9 @@
 //! - [`core`] — Zeppelin itself: partitioner, attention engine workload
 //!   math, routing layer, remapping layer, scheduler;
 //! - [`baselines`] — TE CP, LLaMA CP, Hybrid DP, and packing;
-//! - [`exec`] — plan lowering, step simulation, multi-step training runs.
+//! - [`exec`] — plan lowering, step simulation, multi-step training runs;
+//! - [`serve`] — the online planning service: canonicalizing plan cache,
+//!   pipelined planner, and line-delimited-JSON TCP front-end.
 //!
 //! # Examples
 //!
@@ -44,5 +46,6 @@ pub use zeppelin_core as core;
 pub use zeppelin_data as data;
 pub use zeppelin_exec as exec;
 pub use zeppelin_model as model;
+pub use zeppelin_serve as serve;
 pub use zeppelin_sim as sim;
 pub use zeppelin_solver as solver;

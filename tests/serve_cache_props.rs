@@ -1,0 +1,120 @@
+//! Property tests for the canonicalizing plan cache: a cached hit must be
+//! indistinguishable from planning the requesting batch directly, for every
+//! scheduler the service can name, and elastic events must invalidate it.
+
+use proptest::prelude::*;
+
+use zeppelin::core::scheduler::SchedulerCtx;
+use zeppelin::core::zeppelin::Zeppelin;
+use zeppelin::data::batch::Batch;
+use zeppelin::model::config::llama_3b;
+use zeppelin::serve::registry::{scheduler_by_name, SCHEDULER_NAMES};
+use zeppelin::serve::{is_index_faithful, CanonicalBatch, PlanCache};
+use zeppelin::sim::topology::cluster_a;
+
+fn ctx() -> SchedulerCtx {
+    SchedulerCtx::new(&cluster_a(2), &llama_3b()).with_capacity(8192)
+}
+
+fn arb_lens() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(64u64..6000, 1..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Serving through a cold cache equals direct planning, scheduler by
+    /// scheduler: strict plan equality when the plan references real
+    /// sequences, canonical-batch equality for synthetic-id plans
+    /// (packing windows), and error-for-error otherwise.
+    #[test]
+    fn cold_cache_matches_direct_planning(lens in arb_lens()) {
+        let ctx = ctx();
+        let batch = Batch::new(lens);
+        for name in SCHEDULER_NAMES {
+            let scheduler = scheduler_by_name(name).unwrap();
+            let mut cache = PlanCache::new(8);
+            let direct = scheduler.plan(&batch, &ctx);
+            let served = cache.get_or_plan(scheduler.as_ref(), &batch, &ctx);
+            match (direct, served) {
+                (Ok(direct), Ok((plan, hit))) => {
+                    prop_assert!(!hit, "{name}: first request cannot hit");
+                    if is_index_faithful(&plan, &batch.seqs) {
+                        prop_assert_eq!(&*plan, &direct, "{}", name);
+                    } else {
+                        let canonical = CanonicalBatch::new(&batch);
+                        let canon = scheduler
+                            .plan(&canonical.to_batch(), &ctx)
+                            .expect("canonical multiset plans when the batch does");
+                        prop_assert_eq!(&*plan, &canon, "{}", name);
+                    }
+                }
+                (Err(_), Err(_)) => {} // consistent failure is fine
+                (direct, served) => prop_assert!(
+                    false,
+                    "{name}: direct ok={} but served ok={}",
+                    direct.is_ok(),
+                    served.is_ok()
+                ),
+            }
+        }
+    }
+
+    /// A permuted view of a cached shape hits, and the served plan still
+    /// equals planning that permuted batch directly.
+    #[test]
+    fn permuted_views_hit_with_direct_equality(lens in arb_lens(), rot in 0usize..16) {
+        let ctx = ctx();
+        let batch = Batch::new(lens.clone());
+        let mut rotated = lens;
+        let n = rotated.len();
+        rotated.rotate_left(rot % n);
+        let rotated = Batch::new(rotated);
+        for name in SCHEDULER_NAMES {
+            let scheduler = scheduler_by_name(name).unwrap();
+            let mut cache = PlanCache::new(8);
+            if cache.get_or_plan(scheduler.as_ref(), &batch, &ctx).is_err() {
+                continue; // over-capacity shapes cache nothing; nothing to test
+            }
+            let (plan, hit) = cache
+                .get_or_plan(scheduler.as_ref(), &rotated, &ctx)
+                .expect("same multiset plans again");
+            prop_assert!(hit, "{name}: same multiset must hit");
+            if is_index_faithful(&plan, &rotated.seqs) {
+                let direct = scheduler.plan(&rotated, &ctx).expect("direct plan");
+                prop_assert_eq!(&*plan, &direct, "{}", name);
+            } else {
+                let canonical = CanonicalBatch::new(&rotated);
+                let canon = scheduler
+                    .plan(&canonical.to_batch(), &ctx)
+                    .expect("canonical plan");
+                prop_assert_eq!(&*plan, &canon, "{}", name);
+            }
+        }
+    }
+
+    /// Elastic shrink invalidates: every pre-failure entry is purged under
+    /// the survivor context, requests against it miss (and replan), and a
+    /// purge with the same context is a no-op.
+    #[test]
+    fn shrink_to_survivors_invalidates_cached_plans(
+        lens in arb_lens(),
+        dead_rank in 0usize..16,
+    ) {
+        let ctx = ctx();
+        let batch = Batch::new(lens);
+        let z = Zeppelin::new();
+        let mut cache = PlanCache::new(8);
+        cache.get_or_plan(&z, &batch, &ctx).expect("warm the cache");
+        let warm = cache.len();
+        prop_assert!(warm > 0);
+
+        let (shrunk, _) = ctx.shrink_to_survivors(&[dead_rank]).expect("one node survives");
+        prop_assert_eq!(cache.purge_stale(&shrunk), warm);
+        prop_assert!(cache.is_empty());
+
+        let (_, hit) = cache.get_or_plan(&z, &batch, &shrunk).expect("replan on survivors");
+        prop_assert!(!hit, "post-shrink request must miss");
+        prop_assert_eq!(cache.purge_stale(&shrunk), 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Loopback smoke test for the serving front-end: bind an ephemeral port,
+//! round-trip plan/stats/malformed requests over real sockets, then shut
+//! down gracefully and audit the final report.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use zeppelin::core::plan_io::{parse_json, plan_from_json, Json};
+use zeppelin::serve::protocol::Request;
+use zeppelin::serve::{send_request, Server, ServerConfig};
+
+fn plan_request(seqs: Vec<u64>) -> Request {
+    Request::Plan {
+        seqs,
+        method: None,
+        model: None,
+        cluster: None,
+        nodes: None,
+    }
+}
+
+#[test]
+fn loopback_plan_stats_shutdown_round_trip() {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind an ephemeral port");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().expect("serve until shutdown"));
+
+    // First plan request: a miss carrying a parseable plan for the batch.
+    let line = send_request(addr, &plan_request(vec![9000, 500, 2500])).expect("plan response");
+    let v = parse_json(&line).expect("response is JSON");
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{line}");
+    assert_eq!(v.get("cached"), Some(&Json::Bool(false)));
+    let plan = plan_from_json(&v.get("plan").expect("plan payload").to_string())
+        .expect("embedded plan parses");
+    let planned: u64 = plan.placements.iter().map(|p| p.len).sum();
+    assert_eq!(planned, 12_000, "placements cover every token");
+
+    // Same multiset, different order: served from the cache.
+    let line = send_request(addr, &plan_request(vec![500, 2500, 9000])).expect("plan response");
+    let v = parse_json(&line).unwrap();
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(v.get("cached"), Some(&Json::Bool(true)));
+
+    // A malformed request over a raw socket gets a typed error, and the
+    // connection survives for the next request line.
+    let mut raw = TcpStream::connect(addr).expect("connect");
+    writeln!(raw, "{{\"op\":\"fly\"}}").unwrap();
+    let mut reader = BufReader::new(raw.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let v = parse_json(line.trim()).unwrap();
+    assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
+    assert!(
+        v.get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("unknown op"),
+        "{line}"
+    );
+    writeln!(raw, "{{\"op\":\"stats\"}}").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(
+        parse_json(line.trim()).unwrap().get("ok"),
+        Some(&Json::Bool(true))
+    );
+    drop(reader);
+    drop(raw);
+
+    // Stats reflect everything above.
+    let line = send_request(addr, &Request::Stats).expect("stats response");
+    let stats = parse_json(&line).unwrap();
+    let stats = stats.get("stats").expect("stats payload").clone();
+    assert_eq!(stats.get("plan_requests").unwrap().as_u64(), Some(2));
+    assert_eq!(stats.get("cache_hits").unwrap().as_u64(), Some(1));
+    assert_eq!(stats.get("errors").unwrap().as_u64(), Some(1));
+
+    // Graceful shutdown: acknowledged, and the server thread drains out.
+    let line = send_request(addr, &Request::Shutdown).expect("shutdown ack");
+    let v = parse_json(&line).unwrap();
+    assert_eq!(v.get("shutting_down"), Some(&Json::Bool(true)));
+    let report = handle.join().expect("server thread exits");
+    assert_eq!(report.metrics.plan_requests, 2);
+    assert_eq!(report.metrics.cache_hits, 1);
+    assert_eq!(report.metrics.errors, 1);
+    assert_eq!(report.cached_plans, 1, "one canonical plan cached");
+
+    // The port is closed after shutdown.
+    assert!(send_request(addr, &Request::Stats).is_err());
+}
