@@ -106,6 +106,22 @@ fn main() {
         );
     }
 
+    // 2b. Every scheduler's plan passes the full audit (no validator
+    // false positives on trusted output).
+    for dist in paper_datasets() {
+        let batch = sample_batch(&dist, &mut rng, 32_768);
+        for s in &schedulers {
+            if let Ok(plan) = s.plan(&batch, &ctx) {
+                let audit = zeppelin_core::validate::validate_with_batch(&plan, &ctx, &batch);
+                c.check(
+                    &format!("{} plan audits clean on {}", s.name(), dist.name),
+                    audit.is_ok(),
+                    format!("{:?}", audit.err()),
+                );
+            }
+        }
+    }
+
     // 3. Static analysis pins the simulated attention busy time.
     let batch = sample_batch(&paper_datasets()[1], &mut rng, 32_768);
     let plan = Zeppelin::new().plan(&batch, &ctx).expect("plan");

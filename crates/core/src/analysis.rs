@@ -21,6 +21,7 @@ use zeppelin_sim::topology::ClusterSpec;
 
 use crate::chunking::{position_total_flops, ring_round_flops, ring_round_kv_bytes};
 use crate::plan::{AttnMode, IterationPlan, Zone};
+use crate::validate::{cluster_violations, PlanViolation};
 
 /// Per-rank static estimates for one iteration plan (forward direction).
 #[derive(Debug, Clone, PartialEq)]
@@ -54,7 +55,9 @@ pub struct PlanAnalysis {
 ///
 /// # Panics
 ///
-/// Panics if the plan references ranks outside the cluster; validate first.
+/// Panics if the plan fails the structural/cluster audit (out-of-range
+/// ranks or micro-batches, empty rank lists, …). Untrusted plans should go
+/// through [`try_analyze`] instead, which returns the violations.
 ///
 /// # Examples
 ///
@@ -76,6 +79,47 @@ pub struct PlanAnalysis {
 /// assert!(a.fits(ctx.capacity + 64));
 /// ```
 pub fn analyze(plan: &IterationPlan, model: &ModelConfig, cluster: &ClusterSpec) -> PlanAnalysis {
+    match try_analyze(plan, model, cluster) {
+        Ok(a) => a,
+        Err(v) => panic!(
+            "analyze on an invalid plan: {}",
+            crate::validate::report(&v)
+        ),
+    }
+}
+
+/// Audits `plan` against `cluster` and analyzes it if clean.
+///
+/// This is the panic-free entry point for plans from untrusted sources
+/// (JSON files, the serving protocol): every indexing hazard in the
+/// analysis body — out-of-range ranks, out-of-range micro-batches, empty
+/// rank lists, hostile `micro_batches` counts — is rejected up front as a
+/// typed [`PlanViolation`] list.
+///
+/// # Errors
+///
+/// Returns the violations found by
+/// [`cluster_violations`](crate::validate::cluster_violations).
+pub fn try_analyze(
+    plan: &IterationPlan,
+    model: &ModelConfig,
+    cluster: &ClusterSpec,
+) -> Result<PlanAnalysis, Vec<PlanViolation>> {
+    let violations = cluster_violations(plan, cluster.total_gpus());
+    if !violations.is_empty() {
+        return Err(violations);
+    }
+    Ok(analyze_audited(plan, model, cluster))
+}
+
+/// The analysis body. Precondition (established by [`try_analyze`]): the
+/// plan passed the cluster audit, so every rank and micro-batch index is in
+/// range and every placement has at least one rank.
+fn analyze_audited(
+    plan: &IterationPlan,
+    model: &ModelConfig,
+    cluster: &ClusterSpec,
+) -> PlanAnalysis {
     let kernel = KernelModel::attention();
     let peak = cluster.node.gpu.peak_flops;
     let nranks = cluster.total_gpus();

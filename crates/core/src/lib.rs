@@ -13,7 +13,10 @@
 //! - [`zeppelin`]: the [`scheduler::Scheduler`] tying it all
 //!   together, with per-component ablation toggles;
 //! - [`zones`]: the Fig. 5 cost-curve analysis that motivates the
-//!   local / intra-node / inter-node split.
+//!   local / intra-node / inter-node split;
+//! - [`validate`]: the plan auditor guarding every trust boundary where
+//!   an [`plan::IterationPlan`] enters from outside (JSON, the serving
+//!   protocol, replay).
 //!
 //! # Examples
 //!
@@ -41,13 +44,15 @@ pub mod plan_io;
 pub mod remap;
 pub mod routing;
 pub mod scheduler;
+pub mod validate;
 pub mod zeppelin;
 pub mod zones;
 
-pub use analysis::{analyze, PlanAnalysis, RankEstimate};
+pub use analysis::{analyze, try_analyze, PlanAnalysis, RankEstimate};
 pub use plan::{AttnMode, IterationPlan, PlanError, PlanOptions, SeqPlacement, Zone};
 pub use plan_io::{
     parse_json, plan_from_json, plan_to_json, Json, PlanIoError, PLAN_SCHEMA_VERSION,
 };
 pub use scheduler::{Scheduler, SchedulerCtx};
+pub use validate::{validate, validate_with_batch, PlanViolation};
 pub use zeppelin::{Zeppelin, ZeppelinConfig};

@@ -10,6 +10,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::plan::{AttnMode, IterationPlan, PlanOptions, SeqPlacement, Zone};
+use crate::validate::{report, structural_violations, PlanViolation};
 
 /// Errors from plan (de)serialization.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +24,9 @@ pub enum PlanIoError {
     },
     /// The JSON is valid but not a plan (missing/mistyped fields).
     Schema(String),
+    /// The document is a well-formed plan that violates plan invariants
+    /// (zero lengths, duplicate ranks, bogus micro-batch counts, …).
+    Invalid(Vec<PlanViolation>),
 }
 
 impl std::fmt::Display for PlanIoError {
@@ -32,6 +36,9 @@ impl std::fmt::Display for PlanIoError {
                 write!(f, "JSON parse error at byte {offset}: {message}")
             }
             PlanIoError::Schema(m) => write!(f, "plan schema error: {m}"),
+            PlanIoError::Invalid(violations) => {
+                write!(f, "invalid plan: {}", report(violations))
+            }
         }
     }
 }
@@ -418,9 +425,18 @@ fn as_u64(v: &Json, key: &str) -> Result<u64, PlanIoError> {
 
 /// Parses a plan from JSON produced by [`plan_to_json`].
 ///
+/// The document is audited with
+/// [`structural_violations`](crate::validate::structural_violations) before
+/// it is returned: a plan that parses but breaks structural invariants
+/// (zero-length placements, duplicate ranks, `micro_batches` of 0, a
+/// non-finite `redundant_attn_frac`, …) is rejected with
+/// [`PlanIoError::Invalid`] so hostile documents never reach the analyzer
+/// or the executor.
+///
 /// # Errors
 ///
-/// Returns [`PlanIoError`] on malformed JSON or schema mismatch.
+/// Returns [`PlanIoError`] on malformed JSON, schema mismatch, or a
+/// structurally invalid plan.
 pub fn plan_from_json(text: &str) -> Result<IterationPlan, PlanIoError> {
     let Json::Object(root) = parse_json(text)? else {
         return Err(PlanIoError::Schema("root must be an object".into()));
@@ -508,13 +524,19 @@ pub fn plan_from_json(text: &str) -> Result<IterationPlan, PlanIoError> {
             micro_batch: as_u64(get(o, "micro_batch")?, "micro_batch")? as usize,
         });
     }
-    Ok(IterationPlan {
+    let plan = IterationPlan {
         scheduler,
         placements,
         options,
         micro_batches,
         redundant_attn_frac,
-    })
+    };
+    let violations = structural_violations(&plan);
+    if violations.is_empty() {
+        Ok(plan)
+    } else {
+        Err(PlanIoError::Invalid(violations))
+    }
 }
 
 #[cfg(test)]
@@ -596,6 +618,37 @@ mod tests {
         // Unknown enum tags are rejected.
         let json = plan_to_json(&sample_plan()).replace("\"ring\"", "\"mesh\"");
         assert!(plan_from_json(&json).is_err());
+    }
+
+    #[test]
+    fn structurally_bogus_plans_are_rejected_at_parse_time() {
+        let json = plan_to_json(&sample_plan());
+        for (needle, mutated) in [
+            ("'len' 0", json.replace("\"len\":500", "\"len\":0")),
+            (
+                "'micro_batches' is 0",
+                json.replace("\"micro_batches\":2", "\"micro_batches\":0"),
+            ),
+            (
+                "repeats rank",
+                json.replace("\"ranks\":[3]", "\"ranks\":[3,3]"),
+            ),
+            (
+                "redundant_attn_frac",
+                json.replace(
+                    "\"redundant_attn_frac\":0.125",
+                    "\"redundant_attn_frac\":1e999",
+                ),
+            ),
+            (
+                "empty 'ranks'",
+                json.replace("\"ranks\":[3]", "\"ranks\":[]"),
+            ),
+        ] {
+            let err = plan_from_json(&mutated).unwrap_err();
+            assert!(matches!(err, PlanIoError::Invalid(_)), "{needle}: {err}");
+            assert!(err.to_string().contains(needle), "{needle}: {err}");
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@ use std::collections::BTreeMap;
 
 use zeppelin_core::plan::{IterationPlan, PlanError};
 use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
+use zeppelin_core::validate::{report as violation_report, validate_with_batch, PlanViolation};
 use zeppelin_data::batch::Batch;
 use zeppelin_model::config::ModelConfig;
 use zeppelin_model::flops::linear_flops_per_token;
@@ -27,6 +28,9 @@ use crate::lower::{lower_layer, Direction, ExecConfig};
 pub enum StepError {
     /// The scheduler failed to place the batch.
     Plan(PlanError),
+    /// The plan failed the pre-lowering audit (see
+    /// [`StepConfig::audit_plans`]).
+    Invalid(Vec<PlanViolation>),
     /// The simulator rejected the lowered DAG.
     Sim(SimError),
 }
@@ -35,6 +39,9 @@ impl std::fmt::Display for StepError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StepError::Plan(e) => write!(f, "planning failed: {e}"),
+            StepError::Invalid(v) => {
+                write!(f, "plan failed audit: {}", violation_report(v))
+            }
             StepError::Sim(e) => write!(f, "simulation failed: {e}"),
         }
     }
@@ -76,6 +83,12 @@ pub struct StepConfig {
     /// (NIC degradation, link flaps, rank crashes). Empty by default; the
     /// fault-aware trainer rebases its run-level schedule into this.
     pub faults: FaultSchedule,
+    /// Run the full plan audit ([`validate_with_batch`]) before lowering.
+    /// Defaults to on in debug builds and off in release builds; turn it on
+    /// explicitly when the plan comes from an untrusted source (a JSON
+    /// file, the serving protocol) rather than a trusted in-process
+    /// scheduler.
+    pub audit_plans: bool,
 }
 
 impl Default for StepConfig {
@@ -87,6 +100,7 @@ impl Default for StepConfig {
             chained_layers: 1,
             zero_optimizer: false,
             faults: FaultSchedule::default(),
+            audit_plans: cfg!(debug_assertions),
         }
     }
 }
@@ -263,7 +277,9 @@ pub fn simulate_step(
 ///
 /// # Errors
 ///
-/// Returns [`StepError`] on simulation failure.
+/// Returns [`StepError`] on simulation failure, and
+/// [`StepError::Invalid`] when [`StepConfig::audit_plans`] is set and the
+/// plan fails the audit.
 pub fn simulate_plan(
     plan: &IterationPlan,
     batch: &Batch,
@@ -272,6 +288,9 @@ pub fn simulate_plan(
 ) -> Result<StepReport, StepError> {
     let nranks = ctx.cluster.total_gpus();
     plan.validate(nranks)?;
+    if cfg.audit_plans {
+        validate_with_batch(plan, ctx, batch).map_err(StepError::Invalid)?;
+    }
     let mut exec = cfg.exec.clone();
     exec.moe_linear_factor *=
         moe_linear_factor(&ctx.model, batch.total_tokens(), cfg.seed, cfg.moe_skew);
@@ -431,6 +450,24 @@ mod tests {
             simulate_step(&TeCp::new(), &mixed_batch(), &tiny, &StepConfig::default()).unwrap_err();
         assert!(matches!(err, StepError::Plan(_)));
         assert!(err.to_string().contains("planning failed"));
+    }
+
+    #[test]
+    fn audit_rejects_tampered_plans_before_lowering() {
+        use zeppelin_core::scheduler::Scheduler;
+        let ctx = ctx();
+        let batch = mixed_batch();
+        let mut plan = Zeppelin::new().plan(&batch, &ctx).unwrap();
+        let cfg = StepConfig {
+            audit_plans: true,
+            ..StepConfig::default()
+        };
+        simulate_plan(&plan, &batch, &ctx, &cfg).expect("untampered plan passes the audit");
+        // Shave tokens off a placement: conservation breaks, typed error.
+        plan.placements[0].len -= 13;
+        let err = simulate_plan(&plan, &batch, &ctx, &cfg).unwrap_err();
+        assert!(matches!(err, StepError::Invalid(_)), "{err}");
+        assert!(err.to_string().contains("audit"), "{err}");
     }
 }
 

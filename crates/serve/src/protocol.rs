@@ -4,6 +4,7 @@
 //!
 //! ```json
 //! {"op":"plan","seqs":[9000,500],"method":"zeppelin","model":"3b","cluster":"a","nodes":2}
+//! {"op":"audit","plan":{...}}
 //! {"op":"stats"}
 //! {"op":"shutdown"}
 //! ```
@@ -39,11 +40,23 @@ pub enum Request {
         /// Node count; `None` = server default.
         nodes: Option<usize>,
     },
+    /// Audit a client-supplied plan document against the server's
+    /// configured context; replies with the violation report.
+    Audit {
+        /// The plan as raw JSON text (re-parsed and audited server-side).
+        plan: String,
+    },
     /// Report service metrics.
     Stats,
     /// Drain and stop the server.
     Shutdown,
 }
+
+/// Upper bound on `seqs` entries in one plan request. A line under the
+/// transport's size cap could still smuggle tens of millions of tiny
+/// lengths; planning that would stall a worker, so the protocol rejects it
+/// up front.
+pub const MAX_SEQS: usize = 65_536;
 
 fn opt_string(root: &Json, key: &str) -> Result<Option<String>, String> {
     match root.get(key) {
@@ -78,6 +91,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             if raw.is_empty() {
                 return Err("'seqs' must not be empty".to_string());
             }
+            if raw.len() > MAX_SEQS {
+                return Err(format!(
+                    "'seqs' has {} entries, over the {MAX_SEQS} limit",
+                    raw.len()
+                ));
+            }
             let mut seqs = Vec::with_capacity(raw.len());
             for v in raw {
                 match v.as_u64() {
@@ -101,6 +120,13 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 nodes,
             })
         }
+        "audit" => match root.get("plan") {
+            Some(v @ Json::Object(_)) => Ok(Request::Audit {
+                plan: v.to_string(),
+            }),
+            Some(_) => Err("'plan' must be an object".to_string()),
+            None => Err("'audit' needs a 'plan' object".to_string()),
+        },
         other => Err(format!("unknown op '{other}'")),
     }
 }
@@ -111,6 +137,7 @@ impl Request {
         match self {
             Request::Stats => "{\"op\":\"stats\"}".to_string(),
             Request::Shutdown => "{\"op\":\"shutdown\"}".to_string(),
+            Request::Audit { plan } => format!("{{\"op\":\"audit\",\"plan\":{plan}}}"),
             Request::Plan {
                 seqs,
                 method,
@@ -210,6 +237,28 @@ mod tests {
     }
 
     #[test]
+    fn audit_requests_round_trip_their_embedded_plan() {
+        use zeppelin_core::plan::{IterationPlan, PlanOptions};
+        use zeppelin_core::plan_io::plan_from_json;
+        let plan = IterationPlan {
+            scheduler: "wire-test".into(),
+            placements: vec![],
+            options: PlanOptions::default(),
+            micro_batches: 1,
+            redundant_attn_frac: 0.0,
+        };
+        let req = Request::Audit {
+            plan: plan_to_json(&plan),
+        };
+        // The Json tree re-renders object keys sorted, so compare the
+        // parsed plans rather than the raw strings.
+        let Request::Audit { plan: wired } = parse_request(&req.to_line()).unwrap() else {
+            panic!("audit request parses as audit");
+        };
+        assert_eq!(plan_from_json(&wired).unwrap(), plan);
+    }
+
+    #[test]
     fn malformed_requests_are_named_errors() {
         for (line, needle) in [
             ("{", "JSON parse error"),
@@ -221,10 +270,20 @@ mod tests {
             ("{\"op\":\"plan\",\"seqs\":[1.5]}", "positive"),
             ("{\"op\":\"plan\",\"seqs\":[1],\"nodes\":\"x\"}", "'nodes'"),
             ("{\"op\":\"plan\",\"seqs\":[1],\"method\":7}", "'method'"),
+            ("{\"op\":\"audit\"}", "'plan'"),
+            ("{\"op\":\"audit\",\"plan\":7}", "'plan'"),
         ] {
             let err = parse_request(line).unwrap_err();
             assert!(err.contains(needle), "{line} → {err}");
         }
+        // A hostile request flooding 'seqs' is rejected by count, before
+        // any per-entry work.
+        let flood = format!(
+            "{{\"op\":\"plan\",\"seqs\":[{}]}}",
+            "1,".repeat(MAX_SEQS) + "1"
+        );
+        let err = parse_request(&flood).unwrap_err();
+        assert!(err.contains("limit"), "{err}");
     }
 
     #[test]

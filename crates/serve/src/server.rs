@@ -10,13 +10,15 @@
 //! connection and exit, and [`Server::run`] returns the final metrics.
 
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use zeppelin_core::plan_io::plan_from_json;
 use zeppelin_core::scheduler::SchedulerCtx;
+use zeppelin_core::validate::{report, validate, validate_with_batch};
 use zeppelin_data::batch::Batch;
 
 use crate::cache::{CacheStats, CachedPlan, PlanCache, PlanKey};
@@ -25,6 +27,12 @@ use crate::protocol::{
     error_response, parse_request, plan_response, shutdown_response, stats_response, Request,
 };
 use crate::registry;
+
+/// Upper bound on one request line, in bytes. A client streaming an
+/// endless line would otherwise grow the read buffer without bound; over
+/// the cap the worker answers with an error and closes the connection
+/// (the rest of the line cannot be resynchronized).
+pub const MAX_LINE_BYTES: u64 = 1 << 20;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -216,8 +224,26 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
     let mut line = String::new();
     loop {
         line.clear();
-        match reader.read_line(&mut line) {
+        // The take adapter caps how much one line can buffer; a line that
+        // fills it is hostile (or a protocol break) and unrecoverable,
+        // because the remainder cannot be resynchronized.
+        match reader
+            .by_ref()
+            .take(MAX_LINE_BYTES + 1)
+            .read_line(&mut line)
+        {
             Ok(0) => return, // client hung up
+            Ok(_) if line.len() as u64 > MAX_LINE_BYTES => {
+                shared.metrics.record_error();
+                let _ = writeln!(
+                    writer,
+                    "{}",
+                    error_response(&format!(
+                        "request line exceeds the {MAX_LINE_BYTES}-byte limit"
+                    ))
+                );
+                return;
+            }
             Ok(_) => {}
             Err(e)
                 if matches!(
@@ -253,6 +279,13 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
                 cluster,
                 nodes,
             }) => match serve_plan(shared, &seqs, method, model, cluster, nodes) {
+                Ok(r) => r,
+                Err(msg) => {
+                    shared.metrics.record_error();
+                    error_response(&msg)
+                }
+            },
+            Ok(Request::Audit { plan }) => match audit_plan(shared, &plan) {
                 Ok(r) => r,
                 Err(msg) => {
                     shared.metrics.record_error();
@@ -314,6 +347,11 @@ fn serve_plan(
             (materialized, false)
         }
     };
+    // Audit what actually goes on the wire — the materialized plan, after
+    // any cache re-indexing — so a cache or permutation bug can never ship
+    // a corrupt plan to a trainer.
+    validate_with_batch(&plan, &ctx, &batch)
+        .map_err(|v| format!("served plan failed audit: {}", report(&v)))?;
     let elapsed = start.elapsed();
     shared.metrics.record_plan(elapsed, hit);
     Ok(plan_response(
@@ -321,4 +359,23 @@ fn serve_plan(
         hit,
         elapsed.as_micros().min(u64::MAX as u128) as u64,
     ))
+}
+
+/// Handles an `audit` request: parse the client's plan document and run
+/// the full audit against the server's configured default context.
+fn audit_plan(shared: &Shared, plan_text: &str) -> Result<String, String> {
+    let cfg = &shared.cfg;
+    let plan = plan_from_json(plan_text).map_err(|e| e.to_string())?;
+    let model = registry::model_by_name(&cfg.model).map_err(|n| format!("unknown model '{n}'"))?;
+    let cluster = registry::cluster_by_name(&cfg.cluster, cfg.nodes)
+        .map_err(|n| format!("unknown cluster '{n}'"))?;
+    let ctx = SchedulerCtx::new(&cluster, &model);
+    match validate(&plan, &ctx) {
+        Ok(()) => Ok("{\"ok\":true,\"audited\":true,\"violations\":0}".to_string()),
+        Err(v) => Err(format!(
+            "plan failed audit ({} violation(s)): {}",
+            v.len(),
+            report(&v)
+        )),
+    }
 }

@@ -24,6 +24,8 @@ use zeppelin_sim::topology::{cluster_a, cluster_b, cluster_c, ClusterSpec};
 pub struct Options {
     /// Positional command (first non-flag argument).
     pub command: String,
+    /// Positional arguments after the command (e.g. `audit plan.json`).
+    pub args: Vec<String>,
     /// `--flag value` and `--flag` entries.
     pub flags: BTreeMap<String, String>,
 }
@@ -59,9 +61,9 @@ impl std::fmt::Display for CliError {
 impl std::error::Error for CliError {}
 
 /// Supported commands.
-pub const COMMANDS: [&str; 11] = [
-    "clusters", "models", "zones", "plan", "step", "compare", "explain", "run", "faults", "serve",
-    "client",
+pub const COMMANDS: [&str; 12] = [
+    "clusters", "models", "zones", "plan", "step", "compare", "explain", "audit", "run", "faults",
+    "serve", "client",
 ];
 
 /// Parses raw arguments (excluding the program name).
@@ -78,6 +80,8 @@ pub fn parse_args(args: &[String]) -> Options {
             opts.flags.insert(name.to_string(), value);
         } else if opts.command.is_empty() {
             opts.command = arg.clone();
+        } else {
+            opts.args.push(arg.clone());
         }
     }
     opts
@@ -263,7 +267,13 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
                     .map_err(|e| CliError::RunFailed(format!("reading {path}: {e}")))?;
                 let plan = zeppelin_core::plan_io::plan_from_json(&text)
                     .map_err(|e| CliError::RunFailed(e.to_string()))?;
-                zeppelin_exec::step::simulate_plan(&plan, &batch, &ctx, &StepConfig::default())
+                // Plans from files are untrusted: always run the full audit
+                // before lowering, release builds included.
+                let cfg = StepConfig {
+                    audit_plans: true,
+                    ..StepConfig::default()
+                };
+                zeppelin_exec::step::simulate_plan(&plan, &batch, &ctx, &cfg)
                     .map_err(|e| CliError::RunFailed(e.to_string()))?
             } else {
                 let scheduler =
@@ -510,7 +520,12 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
             let plan = scheduler
                 .plan(&batch, &ctx)
                 .map_err(|e| CliError::RunFailed(e.to_string()))?;
-            let a = zeppelin_core::analysis::analyze(&plan, &model, &cluster);
+            let a = zeppelin_core::analysis::try_analyze(&plan, &model, &cluster).map_err(|v| {
+                CliError::RunFailed(format!(
+                    "plan failed audit: {}",
+                    zeppelin_core::validate::report(&v)
+                ))
+            })?;
             let mut out = format!(
                 "{}: zones local/intra/inter = {}/{}/{}\nattention critical path {:.3} ms, imbalance {:.3}, cross-node KV {:.1} MB\n",
                 plan.scheduler,
@@ -534,8 +549,59 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
             }
             Ok(out)
         }
+        "audit" => {
+            let path = opts
+                .flags
+                .get("plan")
+                .cloned()
+                .or_else(|| opts.args.first().cloned())
+                .ok_or_else(|| CliError::BadFlag {
+                    flag: "plan".into(),
+                    value: "(missing: audit <plan.json>)".into(),
+                })?;
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| CliError::RunFailed(format!("reading {path}: {e}")))?;
+            let plan =
+                zeppelin_core::plan_io::plan_from_json(&text).map_err(|e| match e {
+                    zeppelin_core::plan_io::PlanIoError::Invalid(v) => CliError::RunFailed(
+                        format!("{path}: {} violation(s)\n{}", v.len(), violation_lines(&v)),
+                    ),
+                    other => CliError::RunFailed(format!("{path}: {other}")),
+                })?;
+            let (cluster, _, ctx) = build_ctx(opts)?;
+            // Conservation needs the source workload; only audit it when
+            // the caller names one explicitly (a sampled default would
+            // flag every plan for an unrelated batch).
+            let result = match parse_seqs(opts)? {
+                Some(batch) => zeppelin_core::validate::validate_with_batch(&plan, &ctx, &batch),
+                None => zeppelin_core::validate::validate(&plan, &ctx),
+            };
+            match result {
+                Ok(()) => Ok(format!(
+                    "{path}: clean ({} placement(s), {} micro-batch(es), {} tokens on {} of {})\n",
+                    plan.placements.len(),
+                    plan.micro_batches,
+                    plan.total_tokens(),
+                    plan.scheduler,
+                    cluster.name,
+                )),
+                Err(v) => Err(CliError::RunFailed(format!(
+                    "{path}: {} violation(s)\n{}",
+                    v.len(),
+                    violation_lines(&v)
+                ))),
+            }
+        }
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
+}
+
+/// One violation per line, indented, for audit reports.
+fn violation_lines(violations: &[zeppelin_core::validate::PlanViolation]) -> String {
+    violations
+        .iter()
+        .map(|v| format!("  - {v}\n"))
+        .collect::<String>()
 }
 
 /// Usage text.
@@ -549,6 +615,7 @@ pub fn usage() -> String {
        step     [--method S ... --trace out.json | --plan plan.json]\n\
        compare  [... same workload flags]\n\
        explain  [... same workload flags]  static per-rank cost analysis\n\
+       audit    <plan.json> [--seqs L,...]  validate a plan file, report violations\n\
        run      [--steps N --json out.json] multi-step training run\n\
        faults   [--crash-node N --crash-at-ms T --steps N] recovery-policy table\n\
        serve    [--port P --workers W --queue Q --cache N] online planning server\n\
@@ -584,6 +651,10 @@ mod tests {
         assert_eq!(o.flags["model"], "7b");
         assert_eq!(o.flags["seqs"], "100,200");
         assert_eq!(o.flags["quiet"], "");
+        // Positionals after the command are kept in order.
+        let o = opts(&["audit", "plan.json", "--nodes", "2"]);
+        assert_eq!(o.command, "audit");
+        assert_eq!(o.args, vec!["plan.json".to_string()]);
     }
 
     #[test]
@@ -678,6 +749,70 @@ mod tests {
         let out = run(&opts(&["step", "--plan", &path_s, "--seqs", "9000,500"]))?;
         assert!(out.contains("tokens/s"));
         std::fs::remove_file(&path).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn audit_passes_real_plans_and_names_violations_in_hostile_ones(
+    ) -> Result<(), Box<dyn std::error::Error>> {
+        let dir = std::env::temp_dir().join("zeppelin-cli-audit-test");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join("plan.json");
+        let path_s = path.to_string_lossy().to_string();
+        run(&opts(&[
+            "plan",
+            "--seqs",
+            "30000,9000,500",
+            "--out",
+            &path_s,
+        ]))?;
+        // Clean, both with and without the conservation batch.
+        let out = run(&opts(&["audit", &path_s]))?;
+        assert!(out.contains("clean"), "{out}");
+        let out = run(&opts(&["audit", &path_s, "--seqs", "30000,9000,500"]))?;
+        assert!(out.contains("clean"), "{out}");
+        // A structural break is caught at parse time with a field-named
+        // report...
+        let text = std::fs::read_to_string(&path)?;
+        let mut broken =
+            zeppelin_core::plan_io::plan_from_json(&text).expect("written plan parses");
+        broken.micro_batches = 0;
+        let hostile = dir.join("hostile.json");
+        let hostile_s = hostile.to_string_lossy().to_string();
+        std::fs::write(&hostile, zeppelin_core::plan_io::plan_to_json(&broken))?;
+        let Err(CliError::RunFailed(msg)) = run(&opts(&["audit", &hostile_s])) else {
+            panic!("hostile plan must fail the audit");
+        };
+        assert!(msg.contains("violation") && msg.contains("micro"), "{msg}");
+        // ...and step --plan refuses the same file instead of panicking.
+        let Err(CliError::RunFailed(msg)) = run(&opts(&[
+            "step",
+            "--plan",
+            &hostile_s,
+            "--seqs",
+            "30000,9000,500",
+        ])) else {
+            panic!("step --plan must reject a hostile plan");
+        };
+        assert!(msg.contains("invalid plan"), "{msg}");
+        // An out-of-range rank parses fine but fails the cluster audit.
+        let mut oob_plan = zeppelin_core::plan_io::plan_from_json(&text).expect("plan parses");
+        oob_plan.placements[0].ranks[0] = 999;
+        let oob = dir.join("oob.json");
+        let oob_s = oob.to_string_lossy().to_string();
+        std::fs::write(&oob, zeppelin_core::plan_io::plan_to_json(&oob_plan))?;
+        let Err(CliError::RunFailed(msg)) = run(&opts(&["audit", &oob_s])) else {
+            panic!("out-of-range rank must fail the audit");
+        };
+        assert!(msg.contains("rank 999"), "{msg}");
+        // Missing operand is a flag error, not a panic.
+        assert!(matches!(
+            run(&opts(&["audit"])),
+            Err(CliError::BadFlag { .. })
+        ));
+        for p in [&path, &hostile, &oob] {
+            std::fs::remove_file(p).ok();
+        }
         Ok(())
     }
 

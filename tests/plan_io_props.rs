@@ -1,9 +1,11 @@
-//! Property-based round-trip tests for plan JSON serialization.
+//! Property-based round-trip tests for plan JSON serialization, plus a
+//! hostile-input corpus: structurally bogus documents must come back as
+//! typed [`PlanIoError::Invalid`] reports, never as live `IterationPlan`s.
 
 use proptest::prelude::*;
 
 use zeppelin::core::plan::{AttnMode, IterationPlan, PlanOptions, SeqPlacement, Zone};
-use zeppelin::core::plan_io::{plan_from_json, plan_to_json};
+use zeppelin::core::plan_io::{plan_from_json, plan_to_json, PlanIoError};
 
 fn arb_zone() -> impl Strategy<Value = Zone> {
     prop_oneof![
@@ -22,6 +24,9 @@ fn arb_mode() -> impl Strategy<Value = AttnMode> {
     ]
 }
 
+// Round-trip properties need plans that survive the parser's structural
+// audit, so the generator enforces the same invariants a scheduler would:
+// deduplicated ranks, single-rank local placements, positive lengths.
 fn arb_placement() -> impl Strategy<Value = SeqPlacement> {
     (
         0usize..1000,
@@ -31,16 +36,23 @@ fn arb_placement() -> impl Strategy<Value = SeqPlacement> {
         arb_mode(),
         0usize..4,
     )
-        .prop_map(
-            |(seq_index, len, zone, ranks, mode, micro_batch)| SeqPlacement {
+        .prop_map(|(seq_index, len, zone, mut ranks, mode, micro_batch)| {
+            ranks.sort_unstable();
+            ranks.dedup();
+            let zone = if ranks.len() > 1 && zone == Zone::Local {
+                Zone::IntraNode
+            } else {
+                zone
+            };
+            SeqPlacement {
                 seq_index,
                 len,
                 zone,
                 ranks,
                 mode,
                 micro_batch,
-            },
-        )
+            }
+        })
 }
 
 fn arb_plan() -> impl Strategy<Value = IterationPlan> {
@@ -50,18 +62,32 @@ fn arb_plan() -> impl Strategy<Value = IterationPlan> {
         prop::collection::vec(arb_placement(), 0..20),
         any::<bool>(),
         any::<bool>(),
-        1usize..5,
         0.0f64..1.0,
     )
-        .prop_map(
-            |(scheduler, placements, routing, remapping, micro_batches, frac)| IterationPlan {
+        .prop_map(|(scheduler, placements, routing, remapping, frac)| {
+            // Drop exact duplicates (the audit flags double-counted work),
+            // then compact micro-batch ids to a dense 0..k range so the
+            // declared count is consistent with the placements.
+            let mut seen = std::collections::BTreeSet::new();
+            let mut placements: Vec<SeqPlacement> = placements
+                .into_iter()
+                .filter(|p| seen.insert(format!("{p:?}")))
+                .collect();
+            let mut mbs: Vec<usize> = placements.iter().map(|p| p.micro_batch).collect();
+            mbs.sort_unstable();
+            mbs.dedup();
+            for p in &mut placements {
+                p.micro_batch = mbs.binary_search(&p.micro_batch).expect("member");
+            }
+            let micro_batches = mbs.len().max(1);
+            IterationPlan {
                 scheduler,
                 placements,
                 options: PlanOptions { routing, remapping },
                 micro_batches,
                 redundant_attn_frac: frac,
-            },
-        )
+            }
+        })
 }
 
 proptest! {
@@ -104,4 +130,77 @@ proptest! {
             }
         }
     }
+}
+
+/// A small well-formed plan whose JSON the hostile corpus mutates.
+fn base_plan() -> IterationPlan {
+    IterationPlan {
+        scheduler: "hostile-corpus".into(),
+        placements: vec![
+            SeqPlacement {
+                seq_index: 0,
+                len: 40_000,
+                zone: Zone::Local,
+                ranks: vec![3],
+                mode: AttnMode::Ring,
+                micro_batch: 0,
+            },
+            SeqPlacement {
+                seq_index: 1,
+                len: 500,
+                zone: Zone::IntraNode,
+                ranks: vec![0, 1],
+                mode: AttnMode::Ring,
+                micro_batch: 1,
+            },
+        ],
+        options: PlanOptions::default(),
+        micro_batches: 2,
+        redundant_attn_frac: 0.125,
+    }
+}
+
+#[test]
+fn hostile_documents_are_rejected_with_field_named_reports() {
+    let json = plan_to_json(&base_plan());
+    assert!(plan_from_json(&json).is_ok(), "base plan parses clean");
+    let cases: Vec<(&str, String)> = vec![
+        ("len", json.replace("\"len\":500", "\"len\":0")),
+        (
+            "micro_batches",
+            json.replace("\"micro_batches\":2", "\"micro_batches\":0"),
+        ),
+        ("rank", json.replace("\"ranks\":[0,1]", "\"ranks\":[0,0]")),
+        (
+            "redundant_attn_frac",
+            json.replace(
+                "\"redundant_attn_frac\":0.125",
+                "\"redundant_attn_frac\":1e999",
+            ),
+        ),
+        (
+            "micro_batch",
+            json.replace("\"micro_batch\":1,", "\"micro_batch\":7,"),
+        ),
+        ("ranks", json.replace("\"ranks\":[3]", "\"ranks\":[]")),
+        ("local", json.replace("\"ranks\":[3]", "\"ranks\":[3,4]")),
+    ];
+    for (needle, mutated) in &cases {
+        assert_ne!(&json, mutated, "mutation '{needle}' must change the text");
+        let err = plan_from_json(mutated).expect_err(needle);
+        assert!(
+            matches!(err, PlanIoError::Invalid(_)),
+            "'{needle}' should be an Invalid report, got {err}"
+        );
+        assert!(
+            err.to_string().contains(needle),
+            "'{needle}' missing from: {err}"
+        );
+    }
+    // Duplicate placements double-count work.
+    let mut dup = base_plan();
+    let clone = dup.placements[1].clone();
+    dup.placements.push(clone);
+    let err = plan_from_json(&plan_to_json(&dup)).expect_err("duplicate placement");
+    assert!(err.to_string().contains("duplicate"), "{err}");
 }

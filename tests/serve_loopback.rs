@@ -5,7 +5,7 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 
-use zeppelin::core::plan_io::{parse_json, plan_from_json, Json};
+use zeppelin::core::plan_io::{parse_json, plan_from_json, plan_to_json, Json};
 use zeppelin::serve::protocol::Request;
 use zeppelin::serve::{send_request, Server, ServerConfig};
 
@@ -92,4 +92,123 @@ fn loopback_plan_stats_shutdown_round_trip() {
 
     // The port is closed after shutdown.
     assert!(send_request(addr, &Request::Stats).is_err());
+}
+
+#[test]
+fn hostile_requests_get_json_errors_and_workers_survive() {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind an ephemeral port");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().expect("serve until shutdown"));
+
+    // Seed: one honest plan whose JSON the hostile cases below replay.
+    let line = send_request(addr, &plan_request(vec![9000, 500, 2500])).expect("plan response");
+    let v = parse_json(&line).expect("response is JSON");
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{line}");
+    let plan_text = v.get("plan").expect("plan payload").to_string();
+    let plan = plan_from_json(&plan_text).expect("embedded plan parses");
+
+    // One connection rides through every hostile request: each must come
+    // back as a line-delimited JSON error, never a dropped worker.
+    let raw = TcpStream::connect(addr).expect("connect");
+    let mut writer = raw.try_clone().expect("clone for writing");
+    let mut reader = BufReader::new(raw);
+    let mut reply = String::new();
+    let mut ask = |writer: &mut TcpStream, reply: &mut String, line: &str| {
+        writeln!(writer, "{line}").expect("request line sends");
+        reply.clear();
+        reader.read_line(reply).expect("server answers");
+        parse_json(reply.trim()).expect("reply is JSON")
+    };
+
+    // Replaying the served plan through the audit verb comes back clean.
+    let audit = Request::Audit {
+        plan: plan_text.clone(),
+    };
+    let v = ask(&mut writer, &mut reply, &audit.to_line());
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{reply}");
+    assert_eq!(v.get("violations").and_then(Json::as_u64), Some(0));
+
+    // A tampered replay — rank 99 on the default 16-rank cluster — is
+    // refused with a field-level report.
+    let mut tampered = plan.clone();
+    tampered.placements[0].ranks[0] = 99;
+    let audit = Request::Audit {
+        plan: plan_to_json(&tampered),
+    };
+    let v = ask(&mut writer, &mut reply, &audit.to_line());
+    assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "{reply}");
+    assert!(
+        v.get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("rank 99"),
+        "{reply}"
+    );
+
+    // A truncated JSON line is a parse error, not a crash.
+    let v = ask(&mut writer, &mut reply, "{\"op\":\"plan\",\"seqs\":[9000");
+    assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "{reply}");
+
+    // A 'seqs' flood under the byte cap is still rejected by count.
+    let flood = format!("{{\"op\":\"plan\",\"seqs\":[{}1]}}", "1,".repeat(70_000));
+    let v = ask(&mut writer, &mut reply, &flood);
+    assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "{reply}");
+    assert!(
+        v.get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("limit"),
+        "{reply}"
+    );
+
+    // The connection survived all of the above.
+    let v = ask(&mut writer, &mut reply, "{\"op\":\"stats\"}");
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{reply}");
+    drop(reader);
+    drop(writer);
+
+    // A 2 MiB line with no newline trips the bounded reader: the server
+    // answers with an error and closes that connection.
+    {
+        let mut big = TcpStream::connect(addr).expect("connect");
+        let chunk = vec![b'x'; 64 * 1024];
+        let mut sent = 0usize;
+        while sent < 2 * 1024 * 1024 {
+            match big.write(&chunk) {
+                Ok(0) | Err(_) => break, // server already hung up
+                Ok(n) => sent += n,
+            }
+        }
+        let _ = big.shutdown(std::net::Shutdown::Write);
+        // Best-effort read: the reset may outrun the error reply.
+        let mut r = BufReader::new(big);
+        let mut l = String::new();
+        if r.read_line(&mut l).is_ok() && !l.trim().is_empty() {
+            let v = parse_json(l.trim()).expect("reply is JSON");
+            assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "{l}");
+        }
+    }
+
+    // Fresh connections still serve: the pool outlived every attack.
+    let line = send_request(addr, &plan_request(vec![500, 2500, 9000])).expect("plan response");
+    let v = parse_json(&line).unwrap();
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{line}");
+    assert_eq!(v.get("cached"), Some(&Json::Bool(true)));
+
+    // Shut down and audit the ledger: four hostile requests recorded as
+    // errors, two honest plans served, nobody died.
+    let line = send_request(addr, &Request::Shutdown).expect("shutdown ack");
+    assert_eq!(
+        parse_json(&line).unwrap().get("shutting_down"),
+        Some(&Json::Bool(true))
+    );
+    let report = handle.join().expect("server thread exits");
+    assert_eq!(report.metrics.plan_requests, 2);
+    assert_eq!(report.metrics.cache_hits, 1);
+    assert_eq!(report.metrics.errors, 4);
 }

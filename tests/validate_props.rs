@@ -1,0 +1,201 @@
+//! Differential property tests for the plan auditor
+//! (`zeppelin_core::validate`), in two directions:
+//!
+//! 1. **No false positives** — every plan produced by a built-in scheduler
+//!    (flat, packing, TE CP with and without routing, Llama CP, Ulysses,
+//!    double-ring, hybrid DP, Zeppelin) must audit clean across random
+//!    workloads and cluster sizes, including after an elastic
+//!    `shrink_to_survivors` event.
+//! 2. **Caught or clean** — hostile mutations of a valid plan must either
+//!    be caught by `validate_with_batch`, or be harmless: `analyze` and the
+//!    exec lowering (with the audit gate off) must not panic on them.
+//!
+//! The vendored proptest stub ignores the `PROPTEST_CASES` environment
+//! variable, so this file reads it directly; CI uses it to run a deeper
+//! hostile sweep than the default local budget.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use proptest::prelude::*;
+
+use zeppelin::baselines::{DoubleRingCp, FlatQuadratic, HybridDp, LlamaCp, Packing, TeCp, Ulysses};
+use zeppelin::core::analysis::analyze;
+use zeppelin::core::plan_io::{plan_from_json, plan_to_json};
+use zeppelin::core::scheduler::{Scheduler, SchedulerCtx};
+use zeppelin::core::validate::{report, validate_with_batch};
+use zeppelin::core::zeppelin::Zeppelin;
+use zeppelin::data::batch::Batch;
+use zeppelin::exec::step::{simulate_plan, StepConfig};
+use zeppelin::model::config::llama_3b;
+use zeppelin::sim::topology::cluster_a;
+
+/// Case budget: `PROPTEST_CASES` if set and parseable, else `default`.
+fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Every built-in scheduler, by audit-report label.
+fn schedulers() -> Vec<(&'static str, Box<dyn Scheduler>)> {
+    vec![
+        ("flat", Box::new(FlatQuadratic::new())),
+        ("packing", Box::new(Packing::new())),
+        ("te", Box::new(TeCp::new())),
+        ("te+routing", Box::new(TeCp::with_routing())),
+        ("llama", Box::new(LlamaCp::new())),
+        ("ulysses", Box::new(Ulysses::new())),
+        ("double-ring", Box::new(DoubleRingCp::new())),
+        ("hybrid", Box::new(HybridDp::new())),
+        ("zeppelin", Box::new(Zeppelin::new())),
+    ]
+}
+
+fn audit_text(err: Option<Vec<zeppelin::core::PlanViolation>>) -> String {
+    err.map(|v| report(&v)).unwrap_or_default()
+}
+
+fn arb_lens() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(64u64..8_000, 1..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(24)))]
+
+    /// Trusted schedulers never trip the auditor: whenever planning
+    /// succeeds, the full audit (structure, cluster, capacity, routing,
+    /// remap, token conservation) passes.
+    #[test]
+    fn every_scheduler_plan_validates_clean(
+        lens in arb_lens(),
+        nodes in 1usize..4,
+    ) {
+        let ctx = SchedulerCtx::new(&cluster_a(nodes), &llama_3b()).with_capacity(16_384);
+        let batch = Batch::new(lens.clone());
+        for (name, s) in schedulers() {
+            if let Ok(plan) = s.plan(&batch, &ctx) {
+                let audit = validate_with_batch(&plan, &ctx, &batch);
+                prop_assert!(
+                    audit.is_ok(),
+                    "{name} on {lens:?} ({nodes} node(s)): {}",
+                    audit_text(audit.err())
+                );
+            }
+        }
+    }
+
+    /// Replanning on a shrunk cluster (whole-node eviction after a rank
+    /// death) still audits clean against the shrunk context.
+    #[test]
+    fn replans_after_shrink_to_survivors_validate_clean(
+        lens in arb_lens(),
+        dead_rank in 0usize..16,
+    ) {
+        let ctx = SchedulerCtx::new(&cluster_a(2), &llama_3b()).with_capacity(16_384);
+        let (shrunk, _) = ctx
+            .shrink_to_survivors(&[dead_rank])
+            .expect("one of two nodes survives");
+        let batch = Batch::new(lens.clone());
+        for (name, s) in schedulers() {
+            if let Ok(plan) = s.plan(&batch, &shrunk) {
+                let audit = validate_with_batch(&plan, &shrunk, &batch);
+                prop_assert!(
+                    audit.is_ok(),
+                    "{name} post-shrink (dead {dead_rank}) on {lens:?}: {}",
+                    audit_text(audit.err())
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(64)))]
+
+    /// The differential harness: mutate a valid Zeppelin plan in a hostile
+    /// direction and demand caught-or-clean. If the auditor misses the
+    /// mutation, `analyze` and `simulate_plan` (audit gate off) must
+    /// survive it without panicking; structural corruptions must also be
+    /// rejected when replayed through the JSON parser.
+    #[test]
+    fn hostile_mutations_are_caught_or_harmless(
+        lens in arb_lens(),
+        kind in 0usize..11,
+        a in 0usize..5,
+        at in any::<prop::sample::Index>(),
+    ) {
+        let ctx = SchedulerCtx::new(&cluster_a(2), &llama_3b()).with_capacity(16_384);
+        let batch = Batch::new(lens.clone());
+        let planned = Zeppelin::new().plan(&batch, &ctx);
+        prop_assume!(planned.is_ok());
+        let mut plan = planned.unwrap();
+        prop_assume!(!plan.placements.is_empty());
+        let idx = at.index(plan.placements.len());
+        match kind {
+            0 => plan.placements[idx].ranks[0] = 999 + a,
+            1 => plan.placements[idx].ranks.clear(),
+            2 => {
+                let dup = plan.placements[idx].ranks[0];
+                plan.placements[idx].ranks.push(dup);
+            }
+            3 => plan.placements[idx].len = 0,
+            4 => plan.placements[idx].micro_batch = plan.micro_batches + a,
+            5 => plan.micro_batches = 0,
+            6 => {
+                plan.redundant_attn_frac = if a % 2 == 0 { f64::NAN } else { f64::INFINITY };
+            }
+            7 => {
+                let dup = plan.placements[idx].clone();
+                plan.placements.push(dup);
+            }
+            8 => plan.micro_batches = plan.placements.len() + 2 + a,
+            9 => {
+                let len = plan.placements[idx].len;
+                plan.placements[idx].len = (len * 64).max(1_000_000);
+            }
+            _ => {} // benign control: no mutation, audit must stay clean
+        }
+
+        let audit = validate_with_batch(&plan, &ctx, &batch);
+        if kind == 10 {
+            prop_assert!(
+                audit.is_ok(),
+                "benign control flagged: {}",
+                audit_text(audit.err())
+            );
+        }
+        if audit.is_ok() {
+            // Not caught: the mutation must be harmless to every consumer
+            // that used to panic on corrupt plans.
+            let model = llama_3b();
+            let cluster = cluster_a(2);
+            let analyzed = catch_unwind(AssertUnwindSafe(|| analyze(&plan, &model, &cluster)));
+            prop_assert!(
+                analyzed.is_ok(),
+                "kind {kind} escaped the audit and panicked analyze on {lens:?}"
+            );
+            let cfg = StepConfig {
+                audit_plans: false,
+                ..StepConfig::default()
+            };
+            let lowered =
+                catch_unwind(AssertUnwindSafe(|| simulate_plan(&plan, &batch, &ctx, &cfg)));
+            prop_assert!(
+                lowered.is_ok(),
+                "kind {kind} escaped the audit and panicked the lowering on {lens:?}"
+            );
+        }
+
+        // Structural corruptions are also stopped at the parse boundary:
+        // the serialized mutant never comes back as a live plan. (Kinds 0
+        // and 9 are cluster/batch-relative, invisible to a parser that has
+        // no context, so they are exempt.)
+        if (1..=8).contains(&kind) {
+            prop_assert!(
+                plan_from_json(&plan_to_json(&plan)).is_err(),
+                "kind {kind} survived a JSON round trip on {lens:?}"
+            );
+        }
+    }
+}
