@@ -138,6 +138,67 @@ impl SchedulerCtx {
             rank_map,
         ))
     }
+
+    /// Re-derives a context over a cluster grown to `nodes` nodes — the
+    /// inverse of [`SchedulerCtx::shrink_to_survivors`], used when drained
+    /// hosts rejoin after repair.
+    ///
+    /// Existing ranks keep their numbers; new ranks are appended after
+    /// them, node by node. As in shrink, the token capacity is re-derived
+    /// from the memory model only when it was never overridden, and any
+    /// per-rank speed factors are extended with `1.0` for the new
+    /// (presumed-healthy) ranks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::Malformed`] if `nodes` is zero or smaller than
+    /// the current node count (growth never evicts; use
+    /// [`SchedulerCtx::shrink_to_survivors`] for that).
+    pub fn grow_to_nodes(&self, nodes: usize) -> Result<SchedulerCtx, PlanError> {
+        if nodes == 0 {
+            return Err(PlanError::Malformed("cannot grow to zero nodes".into()));
+        }
+        if nodes < self.cluster.nodes {
+            return Err(PlanError::Malformed(format!(
+                "grow_to_nodes({nodes}) would shrink a {}-node cluster",
+                self.cluster.nodes
+            )));
+        }
+        if nodes == self.cluster.nodes {
+            return Ok(self.clone());
+        }
+
+        let mut cluster = self.cluster.clone();
+        cluster.nodes = nodes;
+
+        let derived_old = token_capacity(
+            &self.model,
+            self.cluster.node.gpu.mem_bytes,
+            self.cluster.total_gpus().max(1),
+        );
+        let capacity = if self.capacity == derived_old {
+            token_capacity(
+                &self.model,
+                cluster.node.gpu.mem_bytes,
+                cluster.total_gpus().max(1),
+            )
+        } else {
+            self.capacity
+        };
+
+        let rank_speed = self.rank_speed.as_ref().map(|speed| {
+            let mut grown = speed.clone();
+            grown.resize(cluster.total_gpus(), 1.0);
+            grown
+        });
+
+        Ok(SchedulerCtx {
+            cluster,
+            model: self.model.clone(),
+            capacity,
+            rank_speed,
+        })
+    }
 }
 
 /// A training-step scheduler: turns a batch into an [`IterationPlan`].
@@ -225,5 +286,57 @@ mod tests {
         let (same, map) = ctx.shrink_to_survivors(&[]).unwrap();
         assert_eq!(same.cluster.total_gpus(), 16);
         assert!(map.iter().enumerate().all(|(i, &m)| m == Some(i)));
+    }
+
+    #[test]
+    fn grow_rederives_capacity_and_extends_speed() {
+        let speed: Vec<f64> = (0..16).map(|r| 1.0 + r as f64 / 100.0).collect();
+        let ctx = SchedulerCtx::new(&cluster_a(2), &llama_7b()).with_rank_speed(speed.clone());
+        let big = ctx.grow_to_nodes(3).unwrap();
+        assert_eq!(big.cluster.total_gpus(), 24);
+        let fresh = SchedulerCtx::new(&big.cluster, &llama_7b());
+        assert_eq!(big.capacity, fresh.capacity);
+        let grown = big.rank_speed.unwrap();
+        assert_eq!(&grown[..16], &speed[..]);
+        assert!(grown[16..].iter().all(|&s| s == 1.0));
+    }
+
+    #[test]
+    fn grow_preserves_capacity_override() {
+        let ctx = SchedulerCtx::new(&cluster_a(2), &llama_7b()).with_capacity(5000);
+        let big = ctx.grow_to_nodes(4).unwrap();
+        assert_eq!(big.capacity, 5000);
+    }
+
+    #[test]
+    fn grow_rejects_shrinking_and_zero() {
+        let ctx = SchedulerCtx::new(&cluster_a(2), &llama_7b());
+        assert!(matches!(ctx.grow_to_nodes(0), Err(PlanError::Malformed(_))));
+        assert!(matches!(ctx.grow_to_nodes(1), Err(PlanError::Malformed(_))));
+        let same = ctx.grow_to_nodes(2).unwrap();
+        assert_eq!(same.cluster.total_gpus(), 16);
+    }
+
+    #[test]
+    fn shrink_then_grow_round_trips_and_plans_audit_clean() {
+        use crate::validate::validate_with_batch;
+        use crate::zeppelin::Zeppelin;
+        use zeppelin_model::config::llama_3b;
+
+        let ctx = SchedulerCtx::new(&cluster_a(3), &llama_3b());
+        // Rank 9 lives on node 1: shrink drains it, then repair grows back.
+        let (small, _) = ctx.shrink_to_survivors(&[9]).unwrap();
+        assert_eq!(small.cluster.nodes, 2);
+        let back = small.grow_to_nodes(3).unwrap();
+        assert_eq!(back.cluster.total_gpus(), ctx.cluster.total_gpus());
+        assert_eq!(back.capacity, ctx.capacity);
+
+        let lens: Vec<u64> = (0..48).map(|i| 256 + (i * 97) % 1500).collect();
+        let batch = Batch::new(lens);
+        let plan = Zeppelin::new().plan(&batch, &back).unwrap();
+        assert!(
+            validate_with_batch(&plan, &back, &batch).is_ok(),
+            "plan over the regrown context must audit clean"
+        );
     }
 }

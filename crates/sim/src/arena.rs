@@ -1,0 +1,165 @@
+//! Generation-stamped slab arena for hot discrete-event state.
+//!
+//! The engine's event heap used to carry its payload inline in every heap
+//! entry; sift-up/sift-down then moved the whole tuple around on every push
+//! and pop. A [`Slab`] keeps payloads in recycled slots and hands out a
+//! small copyable [`SlabKey`] instead, so heap entries shrink to
+//! `(time, seq, key)` and the per-event allocation disappears: freed slots
+//! are reused in LIFO order, which also keeps the hot end of the arena in
+//! cache.
+//!
+//! Keys are *generation-stamped*: a slot's stamp is bumped every time it is
+//! vacated, so a key that outlives its payload can never silently alias a
+//! recycled slot — [`Slab::get`] reports it dead and [`Slab::remove`]
+//! panics. The network's flow table uses the same discipline with its own
+//! per-slot generation (see `slot_gen` in [`crate::network`]) because its
+//! heap invalidation semantics predate this module; both are instances of
+//! the pattern documented here.
+
+/// Copyable handle to a slab slot, valid for one occupancy of that slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlabKey {
+    idx: u32,
+    gen: u32,
+}
+
+impl SlabKey {
+    /// Slot index this key points at (stable while the entry lives).
+    pub fn index(self) -> usize {
+        self.idx as usize
+    }
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    /// Bumped on every removal; a key is live iff its stamp matches.
+    gen: u32,
+    val: Option<T>,
+}
+
+/// A free-list slab: O(1) insert and remove with slot recycling.
+#[derive(Debug)]
+pub struct Slab<T> {
+    entries: Vec<Entry<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        Slab {
+            entries: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of slots ever allocated (live + recyclable).
+    pub fn slots(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Stores `val`, recycling a freed slot when one is available.
+    pub fn insert(&mut self, val: T) -> SlabKey {
+        self.len += 1;
+        match self.free.pop() {
+            Some(idx) => {
+                let e = &mut self.entries[idx as usize];
+                debug_assert!(e.val.is_none(), "free slot holds a value");
+                e.val = Some(val);
+                SlabKey { idx, gen: e.gen }
+            }
+            None => {
+                let idx = u32::try_from(self.entries.len()).expect("slab capacity exceeds u32");
+                self.entries.push(Entry {
+                    gen: 0,
+                    val: Some(val),
+                });
+                SlabKey { idx, gen: 0 }
+            }
+        }
+    }
+
+    /// The entry behind `key`, or `None` if the key's generation is stale.
+    pub fn get(&self, key: SlabKey) -> Option<&T> {
+        let e = self.entries.get(key.idx as usize)?;
+        if e.gen != key.gen {
+            return None;
+        }
+        e.val.as_ref()
+    }
+
+    /// Removes and returns the entry behind `key`, freeing its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is stale: its slot was already vacated (and
+    /// possibly recycled under a newer generation).
+    pub fn remove(&mut self, key: SlabKey) -> T {
+        let e = &mut self.entries[key.idx as usize];
+        assert_eq!(e.gen, key.gen, "stale slab key");
+        let val = e.val.take().expect("live generation holds a value");
+        e.gen = e.gen.wrapping_add(1);
+        self.free.push(key.idx);
+        self.len -= 1;
+        val
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a), Some(&"a"));
+        assert_eq!(s.remove(a), "a");
+        assert_eq!(s.get(a), None, "removed key is dead");
+        assert_eq!(s.remove(b), "b");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn slots_are_recycled_lifo_with_fresh_generations() {
+        let mut s = Slab::new();
+        let a = s.insert(1u32);
+        s.remove(a);
+        let b = s.insert(2u32);
+        assert_eq!(a.index(), b.index(), "slot recycled");
+        assert_ne!(a, b, "generation advanced");
+        assert_eq!(s.get(a), None, "old key cannot alias the new entry");
+        assert_eq!(s.get(b), Some(&2));
+        assert_eq!(s.slots(), 1, "no new slot allocated");
+    }
+
+    #[test]
+    #[should_panic(expected = "stale slab key")]
+    fn double_remove_panics() {
+        let mut s = Slab::new();
+        let a = s.insert(7u8);
+        s.remove(a);
+        s.insert(8u8); // Recycles the slot under a new generation.
+        s.remove(a);
+    }
+}

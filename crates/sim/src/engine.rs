@@ -17,9 +17,10 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
 
+use crate::arena::{Slab, SlabKey};
 use crate::error::SimError;
 use crate::fault::FaultSchedule;
-use crate::network::{FlowKey, FlowNetwork};
+use crate::network::{FlowKey, FlowNetwork, NetStats};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{ClusterSpec, Port, Rank};
 use crate::trace::{Trace, TraceCategory, TraceEvent};
@@ -83,6 +84,19 @@ pub struct TaskSpec {
     pub trace: Option<TraceInfo>,
 }
 
+/// Engine and allocator counters for one run.
+///
+/// Observational only: nothing here feeds back into the schedule, and —
+/// except for the wall-clock `net.worker_busy_ns` — every field is
+/// deterministic for a given DAG, fault schedule, and worker count.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Events popped from the arena-backed event heap.
+    pub events: u64,
+    /// Flow-network allocator and worker-pool counters.
+    pub net: NetStats,
+}
+
 /// Result of running a simulation to completion.
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -94,6 +108,8 @@ pub struct SimReport {
     pub trace: Trace,
     /// Total bytes that traversed each port (utilization accounting).
     pub port_bytes: std::collections::HashMap<Port, f64>,
+    /// Performance counters (see [`SimStats`]; not simulated semantics).
+    pub stats: SimStats,
 }
 
 impl SimReport {
@@ -165,10 +181,18 @@ fn kernel_eta(left_ns: f64, speed: f64) -> SimDuration {
 pub struct Simulator {
     cluster: ClusterSpec,
     tasks: Vec<TaskSpec>,
+    /// Worker-pool width handed to the flow network (1 ⇒ sequential).
+    workers: usize,
+    /// Optional override of the network's parallel-dispatch threshold.
+    par_threshold: Option<usize>,
 }
 
 impl Simulator {
     /// Creates a simulator for `cluster`.
+    ///
+    /// The rebalance worker count defaults to
+    /// [`crate::pool::workers_from_env`] (`ZEPPELIN_SIM_WORKERS`, else
+    /// sequential); see [`Simulator::set_workers`].
     ///
     /// # Panics
     ///
@@ -179,7 +203,28 @@ impl Simulator {
         Simulator {
             cluster: cluster.clone(),
             tasks: Vec::new(),
+            workers: crate::pool::workers_from_env(),
+            par_threshold: None,
         }
+    }
+
+    /// Sets the worker-pool width used for network rebalances (clamped to
+    /// ≥ 1). Purely a wall-clock knob: reports are bit-identical at any
+    /// width.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// Worker-pool width currently in effect.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Overrides the minimum component-flow count before rebalances fan out
+    /// to the pool (test/bench knob; see
+    /// [`FlowNetwork::set_parallel_threshold`]).
+    pub fn set_parallel_threshold(&mut self, flows: usize) {
+        self.par_threshold = Some(flows);
     }
 
     /// The cluster this simulator runs on.
@@ -361,25 +406,62 @@ impl Simulator {
         }
 
         let mut net = FlowNetwork::new();
-        let mut flow_task: HashMap<FlowKey, TaskId> = HashMap::new();
+        net.set_workers(self.workers);
+        if let Some(t) = self.par_threshold {
+            net.set_parallel_threshold(t);
+        }
+        // Dense side table: flow arena slot → owning task id (slots are
+        // recycled by the network, so entries are reset as flows finish).
+        let mut flow_task: Vec<usize> = Vec::new();
         let mut port_bytes: HashMap<Port, f64> = HashMap::new();
         // Reused across instants: deduplicated transfer path / drained keys.
         let mut dedup_path: Vec<Port> = Vec::new();
         let mut drained_keys: Vec<FlowKey> = Vec::new();
-        let mut streams: HashMap<(Rank, Stream), StreamState> = HashMap::new();
+        // Streams as a dense table: per rank, slot 0 is the compute stream
+        // and slot 1+i is Comm(i); dimensions come from a DAG pre-scan.
+        let mut comm_streams = 0usize;
+        let mut max_rank = 0usize;
+        for t in &self.tasks {
+            if let TaskKind::Compute { rank, stream, .. } = &t.kind {
+                max_rank = max_rank.max(*rank);
+                if let Stream::Comm(i) = stream {
+                    comm_streams = comm_streams.max(*i as usize + 1);
+                }
+            }
+        }
+        let stream_slots = 1 + comm_streams;
+        let rank_dim = self.cluster.total_gpus().max(max_rank + 1);
+        let mut streams: Vec<StreamState> = Vec::new();
+        streams.resize_with(rank_dim * stream_slots, StreamState::default);
+        let sidx = |rank: Rank, stream: Stream| -> usize {
+            rank * stream_slots
+                + match stream {
+                    Stream::Compute => 0,
+                    Stream::Comm(i) => 1 + i as usize,
+                }
+        };
         let mut spans = vec![(SimTime::ZERO, SimTime::ZERO); n];
         let mut done = vec![false; n];
         let mut done_count = 0usize;
         let mut now = SimTime::ZERO;
         let mut net_gen: u64 = 0;
 
-        let mut events: BinaryHeap<Reverse<(SimTime, u64, usize, Event)>> = BinaryHeap::new();
+        // Arena-backed event heap: entries carry a generation-stamped
+        // [`SlabKey`] instead of the payload, so sift-up/down moves small
+        // fixed tuples and event slots recycle instead of reallocating.
+        let mut event_arena: Slab<Event> = Slab::new();
+        let mut events: BinaryHeap<Reverse<(SimTime, u64, SlabKey)>> = BinaryHeap::new();
         let mut seq: u64 = 0;
-        let push_event = |events: &mut BinaryHeap<_>, t: SimTime, ev: Event, seq: &mut u64| {
-            // The third tuple element keeps compute-done before net-check at
-            // equal instants irrelevant; ordering is (time, insertion seq).
+        let mut events_popped: u64 = 0;
+        let push_event = |events: &mut BinaryHeap<Reverse<(SimTime, u64, SlabKey)>>,
+                          arena: &mut Slab<Event>,
+                          t: SimTime,
+                          ev: Event,
+                          seq: &mut u64| {
+            // Ordering is (time, insertion seq); seq is unique, so the slab
+            // key never decides and pop order matches the pre-arena engine.
             *seq += 1;
-            events.push(Reverse((t, *seq, 0usize, ev)));
+            events.push(Reverse((t, *seq, arena.insert(ev))));
         };
 
         // Fault boundaries enter the heap first: their low sequence numbers
@@ -388,7 +470,7 @@ impl Simulator {
         // at t kills work that would have finished exactly at t (windows are
         // half-open).
         for t in faults.boundaries() {
-            push_event(&mut events, t, Event::Fault, &mut seq);
+            push_event(&mut events, &mut event_arena, t, Event::Fault, &mut seq);
         }
         // NIC windows already open at time zero (the t=0 boundary pops only
         // after the first launch phase below).
@@ -412,7 +494,13 @@ impl Simulator {
             () => {
                 net_gen += 1;
                 if let Some(t) = net.next_completion() {
-                    push_event(&mut events, t.max(now), Event::NetCheck(net_gen), &mut seq);
+                    push_event(
+                        &mut events,
+                        &mut event_arena,
+                        t.max(now),
+                        Event::NetCheck(net_gen),
+                        &mut seq,
+                    );
                 }
             };
         }
@@ -435,7 +523,7 @@ impl Simulator {
                         }
                     }
                     TaskKind::Compute { rank, stream, .. } => {
-                        let st = streams.entry((*rank, *stream)).or_default();
+                        let st = &mut streams[sidx(*rank, *stream)];
                         st.queue.push_back(id);
                         if !st.busy {
                             st.busy = true;
@@ -454,6 +542,7 @@ impl Simulator {
                             });
                             push_event(
                                 &mut events,
+                                &mut event_arena,
                                 now + kernel_eta(left_ns, speed),
                                 Event::ComputeDone(head, compute_gen[head.0]),
                                 &mut seq,
@@ -497,7 +586,11 @@ impl Simulator {
                                 };
                                 self.cluster.port_capacity(p) * f
                             });
-                            flow_task.insert(key, id);
+                            let slot = key.slot();
+                            if flow_task.len() <= slot {
+                                flow_task.resize(slot + 1, usize::MAX);
+                            }
+                            flow_task[slot] = id.0;
                         }
                     }
                 }
@@ -514,10 +607,13 @@ impl Simulator {
                 break;
             }
 
-            // Pull the next event.
-            let Some(Reverse((t, _, _, ev))) = events.pop() else {
+            // Pull the next event; its payload lives in (and vacates) the
+            // arena, keyed by a generation-stamped slab key.
+            let Some(Reverse((t, _, key))) = events.pop() else {
                 break;
             };
+            let ev = event_arena.remove(key);
+            events_popped += 1;
             now = t;
             match ev {
                 Event::ComputeDone(id, gen) => {
@@ -531,7 +627,7 @@ impl Simulator {
                     let TaskKind::Compute { rank, stream, .. } = self.tasks[id.0].kind else {
                         unreachable!("compute-done for non-compute task")
                     };
-                    let st = streams.get_mut(&(rank, stream)).expect("stream exists");
+                    let st = &mut streams[sidx(rank, stream)];
                     st.running = None;
                     if let Some(next) = st.queue.pop_front() {
                         let TaskKind::Compute { duration, .. } = self.tasks[next.0].kind else {
@@ -547,6 +643,7 @@ impl Simulator {
                         });
                         push_event(
                             &mut events,
+                            &mut event_arena,
                             now + kernel_eta(left_ns, speed),
                             Event::ComputeDone(next, compute_gen[next.0]),
                             &mut seq,
@@ -578,7 +675,9 @@ impl Simulator {
                     net.begin_update();
                     for &key in &drained_keys {
                         net.finish_flow(key);
-                        let id = flow_task.remove(&key).expect("flow has owner task");
+                        let owner = std::mem::replace(&mut flow_task[key.slot()], usize::MAX);
+                        debug_assert_ne!(owner, usize::MAX, "flow has owner task");
+                        let id = TaskId(owner);
                         spans[id.0].1 = now;
                         done[id.0] = true;
                         done_count += 1;
@@ -636,13 +735,11 @@ impl Simulator {
                             continue;
                         }
                         kernel_speed[r] = s;
-                        // Sorted keys: HashMap iteration order must not
-                        // leak into event sequence numbers.
-                        let mut keys: Vec<(Rank, Stream)> =
-                            streams.keys().copied().filter(|&(rk, _)| rk == r).collect();
-                        keys.sort_unstable();
-                        for k in keys {
-                            let st = streams.get_mut(&k).expect("key from iteration");
+                        // Slot order (Compute, then Comm(0..)) matches the
+                        // sorted-key order of the old map-based table, so
+                        // event sequence numbers are unchanged.
+                        for slot in 0..stream_slots {
+                            let st = &mut streams[r * stream_slots + slot];
                             if let Some(run) = st.running.as_mut() {
                                 let elapsed = now.since(run.since).as_nanos() as f64;
                                 run.left_ns = (run.left_ns - elapsed * old).max(0.0);
@@ -650,6 +747,7 @@ impl Simulator {
                                 compute_gen[run.task.0] += 1;
                                 push_event(
                                     &mut events,
+                                    &mut event_arena,
                                     now + kernel_eta(run.left_ns, s),
                                     Event::ComputeDone(run.task, compute_gen[run.task.0]),
                                     &mut seq,
@@ -685,6 +783,10 @@ impl Simulator {
             spans,
             trace,
             port_bytes,
+            stats: SimStats {
+                events: events_popped,
+                net: net.stats().clone(),
+            },
         })
     }
 }

@@ -40,21 +40,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod collectives;
 pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod network;
+pub mod partition;
+pub mod pool;
 pub mod reference;
 pub mod time;
 pub mod topology;
 pub mod trace;
 
+pub use arena::{Slab, SlabKey};
 pub use collectives::{all_to_all, ring_allgather, ring_allreduce};
-pub use engine::{SimReport, Simulator, Stream, TaskId, TaskKind, TaskSpec, TraceInfo};
+pub use engine::{SimReport, SimStats, Simulator, Stream, TaskId, TaskKind, TaskSpec, TraceInfo};
 pub use error::SimError;
 pub use fault::{FaultEvent, FaultSchedule, FLAP_RESIDUAL};
-pub use network::FlowNetwork;
+pub use network::{FlowNetwork, NetStats};
+pub use partition::Partitioner;
+pub use pool::workers_from_env;
 pub use time::{SimDuration, SimTime};
 pub use topology::{
     cluster_a, cluster_b, cluster_c, tiny_cluster, ClusterSpec, GpuSpec, NicSpec, NodeSpec, Port,

@@ -39,6 +39,8 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
+use crate::partition::{fill_component, FillOutput, FillScratch, Partitioner};
+use crate::pool;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Port;
 
@@ -57,12 +59,30 @@ const EPS_BYTES: f64 = 1e-6;
 /// correctness.
 const SLACK_NS: u64 = 16;
 
+/// Default minimum total component flows before a rebalance fans out to the
+/// worker pool: below this the per-commit thread-scope setup costs more
+/// than the filling it parallelizes.
+const DEFAULT_PAR_THRESHOLD: usize = 64;
+
 /// Handle to an active flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FlowKey(usize);
 
-#[derive(Debug)]
-struct ActiveFlow {
+impl FlowKey {
+    /// The arena slot behind this key (for dense side tables; slots are
+    /// recycled, so pair with liveness tracking keyed on the flow lifecycle).
+    pub(crate) fn slot(self) -> usize {
+        self.0
+    }
+}
+
+/// One slot of the flow arena: a live flow, or a vacant slot awaiting
+/// recycling (the `path` buffer is kept so restarts allocate nothing).
+///
+/// Public (opaquely) because the partitioner and the worker pool read flow
+/// paths directly from the arena; all mutation stays inside this module.
+#[derive(Debug, Default)]
+pub struct FlowSlot {
     /// Interned port indices the flow traverses (deduplicated).
     path: Vec<usize>,
     /// Bytes still to move.
@@ -71,36 +91,43 @@ struct ActiveFlow {
     rate: f64,
     /// Whether the flow already sits in the drained-ready list.
     drained_listed: bool,
+    /// Whether the slot currently holds a flow.
+    live: bool,
 }
 
-/// Reusable workspace for component discovery and progressive filling.
+impl FlowSlot {
+    /// Interned port indices of the flow (empty path ⇒ vacant slot).
+    pub fn path(&self) -> &[usize] {
+        &self.path
+    }
+
+    /// Whether the slot currently holds a flow.
+    pub fn is_live(&self) -> bool {
+        self.live
+    }
+}
+
+/// Allocator and pool counters, for perf accounting and bench exhibits.
 ///
-/// Epoch-stamped marks make clearing O(component) instead of O(network):
-/// an entry is "set" only if its stamp equals the current epoch.
-#[derive(Debug, Default)]
-struct Scratch {
-    /// Current recomputation epoch (stamps start at 0, epochs at 1).
-    epoch: u64,
-    /// Per-port: stamped when the port joins the current component.
-    port_mark: Vec<u64>,
-    /// Per-slot: stamped when the flow joins the current component.
-    flow_mark: Vec<u64>,
-    /// Per-slot: stamped when the flow freezes in the current filling.
-    frozen_mark: Vec<u64>,
-    /// Per-port: bandwidth already committed to frozen flows.
-    frozen_usage: Vec<f64>,
-    /// Per-port: number of unfrozen component flows crossing the port.
-    unfrozen_count: Vec<usize>,
-    /// Ports of the current component.
-    comp_ports: Vec<usize>,
-    /// Flow slots of the current component, sorted ascending.
-    comp_flows: Vec<usize>,
-    /// BFS work list of ports.
-    stack: Vec<usize>,
+/// Everything here is observational: counters never feed back into rates or
+/// completion instants. `worker_busy_ns` is wall-clock and therefore
+/// nondeterministic; all other fields are deterministic for a given run.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    /// Rebalances that did work (dirty ports at a commit barrier).
+    pub rebalances: u64,
+    /// Connected components filled across all rebalances.
+    pub components: u64,
+    /// Flow re-ratings summed over all fills.
+    pub filled_flows: u64,
+    /// Rebalances dispatched to the worker pool.
+    pub parallel_rebalances: u64,
+    /// Per-worker wall-clock nanoseconds spent inside the fill kernel.
+    pub worker_busy_ns: Vec<u64>,
 }
 
 /// The set of concurrently active flows over a shared port inventory.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FlowNetwork {
     port_caps: Vec<f64>,
     port_index: HashMap<Port, usize>,
@@ -108,7 +135,8 @@ pub struct FlowNetwork {
     port_flows: Vec<Vec<usize>>,
     /// Maintained sum of rates through each port (exact per rebalance).
     port_rate_sum: Vec<f64>,
-    flows: Vec<Option<ActiveFlow>>,
+    /// Flow arena; slots are recycled LIFO via `free_keys`.
+    flows: Vec<FlowSlot>,
     /// Per-slot generation; bumped whenever the slot's heap keys go stale.
     slot_gen: Vec<u64>,
     free_keys: Vec<usize>,
@@ -126,13 +154,84 @@ pub struct FlowNetwork {
     heap_stale: BinaryHeap<Reverse<(u64, usize, u64)>>,
     /// Slots whose flows have drained but are not yet finished.
     drained_ready: Vec<usize>,
-    scratch: Scratch,
+    /// Connected-component index rebuilt at every rebalance.
+    partitioner: Partitioner,
+    /// Fill workspace for the sequential path.
+    fill_scratch: FillScratch,
+    /// Reused output buffer for the sequential path.
+    fill_out: FillOutput,
+    /// Persistent per-worker fill workspaces for the pool path.
+    worker_scratch: Vec<FillScratch>,
+    /// Recycled scratch buffer for interning start-flow paths.
+    tmp_path: Vec<usize>,
+    /// Worker threads per parallel rebalance (1 ⇒ always sequential).
+    workers: usize,
+    /// Minimum total component flows before the pool is used.
+    par_threshold: usize,
+    stats: NetStats,
+}
+
+impl Default for FlowNetwork {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl FlowNetwork {
     /// Creates an empty network; ports are interned on first use.
+    ///
+    /// The worker count defaults to [`crate::pool::workers_from_env`]
+    /// (`ZEPPELIN_SIM_WORKERS`, else sequential); override it with
+    /// [`FlowNetwork::set_workers`].
     pub fn new() -> Self {
-        Self::default()
+        FlowNetwork {
+            port_caps: Vec::new(),
+            port_index: HashMap::new(),
+            port_flows: Vec::new(),
+            port_rate_sum: Vec::new(),
+            flows: Vec::new(),
+            slot_gen: Vec::new(),
+            free_keys: Vec::new(),
+            clock: SimTime::ZERO,
+            active: 0,
+            batching: false,
+            dirty_ports: Vec::new(),
+            heap_fresh: BinaryHeap::new(),
+            heap_stale: BinaryHeap::new(),
+            drained_ready: Vec::new(),
+            partitioner: Partitioner::new(),
+            fill_scratch: FillScratch::default(),
+            fill_out: FillOutput::default(),
+            worker_scratch: Vec::new(),
+            tmp_path: Vec::new(),
+            workers: crate::pool::workers_from_env(),
+            par_threshold: DEFAULT_PAR_THRESHOLD,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Sets the worker-pool width for rebalances (clamped to ≥ 1; 1 means
+    /// fully sequential). Any width produces bit-identical allocations —
+    /// this is purely a wall-clock knob.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// Worker-pool width currently in effect.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Sets the minimum total component flows a rebalance must touch before
+    /// it fans out to the pool (test/bench knob; the default amortizes the
+    /// per-commit thread-scope setup).
+    pub fn set_parallel_threshold(&mut self, flows: usize) {
+        self.par_threshold = flows;
+    }
+
+    /// Allocator and pool counters accumulated since construction.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
     }
 
     /// Current internal clock (latest `advance_to` instant).
@@ -240,14 +339,13 @@ impl FlowNetwork {
             bytes.is_finite() && bytes >= 0.0,
             "flow size must be finite and non-negative, got {bytes}"
         );
-        let mut interned: Vec<usize> = path
-            .iter()
-            .map(|&p| {
-                let cap = capacity_of(p);
-                assert!(cap > 0.0, "port {p:?} must have positive capacity");
-                self.intern(p, cap)
-            })
-            .collect();
+        let mut interned = std::mem::take(&mut self.tmp_path);
+        interned.clear();
+        for &p in path {
+            let cap = capacity_of(p);
+            assert!(cap > 0.0, "port {p:?} must have positive capacity");
+            interned.push(self.intern(p, cap));
+        }
         interned.sort_unstable();
         interned.dedup();
         self.insert_flow(bytes, interned)
@@ -272,14 +370,13 @@ impl FlowNetwork {
             bytes.is_finite() && bytes >= 0.0,
             "flow size must be finite and non-negative, got {bytes}"
         );
-        let mut interned: Vec<usize> = path
-            .iter()
-            .map(|&p| {
-                let cap = capacity_of(p);
-                assert!(cap > 0.0, "port {p:?} must have positive capacity");
-                self.intern(p, cap)
-            })
-            .collect();
+        let mut interned = std::mem::take(&mut self.tmp_path);
+        interned.clear();
+        for &p in path {
+            let cap = capacity_of(p);
+            assert!(cap > 0.0, "port {p:?} must have positive capacity");
+            interned.push(self.intern(p, cap));
+        }
         interned.sort_unstable();
         debug_assert!(
             interned.windows(2).all(|w| w[0] != w[1]),
@@ -288,28 +385,31 @@ impl FlowNetwork {
         self.insert_flow(bytes, interned)
     }
 
-    fn insert_flow(&mut self, bytes: f64, interned: Vec<usize>) -> FlowKey {
+    /// Installs an interned path into a (possibly recycled) arena slot. The
+    /// slot's previous path buffer is swapped back into `tmp_path`, so the
+    /// steady state of churn — start, drain, finish, start — allocates
+    /// nothing: path buffers rotate between the arena and the scratch slot.
+    fn insert_flow(&mut self, bytes: f64, mut interned: Vec<usize>) -> FlowKey {
         let drained = bytes <= EPS_BYTES;
-        let flow = ActiveFlow {
-            path: interned,
-            remaining: bytes,
-            rate: 0.0,
-            drained_listed: drained,
-        };
         let key = match self.free_keys.pop() {
-            Some(k) => {
-                self.flows[k] = Some(flow);
-                k
-            }
+            Some(k) => k,
             None => {
-                self.flows.push(Some(flow));
+                self.flows.push(FlowSlot::default());
                 self.slot_gen.push(0);
                 self.flows.len() - 1
             }
         };
+        let slot = &mut self.flows[key];
+        debug_assert!(!slot.live, "recycled slot still live");
+        std::mem::swap(&mut slot.path, &mut interned);
+        self.tmp_path = interned;
+        slot.remaining = bytes;
+        slot.rate = 0.0;
+        slot.drained_listed = drained;
+        slot.live = true;
         self.slot_gen[key] += 1;
-        let f = self.flows[key].as_ref().expect("just inserted");
-        for &p in &f.path {
+        for i in 0..self.flows[key].path.len() {
+            let p = self.flows[key].path[i];
             self.port_flows[p].push(key);
             self.dirty_ports.push(p);
         }
@@ -334,8 +434,8 @@ impl FlowNetwork {
             // Projections made before this instant are no longer exact:
             // demote them to the slack-checked heap.
             self.heap_stale.append(&mut self.heap_fresh);
-            for (k, slot) in self.flows.iter_mut().enumerate() {
-                if let Some(f) = slot {
+            for (k, f) in self.flows.iter_mut().enumerate() {
+                if f.live {
                     f.remaining = (f.remaining - f.rate * dt).max(0.0);
                     if !f.drained_listed && f.remaining <= EPS_BYTES {
                         f.drained_listed = true;
@@ -355,10 +455,7 @@ impl FlowNetwork {
         self.flows
             .iter()
             .enumerate()
-            .filter_map(|(k, s)| match s {
-                Some(f) if f.remaining <= EPS_BYTES => Some(FlowKey(k)),
-                _ => None,
-            })
+            .filter_map(|(k, f)| (f.live && f.remaining <= EPS_BYTES).then_some(FlowKey(k)))
             .collect()
     }
 
@@ -377,13 +474,16 @@ impl FlowNetwork {
     ///
     /// Panics if the key is stale.
     pub fn finish_flow(&mut self, key: FlowKey) {
-        let slot = self.flows[key.0].take().expect("stale flow key");
+        assert!(self.flows[key.0].live, "stale flow key");
         debug_assert!(
-            slot.remaining <= EPS_BYTES,
+            self.flows[key.0].remaining <= EPS_BYTES,
             "finishing a flow with {} bytes left",
-            slot.remaining
+            self.flows[key.0].remaining
         );
-        for &p in &slot.path {
+        // The path buffer stays in the vacated slot for the next occupant;
+        // take it briefly so the reverse-index cleanup can borrow freely.
+        let path = std::mem::take(&mut self.flows[key.0].path);
+        for &p in &path {
             let on_port = &mut self.port_flows[p];
             let pos = on_port
                 .iter()
@@ -392,11 +492,15 @@ impl FlowNetwork {
             on_port.swap_remove(pos);
             self.dirty_ports.push(p);
         }
+        let slot = &mut self.flows[key.0];
+        slot.path = path;
         if slot.drained_listed {
             if let Some(pos) = self.drained_ready.iter().position(|&k| k == key.0) {
                 self.drained_ready.swap_remove(pos);
             }
         }
+        slot.live = false;
+        slot.rate = 0.0;
         self.slot_gen[key.0] += 1; // Invalidate any heap entries for the slot.
         self.free_keys.push(key.0);
         self.active -= 1;
@@ -455,7 +559,8 @@ impl FlowNetwork {
             if self.slot_gen[k] != gen {
                 continue; // Dead: finished or already re-projected.
             }
-            let f = self.flows[k].as_ref().expect("live generation");
+            let f = &self.flows[k];
+            debug_assert!(f.live, "live generation points at a vacant slot");
             debug_assert!(f.remaining > EPS_BYTES, "drained flow missing from list");
             if f.rate <= 0.0 {
                 continue; // Starved: re-projected at the next rebalance.
@@ -469,15 +574,16 @@ impl FlowNetwork {
 
     /// Current rate of a flow in bytes/s (for tests and introspection).
     pub fn rate_of(&self, key: FlowKey) -> f64 {
-        self.flows[key.0].as_ref().expect("stale flow key").rate
+        let f = &self.flows[key.0];
+        assert!(f.live, "stale flow key");
+        f.rate
     }
 
     /// Remaining bytes of a flow (for tests and introspection).
     pub fn remaining_of(&self, key: FlowKey) -> f64 {
-        self.flows[key.0]
-            .as_ref()
-            .expect("stale flow key")
-            .remaining
+        let f = &self.flows[key.0];
+        assert!(f.live, "stale flow key");
+        f.remaining
     }
 
     /// Sum of current rates through `port`, in bytes/s.
@@ -491,127 +597,92 @@ impl FlowNetwork {
         self.port_rate_sum[idx]
     }
 
-    /// Recomputes the max-min fair allocation for the connected component of
-    /// flows reachable from the ports dirtied since the last rebalance.
+    /// Recomputes the max-min fair allocation for every connected component
+    /// reachable from the ports dirtied since the last rebalance.
     ///
-    /// Progressive filling: component flows rise from rate 0 together; each
-    /// port `p` saturates at level `(cap_p - frozen_p) / unfrozen_p`. The
-    /// minimum such level across component ports freezes every unfrozen flow
-    /// crossing a bottleneck port, and the process repeats until all
-    /// component flows are frozen. Flows outside the component share no port
-    /// with it (directly or transitively), so their rates are already at the
-    /// fixed point and stay untouched.
+    /// The [`Partitioner`] splits the dirty region into true components;
+    /// each is filled independently by [`fill_component`] — sequentially,
+    /// or on the scoped worker pool when the commit is wide enough
+    /// (`workers > 1`, ≥ 2 components, and at least `par_threshold` flows
+    /// in play). Results are applied in ascending component id either way
+    /// (the commit-barrier ordering rule), so the pool is invisible to the
+    /// simulation: rates, port sums, and heap contents come out
+    /// bit-identical at any worker count. Flows outside the dirty region
+    /// share no port with it (directly or transitively), so their rates are
+    /// already at the fixed point and stay untouched.
     fn rebalance(&mut self) {
         if self.dirty_ports.is_empty() {
             return;
         }
-        let s = &mut self.scratch;
-        s.port_mark.resize(self.port_caps.len(), 0);
-        s.frozen_usage.resize(self.port_caps.len(), 0.0);
-        s.unfrozen_count.resize(self.port_caps.len(), 0);
-        s.flow_mark.resize(self.flows.len(), 0);
-        s.frozen_mark.resize(self.flows.len(), 0);
-        s.epoch += 1;
-        let epoch = s.epoch;
-
-        // Flood out from the dirty ports over the port→flow→port adjacency.
-        s.comp_ports.clear();
-        s.comp_flows.clear();
-        s.stack.clear();
-        for &p in &self.dirty_ports {
-            if s.port_mark[p] != epoch {
-                s.port_mark[p] = epoch;
-                s.comp_ports.push(p);
-                s.stack.push(p);
-            }
-        }
+        self.partitioner
+            .partition(&self.dirty_ports, &self.port_flows, &self.flows);
         self.dirty_ports.clear();
-        while let Some(p) = s.stack.pop() {
-            for &k in &self.port_flows[p] {
-                if s.flow_mark[k] != epoch {
-                    s.flow_mark[k] = epoch;
-                    s.comp_flows.push(k);
-                    let f = self.flows[k].as_ref().expect("indexed flow is live");
-                    for &q in &f.path {
-                        if s.port_mark[q] != epoch {
-                            s.port_mark[q] = epoch;
-                            s.comp_ports.push(q);
-                            s.stack.push(q);
-                        }
-                    }
-                }
+        let ncomps = self.partitioner.components();
+        self.stats.rebalances += 1;
+        self.stats.components += ncomps as u64;
+        self.stats.filled_flows += self.partitioner.flow_count() as u64;
+        let use_pool =
+            self.workers > 1 && ncomps >= 2 && self.partitioner.flow_count() >= self.par_threshold;
+        if use_pool {
+            self.stats.parallel_rebalances += 1;
+            if self.worker_scratch.len() < self.workers {
+                self.worker_scratch
+                    .resize_with(self.workers, FillScratch::default);
+            }
+            if self.stats.worker_busy_ns.len() < self.workers {
+                self.stats.worker_busy_ns.resize(self.workers, 0);
+            }
+            let mut results = pool::fill_parallel(
+                self.workers,
+                &self.partitioner,
+                &self.port_caps,
+                &self.port_flows,
+                &self.flows,
+                &mut self.worker_scratch,
+                &mut self.stats.worker_busy_ns,
+            );
+            // Commit barrier: apply in ascending component id, regardless
+            // of which worker finished which component first.
+            results.sort_unstable_by_key(|&(c, _)| c);
+            for (c, out) in &results {
+                self.apply_fill(*c, out);
+            }
+        } else {
+            for c in 0..ncomps {
+                let mut out = std::mem::take(&mut self.fill_out);
+                fill_component(
+                    &self.port_caps,
+                    &self.port_flows,
+                    &self.flows,
+                    self.partitioner.component(c),
+                    &mut self.fill_scratch,
+                    &mut out,
+                );
+                self.apply_fill(c, &out);
+                self.fill_out = out;
             }
         }
-        // Ascending key order: the freeze pass mutates per-port state while
-        // iterating, so flow order is observable and must match the
-        // reference's whole-table order.
-        s.comp_flows.sort_unstable();
+        // Shed dead entries if churn let the heaps outgrow the flow set.
+        if self.heap_fresh.len() + self.heap_stale.len() > 64 + 4 * self.active {
+            self.rebuild_heap();
+        }
+    }
 
-        for &p in &s.comp_ports {
-            s.frozen_usage[p] = 0.0;
-            s.unfrozen_count[p] = 0;
+    /// Writes one component's fill results into the live tables and
+    /// re-projects its completion instants.
+    fn apply_fill(&mut self, c: usize, out: &FillOutput) {
+        let comp = self.partitioner.component(c);
+        for (i, &k) in comp.flows.iter().enumerate() {
+            self.flows[k].rate = out.rates[i];
         }
-        for &k in &s.comp_flows {
-            let f = self.flows[k].as_ref().expect("component flow is live");
-            for &p in &f.path {
-                s.unfrozen_count[p] += 1;
-            }
-        }
-        let mut remaining_live = s.comp_flows.len();
-        while remaining_live > 0 {
-            // Find the lowest saturation level among contended ports.
-            let mut level = f64::INFINITY;
-            for &p in &s.comp_ports {
-                if s.unfrozen_count[p] > 0 {
-                    let l = (self.port_caps[p] - s.frozen_usage[p]) / s.unfrozen_count[p] as f64;
-                    if l < level {
-                        level = l;
-                    }
-                }
-            }
-            debug_assert!(level.is_finite(), "live flows but no contended port");
-            let level = level.max(0.0);
-            // Freeze every unfrozen flow that crosses a bottleneck port.
-            let mut froze_any = false;
-            for &k in &s.comp_flows {
-                if s.frozen_mark[k] == epoch {
-                    continue;
-                }
-                let f = self.flows[k].as_ref().expect("live flow");
-                let at_bottleneck = f.path.iter().any(|&p| {
-                    let l = (self.port_caps[p] - s.frozen_usage[p]) / s.unfrozen_count[p] as f64;
-                    l <= level + level.abs() * 1e-12
-                });
-                if at_bottleneck {
-                    s.frozen_mark[k] = epoch;
-                    froze_any = true;
-                    remaining_live -= 1;
-                    self.flows[k].as_mut().expect("live flow").rate = level;
-                    let f = self.flows[k].as_ref().expect("live flow");
-                    for &p in &f.path {
-                        s.frozen_usage[p] += level;
-                        s.unfrozen_count[p] -= 1;
-                    }
-                }
-            }
-            debug_assert!(froze_any, "max-min fair filling made no progress");
-            if !froze_any {
-                break; // Defensive: avoid an infinite loop under fp anomalies.
-            }
-        }
-
         // Refresh the maintained per-port rate sums for the component.
-        for &p in &s.comp_ports {
-            let mut sum = 0.0;
-            for &k in &self.port_flows[p] {
-                sum += self.flows[k].as_ref().expect("indexed flow is live").rate;
-            }
-            self.port_rate_sum[p] = sum;
+        for (j, &p) in comp.ports.iter().enumerate() {
+            self.port_rate_sum[p] = out.port_sums[j];
         }
         // Re-project completion instants for the component's flows.
-        for &k in &s.comp_flows {
+        for &k in comp.flows {
             self.slot_gen[k] += 1;
-            let f = self.flows[k].as_ref().expect("component flow is live");
+            let f = &self.flows[k];
             if f.remaining <= EPS_BYTES {
                 continue; // Listed in drained_ready; completes "now".
             }
@@ -621,10 +692,6 @@ impl FlowNetwork {
                     .push(Reverse((t.as_nanos(), k, self.slot_gen[k])));
             }
             // rate == 0: starved; re-projected once a rebalance feeds it.
-        }
-        // Shed dead entries if churn let the heaps outgrow the flow set.
-        if self.heap_fresh.len() + self.heap_stale.len() > 64 + 4 * self.active {
-            self.rebuild_heap();
         }
     }
 
@@ -636,10 +703,8 @@ impl FlowNetwork {
         self.heap_fresh.clear();
         self.heap_stale.clear();
         for k in 0..self.flows.len() {
-            let Some(f) = self.flows[k].as_ref() else {
-                continue;
-            };
-            if f.remaining <= EPS_BYTES || f.rate <= 0.0 {
+            let f = &self.flows[k];
+            if !f.live || f.remaining <= EPS_BYTES || f.rate <= 0.0 {
                 continue;
             }
             let t = self.clock + SimDuration::from_secs_f64(f.remaining / f.rate);

@@ -1,0 +1,109 @@
+//! Std-only worker pool for component-local rebalances.
+//!
+//! When a commit barrier closes over mutations touching several disjoint
+//! components, the [`crate::partition`] fill kernel can run on them
+//! concurrently: each component reads shared network state (`port_caps`,
+//! the port→flow reverse index, flow paths) immutably and writes only its
+//! own [`FillOutput`], so the work is embarrassingly parallel.
+//!
+//! The pool is deliberately primitive — `std::thread::scope` plus an mpsc
+//! channel drained behind a mutex as the work queue — because the repo
+//! vendors no threading crates. Scoped threads borrow the network directly
+//! (no per-commit extraction of job data), and each worker keeps a
+//! persistent [`FillScratch`] across commits so steady-state rebalances
+//! allocate only the per-component output vectors.
+//!
+//! Determinism: workers race only for *which component* they fill next,
+//! never over shared floats. Outputs are keyed by component id and applied
+//! at the barrier in ascending id order, so the committed state is
+//! bit-identical to the sequential path no matter how the race resolves.
+//! Per-worker busy time is the one nondeterministic product, and it flows
+//! only into [`crate::network::NetStats`], never into simulated state.
+
+use std::sync::mpsc;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::network::FlowSlot;
+use crate::partition::{fill_component, FillOutput, FillScratch, Partitioner};
+
+/// Default worker count: the `ZEPPELIN_SIM_WORKERS` environment variable
+/// when set and parseable (clamped to `1..=64`), else 1 (sequential).
+///
+/// Read once per process; new networks and simulators pick it up at
+/// construction, and explicit `set_workers` calls override it.
+pub fn workers_from_env() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::env::var("ZEPPELIN_SIM_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map_or(1, |w| w.clamp(1, 64))
+    })
+}
+
+/// Fills every component of the last partition on a scoped worker pool.
+///
+/// Spawns `min(workers, components)` threads that pull component ids from a
+/// shared queue, fill them with [`fill_component`], and return `(component,
+/// output)` pairs. `scratches` must hold at least `workers` entries (one
+/// per worker, persistent across calls); `busy_ns[w]` is incremented by
+/// worker `w`'s wall-clock fill time.
+pub(crate) fn fill_parallel(
+    workers: usize,
+    parts: &Partitioner,
+    port_caps: &[f64],
+    port_flows: &[Vec<usize>],
+    flows: &[FlowSlot],
+    scratches: &mut [FillScratch],
+    busy_ns: &mut [u64],
+) -> Vec<(usize, FillOutput)> {
+    let ncomps = parts.components();
+    let spawn = workers.min(ncomps);
+    debug_assert!(scratches.len() >= spawn && busy_ns.len() >= spawn);
+    let (tx, rx) = mpsc::channel::<usize>();
+    for c in 0..ncomps {
+        tx.send(c).expect("receiver lives until the scope ends");
+    }
+    drop(tx);
+    let queue = Mutex::new(rx);
+    let mut results: Vec<(usize, FillOutput)> = Vec::with_capacity(ncomps);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = scratches
+            .iter_mut()
+            .take(spawn)
+            .map(|scratch| {
+                let queue = &queue;
+                s.spawn(move || {
+                    let mut filled: Vec<(usize, FillOutput)> = Vec::new();
+                    let mut busy = 0u64;
+                    loop {
+                        // Take the lock only to dequeue, never while filling.
+                        let job = queue.lock().expect("queue lock poisoned").try_recv();
+                        let Ok(c) = job else { break };
+                        let t0 = Instant::now();
+                        let mut out = FillOutput::default();
+                        fill_component(
+                            port_caps,
+                            port_flows,
+                            flows,
+                            parts.component(c),
+                            scratch,
+                            &mut out,
+                        );
+                        busy += t0.elapsed().as_nanos() as u64;
+                        filled.push((c, out));
+                    }
+                    (busy, filled)
+                })
+            })
+            .collect();
+        for (w, h) in handles.into_iter().enumerate() {
+            let (busy, filled) = h.join().expect("pool worker panicked");
+            busy_ns[w] += busy;
+            results.extend(filled);
+        }
+    });
+    debug_assert_eq!(results.len(), ncomps, "every component filled exactly once");
+    results
+}

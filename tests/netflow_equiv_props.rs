@@ -174,6 +174,99 @@ proptest! {
         prop_assert_eq!(sequential.next_completion(), batched.next_completion());
     }
 
+    /// The same churn applied at 1, 2, and 8 workers (parallel threshold
+    /// forced to 1 so every commit takes the pool path) lands on bitwise
+    /// identical allocations, and all of them track the oracle.
+    #[test]
+    fn worker_pool_matches_sequential_under_churn(ops in ops()) {
+        let c = cluster_a(2);
+        let cap = |p: Port| c.port_capacity(p);
+        let mut oracle = ReferenceNet::new();
+        let mut nets: Vec<FlowNetwork> = [1usize, 2, 8]
+            .iter()
+            .map(|&w| {
+                let mut n = FlowNetwork::new();
+                n.set_workers(w);
+                n.set_parallel_threshold(1);
+                n
+            })
+            .collect();
+        let mut live: Vec<(FlowKey, RefFlowKey)> = Vec::new();
+        let mut drained_buf: Vec<FlowKey> = Vec::new();
+        for op in &ops {
+            match *op {
+                Op::Start { src, dst, mbytes } => {
+                    let bytes = mbytes as f64 * 1e6;
+                    let path = c.direct_path(src, dst);
+                    let k = nets[0].start_flow(bytes, &path, cap);
+                    for net in &mut nets[1..] {
+                        // Identical mutation history → identical key recycling.
+                        prop_assert_eq!(net.start_flow(bytes, &path, cap), k);
+                    }
+                    live.push((k, oracle.start_flow(bytes, &path, cap)));
+                }
+                Op::Drain => {
+                    let t = nets[0].next_completion();
+                    for net in &mut nets[1..] {
+                        prop_assert_eq!(net.next_completion(), t, "completion diverged");
+                    }
+                    let Some(t) = t else { continue };
+                    drained_buf.clear();
+                    for net in &mut nets {
+                        net.advance_to(t);
+                    }
+                    oracle.advance_to(t);
+                    nets[0].collect_drained(&mut drained_buf);
+                    for net in &mut nets {
+                        net.begin_update();
+                    }
+                    for &k in &drained_buf {
+                        let pos = live.iter().position(|&(a, _)| a == k).expect("live key");
+                        let (_, r) = live.swap_remove(pos);
+                        for net in &mut nets {
+                            net.finish_flow(k);
+                        }
+                        oracle.finish_flow(r);
+                    }
+                    for net in &mut nets {
+                        net.commit_update();
+                    }
+                }
+                Op::Nudge { micros } => {
+                    let t = nets[0].clock() + SimDuration::from_micros(micros);
+                    for net in &mut nets {
+                        net.advance_to(t);
+                    }
+                    oracle.advance_to(t);
+                }
+                Op::SetCap { nic, pct } => {
+                    for port in [Port::NicTx(nic), Port::NicRx(nic)] {
+                        let capacity = c.port_capacity(port) * pct as f64 / 100.0;
+                        for net in &mut nets {
+                            net.set_port_capacity(port, capacity);
+                        }
+                        oracle.set_port_capacity(port, capacity);
+                    }
+                }
+            }
+            // Bitwise agreement across worker counts, tolerance vs oracle.
+            for &(k, _) in &live {
+                let bits = nets[0].rate_of(k).to_bits();
+                for net in &mut nets[1..] {
+                    prop_assert_eq!(net.rate_of(k).to_bits(), bits, "rate bits diverged");
+                }
+            }
+            let t = nets[0].next_completion();
+            for net in &mut nets[1..] {
+                prop_assert_eq!(net.next_completion(), t, "completion diverged after op");
+            }
+            check_state(&nets[2], &oracle, &live)?;
+        }
+        // The pool actually engaged on the multi-worker nets whenever a
+        // commit saw two or more components (stats are observational).
+        prop_assert!(nets[0].stats().parallel_rebalances == 0, "1 worker must stay sequential");
+    }
+
     /// Whole-DAG check: the engine (incremental allocator, batched event
     /// handling, min-heap completions) produces exactly the schedule of a
     /// step-by-step event loop over the from-scratch reference network.

@@ -10,9 +10,9 @@
 //!    be caught by `validate_with_batch`, or be harmless: `analyze` and the
 //!    exec lowering (with the audit gate off) must not panic on them.
 //!
-//! The vendored proptest stub ignores the `PROPTEST_CASES` environment
-//! variable, so this file reads it directly; CI uses it to run a deeper
-//! hostile sweep than the default local budget.
+//! The vendored proptest stub honors the `PROPTEST_CASES` environment
+//! variable (like upstream); CI uses it to run a deeper hostile sweep than
+//! the default local budget.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -28,14 +28,6 @@ use zeppelin::data::batch::Batch;
 use zeppelin::exec::step::{simulate_plan, StepConfig};
 use zeppelin::model::config::llama_3b;
 use zeppelin::sim::topology::cluster_a;
-
-/// Case budget: `PROPTEST_CASES` if set and parseable, else `default`.
-fn cases(default: u32) -> u32 {
-    std::env::var("PROPTEST_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 /// Every built-in scheduler, by audit-report label.
 fn schedulers() -> Vec<(&'static str, Box<dyn Scheduler>)> {
@@ -61,7 +53,7 @@ fn arb_lens() -> impl Strategy<Value = Vec<u64>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(cases(24)))]
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Trusted schedulers never trip the auditor: whenever planning
     /// succeeds, the full audit (structure, cluster, capacity, routing,
@@ -111,7 +103,7 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(cases(64)))]
+    #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// The differential harness: mutate a valid Zeppelin plan in a hostile
     /// direction and demand caught-or-clean. If the auditor misses the

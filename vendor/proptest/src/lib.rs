@@ -11,7 +11,9 @@
 //! Differences from real proptest: no shrinking (failing inputs are printed
 //! verbatim), no persisted regressions file, and generation is plain random
 //! sampling from a per-test deterministic seed. That keeps failures
-//! reproducible run-to-run while covering the same input space.
+//! reproducible run-to-run while covering the same input space. Like
+//! upstream, the `PROPTEST_CASES` environment variable overrides the
+//! configured case count (see [`effective_cases`]).
 
 use core::fmt::Debug;
 use core::marker::PhantomData;
@@ -112,6 +114,23 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+}
+
+/// Effective case budget: the `PROPTEST_CASES` environment variable when
+/// set and parseable, else the configured value.
+///
+/// Matches real proptest's env override so CI can deepen sweeps
+/// (`PROPTEST_CASES=1024 cargo test`) without each test reading the
+/// variable by hand.
+pub fn effective_cases(configured: u32) -> u32 {
+    static ENV_CASES: std::sync::OnceLock<Option<u32>> = std::sync::OnceLock::new();
+    ENV_CASES
+        .get_or_init(|| {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(configured)
 }
 
 /// A recipe for generating values of `Self::Value`.
@@ -426,13 +445,14 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $config;
+            let cases: u32 = $crate::effective_cases(config.cases);
             let mut rng = $crate::TestRng::seed_from_u64(
                 $crate::seed_for_test(concat!(module_path!(), "::", stringify!($name))),
             );
             let mut accepted: u32 = 0;
             let mut attempts: u64 = 0;
-            let max_attempts: u64 = (config.cases as u64) * 64 + 1024;
-            while accepted < config.cases {
+            let max_attempts: u64 = (cases as u64) * 64 + 1024;
+            while accepted < cases {
                 attempts += 1;
                 assert!(
                     attempts <= max_attempts,
