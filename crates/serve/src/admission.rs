@@ -1,0 +1,348 @@
+//! Admission control for the planning hot path: a load-shedding gate over
+//! estimated in-flight planner time, and a circuit breaker over consecutive
+//! planner failures.
+//!
+//! Both answer one question — *should this cache miss run the real
+//! planner?* — and both degrade rather than queue: a shed or broken request
+//! is answered immediately by the fast fallback scheduler, tagged
+//! `degraded: true`, instead of joining an unbounded convoy behind a slow or
+//! failing planner.
+//!
+//! The gate tracks the *sum of estimated milliseconds* of planner work
+//! currently in flight, where the estimate is an EWMA of recently observed
+//! planner latencies. Past the high-water mark, new misses are shed. This is
+//! deliberately time-based rather than count-based: ten 2 ms plans are
+//! cheaper than one 5-second pathological batch, and queue-depth rejection
+//! (the old policy) cannot tell them apart.
+//!
+//! The breaker is the classic three-state machine:
+//!
+//! ```text
+//!          consecutive failures >= threshold
+//!   Closed ───────────────────────────────────▶ Open
+//!     ▲  ▲                                       │
+//!     │  └──────────── trial success ◀─┐         │ cooldown elapsed
+//!     │                                │         ▼
+//!     └── failure re-opens ◀────── HalfOpen (one trial admitted)
+//! ```
+//!
+//! While `Open`, every miss is served degraded without touching the planner;
+//! after the cooldown one trial request is admitted (`HalfOpen`) and its
+//! outcome decides the next state. Planner *panics* count as failures too —
+//! they are contained per-request, but three in a row means the planner is
+//! sick, not the request.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// EWMA weight of the newest planner latency observation.
+const EWMA_ALPHA: f64 = 0.25;
+
+/// Why a cache miss was not admitted to the real planner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The load gate was over its high-water mark of in-flight planner time.
+    Shed,
+    /// The circuit breaker was open (or half-open with a trial in flight).
+    BreakerOpen,
+}
+
+impl DegradeReason {
+    /// Wire spelling used in degraded responses.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DegradeReason::Shed => "shed",
+            DegradeReason::BreakerOpen => "breaker_open",
+        }
+    }
+}
+
+/// Load-shedding gate over estimated in-flight planner milliseconds.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    inner: Mutex<GateState>,
+    high_water_ms: f64,
+}
+
+#[derive(Debug)]
+struct GateState {
+    /// Sum of the estimates charged to currently admitted planner runs.
+    inflight_ms: f64,
+    /// EWMA of observed planner latencies (the per-run charge).
+    estimate_ms: f64,
+}
+
+/// Receipt for an admitted planner run; hand it back via
+/// [`AdmissionGate::release`] (success, failure, or panic — always).
+#[derive(Debug)]
+#[must_use = "an unreleased permit permanently inflates the in-flight estimate"]
+pub struct PlannerPermit {
+    charged_ms: f64,
+}
+
+impl AdmissionGate {
+    /// A gate shedding once estimated in-flight planner time exceeds
+    /// `high_water_ms`. `initial_estimate_ms` seeds the EWMA before any
+    /// observation exists.
+    pub fn new(high_water_ms: u64, initial_estimate_ms: u64) -> AdmissionGate {
+        AdmissionGate {
+            inner: Mutex::new(GateState {
+                inflight_ms: 0.0,
+                estimate_ms: (initial_estimate_ms.max(1)) as f64,
+            }),
+            high_water_ms: high_water_ms.max(1) as f64,
+        }
+    }
+
+    /// Admits a planner run, charging the current latency estimate, or
+    /// returns `None` when the gate is over its high-water mark.
+    pub fn try_admit(&self) -> Option<PlannerPermit> {
+        let mut s = self.inner.lock().expect("gate poisoned");
+        if s.inflight_ms + s.estimate_ms > self.high_water_ms && s.inflight_ms > 0.0 {
+            return None;
+        }
+        // With nothing in flight a single run is always admitted, even if
+        // its estimate alone exceeds the mark — shedding everything forever
+        // would be a livelock, and one run is the minimum useful probe.
+        let charged = s.estimate_ms;
+        s.inflight_ms += charged;
+        Some(PlannerPermit {
+            charged_ms: charged,
+        })
+    }
+
+    /// Releases an admitted run, folding the observed latency into the
+    /// estimate. Call on every exit path, including panics.
+    pub fn release(&self, permit: PlannerPermit, observed: Duration) {
+        let mut s = self.inner.lock().expect("gate poisoned");
+        s.inflight_ms = (s.inflight_ms - permit.charged_ms).max(0.0);
+        let observed_ms = observed.as_secs_f64() * 1e3;
+        s.estimate_ms = (1.0 - EWMA_ALPHA) * s.estimate_ms + EWMA_ALPHA * observed_ms;
+        // Keep the estimate strictly positive so admission math stays sane.
+        s.estimate_ms = s.estimate_ms.max(0.001);
+    }
+
+    /// Returns an admitted run's capacity without folding an observation
+    /// into the estimate — for runs that were admitted but never executed
+    /// (e.g. the breaker refused after the gate admitted).
+    pub fn cancel(&self, permit: PlannerPermit) {
+        let mut s = self.inner.lock().expect("gate poisoned");
+        s.inflight_ms = (s.inflight_ms - permit.charged_ms).max(0.0);
+    }
+
+    /// Estimated in-flight planner milliseconds right now.
+    pub fn inflight_ms(&self) -> f64 {
+        self.inner.lock().expect("gate poisoned").inflight_ms
+    }
+
+    /// Current per-run latency estimate in milliseconds.
+    pub fn estimate_ms(&self) -> f64 {
+        self.inner.lock().expect("gate poisoned").estimate_ms
+    }
+}
+
+/// Breaker states, exposed for stats and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: planner runs admitted, failures counted.
+    Closed,
+    /// Tripped: misses served degraded until the cooldown elapses.
+    Open,
+    /// Cooled down: exactly one trial run is in flight.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Wire spelling used in stats responses.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    trial_in_flight: bool,
+}
+
+/// Circuit breaker over consecutive planner failures (errors or contained
+/// panics).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    inner: Mutex<BreakerInner>,
+    threshold: u32,
+    cooldown: Duration,
+}
+
+impl CircuitBreaker {
+    /// Trips after `threshold` consecutive failures; half-opens `cooldown`
+    /// after tripping.
+    pub fn new(threshold: u32, cooldown: Duration) -> CircuitBreaker {
+        CircuitBreaker {
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+                trial_in_flight: false,
+            }),
+            threshold: threshold.max(1),
+            cooldown,
+        }
+    }
+
+    /// Whether a planner run may proceed right now. In `Open`, flips to
+    /// `HalfOpen` once the cooldown has elapsed and admits exactly one
+    /// trial; concurrent calls during the trial are refused.
+    pub fn allow(&self) -> bool {
+        let mut b = self.inner.lock().expect("breaker poisoned");
+        match b.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                let cooled = b.opened_at.is_some_and(|t| t.elapsed() >= self.cooldown);
+                if cooled {
+                    b.state = BreakerState::HalfOpen;
+                    b.trial_in_flight = true;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if b.trial_in_flight {
+                    false
+                } else {
+                    b.trial_in_flight = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Records a successful planner run; closes the breaker.
+    pub fn record_success(&self) {
+        let mut b = self.inner.lock().expect("breaker poisoned");
+        b.state = BreakerState::Closed;
+        b.consecutive_failures = 0;
+        b.opened_at = None;
+        b.trial_in_flight = false;
+    }
+
+    /// Records a failed planner run (error or contained panic). Returns
+    /// `true` when this failure tripped the breaker open.
+    pub fn record_failure(&self) -> bool {
+        let mut b = self.inner.lock().expect("breaker poisoned");
+        match b.state {
+            BreakerState::HalfOpen => {
+                // The trial failed: straight back to Open, fresh cooldown.
+                b.state = BreakerState::Open;
+                b.opened_at = Some(Instant::now());
+                b.trial_in_flight = false;
+                true
+            }
+            BreakerState::Closed => {
+                b.consecutive_failures += 1;
+                if b.consecutive_failures >= self.threshold {
+                    b.state = BreakerState::Open;
+                    b.opened_at = Some(Instant::now());
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::Open => false,
+        }
+    }
+
+    /// Current state (for stats and tests).
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().expect("breaker poisoned").state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_admits_until_the_high_water_mark() {
+        let gate = AdmissionGate::new(100, 40);
+        let a = gate.try_admit().expect("first run admitted");
+        let b = gate.try_admit().expect("second run fits under 100ms");
+        // 80ms charged; a third 40ms estimate would cross 100ms.
+        assert!(gate.try_admit().is_none(), "third run is shed");
+        gate.release(a, Duration::from_millis(40));
+        let c = gate.try_admit().expect("released capacity re-admits");
+        gate.release(b, Duration::from_millis(40));
+        gate.release(c, Duration::from_millis(40));
+        assert!(gate.inflight_ms() < 1e-9);
+    }
+
+    #[test]
+    fn gate_never_starves_an_idle_server() {
+        // Estimate far above the mark: with nothing in flight the single
+        // probe run must still be admitted.
+        let gate = AdmissionGate::new(10, 10_000);
+        let p = gate.try_admit().expect("idle gate admits a probe");
+        assert!(gate.try_admit().is_none());
+        gate.release(p, Duration::from_millis(1));
+        assert!(gate.estimate_ms() < 10_000.0, "EWMA folded the 1ms run in");
+    }
+
+    #[test]
+    fn gate_estimate_tracks_observations() {
+        let gate = AdmissionGate::new(1_000, 100);
+        for _ in 0..50 {
+            let p = gate.try_admit().expect("admitted");
+            gate.release(p, Duration::from_millis(10));
+        }
+        assert!(
+            (gate.estimate_ms() - 10.0).abs() < 1.0,
+            "EWMA converges near 10ms, got {}",
+            gate.estimate_ms()
+        );
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_half_opens() {
+        let b = CircuitBreaker::new(3, Duration::from_millis(20));
+        assert!(b.allow());
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        assert!(b.record_failure(), "third consecutive failure trips");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(), "open breaker refuses");
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.allow(), "cooldown elapsed: one trial admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow(), "only one trial at a time");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow());
+    }
+
+    #[test]
+    fn failed_trial_reopens_with_a_fresh_cooldown() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(20));
+        assert!(b.record_failure(), "threshold 1 trips immediately");
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.allow());
+        assert!(b.record_failure(), "failed trial re-trips");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(), "fresh cooldown holds");
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let b = CircuitBreaker::new(2, Duration::from_millis(5));
+        assert!(!b.record_failure());
+        b.record_success();
+        assert!(!b.record_failure(), "count restarted after success");
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

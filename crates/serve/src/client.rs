@@ -1,35 +1,200 @@
-//! A minimal blocking client for the serving protocol, used by
-//! `zeppelin-cli client` and the loopback smoke tests.
+//! A blocking client for the serving protocol, used by `zeppelin-cli
+//! client` and the loopback smoke tests.
+//!
+//! The retry discipline mirrors the protocol's error typing: **transport**
+//! failures (connect refused/timed out, read timed out, connection reset
+//! before a response) are retried with jittered exponential backoff, while
+//! a **typed server error** is a final verdict — the server is alive and
+//! has decided; retrying an `overloaded` or `shutting_down` response
+//! identically only amplifies the load the server just shed.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::protocol::Request;
 
-/// Sends one request and returns the raw response line.
-///
-/// # Errors
-///
-/// Propagates connection/IO errors; a server that closes without
-/// responding yields `UnexpectedEof`.
-pub fn send_request(addr: impl ToSocketAddrs, req: &Request) -> std::io::Result<String> {
-    let addr = addr
-        .to_socket_addrs()?
-        .next()
-        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
-    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+/// Client knobs: per-attempt timeouts and the retry budget.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Per-attempt budget for connect, write, and response read.
+    pub timeout: Duration,
+    /// Transport-failure retries after the first attempt (0 = one shot).
+    pub retries: u32,
+    /// Base backoff before the first retry; doubles per retry, each sleep
+    /// jittered to a deterministic 50–100% of its nominal value so client
+    /// herds decorrelate.
+    pub backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            timeout: Duration::from_secs(30),
+            retries: 0,
+            backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// A config with every field defaulted except the per-attempt timeout.
+    pub fn with_timeout_ms(timeout_ms: u64) -> ClientConfig {
+        ClientConfig {
+            timeout: Duration::from_millis(timeout_ms.max(1)),
+            ..ClientConfig::default()
+        }
+    }
+
+    /// Sets the transport-failure retry budget.
+    pub fn retries(mut self, retries: u32) -> ClientConfig {
+        self.retries = retries;
+        self
+    }
+}
+
+/// Whether a transport error is worth retrying: the request may never have
+/// reached the server (connect failures) or the server never answered
+/// (timeouts, resets, closes before a response). Anything else — bad
+/// address, interrupted locally — fails fast.
+fn retryable(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        ErrorKind::ConnectionRefused
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::NotConnected
+            | ErrorKind::BrokenPipe
+            | ErrorKind::TimedOut
+            | ErrorKind::WouldBlock
+            | ErrorKind::UnexpectedEof
+    )
+}
+
+/// Backoff before retry `attempt` (1-based): exponential doubling with
+/// deterministic jitter down to 50–100% of nominal. The jitter source is a
+/// cheap hash of the attempt number — no clock, no shared RNG state — so
+/// tests stay reproducible while concurrent clients still spread out.
+fn backoff_for(base: Duration, attempt: u32) -> Duration {
+    let nominal = base.saturating_mul(1u32 << attempt.min(16).saturating_sub(1));
+    let h = (attempt as u64)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .rotate_left(17);
+    let frac = 0.5 + 0.5 * ((h % 1_000) as f64 / 1_000.0);
+    nominal.mul_f64(frac)
+}
+
+fn attempt(addr: &SocketAddr, req: &Request, timeout: Duration) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout.min(Duration::from_secs(5))))?;
     writeln!(stream, "{}", req.to_line())?;
     stream.flush()?;
     let mut line = String::new();
     let n = BufReader::new(stream).read_line(&mut line)?;
     if n == 0 {
         return Err(std::io::Error::new(
-            std::io::ErrorKind::UnexpectedEof,
+            ErrorKind::UnexpectedEof,
             "server closed the connection without responding",
         ));
     }
     Ok(line.trim_end().to_string())
+}
+
+/// Sends one request under `cfg`, retrying transport failures with
+/// jittered exponential backoff. A response line — success *or* typed
+/// error — ends the attempt loop: typed errors are server verdicts, never
+/// retried.
+///
+/// # Errors
+///
+/// Returns the last transport error once the retry budget is exhausted,
+/// or an `InvalidInput` error for an unresolvable address.
+pub fn send_request_with(
+    addr: impl ToSocketAddrs,
+    req: &Request,
+    cfg: &ClientConfig,
+) -> std::io::Result<String> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidInput, "no address"))?;
+    let mut last_err = None;
+    for n in 0..=cfg.retries {
+        if n > 0 {
+            std::thread::sleep(backoff_for(cfg.backoff, n));
+        }
+        match attempt(&addr, req, cfg.timeout) {
+            Ok(line) => return Ok(line),
+            Err(e) if retryable(&e) && n < cfg.retries => last_err = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| std::io::Error::other("retry loop ended without an attempt")))
+}
+
+/// Sends one request with the default config (30 s timeout, no retries).
+///
+/// # Errors
+///
+/// Propagates connection/IO errors; a server that closes without
+/// responding yields `UnexpectedEof`.
+pub fn send_request(addr: impl ToSocketAddrs, req: &Request) -> std::io::Result<String> {
+    send_request_with(addr, req, &ClientConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_jitters_within_bounds() {
+        let base = Duration::from_millis(100);
+        for attempt_n in 1..=6u32 {
+            let nominal = base * (1 << (attempt_n - 1));
+            let b = backoff_for(base, attempt_n);
+            assert!(
+                b >= nominal.mul_f64(0.5) && b <= nominal,
+                "attempt {attempt_n}: {b:?} outside [{:?}, {nominal:?}]",
+                nominal.mul_f64(0.5)
+            );
+        }
+        // Deterministic: same attempt, same sleep.
+        assert_eq!(backoff_for(base, 3), backoff_for(base, 3));
+    }
+
+    #[test]
+    fn transport_errors_are_retryable_verdicts_are_not() {
+        for kind in [
+            ErrorKind::ConnectionRefused,
+            ErrorKind::TimedOut,
+            ErrorKind::UnexpectedEof,
+            ErrorKind::BrokenPipe,
+        ] {
+            assert!(retryable(&std::io::Error::new(kind, "x")), "{kind:?}");
+        }
+        for kind in [ErrorKind::InvalidInput, ErrorKind::PermissionDenied] {
+            assert!(!retryable(&std::io::Error::new(kind, "x")), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn refused_connections_exhaust_the_retry_budget() {
+        // A port nothing listens on: reserve it, then drop the listener.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let cfg = ClientConfig {
+            timeout: Duration::from_millis(200),
+            retries: 2,
+            backoff: Duration::from_millis(1),
+        };
+        let t0 = std::time::Instant::now();
+        let err =
+            send_request_with(format!("127.0.0.1:{port}"), &Request::Stats, &cfg).unwrap_err();
+        assert!(retryable(&err), "refused is a transport failure: {err}");
+        // Three attempts happened (two backoff sleeps of ~1-4ms).
+        assert!(t0.elapsed() < Duration::from_secs(2));
+    }
 }

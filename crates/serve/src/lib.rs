@@ -10,11 +10,22 @@
 //! - [`pipeline`]: the pipelined planner — step N+1 plans on a worker
 //!   thread while step N simulates, with hidden-vs-exposed accounting;
 //! - [`protocol`]: line-delimited JSON requests/responses (`plan`,
-//!   `stats`, `shutdown`) built on `zeppelin_core::plan_io`'s JSON;
+//!   `stats`, `shutdown`) with per-request deadlines and typed error
+//!   codes, built on `zeppelin_core::plan_io`'s JSON;
+//! - [`frame`]: bounded, resynchronizing line framing that survives
+//!   oversized lines, dribbled bytes, and read timeouts;
 //! - [`server`]: the TCP front-end with a bounded worker pool,
-//!   queue-depth backpressure, and graceful shutdown;
-//! - [`client`]: a blocking one-request client for the CLI and tests;
-//! - [`metrics`]: hit rates, planning-latency percentiles, queue depth;
+//!   queue-depth backpressure, per-request panic containment, deadline
+//!   propagation, and graceful bounded-grace drain;
+//! - [`admission`]: the load-shedding gate over in-flight planner time
+//!   and the circuit breaker that short-circuit misses to degraded mode;
+//! - [`chaos`]: the seeded fault harness — deterministic adversarial
+//!   client/planner schedules and the loopback runner that asserts the
+//!   serving invariants;
+//! - [`client`]: a blocking client for the CLI and tests, with timeouts
+//!   and jittered-backoff retries on transport failures;
+//! - [`metrics`]: hit rates, planning-latency percentiles, queue depth,
+//!   and fault-discipline counters;
 //! - [`registry`]: shared name → scheduler/model/cluster/dataset
 //!   resolution, so the CLI and the wire protocol accept one vocabulary.
 //!
@@ -47,19 +58,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod cache;
 pub mod canonical;
+pub mod chaos;
 pub mod client;
+pub mod frame;
 pub mod metrics;
 pub mod pipeline;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 
+pub use admission::{AdmissionGate, BreakerState, CircuitBreaker, DegradeReason};
 pub use cache::{CacheStats, CachedPlan, PlanCache, PlanKey};
 pub use canonical::{is_index_faithful, reindex_plan, CanonicalBatch, CtxSignature};
-pub use client::send_request;
+pub use chaos::{run_chaos, ChaosReport, PlannerChaos, ServeFault, ServeFaultSchedule};
+pub use client::{send_request, send_request_with, ClientConfig};
+pub use frame::{Frame, FrameError, FrameReader, MAX_FRAME_BYTES};
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
 pub use pipeline::{run_training_pipelined, PipelineConfig, PipelineReport};
-pub use protocol::{parse_request, Request};
+pub use protocol::{parse_request, ErrorCode, Request};
 pub use server::{Server, ServerConfig, ServerReport};

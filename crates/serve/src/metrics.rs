@@ -1,4 +1,5 @@
-//! Service metrics: request counters, cache effectiveness, and planning
+//! Service metrics: request counters, cache effectiveness, fault-discipline
+//! counters (shed / degraded / panicked / deadline-exceeded), and planning
 //! latency percentiles, shared across worker threads.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -22,6 +23,14 @@ struct Inner {
     stats_requests: u64,
     errors: u64,
     rejected: u64,
+    shed: u64,
+    degraded: u64,
+    deadline_exceeded: u64,
+    worker_panics: u64,
+    worker_respawns: u64,
+    breaker_trips: u64,
+    slow_clients: u64,
+    shutting_down: u64,
     latencies_us: Vec<u64>,
     next_slot: usize,
 }
@@ -29,7 +38,7 @@ struct Inner {
 /// A point-in-time copy of the metrics, with derived percentiles.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsSnapshot {
-    /// `plan` requests served (hit or miss).
+    /// `plan` requests answered with a plan (primary or degraded).
     pub plan_requests: u64,
     /// `plan` requests answered from the cache.
     pub cache_hits: u64,
@@ -39,12 +48,32 @@ pub struct MetricsSnapshot {
     pub errors: u64,
     /// Connections rejected by queue-depth backpressure.
     pub rejected: u64,
+    /// Cache misses shed by the admission gate (answered degraded).
+    pub shed: u64,
+    /// Plan responses served by the fallback scheduler (`degraded: true`),
+    /// whether shed by load or short-circuited by the breaker.
+    pub degraded: u64,
+    /// Requests whose deadline expired before the response could ship.
+    pub deadline_exceeded: u64,
+    /// Panics contained by a worker while serving a request.
+    pub worker_panics: u64,
+    /// Worker threads re-entered after an uncontained panic escaped the
+    /// request handler (the pool's capacity backstop).
+    pub worker_respawns: u64,
+    /// Times the circuit breaker tripped open.
+    pub breaker_trips: u64,
+    /// Connections shed for dribbling a frame past the per-frame budget.
+    pub slow_clients: u64,
+    /// Requests answered with a typed `shutting_down` error during drain.
+    pub shutting_down: u64,
     /// Connections waiting for a worker right now.
     pub queue_depth: usize,
     /// Median planning latency over the recent reservoir, microseconds.
     pub p50_us: u64,
     /// 99th-percentile planning latency, microseconds.
     pub p99_us: u64,
+    /// 99.9th-percentile planning latency, microseconds.
+    pub p999_us: u64,
 }
 
 impl MetricsSnapshot {
@@ -104,6 +133,49 @@ impl ServiceMetrics {
         self.inner.lock().expect("metrics poisoned").rejected += 1;
     }
 
+    /// Records a cache miss shed by the admission gate.
+    pub fn record_shed(&self) {
+        self.inner.lock().expect("metrics poisoned").shed += 1;
+    }
+
+    /// Records a degraded (fallback-scheduler) plan response.
+    pub fn record_degraded(&self) {
+        self.inner.lock().expect("metrics poisoned").degraded += 1;
+    }
+
+    /// Records a request whose deadline expired server-side.
+    pub fn record_deadline_exceeded(&self) {
+        self.inner
+            .lock()
+            .expect("metrics poisoned")
+            .deadline_exceeded += 1;
+    }
+
+    /// Records a panic contained while serving a request.
+    pub fn record_worker_panic(&self) {
+        self.inner.lock().expect("metrics poisoned").worker_panics += 1;
+    }
+
+    /// Records a worker re-entering its loop after an escaped panic.
+    pub fn record_worker_respawn(&self) {
+        self.inner.lock().expect("metrics poisoned").worker_respawns += 1;
+    }
+
+    /// Records the circuit breaker tripping open.
+    pub fn record_breaker_trip(&self) {
+        self.inner.lock().expect("metrics poisoned").breaker_trips += 1;
+    }
+
+    /// Records a connection shed as a slow-loris client.
+    pub fn record_slow_client(&self) {
+        self.inner.lock().expect("metrics poisoned").slow_clients += 1;
+    }
+
+    /// Records a typed `shutting_down` reply during drain.
+    pub fn record_shutting_down(&self) {
+        self.inner.lock().expect("metrics poisoned").shutting_down += 1;
+    }
+
     /// Adjusts the queue-depth gauge as connections enqueue/dequeue.
     pub fn set_queue_depth(&self, depth: usize) {
         self.queue_depth.store(depth, Ordering::Relaxed);
@@ -120,9 +192,18 @@ impl ServiceMetrics {
             stats_requests: m.stats_requests,
             errors: m.errors,
             rejected: m.rejected,
+            shed: m.shed,
+            degraded: m.degraded,
+            deadline_exceeded: m.deadline_exceeded,
+            worker_panics: m.worker_panics,
+            worker_respawns: m.worker_respawns,
+            breaker_trips: m.breaker_trips,
+            slow_clients: m.slow_clients,
+            shutting_down: m.shutting_down,
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             p50_us: percentile(&sorted, 0.50),
             p99_us: percentile(&sorted, 0.99),
+            p999_us: percentile(&sorted, 0.999),
         }
     }
 }
@@ -143,6 +224,7 @@ mod tests {
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
         assert!((49..=51).contains(&s.p50_us), "p50 {}", s.p50_us);
         assert!((98..=100).contains(&s.p99_us), "p99 {}", s.p99_us);
+        assert!((99..=100).contains(&s.p999_us), "p999 {}", s.p999_us);
     }
 
     #[test]
@@ -153,6 +235,7 @@ mod tests {
         }
         let s = m.snapshot();
         assert_eq!(s.p50_us, 7);
+        assert_eq!(s.p999_us, 7);
         assert_eq!(s.plan_requests, (RESERVOIR + 100) as u64);
     }
 
@@ -175,5 +258,31 @@ mod tests {
             (s.stats_requests, s.errors, s.rejected, s.queue_depth),
             (1, 1, 1, 3)
         );
+    }
+
+    #[test]
+    fn fault_counters_update_independently() {
+        let m = ServiceMetrics::new();
+        m.record_shed();
+        m.record_degraded();
+        m.record_degraded();
+        m.record_deadline_exceeded();
+        m.record_worker_panic();
+        m.record_worker_respawn();
+        m.record_breaker_trip();
+        m.record_slow_client();
+        m.record_shutting_down();
+        let s = m.snapshot();
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.degraded, 2);
+        assert_eq!(s.deadline_exceeded, 1);
+        assert_eq!(s.worker_panics, 1);
+        assert_eq!(s.worker_respawns, 1);
+        assert_eq!(s.breaker_trips, 1);
+        assert_eq!(s.slow_clients, 1);
+        assert_eq!(s.shutting_down, 1);
+        // Fault counters never leak into request accounting.
+        assert_eq!(s.plan_requests, 0);
+        assert_eq!(s.errors, 0);
     }
 }

@@ -1,38 +1,69 @@
 //! The TCP front-end: a bounded worker pool serving line-delimited JSON
-//! plan requests out of the shared canonicalizing cache.
+//! plan requests out of the shared canonicalizing cache, with the fault
+//! discipline of a service that sits on a training hot path.
 //!
 //! Architecture: one non-blocking acceptor loop plus `workers` handler
 //! threads draining a bounded connection queue (Mutex + Condvar). When the
-//! queue is full the acceptor answers `{"ok":false,"error":"overloaded"}`
-//! and closes the connection instead of queuing unbounded work — queue
-//! depth *is* the backpressure signal. A `shutdown` request flips a shared
-//! flag; the acceptor stops accepting, workers finish their current
-//! connection and exit, and [`Server::run`] returns the final metrics.
+//! queue is full the acceptor answers a typed `overloaded` error and closes
+//! the connection instead of queuing unbounded work.
+//!
+//! Fault discipline, per request:
+//!
+//! - **Deadlines**: a `deadline_ms` budget propagates from the request line
+//!   through planning to the response write; an expired budget is answered
+//!   with a typed `deadline_exceeded` error instead of a stale plan.
+//! - **Bounded framing**: [`FrameReader`] owns partial frames across read
+//!   timeouts, sheds byte-dribbling clients (`slow_client`) after
+//!   [`ServerConfig::frame_timeout_ms`], closes half-open idle connections
+//!   after [`ServerConfig::idle_timeout_ms`], and resynchronizes after
+//!   oversized lines (`frame_oversized`) — no client behavior can pin a
+//!   worker.
+//! - **Panic containment**: every request runs under `catch_unwind`; a
+//!   panic is answered with a typed `worker_panicked` error and the worker
+//!   survives. An escaped panic (outside the request path) re-enters the
+//!   worker loop, so pool capacity never decays.
+//! - **Admission control + degraded mode**: cache misses pass a
+//!   load-shedding [`AdmissionGate`] over estimated in-flight planner time
+//!   and a [`CircuitBreaker`] over consecutive planner failures; shed or
+//!   short-circuited misses are answered by the fast fallback scheduler
+//!   (`degraded: true`) instead of queueing behind a sick planner.
+//! - **Graceful drain**: `shutdown` starts a bounded grace period during
+//!   which queued and in-flight requests are served normally; stragglers
+//!   past the grace get a typed `shutting_down` error, never a silently
+//!   dropped connection.
 
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use zeppelin_core::plan::IterationPlan;
 use zeppelin_core::plan_io::plan_from_json;
 use zeppelin_core::scheduler::SchedulerCtx;
 use zeppelin_core::validate::{report, validate, validate_with_batch};
 use zeppelin_data::batch::Batch;
 
+use crate::admission::{AdmissionGate, CircuitBreaker};
 use crate::cache::{CacheStats, CachedPlan, PlanCache, PlanKey};
+use crate::chaos::PlannerChaos;
+use crate::frame::{Frame, FrameError, FrameReader, MAX_FRAME_BYTES};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::protocol::{
-    error_response, parse_request, plan_response, shutdown_response, stats_response, Request,
+    error_response, parse_request, plan_response, shutdown_response, stats_response, typed_error,
+    ErrorCode, Request,
 };
 use crate::registry;
 
-/// Upper bound on one request line, in bytes. A client streaming an
-/// endless line would otherwise grow the read buffer without bound; over
-/// the cap the worker answers with an error and closes the connection
-/// (the rest of the line cannot be resynchronized).
-pub const MAX_LINE_BYTES: u64 = 1 << 20;
+/// Upper bound on one request line, in bytes (alias of
+/// [`MAX_FRAME_BYTES`], kept for callers of the original constant).
+pub const MAX_LINE_BYTES: u64 = MAX_FRAME_BYTES as u64;
+
+/// Socket read poll tick: how often blocked reads wake to check shutdown,
+/// idle, and frame budgets.
+const READ_TICK: Duration = Duration::from_millis(50);
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -53,6 +84,34 @@ pub struct ServerConfig {
     pub cluster: String,
     /// Default node count.
     pub nodes: usize,
+    /// Fallback scheduler answering shed/short-circuited misses
+    /// (`degraded: true`). Must resolve in the registry.
+    pub degraded_method: String,
+    /// Grace period after `shutdown` during which queued and in-flight
+    /// requests are still served; later arrivals get `shutting_down`.
+    pub grace_ms: u64,
+    /// Idle keep-alive connections are closed after this long without a
+    /// complete request (half-open client guard).
+    pub idle_timeout_ms: u64,
+    /// One frame may dribble at most this long before the connection is
+    /// shed with `slow_client` (slow-loris guard).
+    pub frame_timeout_ms: u64,
+    /// Socket write timeout: a client that stops reading its responses
+    /// cannot pin a worker in `write`.
+    pub write_timeout_ms: u64,
+    /// Admission gate high-water mark: estimated in-flight planner
+    /// milliseconds beyond which cache misses are shed to degraded mode.
+    pub planner_highwater_ms: u64,
+    /// Seed for the gate's planner-latency estimate before observations.
+    pub planner_estimate_ms: u64,
+    /// Consecutive planner failures (errors or contained panics) that trip
+    /// the circuit breaker open.
+    pub breaker_failures: u32,
+    /// How long the breaker stays open before half-opening one trial run.
+    pub breaker_cooldown_ms: u64,
+    /// Deterministic planner fault injection (stalls/panics) for the chaos
+    /// harness; `None` in production.
+    pub chaos: Option<Arc<PlannerChaos>>,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +125,16 @@ impl Default for ServerConfig {
             model: "3b".to_string(),
             cluster: "a".to_string(),
             nodes: 2,
+            degraded_method: "te".to_string(),
+            grace_ms: 500,
+            idle_timeout_ms: 30_000,
+            frame_timeout_ms: 5_000,
+            write_timeout_ms: 5_000,
+            planner_highwater_ms: 2_000,
+            planner_estimate_ms: 20,
+            breaker_failures: 3,
+            breaker_cooldown_ms: 250,
+            chaos: None,
         }
     }
 }
@@ -84,10 +153,38 @@ pub struct ServerReport {
 struct Shared {
     cfg: ServerConfig,
     shutdown: AtomicBool,
+    /// Set when shutdown begins: the end of the drain grace period.
+    drain_until: Mutex<Option<Instant>>,
     queue: Mutex<VecDeque<TcpStream>>,
     available: Condvar,
     metrics: ServiceMetrics,
     cache: Mutex<PlanCache>,
+    gate: AdmissionGate,
+    breaker: CircuitBreaker,
+}
+
+impl Shared {
+    fn begin_drain(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let mut until = self.drain_until.lock().expect("drain poisoned");
+        if until.is_none() {
+            *until = Some(Instant::now() + Duration::from_millis(self.cfg.grace_ms));
+        }
+        drop(until);
+        self.available.notify_all();
+    }
+
+    /// True once the drain grace period has elapsed (always false before
+    /// shutdown).
+    fn past_grace(&self) -> bool {
+        if !self.shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        self.drain_until
+            .lock()
+            .expect("drain poisoned")
+            .is_none_or(|t| Instant::now() > t)
+    }
 }
 
 /// A bound planning server, ready to [`run`](Server::run).
@@ -108,16 +205,24 @@ impl Server {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let cache = Mutex::new(PlanCache::new(cfg.cache_capacity));
+        let gate = AdmissionGate::new(cfg.planner_highwater_ms, cfg.planner_estimate_ms);
+        let breaker = CircuitBreaker::new(
+            cfg.breaker_failures,
+            Duration::from_millis(cfg.breaker_cooldown_ms),
+        );
         Ok(Server {
             listener,
             local_addr,
             shared: Arc::new(Shared {
                 cfg,
                 shutdown: AtomicBool::new(false),
+                drain_until: Mutex::new(None),
                 queue: Mutex::new(VecDeque::new()),
                 available: Condvar::new(),
                 metrics: ServiceMetrics::new(),
                 cache,
+                gate,
+                breaker,
             }),
         })
     }
@@ -141,7 +246,15 @@ impl Server {
         std::thread::scope(|scope| -> std::io::Result<()> {
             for _ in 0..shared.cfg.workers.max(1) {
                 let shared = Arc::clone(&shared);
-                scope.spawn(move || worker_loop(&shared));
+                // Respawn backstop: a panic that escapes the per-request
+                // containment must not shrink the pool, so the worker
+                // re-enters its loop instead of unwinding out of the scope.
+                scope.spawn(move || loop {
+                    match catch_unwind(AssertUnwindSafe(|| worker_loop(&shared))) {
+                        Ok(()) => break,
+                        Err(_) => shared.metrics.record_worker_respawn(),
+                    }
+                });
             }
             while !shared.shutdown.load(Ordering::SeqCst) {
                 match self.listener.accept() {
@@ -151,8 +264,7 @@ impl Server {
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                     Err(e) => {
-                        shared.shutdown.store(true, Ordering::SeqCst);
-                        shared.available.notify_all();
+                        shared.begin_drain();
                         return Err(e);
                     }
                 }
@@ -178,7 +290,14 @@ fn enqueue(shared: &Shared, stream: TcpStream) {
         // Best-effort rejection notice; the client may already be gone.
         let mut stream = stream;
         let _ = stream.set_nonblocking(false);
-        let _ = writeln!(stream, "{}", error_response("overloaded: queue full"));
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(
+            shared.cfg.write_timeout_ms.max(1),
+        )));
+        let _ = writeln!(
+            stream,
+            "{}",
+            typed_error(ErrorCode::Overloaded, "overloaded: queue full")
+        );
         return;
     }
     queue.push_back(stream);
@@ -211,98 +330,184 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// How a handled request line terminates the write side.
+enum RequestOutcome {
+    /// Write the response and keep the connection open.
+    Reply(String),
+    /// Write the response, then close (shutdown ack).
+    ReplyThenClose(String),
+}
+
 fn handle_connection(shared: &Shared, stream: TcpStream) {
-    // Keep-alive connections poll the shutdown flag between reads so a
-    // drain cannot hang on an idle client.
     let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    // Short read tick: blocked reads wake often enough to poll shutdown,
+    // idle, and frame budgets without busy-waiting.
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(
+        shared.cfg.write_timeout_ms.max(1),
+    )));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut reader = FrameReader::new(stream);
+    let frame_timeout = Duration::from_millis(shared.cfg.frame_timeout_ms.max(1));
+    let idle_timeout = Duration::from_millis(shared.cfg.idle_timeout_ms.max(1));
+    let mut idle_since = Instant::now();
     loop {
-        line.clear();
-        // The take adapter caps how much one line can buffer; a line that
-        // fills it is hostile (or a protocol break) and unrecoverable,
-        // because the remainder cannot be resynchronized.
-        match reader
-            .by_ref()
-            .take(MAX_LINE_BYTES + 1)
-            .read_line(&mut line)
-        {
-            Ok(0) => return, // client hung up
-            Ok(_) if line.len() as u64 > MAX_LINE_BYTES => {
-                shared.metrics.record_error();
+        match reader.read_frame(Some(frame_timeout)) {
+            Ok(Frame::Line(line)) => {
+                idle_since = Instant::now();
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                let arrival = Instant::now();
+                if shared.past_grace() {
+                    // Drain straggler: a typed goodbye, not a dropped
+                    // connection.
+                    shared.metrics.record_shutting_down();
+                    let _ = writeln!(
+                        writer,
+                        "{}",
+                        typed_error(
+                            ErrorCode::ShuttingDown,
+                            "server is draining and the grace period has passed"
+                        )
+                    );
+                    return;
+                }
+                // Panic containment: whatever the handler does, the worker
+                // answers typed and survives.
+                match catch_unwind(AssertUnwindSafe(|| handle_request(shared, line, arrival))) {
+                    Ok(RequestOutcome::Reply(response)) => {
+                        if writeln!(writer, "{response}").is_err() {
+                            return;
+                        }
+                    }
+                    Ok(RequestOutcome::ReplyThenClose(response)) => {
+                        let _ = writeln!(writer, "{response}");
+                        return;
+                    }
+                    Err(_) => {
+                        shared.metrics.record_worker_panic();
+                        shared.metrics.record_error();
+                        let _ = writeln!(
+                            writer,
+                            "{}",
+                            typed_error(
+                                ErrorCode::WorkerPanicked,
+                                "the worker panicked serving this request; \
+                                 the panic was contained and the pool is intact"
+                            )
+                        );
+                        return;
+                    }
+                }
+            }
+            Ok(Frame::Eof) => return,
+            Err(FrameError::TimedOut { mid_frame }) => {
+                if shared.shutdown.load(Ordering::SeqCst) && shared.past_grace() {
+                    return;
+                }
+                if !mid_frame && idle_since.elapsed() > idle_timeout {
+                    // Half-open / silent client: free the worker.
+                    return;
+                }
+                // Mid-frame waits are bounded by the reader's frame budget.
+            }
+            Err(FrameError::SlowFrame { partial }) => {
+                shared.metrics.record_slow_client();
                 let _ = writeln!(
                     writer,
                     "{}",
-                    error_response(&format!(
-                        "request line exceeds the {MAX_LINE_BYTES}-byte limit"
-                    ))
+                    typed_error(
+                        ErrorCode::SlowClient,
+                        &format!(
+                            "request frame stalled after {partial} byte(s); \
+                             send complete lines within the frame budget"
+                        )
+                    )
                 );
                 return;
             }
-            Ok(_) => {}
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                if shared.shutdown.load(Ordering::SeqCst) {
+            Err(FrameError::Oversized { discarded }) => {
+                shared.metrics.record_error();
+                let notice = typed_error(
+                    ErrorCode::FrameOversized,
+                    &format!(
+                        "request line exceeds the {MAX_LINE_BYTES}-byte limit \
+                         ({discarded} bytes discarded); resynchronized at the next line"
+                    ),
+                );
+                if writeln!(writer, "{notice}").is_err() {
                     return;
                 }
-                continue;
+                // Resynchronized: the connection keeps serving.
             }
-            Err(_) => return,
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-        let response = match parse_request(line.trim()) {
-            Ok(Request::Stats) => {
-                shared.metrics.record_stats();
-                stats_response(&shared.metrics.snapshot())
-            }
-            Ok(Request::Shutdown) => {
-                shared.shutdown.store(true, Ordering::SeqCst);
-                shared.available.notify_all();
-                let _ = writeln!(writer, "{}", shutdown_response());
-                return;
-            }
-            Ok(Request::Plan {
-                seqs,
-                method,
-                model,
-                cluster,
-                nodes,
-            }) => match serve_plan(shared, &seqs, method, model, cluster, nodes) {
-                Ok(r) => r,
-                Err(msg) => {
-                    shared.metrics.record_error();
-                    error_response(&msg)
-                }
-            },
-            Ok(Request::Audit { plan }) => match audit_plan(shared, &plan) {
-                Ok(r) => r,
-                Err(msg) => {
-                    shared.metrics.record_error();
-                    error_response(&msg)
-                }
-            },
-            Err(msg) => {
-                shared.metrics.record_error();
-                error_response(&msg)
-            }
-        };
-        if writeln!(writer, "{response}").is_err() {
-            return;
+            // Peer vanished mid-frame: nobody left to answer.
+            Err(FrameError::Truncated { .. }) | Err(FrameError::Io(_)) => return,
         }
     }
 }
 
+fn handle_request(shared: &Shared, line: &str, arrival: Instant) -> RequestOutcome {
+    match parse_request(line) {
+        Ok(Request::Stats) => {
+            shared.metrics.record_stats();
+            RequestOutcome::Reply(stats_response(&shared.metrics.snapshot()))
+        }
+        Ok(Request::Shutdown) => {
+            shared.begin_drain();
+            RequestOutcome::ReplyThenClose(shutdown_response())
+        }
+        Ok(Request::Plan {
+            seqs,
+            method,
+            model,
+            cluster,
+            nodes,
+            deadline_ms,
+        }) => {
+            let deadline = deadline_ms.map(|ms| arrival + Duration::from_millis(ms));
+            match serve_plan(shared, &seqs, method, model, cluster, nodes, deadline) {
+                Ok(r) => RequestOutcome::Reply(r),
+                Err((code, msg)) => {
+                    if code == ErrorCode::DeadlineExceeded {
+                        shared.metrics.record_deadline_exceeded();
+                    } else {
+                        shared.metrics.record_error();
+                    }
+                    RequestOutcome::Reply(typed_error(code, &msg))
+                }
+            }
+        }
+        Ok(Request::Audit { plan }) => match audit_plan(shared, &plan) {
+            Ok(r) => RequestOutcome::Reply(r),
+            Err((code, msg)) => {
+                shared.metrics.record_error();
+                RequestOutcome::Reply(typed_error(code, &msg))
+            }
+        },
+        Err(msg) => {
+            shared.metrics.record_error();
+            RequestOutcome::Reply(error_response(&msg))
+        }
+    }
+}
+
+/// Fails with `deadline_exceeded` once `deadline` has passed.
+fn check_deadline(deadline: Option<Instant>, stage: &str) -> Result<(), (ErrorCode, String)> {
+    match deadline {
+        Some(d) if Instant::now() >= d => Err((
+            ErrorCode::DeadlineExceeded,
+            format!("deadline expired {stage}"),
+        )),
+        _ => Ok(()),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn serve_plan(
     shared: &Shared,
     seqs: &[u64],
@@ -310,72 +515,174 @@ fn serve_plan(
     model: Option<String>,
     cluster: Option<String>,
     nodes: Option<usize>,
-) -> Result<String, String> {
+    deadline: Option<Instant>,
+) -> Result<String, (ErrorCode, String)> {
     let cfg = &shared.cfg;
+    let bad = |msg: String| (ErrorCode::BadRequest, msg);
     let scheduler = registry::scheduler_by_name(method.as_deref().unwrap_or(&cfg.method))
-        .map_err(|n| format!("unknown method '{n}'"))?;
+        .map_err(|n| bad(format!("unknown method '{n}'")))?;
     let model = registry::model_by_name(model.as_deref().unwrap_or(&cfg.model))
-        .map_err(|n| format!("unknown model '{n}'"))?;
+        .map_err(|n| bad(format!("unknown model '{n}'")))?;
     let cluster = registry::cluster_by_name(
         cluster.as_deref().unwrap_or(&cfg.cluster),
         nodes.unwrap_or(cfg.nodes),
     )
-    .map_err(|n| format!("unknown cluster '{n}'"))?;
+    .map_err(|n| bad(format!("unknown cluster '{n}'")))?;
     let ctx = SchedulerCtx::new(&cluster, &model);
     let batch = Batch::new(seqs.to_vec());
 
     let start = Instant::now();
+    // A request that expired while queued is answered typed, before any
+    // planner time is spent on it.
+    check_deadline(deadline, "while queued, before planning")?;
     let (key, canonical) = PlanKey::new(scheduler.name(), &batch, &ctx);
     let looked_up = shared.cache.lock().expect("cache poisoned").lookup(&key);
-    let (plan, hit) = match looked_up {
-        Some(cached) => (cached.materialize(&canonical), true),
+    let (plan, hit, degraded) = match looked_up {
+        Some(cached) => (cached.materialize(&canonical), true, false),
         None => {
-            // Plan outside the cache lock: a slow partition must not stall
-            // cache hits on other workers. Concurrent misses for one key
-            // plan twice and the last insert wins — both compute the same
-            // canonical plan, so either entry is valid.
-            let plan = scheduler
-                .plan(&canonical.to_batch(), &ctx)
-                .map_err(|e| format!("planning failed: {e}"))?;
-            let cached = Arc::new(CachedPlan::new(plan, &canonical.lens));
-            let materialized = cached.materialize(&canonical);
-            shared
-                .cache
-                .lock()
-                .expect("cache poisoned")
-                .insert(key, cached);
-            (materialized, false)
+            // Admission: the gate bounds estimated in-flight planner time,
+            // the breaker short-circuits a failing planner. Either verdict
+            // degrades to the fallback scheduler instead of queueing.
+            match shared.gate.try_admit() {
+                None => {
+                    shared.metrics.record_shed();
+                    let plan = degraded_plan(shared, &batch, &ctx)?;
+                    (plan, false, true)
+                }
+                Some(permit) => {
+                    if !shared.breaker.allow() {
+                        shared.gate.cancel(permit);
+                        let plan = degraded_plan(shared, &batch, &ctx)?;
+                        (plan, false, true)
+                    } else {
+                        // Plan outside the cache lock: a slow partition must
+                        // not stall cache hits on other workers. Concurrent
+                        // misses for one key plan twice and the last insert
+                        // wins — both compute the same canonical plan.
+                        let t0 = Instant::now();
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            if let Some(chaos) = &cfg.chaos {
+                                chaos.before_plan();
+                            }
+                            scheduler.plan(&canonical.to_batch(), &ctx)
+                        }));
+                        shared.gate.release(permit, t0.elapsed());
+                        match outcome {
+                            Ok(Ok(plan)) => {
+                                shared.breaker.record_success();
+                                let cached = Arc::new(CachedPlan::new(plan, &canonical.lens));
+                                let materialized = cached.materialize(&canonical);
+                                shared
+                                    .cache
+                                    .lock()
+                                    .expect("cache poisoned")
+                                    .insert(key, cached);
+                                (materialized, false, false)
+                            }
+                            Ok(Err(e)) => {
+                                if shared.breaker.record_failure() {
+                                    shared.metrics.record_breaker_trip();
+                                }
+                                return Err((
+                                    ErrorCode::PlanFailed,
+                                    format!("planning failed: {e}"),
+                                ));
+                            }
+                            Err(_) => {
+                                // Planner panic, contained at the request
+                                // level: typed error out, worker intact,
+                                // breaker counts the failure.
+                                if shared.breaker.record_failure() {
+                                    shared.metrics.record_breaker_trip();
+                                }
+                                shared.metrics.record_worker_panic();
+                                return Err((
+                                    ErrorCode::WorkerPanicked,
+                                    "the planner panicked on this request; the panic was \
+                                     contained and the worker pool is intact"
+                                        .to_string(),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
         }
     };
     // Audit what actually goes on the wire — the materialized plan, after
-    // any cache re-indexing — so a cache or permutation bug can never ship
-    // a corrupt plan to a trainer.
-    validate_with_batch(&plan, &ctx, &batch)
-        .map_err(|v| format!("served plan failed audit: {}", report(&v)))?;
+    // any cache re-indexing, degraded or not — so a cache, permutation, or
+    // fallback bug can never ship a corrupt plan to a trainer.
+    validate_with_batch(&plan, &ctx, &batch).map_err(|v| {
+        (
+            ErrorCode::AuditFailed,
+            format!("served plan failed audit: {}", report(&v)),
+        )
+    })?;
+    // Deadline check after planning, before the response write: a stalled
+    // planner yields a typed error, not a stale plan.
+    check_deadline(deadline, "after planning, before the response write")?;
     let elapsed = start.elapsed();
+    if degraded {
+        shared.metrics.record_degraded();
+    }
     shared.metrics.record_plan(elapsed, hit);
     Ok(plan_response(
         &plan,
         hit,
+        degraded,
         elapsed.as_micros().min(u64::MAX as u128) as u64,
     ))
 }
 
+/// Plans `batch` with the fallback scheduler for a degraded response.
+/// Degraded plans are *not* cached: the next uncongested miss should get
+/// the primary planner's answer.
+fn degraded_plan(
+    shared: &Shared,
+    batch: &Batch,
+    ctx: &SchedulerCtx,
+) -> Result<Arc<IterationPlan>, (ErrorCode, String)> {
+    let fallback = registry::scheduler_by_name(&shared.cfg.degraded_method).map_err(|n| {
+        (
+            ErrorCode::PlanFailed,
+            format!("degraded-mode fallback scheduler '{n}' is unknown"),
+        )
+    })?;
+    match catch_unwind(AssertUnwindSafe(|| fallback.plan(batch, ctx))) {
+        Ok(Ok(plan)) => Ok(Arc::new(plan)),
+        Ok(Err(e)) => Err((
+            ErrorCode::PlanFailed,
+            format!("degraded-mode planning failed: {e}"),
+        )),
+        Err(_) => {
+            shared.metrics.record_worker_panic();
+            Err((
+                ErrorCode::WorkerPanicked,
+                "the fallback planner panicked; the panic was contained".to_string(),
+            ))
+        }
+    }
+}
+
 /// Handles an `audit` request: parse the client's plan document and run
 /// the full audit against the server's configured default context.
-fn audit_plan(shared: &Shared, plan_text: &str) -> Result<String, String> {
+fn audit_plan(shared: &Shared, plan_text: &str) -> Result<String, (ErrorCode, String)> {
     let cfg = &shared.cfg;
-    let plan = plan_from_json(plan_text).map_err(|e| e.to_string())?;
-    let model = registry::model_by_name(&cfg.model).map_err(|n| format!("unknown model '{n}'"))?;
+    let plan = plan_from_json(plan_text).map_err(|e| (ErrorCode::BadRequest, e.to_string()))?;
+    let model = registry::model_by_name(&cfg.model)
+        .map_err(|n| (ErrorCode::BadRequest, format!("unknown model '{n}'")))?;
     let cluster = registry::cluster_by_name(&cfg.cluster, cfg.nodes)
-        .map_err(|n| format!("unknown cluster '{n}'"))?;
+        .map_err(|n| (ErrorCode::BadRequest, format!("unknown cluster '{n}'")))?;
     let ctx = SchedulerCtx::new(&cluster, &model);
     match validate(&plan, &ctx) {
         Ok(()) => Ok("{\"ok\":true,\"audited\":true,\"violations\":0}".to_string()),
-        Err(v) => Err(format!(
-            "plan failed audit ({} violation(s)): {}",
-            v.len(),
-            report(&v)
+        Err(v) => Err((
+            ErrorCode::AuditFailed,
+            format!(
+                "plan failed audit ({} violation(s)): {}",
+                v.len(),
+                report(&v)
+            ),
         )),
     }
 }

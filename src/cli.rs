@@ -61,9 +61,9 @@ impl std::fmt::Display for CliError {
 impl std::error::Error for CliError {}
 
 /// Supported commands.
-pub const COMMANDS: [&str; 12] = [
+pub const COMMANDS: [&str; 13] = [
     "clusters", "models", "zones", "plan", "step", "compare", "explain", "audit", "run", "faults",
-    "serve", "client",
+    "serve", "client", "chaos",
 ];
 
 /// Parses raw arguments (excluding the program name).
@@ -440,6 +440,7 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
         "serve" => {
             let port = flag_usize(opts, "port", 7077)?;
             let host = opts.flags.get("host").map_or("127.0.0.1", |s| s);
+            let defaults = ServerConfig::default();
             let cfg = ServerConfig {
                 addr: format!("{host}:{port}"),
                 workers: flag_usize(opts, "workers", 4)?.max(1),
@@ -449,9 +450,38 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
                 model: opts.flags.get("model").map_or("3b", |s| s).into(),
                 cluster: opts.flags.get("cluster").map_or("a", |s| s).into(),
                 nodes: flag_usize(opts, "nodes", 2)?,
+                degraded_method: opts
+                    .flags
+                    .get("degraded-method")
+                    .map_or(defaults.degraded_method.as_str(), |s| s)
+                    .into(),
+                grace_ms: flag_u64(opts, "grace-ms", defaults.grace_ms)?,
+                idle_timeout_ms: flag_u64(opts, "idle-timeout-ms", defaults.idle_timeout_ms)?,
+                frame_timeout_ms: flag_u64(opts, "frame-timeout-ms", defaults.frame_timeout_ms)?,
+                write_timeout_ms: flag_u64(opts, "write-timeout-ms", defaults.write_timeout_ms)?,
+                planner_highwater_ms: flag_u64(
+                    opts,
+                    "highwater-ms",
+                    defaults.planner_highwater_ms,
+                )?,
+                planner_estimate_ms: defaults.planner_estimate_ms,
+                breaker_failures: flag_u64(
+                    opts,
+                    "breaker-failures",
+                    defaults.breaker_failures as u64,
+                )?
+                .clamp(1, u32::MAX as u64) as u32,
+                breaker_cooldown_ms: flag_u64(
+                    opts,
+                    "breaker-cooldown-ms",
+                    defaults.breaker_cooldown_ms,
+                )?,
+                chaos: None,
             };
             // Fail fast on bad defaults instead of erroring per-request.
             scheduler_by_name(&cfg.method)?;
+            registry::scheduler_by_name(&cfg.degraded_method)
+                .map_err(bad_flag("degraded-method"))?;
             model_by_name(&cfg.model)?;
             cluster_by_name(&cfg.cluster, cfg.nodes)?;
             let server = Server::bind(cfg)
@@ -467,8 +497,10 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
             let m = &report.metrics;
             Ok(format!(
                 "shutdown: {} plan requests ({} hits, {:.1}% hit rate), {} stats, \
-                 {} errors, {} rejected\n  plan latency p50 {}us p99 {}us; \
-                 {} cached plans ({} evictions)\n",
+                 {} errors, {} rejected\n  plan latency p50 {}us p99 {}us p999 {}us; \
+                 {} cached plans ({} evictions)\n  faults: {} shed, {} degraded, \
+                 {} deadline-exceeded, {} panics contained, {} respawns, \
+                 {} breaker trips, {} slow clients, {} drain stragglers\n",
                 m.plan_requests,
                 m.cache_hits,
                 m.hit_rate() * 100.0,
@@ -477,9 +509,36 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
                 m.rejected,
                 m.p50_us,
                 m.p99_us,
+                m.p999_us,
                 report.cached_plans,
                 report.cache.evictions,
+                m.shed,
+                m.degraded,
+                m.deadline_exceeded,
+                m.worker_panics,
+                m.worker_respawns,
+                m.breaker_trips,
+                m.slow_clients,
+                m.shutting_down,
             ))
+        }
+        "chaos" => {
+            let seed = flag_u64(opts, "seed", 42)?;
+            let events = flag_usize(opts, "events", 12)?;
+            let schedule = zeppelin_serve::ServeFaultSchedule::random(seed, events);
+            schedule
+                .validate()
+                .map_err(|e| CliError::RunFailed(format!("chaos schedule: {e}")))?;
+            let report = zeppelin_serve::run_chaos(&schedule)
+                .map_err(|e| CliError::RunFailed(format!("chaos run: {e}")))?;
+            let summary = report.summary();
+            if report.passed() {
+                Ok(format!("{summary}chaos invariant held (seed {seed})\n"))
+            } else {
+                Err(CliError::RunFailed(format!(
+                    "{summary}chaos invariant VIOLATED (seed {seed})"
+                )))
+            }
         }
         "client" => {
             let port = flag_usize(opts, "port", 7077)?;
@@ -494,12 +553,17 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
                         None => None,
                         Some(_) => Some(flag_usize(opts, "nodes", 2)?),
                     };
+                    let deadline_ms = match opts.flags.get("deadline-ms") {
+                        None => None,
+                        Some(_) => Some(flag_u64(opts, "deadline-ms", 0)?),
+                    };
                     Request::Plan {
                         seqs: build_batch(opts)?.seqs,
                         method: opts.flags.get("method").cloned(),
                         model: opts.flags.get("model").cloned(),
                         cluster: opts.flags.get("cluster").cloned(),
                         nodes,
+                        deadline_ms,
                     }
                 }
                 other => {
@@ -509,7 +573,15 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
                     })
                 }
             };
-            let line = zeppelin_serve::send_request(addr.as_str(), &req)
+            // Transport failures retry with jittered backoff; typed server
+            // errors come back as response lines and are never retried.
+            let client_cfg = zeppelin_serve::ClientConfig::with_timeout_ms(flag_u64(
+                opts,
+                "timeout-ms",
+                30_000,
+            )?)
+            .retries(flag_u64(opts, "retries", 0)?.min(u32::MAX as u64) as u32);
+            let line = zeppelin_serve::send_request_with(addr.as_str(), &req, &client_cfg)
                 .map_err(|e| CliError::RunFailed(format!("{addr}: {e}")))?;
             Ok(format!("{line}\n"))
         }
@@ -619,7 +691,11 @@ pub fn usage() -> String {
        run      [--steps N --json out.json] multi-step training run\n\
        faults   [--crash-node N --crash-at-ms T --steps N] recovery-policy table\n\
        serve    [--port P --workers W --queue Q --cache N] online planning server\n\
+                [--grace-ms G --frame-timeout-ms F --idle-timeout-ms I]\n\
+                [--highwater-ms H --degraded-method S --breaker-failures N --breaker-cooldown-ms C]\n\
        client   [--port P --op plan|stats|shutdown ... workload flags] one request\n\
+                [--deadline-ms D --timeout-ms T --retries R]\n\
+       chaos    [--seed S --events N] seeded fault storm against a loopback server\n\
      flags:\n\
        --model    3b|7b|13b|30b|moe        (default 3b)\n\
        --cluster  a|b|c                    (default a)\n\

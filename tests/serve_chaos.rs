@@ -1,0 +1,267 @@
+//! Chaos-harness integration tests (DESIGN.md §11): the serving invariant
+//! under seeded fault storms, seeded-replay determinism of the schedules,
+//! and targeted loopback probes of each fault-tolerance mechanism —
+//! deadlines, panic containment, the circuit breaker's degraded mode, and
+//! the graceful-drain typed goodbye.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use zeppelin::core::plan_io::{parse_json, Json};
+use zeppelin::serve::chaos::{run_chaos, PlannerChaos, ServeFaultSchedule};
+use zeppelin::serve::protocol::{response_error_code, ErrorCode, Request};
+use zeppelin::serve::{send_request, Server, ServerConfig};
+
+/// The acceptance bar from the issue: the chaos invariant — every fault
+/// resolves typed within the SLO, the worker pool stays whole, and the
+/// service recovers to clean primary planning — holds for three distinct
+/// seeds. The seeds run in parallel threads; each gets its own server on an
+/// ephemeral port.
+#[test]
+fn chaos_invariant_holds_for_three_seeds() {
+    let handles: Vec<_> = [7u64, 1234, 987_654_321]
+        .into_iter()
+        .map(|seed| {
+            std::thread::spawn(move || {
+                let schedule = ServeFaultSchedule::random(seed, 8);
+                schedule.validate().expect("random schedules validate");
+                let report = run_chaos(&schedule).expect("chaos run completes");
+                assert!(
+                    report.passed(),
+                    "chaos invariant violated for seed {seed}:\n{}",
+                    report.summary()
+                );
+                assert_eq!(
+                    report.server.metrics.worker_respawns, 0,
+                    "per-request containment caught every panic (seed {seed})"
+                );
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("seed thread completes");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Seeded replay: the same seed always produces the same schedule —
+    /// event for event, byte for byte in the log — so any chaos failure in
+    /// CI reproduces locally from nothing but the printed seed. Different
+    /// seeds must actually explore different storms.
+    #[test]
+    fn schedules_replay_identically_from_their_seed(
+        seed in any::<u64>(),
+        count in 1usize..24,
+    ) {
+        let a = ServeFaultSchedule::random(seed, count);
+        let b = ServeFaultSchedule::random(seed, count);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.event_log(), b.event_log());
+        prop_assert!(a.validate().is_ok(), "random schedules stay within limits");
+        prop_assert_eq!(a.events().len(), count);
+        let other = ServeFaultSchedule::random(seed.wrapping_add(1), count);
+        prop_assert_ne!(a.event_log(), other.event_log());
+    }
+}
+
+fn plan_with_deadline(seqs: Vec<u64>, deadline_ms: u64) -> Request {
+    Request::Plan {
+        seqs,
+        method: None,
+        model: None,
+        cluster: None,
+        nodes: None,
+        deadline_ms: Some(deadline_ms),
+    }
+}
+
+fn bind_server(
+    cfg: ServerConfig,
+) -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<zeppelin::serve::ServerReport>,
+) {
+    let server = Server::bind(cfg).expect("bind an ephemeral port");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().expect("serve until shutdown"));
+    (addr, handle)
+}
+
+/// A planner stall pushed through the injection hook must surface as a
+/// typed `deadline_exceeded` — never a stale plan — when the request's
+/// budget is shorter than the stall.
+#[test]
+fn stalled_planning_past_the_deadline_answers_typed() {
+    let chaos = Arc::new(PlannerChaos::new());
+    let (addr, handle) = bind_server(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        chaos: Some(Arc::clone(&chaos)),
+        ..ServerConfig::default()
+    });
+
+    chaos.push_stall(300);
+    let req = plan_with_deadline(vec![4000, 1500, 800], 100);
+    let line = send_request(addr, &req).expect("typed reply, not a hang");
+    assert_eq!(
+        response_error_code(&line),
+        Some(ErrorCode::DeadlineExceeded),
+        "{line}"
+    );
+
+    // Without a stall, the same budget is plenty: planning recovers.
+    let req = plan_with_deadline(vec![4000, 1500, 801], 2_000);
+    let line = send_request(addr, &req).expect("plan response");
+    let v = parse_json(&line).expect("response is JSON");
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{line}");
+
+    send_request(addr, &Request::Shutdown).expect("shutdown ack");
+    let report = handle.join().expect("server thread exits");
+    assert_eq!(report.metrics.deadline_exceeded, 1);
+    assert_eq!(report.metrics.worker_respawns, 0);
+}
+
+/// Injected planner panics are contained at the request level: each is a
+/// typed `worker_panicked` on a connection that *survives*, consecutive
+/// panics trip the breaker into degraded mode, and the breaker half-opens
+/// back to primary planning after its cooldown.
+#[test]
+fn planner_panics_are_contained_and_trip_the_breaker_into_degraded_mode() {
+    let chaos = Arc::new(PlannerChaos::new());
+    let (addr, handle) = bind_server(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        breaker_failures: 3,
+        breaker_cooldown_ms: 200,
+        chaos: Some(Arc::clone(&chaos)),
+        ..ServerConfig::default()
+    });
+
+    // One connection rides through the whole episode: panics must not
+    // drop it.
+    let raw = TcpStream::connect(addr).expect("connect");
+    let mut writer = raw.try_clone().expect("clone for writing");
+    let mut reader = BufReader::new(raw);
+    let mut reply = String::new();
+    let mut ask = |writer: &mut TcpStream, reply: &mut String, req: &Request| {
+        writeln!(writer, "{}", req.to_line()).expect("request line sends");
+        reply.clear();
+        reader.read_line(reply).expect("server answers");
+        reply.trim().to_string()
+    };
+
+    // Three consecutive panics (distinct batches, so each is a cache miss
+    // that reaches the planner) — each contained and typed.
+    for i in 0..3u64 {
+        chaos.push_panic();
+        let line = ask(&mut writer, &mut reply, &Request::plan(vec![9000 + i, 500]));
+        assert_eq!(
+            response_error_code(&line),
+            Some(ErrorCode::WorkerPanicked),
+            "{line}"
+        );
+    }
+
+    // The breaker is now open: a fresh miss is served by the fallback
+    // scheduler, tagged degraded, instead of touching the sick planner.
+    let line = ask(&mut writer, &mut reply, &Request::plan(vec![7000, 1500]));
+    let v = parse_json(&line).expect("response is JSON");
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{line}");
+    assert_eq!(v.get("degraded"), Some(&Json::Bool(true)), "{line}");
+
+    // Past the cooldown the breaker half-opens, the trial run succeeds,
+    // and primary planning resumes.
+    std::thread::sleep(Duration::from_millis(250));
+    let line = ask(&mut writer, &mut reply, &Request::plan(vec![6000, 2500]));
+    let v = parse_json(&line).expect("response is JSON");
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{line}");
+    assert_eq!(v.get("degraded"), Some(&Json::Bool(false)), "{line}");
+    drop(reader);
+    drop(writer);
+
+    send_request(addr, &Request::Shutdown).expect("shutdown ack");
+    let report = handle.join().expect("server thread exits");
+    assert_eq!(report.metrics.worker_panics, 3);
+    assert_eq!(report.metrics.breaker_trips, 1);
+    assert_eq!(report.metrics.degraded, 1);
+    assert_eq!(
+        report.metrics.worker_respawns, 0,
+        "containment held at the request level; the backstop never fired"
+    );
+}
+
+/// Graceful drain: a straggler request arriving past the grace period gets
+/// a typed `shutting_down` goodbye, not a silently dropped connection.
+///
+/// Determinism: both request lines are sent in one write, so the second is
+/// already buffered in the server's frame reader while the first (stalled
+/// by injection past the shutdown) is being served — the straggler check
+/// runs on the buffered line with no read-timeout race.
+#[test]
+fn drain_stragglers_get_a_typed_goodbye() {
+    let chaos = Arc::new(PlannerChaos::new());
+    let (addr, handle) = bind_server(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        grace_ms: 0,
+        chaos: Some(Arc::clone(&chaos)),
+        ..ServerConfig::default()
+    });
+
+    chaos.push_stall(300);
+    let raw = TcpStream::connect(addr).expect("connect");
+    let mut writer = raw.try_clone().expect("clone for writing");
+    let mut reader = BufReader::new(raw);
+    let first = Request::plan(vec![4000, 900]).to_line();
+    let second = Request::plan(vec![5000, 800]).to_line();
+    writer
+        .write_all(format!("{first}\n{second}\n").as_bytes())
+        .expect("both lines send");
+
+    // While the first request stalls in the planner, shut the server down
+    // with a zero grace period from another connection.
+    std::thread::sleep(Duration::from_millis(100));
+    let ack = send_request(addr, &Request::Shutdown).expect("shutdown ack");
+    assert_eq!(
+        parse_json(&ack).unwrap().get("shutting_down"),
+        Some(&Json::Bool(true))
+    );
+
+    // The in-flight request still completes (it was accepted before the
+    // drain began)...
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("first reply arrives");
+    let v = parse_json(line.trim()).expect("reply is JSON");
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{line}");
+
+    // ...and the buffered straggler is answered typed, then the
+    // connection closes.
+    line.clear();
+    reader
+        .read_line(&mut line)
+        .expect("straggler reply arrives");
+    assert_eq!(
+        response_error_code(line.trim()),
+        Some(ErrorCode::ShuttingDown),
+        "{line}"
+    );
+    line.clear();
+    assert_eq!(
+        reader.read_line(&mut line).unwrap_or(0),
+        0,
+        "the connection is closed after the goodbye"
+    );
+
+    let report = handle.join().expect("server thread exits");
+    assert_eq!(report.metrics.shutting_down, 1);
+    assert_eq!(
+        report.metrics.plan_requests, 1,
+        "the straggler never planned"
+    );
+}

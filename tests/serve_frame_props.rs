@@ -1,0 +1,309 @@
+//! Property tests for the bounded, resynchronizing frame reader under
+//! adversarial writes (DESIGN.md §11).
+//!
+//! The framing layer is the first trust boundary of the serving front-end:
+//! every byte it sees comes from an untrusted socket. These properties feed
+//! [`FrameReader`] streams chunked at arbitrary byte boundaries, interleaved
+//! with `WouldBlock` timeouts, spiked with oversized lines, truncated
+//! mid-frame, or made of outright garbage — and assert the reader's
+//! contract: honest lines are recovered exactly and in order, every failure
+//! is a *typed* [`FrameError`], oversized frames resynchronize at the next
+//! newline, and nothing panics or loops forever. A final property pushes
+//! recovered garbage lines through [`parse_request`] to check the next
+//! layer stays typed too.
+
+use std::io::Read;
+
+use proptest::prelude::*;
+
+use zeppelin::serve::frame::{Frame, FrameError, FrameReader};
+use zeppelin::serve::protocol::parse_request;
+
+/// A reader that serves `data` in caller-chosen chunk sizes, optionally
+/// injecting a `WouldBlock` tick before each chunk — the loopback model of
+/// a socket with a read timeout under a client that writes in fragments.
+struct AdversarialReader {
+    data: Vec<u8>,
+    pos: usize,
+    /// Cycled-through chunk sizes (each ≥ 1).
+    chunks: Vec<usize>,
+    chunk_idx: usize,
+    /// Cycled-through "tick before this chunk?" flags.
+    ticks: Vec<bool>,
+    tick_idx: usize,
+    /// Set while the pending tick for the current chunk has not fired yet.
+    tick_pending: bool,
+}
+
+impl AdversarialReader {
+    fn new(data: Vec<u8>, chunks: Vec<usize>, ticks: Vec<bool>) -> AdversarialReader {
+        AdversarialReader {
+            data,
+            pos: 0,
+            chunks: if chunks.is_empty() { vec![1] } else { chunks },
+            chunk_idx: 0,
+            ticks: if ticks.is_empty() { vec![false] } else { ticks },
+            tick_idx: 0,
+            tick_pending: true,
+        }
+    }
+}
+
+impl Read for AdversarialReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        if self.tick_pending {
+            self.tick_pending = false;
+            let tick = self.ticks[self.tick_idx % self.ticks.len()];
+            self.tick_idx += 1;
+            if tick {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "injected tick",
+                ));
+            }
+        }
+        let want = self.chunks[self.chunk_idx % self.chunks.len()].max(1);
+        self.chunk_idx += 1;
+        self.tick_pending = true;
+        let n = want.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Drains a reader to `Eof`, collecting every non-timeout result. The
+/// iteration bound converts a livelock into a test failure instead of a
+/// hang.
+fn drain<R: Read>(mut reader: FrameReader<R>, bound: usize) -> Vec<Result<Frame, FrameError>> {
+    let mut out = Vec::new();
+    for _ in 0..bound {
+        match reader.read_frame(None) {
+            Err(FrameError::TimedOut { .. }) => continue,
+            other => {
+                let eof = matches!(other, Ok(Frame::Eof));
+                out.push(other);
+                if eof {
+                    return out;
+                }
+            }
+        }
+    }
+    panic!("FrameReader did not reach Eof within {bound} iterations");
+}
+
+/// Bytes of one honest line: printable ASCII, so no `\n`, no `\r`, and no
+/// lossy UTF-8 replacement to complicate the exact-recovery assertion.
+fn arb_line() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(32u8..127, 0..48)
+}
+
+fn arb_lines() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(arb_line(), 1..8)
+}
+
+/// Chunk sizes from 1 (pure byte dribble) to bigger-than-most-frames.
+fn arb_chunks() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..64, 1..8)
+}
+
+fn arb_ticks() -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(any::<bool>(), 1..8)
+}
+
+fn encode(lines: &[Vec<u8>]) -> Vec<u8> {
+    let mut data = Vec::new();
+    for line in lines {
+        data.extend_from_slice(line);
+        data.push(b'\n');
+    }
+    data
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Chunking transparency: however a client fragments its writes, and
+    /// however many read timeouts interleave, the frames that come out are
+    /// exactly the lines that went in, in order, then a clean `Eof`.
+    #[test]
+    fn arbitrary_chunking_recovers_every_line_in_order(
+        lines in arb_lines(),
+        chunks in arb_chunks(),
+        ticks in arb_ticks(),
+    ) {
+        let data = encode(&lines);
+        let bound = data.len() * 4 + 64;
+        let reader = FrameReader::new(AdversarialReader::new(data, chunks, ticks));
+        let out = drain(reader, bound);
+        prop_assert_eq!(out.len(), lines.len() + 1);
+        for (got, want) in out.iter().zip(&lines) {
+            let expect = String::from_utf8(want.clone()).unwrap();
+            prop_assert_eq!(got, &Ok(Frame::Line(expect)));
+        }
+        prop_assert_eq!(out.last(), Some(&Ok(Frame::Eof)));
+    }
+
+    /// Oversized frames are typed and survivable: one line over the cap
+    /// yields exactly one `Oversized` error accounting for every discarded
+    /// byte, and the honest lines around it are recovered untouched.
+    #[test]
+    fn oversized_lines_resynchronize_without_losing_neighbors(
+        lines in arb_lines(),
+        insert_at in any::<prop::sample::Index>(),
+        oversize_by in 1usize..96,
+        chunks in arb_chunks(),
+        ticks in arb_ticks(),
+    ) {
+        const CAP: usize = 32;
+        let lines: Vec<Vec<u8>> = lines
+            .into_iter()
+            .map(|l| l.into_iter().take(CAP).collect())
+            .collect();
+        let idx = insert_at.index(lines.len() + 1);
+        let big = vec![b'x'; CAP + oversize_by];
+        let mut spiked = lines.clone();
+        spiked.insert(idx, big.clone());
+
+        let data = encode(&spiked);
+        let bound = data.len() * 4 + 64;
+        let reader = FrameReader::with_max_frame(
+            AdversarialReader::new(data, chunks, ticks),
+            CAP,
+        );
+        let out = drain(reader, bound);
+        prop_assert_eq!(out.len(), spiked.len() + 1);
+        prop_assert_eq!(
+            &out[idx],
+            &Err(FrameError::Oversized { discarded: big.len() + 1 }),
+            "the spike resolves typed with full byte accounting"
+        );
+        for (i, want) in spiked.iter().enumerate() {
+            if i == idx {
+                continue;
+            }
+            let expect = String::from_utf8(want.clone()).unwrap();
+            prop_assert_eq!(&out[i], &Ok(Frame::Line(expect)));
+        }
+        prop_assert_eq!(out.last(), Some(&Ok(Frame::Eof)));
+    }
+
+    /// A peer that vanishes mid-frame: complete lines are recovered, the
+    /// dangling tail is a typed `Truncated` with exact byte accounting, and
+    /// the stream then ends cleanly.
+    #[test]
+    fn truncated_tails_are_typed_then_eof(
+        lines in arb_lines(),
+        tail in prop::collection::vec(32u8..127, 1..48),
+        chunks in arb_chunks(),
+        ticks in arb_ticks(),
+    ) {
+        let mut data = encode(&lines);
+        data.extend_from_slice(&tail);
+        let bound = data.len() * 4 + 64;
+        let reader = FrameReader::new(AdversarialReader::new(data, chunks, ticks));
+        let out = drain(reader, bound);
+        prop_assert_eq!(out.len(), lines.len() + 2);
+        for (got, want) in out.iter().zip(&lines) {
+            let expect = String::from_utf8(want.clone()).unwrap();
+            prop_assert_eq!(got, &Ok(Frame::Line(expect)));
+        }
+        prop_assert_eq!(
+            &out[lines.len()],
+            &Err(FrameError::Truncated { partial: tail.len() })
+        );
+        prop_assert_eq!(out.last(), Some(&Ok(Frame::Eof)));
+    }
+
+    /// Garbage totality: arbitrary bytes — newlines anywhere, invalid
+    /// UTF-8, lines straddling the cap — never panic, never livelock, and
+    /// resolve into only the typed outcomes the server knows how to answer.
+    /// Whatever garbage *does* frame as a line is then handed to
+    /// `parse_request`, which must return a typed verdict too.
+    #[test]
+    fn arbitrary_garbage_resolves_typed_and_terminates(
+        data in prop::collection::vec(0u8..=255, 0..256),
+        chunks in arb_chunks(),
+        ticks in arb_ticks(),
+    ) {
+        const CAP: usize = 16;
+        let newlines = data.iter().filter(|&&b| b == b'\n').count();
+        let bound = data.len() * 4 + 64;
+        let reader = FrameReader::with_max_frame(
+            AdversarialReader::new(data, chunks, ticks),
+            CAP,
+        );
+        let out = drain(reader, bound);
+
+        let mut completed = 0usize;
+        for (i, result) in out.iter().enumerate() {
+            match result {
+                Ok(Frame::Line(s)) => {
+                    completed += 1;
+                    prop_assert!(
+                        s.len() <= CAP + 2 * 3,
+                        "framed lines respect the cap (± lossy replacement): {s:?}"
+                    );
+                    // The next trust boundary stays typed on garbage too:
+                    // parse_request returns Ok or a named error, no panic.
+                    let _ = parse_request(s);
+                }
+                Err(FrameError::Oversized { discarded }) => {
+                    prop_assert!(*discarded > CAP, "oversized implies over the cap");
+                }
+                Err(FrameError::Truncated { partial }) => {
+                    prop_assert!(*partial > 0);
+                    prop_assert_eq!(
+                        i + 2,
+                        out.len(),
+                        "a truncation can only be the last event before Eof"
+                    );
+                }
+                Ok(Frame::Eof) => prop_assert_eq!(i + 1, out.len(), "Eof is terminal"),
+                Err(e) => return Err(TestCaseError::fail(format!("untyped outcome: {e:?}"))),
+            }
+        }
+        prop_assert!(
+            completed <= newlines,
+            "every framed line consumed one of the stream's newlines"
+        );
+        prop_assert_eq!(out.last(), Some(&Ok(Frame::Eof)));
+    }
+
+    /// Wire round-trip: any well-formed plan request survives
+    /// serialization, framing, and re-parsing bit-for-bit — so the framing
+    /// layer cannot corrupt honest traffic while defending against
+    /// dishonest traffic.
+    #[test]
+    fn plan_requests_round_trip_through_the_frame_layer(
+        seqs in prop::collection::vec(1u64..1_000_000, 1..16),
+        nodes in 1usize..64,
+        deadline_ms in 1u64..100_000,
+        with_nodes in any::<bool>(),
+        with_deadline in any::<bool>(),
+        chunks in arb_chunks(),
+        ticks in arb_ticks(),
+    ) {
+        let req = zeppelin::serve::protocol::Request::Plan {
+            seqs,
+            method: None,
+            model: None,
+            cluster: None,
+            nodes: with_nodes.then_some(nodes),
+            deadline_ms: with_deadline.then_some(deadline_ms),
+        };
+        let mut data = req.to_line().into_bytes();
+        data.push(b'\n');
+        let bound = data.len() * 4 + 64;
+        let reader = FrameReader::new(AdversarialReader::new(data, chunks, ticks));
+        let out = drain(reader, bound);
+        prop_assert_eq!(out.len(), 2);
+        let Ok(Frame::Line(line)) = &out[0] else {
+            return Err(TestCaseError::fail(format!("expected a line, got {:?}", out[0])));
+        };
+        prop_assert_eq!(parse_request(line).unwrap(), req);
+    }
+}

@@ -10,13 +10,7 @@ use zeppelin::serve::protocol::Request;
 use zeppelin::serve::{send_request, Server, ServerConfig};
 
 fn plan_request(seqs: Vec<u64>) -> Request {
-    Request::Plan {
-        seqs,
-        method: None,
-        model: None,
-        cluster: None,
-        nodes: None,
-    }
+    Request::plan(seqs)
 }
 
 #[test]
