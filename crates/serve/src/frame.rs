@@ -423,3 +423,44 @@ mod tests {
         assert!(shed > 0, "partial bytes were counted");
     }
 }
+
+#[cfg(test)]
+mod review_probe {
+    use super::*;
+
+    struct BurstThenSilent {
+        data: Vec<u8>,
+        sent: bool,
+    }
+    impl Read for BurstThenSilent {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if !self.sent {
+                self.sent = true;
+                let n = self.data.len().min(buf.len());
+                buf[..n].copy_from_slice(&self.data[..n]);
+                return Ok(n);
+            }
+            Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "tick"))
+        }
+    }
+
+    #[test]
+    fn trailing_partial_after_complete_line_is_shed() {
+        let mut r = FrameReader::with_max_frame(
+            BurstThenSilent { data: b"req1\npartial".to_vec(), sent: false },
+            64,
+        );
+        assert_eq!(r.read_frame(Some(Duration::ZERO)).unwrap(), Frame::Line("req1".into()));
+        // The partial second frame arrived in the same burst; with a ZERO
+        // frame budget it must be shed as SlowFrame, not spin TimedOut.
+        let mut saw_slow = false;
+        for _ in 0..5 {
+            match r.read_frame(Some(Duration::ZERO)) {
+                Err(FrameError::SlowFrame { .. }) => { saw_slow = true; break; }
+                Err(FrameError::TimedOut { mid_frame }) => assert!(mid_frame),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(saw_slow, "dangling partial frame never shed: frame_started was cleared");
+    }
+}
