@@ -8,8 +8,8 @@
 //! — they only depend on the multiset in the first place.
 
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::hash::{BuildHasher, Hash, Hasher};
+use std::sync::{Arc, Mutex};
 
 use zeppelin_core::plan::{IterationPlan, PlanError};
 use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
@@ -41,6 +41,41 @@ impl Hash for PlanKey {
     }
 }
 
+/// A pass-through hasher for keys that already carry a precomputed digest.
+///
+/// [`PlanKey::hash`] feeds exactly one `u64` — the digest mixed in
+/// [`PlanKey::new`] — so running it through SipHash again is pure overhead.
+/// This hasher returns that word verbatim; the map's bucket index comes
+/// straight from the stored digest.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DigestHasher(u64);
+
+impl Hasher for DigestHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("PlanKey hashes exactly one precomputed u64 digest");
+    }
+
+    fn write_u64(&mut self, digest: u64) {
+        self.0 = digest;
+    }
+}
+
+/// `BuildHasher` handing out [`DigestHasher`]s.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DigestHasherBuilder;
+
+impl BuildHasher for DigestHasherBuilder {
+    type Hasher = DigestHasher;
+
+    fn build_hasher(&self) -> DigestHasher {
+        DigestHasher::default()
+    }
+}
+
 impl PlanKey {
     /// Builds the key and the canonicalization it derives from.
     pub fn new(scheduler: &str, batch: &Batch, ctx: &SchedulerCtx) -> (PlanKey, CanonicalBatch) {
@@ -66,6 +101,15 @@ impl PlanKey {
             digest,
         };
         (key, canonical)
+    }
+
+    /// The precomputed FNV-mixed digest (stable for this key's lifetime).
+    ///
+    /// The cache's hash map consumes the low bits through
+    /// [`DigestHasherBuilder`]; [`ShardedPlanCache`] picks its shard from the
+    /// high bits so shard choice and bucket choice stay independent.
+    pub fn digest(&self) -> u64 {
+        self.digest
     }
 }
 
@@ -126,7 +170,7 @@ impl CacheStats {
 /// An LRU cache of canonical plans.
 #[derive(Debug)]
 pub struct PlanCache {
-    entries: HashMap<PlanKey, Entry>,
+    entries: HashMap<PlanKey, Entry, DigestHasherBuilder>,
     capacity: usize,
     tick: u64,
     stats: CacheStats,
@@ -142,7 +186,7 @@ impl PlanCache {
     /// Creates a cache holding at most `capacity` plans (min 1).
     pub fn new(capacity: usize) -> PlanCache {
         PlanCache {
-            entries: HashMap::new(),
+            entries: HashMap::with_hasher(DigestHasherBuilder),
             capacity: capacity.max(1),
             tick: 0,
             stats: CacheStats::default(),
@@ -226,6 +270,117 @@ impl PlanCache {
     /// Propagates the scheduler's [`PlanError`] (nothing is cached then).
     pub fn get_or_plan(
         &mut self,
+        scheduler: &dyn Scheduler,
+        batch: &Batch,
+        ctx: &SchedulerCtx,
+    ) -> Result<(Arc<IterationPlan>, bool), PlanError> {
+        let (key, canonical) = PlanKey::new(scheduler.name(), batch, ctx);
+        if let Some(cached) = self.lookup(&key) {
+            return Ok((cached.materialize(&canonical), true));
+        }
+        let plan = scheduler.plan(&canonical.to_batch(), ctx)?;
+        let cached = Arc::new(CachedPlan::new(plan, &canonical.lens));
+        let materialized = cached.materialize(&canonical);
+        self.insert(key, cached);
+        Ok((materialized, false))
+    }
+}
+
+/// A plan cache sharded N ways by the high bits of [`PlanKey::digest`].
+///
+/// Each shard is an independent [`PlanCache`] behind its own lock, with its
+/// own tick-LRU clock and its own slice of the capacity budget, so concurrent
+/// workers on distinct keys never contend on one mutex. The shard index
+/// comes from the digest's high bits while the inner `HashMap` (through
+/// [`DigestHasherBuilder`]) buckets on the low bits — the two choices stay
+/// independent, so a shard's map does not degenerate into a few buckets.
+#[derive(Debug)]
+pub struct ShardedPlanCache {
+    shards: Vec<Mutex<PlanCache>>,
+}
+
+impl ShardedPlanCache {
+    /// Creates a cache of `shards` independent shards (min 1) splitting
+    /// `capacity` between them (each shard holds at least one plan).
+    pub fn new(capacity: usize, shards: usize) -> ShardedPlanCache {
+        let shards = shards.max(1);
+        let per_shard = capacity.div_ceil(shards).max(1);
+        ShardedPlanCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(PlanCache::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: &PlanKey) -> &Mutex<PlanCache> {
+        // High bits: the inner map consumes the low bits for buckets.
+        let idx = (key.digest() >> 32) as usize % self.shards.len();
+        &self.shards[idx]
+    }
+
+    /// Looks up a canonical plan in the owning shard.
+    pub fn lookup(&self, key: &PlanKey) -> Option<Arc<CachedPlan>> {
+        self.shard(key)
+            .lock()
+            .expect("cache shard lock")
+            .lookup(key)
+    }
+
+    /// Inserts a canonical plan into the owning shard (shard-local LRU).
+    pub fn insert(&self, key: PlanKey, plan: Arc<CachedPlan>) {
+        self.shard(&key)
+            .lock()
+            .expect("cache shard lock")
+            .insert(key, plan);
+    }
+
+    /// Total cached plans across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").len())
+            .sum()
+    }
+
+    /// True when no shard holds a plan.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime counters merged across shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut merged = CacheStats::default();
+        for shard in &self.shards {
+            let s = shard.lock().expect("cache shard lock").stats();
+            merged.hits += s.hits;
+            merged.misses += s.misses;
+            merged.evictions += s.evictions;
+        }
+        merged
+    }
+
+    /// Purges entries whose context signature differs from `ctx`, shard by
+    /// shard. Returns how many were dropped in total.
+    pub fn purge_stale(&self, ctx: &SchedulerCtx) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").purge_stale(ctx))
+            .sum()
+    }
+
+    /// Plans `batch` through the owning shard — the sharded analogue of
+    /// [`PlanCache::get_or_plan`], same hit/materialization semantics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the scheduler's [`PlanError`] (nothing is cached then).
+    pub fn get_or_plan(
+        &self,
         scheduler: &dyn Scheduler,
         batch: &Batch,
         ctx: &SchedulerCtx,
@@ -344,5 +499,57 @@ mod tests {
         let batch = Batch::new(vec![100_000]);
         assert!(cache.get_or_plan(&Zeppelin::new(), &batch, &tiny).is_err());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn digest_hasher_passes_the_stored_digest_through() {
+        let ctx = ctx();
+        let (key, _) = PlanKey::new("zeppelin", &Batch::new(vec![9000, 500]), &ctx);
+        let mut h = DigestHasherBuilder.build_hasher();
+        key.hash(&mut h);
+        assert_eq!(h.finish(), key.digest());
+    }
+
+    #[test]
+    fn sharded_cache_matches_unsharded_semantics() {
+        let ctx = ctx();
+        let sharded = ShardedPlanCache::new(16, 4);
+        let z = Zeppelin::new();
+        let (first, hit) = sharded
+            .get_or_plan(&z, &Batch::new(vec![9000, 500, 2500]), &ctx)
+            .unwrap();
+        assert!(!hit);
+        let (second, hit) = sharded
+            .get_or_plan(&z, &Batch::new(vec![500, 2500, 9000]), &ctx)
+            .unwrap();
+        assert!(hit, "permuted multiset hits whichever shard owns the key");
+        assert_eq!(
+            *second,
+            z.plan(&Batch::new(vec![500, 2500, 9000]), &ctx).unwrap()
+        );
+        assert_eq!(
+            *first,
+            z.plan(&Batch::new(vec![9000, 500, 2500]), &ctx).unwrap()
+        );
+        let stats = sharded.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(sharded.len(), 1);
+        assert!(!sharded.is_empty());
+    }
+
+    #[test]
+    fn sharded_purge_drops_stale_contexts_across_shards() {
+        let ctx = ctx();
+        let sharded = ShardedPlanCache::new(32, 4);
+        let z = Zeppelin::new();
+        for i in 0..8u64 {
+            sharded
+                .get_or_plan(&z, &Batch::new(vec![1000 + i, 500]), &ctx)
+                .unwrap();
+        }
+        assert_eq!(sharded.len(), 8);
+        let other = ctx.clone().with_capacity(4096);
+        assert_eq!(sharded.purge_stale(&other), 8);
+        assert!(sharded.is_empty());
     }
 }

@@ -168,7 +168,14 @@ impl<R: Read> FrameReader<R> {
                 let drained = pos + 1;
                 let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
                 self.scanned = 0;
-                self.frame_started = None;
+                // Bytes past the newline are the *next* frame, and its clock
+                // starts now — clearing it outright would leave a dangling
+                // partial that the slow-frame budget can never shed.
+                self.frame_started = if self.buf.is_empty() {
+                    None
+                } else {
+                    Some(Instant::now())
+                };
                 line.pop(); // '\n'
                 if line.last() == Some(&b'\r') {
                     line.pop();
@@ -235,9 +242,15 @@ impl<R: Read> FrameReader<R> {
                                 self.discarding += i + 1;
                                 let discarded = self.discarding;
                                 self.discarding = 0;
-                                self.frame_started = None;
                                 self.buf.extend_from_slice(&chunk[i + 1..n]);
                                 self.scanned = 0;
+                                // Same next-frame clock rule as the drain
+                                // above: resync bytes start a fresh frame.
+                                self.frame_started = if self.buf.is_empty() {
+                                    None
+                                } else {
+                                    Some(Instant::now())
+                                };
                                 return Err(FrameError::Oversized { discarded });
                             }
                             None => self.discarding += n,
@@ -447,20 +460,32 @@ mod review_probe {
     #[test]
     fn trailing_partial_after_complete_line_is_shed() {
         let mut r = FrameReader::with_max_frame(
-            BurstThenSilent { data: b"req1\npartial".to_vec(), sent: false },
+            BurstThenSilent {
+                data: b"req1\npartial".to_vec(),
+                sent: false,
+            },
             64,
         );
-        assert_eq!(r.read_frame(Some(Duration::ZERO)).unwrap(), Frame::Line("req1".into()));
+        assert_eq!(
+            r.read_frame(Some(Duration::ZERO)).unwrap(),
+            Frame::Line("req1".into())
+        );
         // The partial second frame arrived in the same burst; with a ZERO
         // frame budget it must be shed as SlowFrame, not spin TimedOut.
         let mut saw_slow = false;
         for _ in 0..5 {
             match r.read_frame(Some(Duration::ZERO)) {
-                Err(FrameError::SlowFrame { .. }) => { saw_slow = true; break; }
+                Err(FrameError::SlowFrame { .. }) => {
+                    saw_slow = true;
+                    break;
+                }
                 Err(FrameError::TimedOut { mid_frame }) => assert!(mid_frame),
                 other => panic!("unexpected {other:?}"),
             }
         }
-        assert!(saw_slow, "dangling partial frame never shed: frame_started was cleared");
+        assert!(
+            saw_slow,
+            "dangling partial frame never shed: frame_started was cleared"
+        );
     }
 }

@@ -1,19 +1,32 @@
 //! Service metrics: request counters, cache effectiveness, fault-discipline
 //! counters (shed / degraded / panicked / deadline-exceeded), and planning
 //! latency percentiles, shared across worker threads.
+//!
+//! The sink is sharded: each worker records into its own mutex-guarded shard
+//! (see [`ServiceMetrics::shard`]), so the hot cached-plan path never
+//! serializes every worker through one global metrics lock. Shards are
+//! merged — counters summed, latency reservoirs concatenated — only when a
+//! [`ServiceMetrics::snapshot`] is taken for a `stats` request or the final
+//! server report.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
-/// How many recent planning latencies the reservoir keeps (ring buffer).
+/// How many recent planning latencies each shard's reservoir keeps.
 const RESERVOIR: usize = 4096;
 
 /// Thread-safe metrics sink for the serving front-end.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServiceMetrics {
-    inner: Mutex<Inner>,
+    shards: Vec<Mutex<Inner>>,
     queue_depth: AtomicUsize,
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> ServiceMetrics {
+        ServiceMetrics::with_shards(1)
+    }
 }
 
 #[derive(Debug, Default)]
@@ -31,6 +44,8 @@ struct Inner {
     breaker_trips: u64,
     slow_clients: u64,
     shutting_down: u64,
+    planner_runs: u64,
+    coalesced: u64,
     latencies_us: Vec<u64>,
     next_slot: usize,
 }
@@ -66,7 +81,13 @@ pub struct MetricsSnapshot {
     pub slow_clients: u64,
     /// Requests answered with a typed `shutting_down` error during drain.
     pub shutting_down: u64,
-    /// Connections waiting for a worker right now.
+    /// Primary planner invocations (each charged once to the admission
+    /// gate, however many coalesced waiters it serves).
+    pub planner_runs: u64,
+    /// Requests served by joining another request's in-flight planner run
+    /// (single-flight followers).
+    pub coalesced: u64,
+    /// Jobs waiting for a worker right now.
     pub queue_depth: usize,
     /// Median planning latency over the recent reservoir, microseconds.
     pub p50_us: u64,
@@ -95,116 +116,247 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+/// A recording handle pinned to one shard of a [`ServiceMetrics`].
+///
+/// Cheap to copy; each worker thread holds its own so recording on the hot
+/// path contends only with snapshots, never with the other workers.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricsShard<'a> {
+    metrics: &'a ServiceMetrics,
+    shard: usize,
+}
+
 impl ServiceMetrics {
-    /// Fresh metrics with everything at zero.
+    /// Fresh metrics with a single shard (fine for tests and light use).
     pub fn new() -> ServiceMetrics {
-        ServiceMetrics::default()
+        ServiceMetrics::with_shards(1)
+    }
+
+    /// Fresh metrics sharded `n` ways (min 1) — one shard per recorder.
+    pub fn with_shards(n: usize) -> ServiceMetrics {
+        ServiceMetrics {
+            shards: (0..n.max(1))
+                .map(|_| Mutex::new(Inner::default()))
+                .collect(),
+            queue_depth: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The recording handle for shard `idx % shards()`.
+    pub fn shard(&self, idx: usize) -> MetricsShard<'_> {
+        MetricsShard {
+            metrics: self,
+            shard: idx % self.shards.len(),
+        }
+    }
+
+    fn with_inner<R>(&self, shard: usize, f: impl FnOnce(&mut Inner) -> R) -> R {
+        f(&mut self.shards[shard].lock().expect("metrics poisoned"))
     }
 
     /// Records one served `plan` request and its planning latency.
     pub fn record_plan(&self, latency: Duration, cache_hit: bool) {
-        let mut m = self.inner.lock().expect("metrics poisoned");
-        m.plan_requests += 1;
-        if cache_hit {
-            m.cache_hits += 1;
-        }
-        let us = latency.as_micros().min(u64::MAX as u128) as u64;
-        if m.latencies_us.len() < RESERVOIR {
-            m.latencies_us.push(us);
-        } else {
-            let slot = m.next_slot;
-            m.latencies_us[slot] = us;
-        }
-        m.next_slot = (m.next_slot + 1) % RESERVOIR;
+        self.shard(0).record_plan(latency, cache_hit);
     }
 
     /// Records one served `stats` request.
     pub fn record_stats(&self) {
-        self.inner.lock().expect("metrics poisoned").stats_requests += 1;
+        self.shard(0).record_stats();
     }
 
     /// Records a request that failed (parse error, plan error, bad flags).
     pub fn record_error(&self) {
-        self.inner.lock().expect("metrics poisoned").errors += 1;
+        self.shard(0).record_error();
     }
 
-    /// Records a connection rejected by backpressure.
+    /// Records a connection or request rejected by backpressure.
     pub fn record_rejected(&self) {
-        self.inner.lock().expect("metrics poisoned").rejected += 1;
+        self.shard(0).record_rejected();
     }
 
     /// Records a cache miss shed by the admission gate.
     pub fn record_shed(&self) {
-        self.inner.lock().expect("metrics poisoned").shed += 1;
+        self.shard(0).record_shed();
     }
 
     /// Records a degraded (fallback-scheduler) plan response.
     pub fn record_degraded(&self) {
-        self.inner.lock().expect("metrics poisoned").degraded += 1;
+        self.shard(0).record_degraded();
     }
 
     /// Records a request whose deadline expired server-side.
     pub fn record_deadline_exceeded(&self) {
-        self.inner
-            .lock()
-            .expect("metrics poisoned")
-            .deadline_exceeded += 1;
+        self.shard(0).record_deadline_exceeded();
     }
 
     /// Records a panic contained while serving a request.
     pub fn record_worker_panic(&self) {
-        self.inner.lock().expect("metrics poisoned").worker_panics += 1;
+        self.shard(0).record_worker_panic();
     }
 
     /// Records a worker re-entering its loop after an escaped panic.
     pub fn record_worker_respawn(&self) {
-        self.inner.lock().expect("metrics poisoned").worker_respawns += 1;
+        self.shard(0).record_worker_respawn();
     }
 
     /// Records the circuit breaker tripping open.
     pub fn record_breaker_trip(&self) {
-        self.inner.lock().expect("metrics poisoned").breaker_trips += 1;
+        self.shard(0).record_breaker_trip();
     }
 
     /// Records a connection shed as a slow-loris client.
     pub fn record_slow_client(&self) {
-        self.inner.lock().expect("metrics poisoned").slow_clients += 1;
+        self.shard(0).record_slow_client();
     }
 
     /// Records a typed `shutting_down` reply during drain.
     pub fn record_shutting_down(&self) {
-        self.inner.lock().expect("metrics poisoned").shutting_down += 1;
+        self.shard(0).record_shutting_down();
     }
 
-    /// Adjusts the queue-depth gauge as connections enqueue/dequeue.
+    /// Records one primary planner invocation.
+    pub fn record_planner_run(&self) {
+        self.shard(0).record_planner_run();
+    }
+
+    /// Records a request coalesced onto another's in-flight planner run.
+    pub fn record_coalesced(&self) {
+        self.shard(0).record_coalesced();
+    }
+
+    /// Adjusts the queue-depth gauge as jobs enqueue/dequeue.
     pub fn set_queue_depth(&self, depth: usize) {
         self.queue_depth.store(depth, Ordering::Relaxed);
     }
 
-    /// Copies the counters and computes latency percentiles.
+    /// Merges every shard — counters summed, reservoirs concatenated — and
+    /// computes latency percentiles over the combined samples.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let m = self.inner.lock().expect("metrics poisoned");
-        let mut sorted = m.latencies_us.clone();
-        sorted.sort_unstable();
-        MetricsSnapshot {
-            plan_requests: m.plan_requests,
-            cache_hits: m.cache_hits,
-            stats_requests: m.stats_requests,
-            errors: m.errors,
-            rejected: m.rejected,
-            shed: m.shed,
-            degraded: m.degraded,
-            deadline_exceeded: m.deadline_exceeded,
-            worker_panics: m.worker_panics,
-            worker_respawns: m.worker_respawns,
-            breaker_trips: m.breaker_trips,
-            slow_clients: m.slow_clients,
-            shutting_down: m.shutting_down,
+        let mut s = MetricsSnapshot {
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
-            p50_us: percentile(&sorted, 0.50),
-            p99_us: percentile(&sorted, 0.99),
-            p999_us: percentile(&sorted, 0.999),
+            ..MetricsSnapshot::default()
+        };
+        let mut sorted = Vec::new();
+        for shard in &self.shards {
+            let m = shard.lock().expect("metrics poisoned");
+            s.plan_requests += m.plan_requests;
+            s.cache_hits += m.cache_hits;
+            s.stats_requests += m.stats_requests;
+            s.errors += m.errors;
+            s.rejected += m.rejected;
+            s.shed += m.shed;
+            s.degraded += m.degraded;
+            s.deadline_exceeded += m.deadline_exceeded;
+            s.worker_panics += m.worker_panics;
+            s.worker_respawns += m.worker_respawns;
+            s.breaker_trips += m.breaker_trips;
+            s.slow_clients += m.slow_clients;
+            s.shutting_down += m.shutting_down;
+            s.planner_runs += m.planner_runs;
+            s.coalesced += m.coalesced;
+            sorted.extend_from_slice(&m.latencies_us);
         }
+        sorted.sort_unstable();
+        s.p50_us = percentile(&sorted, 0.50);
+        s.p99_us = percentile(&sorted, 0.99);
+        s.p999_us = percentile(&sorted, 0.999);
+        s
+    }
+}
+
+impl MetricsShard<'_> {
+    /// Records one served `plan` request and its planning latency.
+    pub fn record_plan(&self, latency: Duration, cache_hit: bool) {
+        self.metrics.with_inner(self.shard, |m| {
+            m.plan_requests += 1;
+            if cache_hit {
+                m.cache_hits += 1;
+            }
+            let us = latency.as_micros().min(u64::MAX as u128) as u64;
+            if m.latencies_us.len() < RESERVOIR {
+                m.latencies_us.push(us);
+            } else {
+                let slot = m.next_slot;
+                m.latencies_us[slot] = us;
+            }
+            m.next_slot = (m.next_slot + 1) % RESERVOIR;
+        });
+    }
+
+    /// Records one served `stats` request.
+    pub fn record_stats(&self) {
+        self.metrics
+            .with_inner(self.shard, |m| m.stats_requests += 1);
+    }
+
+    /// Records a request that failed (parse error, plan error, bad flags).
+    pub fn record_error(&self) {
+        self.metrics.with_inner(self.shard, |m| m.errors += 1);
+    }
+
+    /// Records a connection or request rejected by backpressure.
+    pub fn record_rejected(&self) {
+        self.metrics.with_inner(self.shard, |m| m.rejected += 1);
+    }
+
+    /// Records a cache miss shed by the admission gate.
+    pub fn record_shed(&self) {
+        self.metrics.with_inner(self.shard, |m| m.shed += 1);
+    }
+
+    /// Records a degraded (fallback-scheduler) plan response.
+    pub fn record_degraded(&self) {
+        self.metrics.with_inner(self.shard, |m| m.degraded += 1);
+    }
+
+    /// Records a request whose deadline expired server-side.
+    pub fn record_deadline_exceeded(&self) {
+        self.metrics
+            .with_inner(self.shard, |m| m.deadline_exceeded += 1);
+    }
+
+    /// Records a panic contained while serving a request.
+    pub fn record_worker_panic(&self) {
+        self.metrics
+            .with_inner(self.shard, |m| m.worker_panics += 1);
+    }
+
+    /// Records a worker re-entering its loop after an escaped panic.
+    pub fn record_worker_respawn(&self) {
+        self.metrics
+            .with_inner(self.shard, |m| m.worker_respawns += 1);
+    }
+
+    /// Records the circuit breaker tripping open.
+    pub fn record_breaker_trip(&self) {
+        self.metrics
+            .with_inner(self.shard, |m| m.breaker_trips += 1);
+    }
+
+    /// Records a connection shed as a slow-loris client.
+    pub fn record_slow_client(&self) {
+        self.metrics.with_inner(self.shard, |m| m.slow_clients += 1);
+    }
+
+    /// Records a typed `shutting_down` reply during drain.
+    pub fn record_shutting_down(&self) {
+        self.metrics
+            .with_inner(self.shard, |m| m.shutting_down += 1);
+    }
+
+    /// Records one primary planner invocation.
+    pub fn record_planner_run(&self) {
+        self.metrics.with_inner(self.shard, |m| m.planner_runs += 1);
+    }
+
+    /// Records a request coalesced onto another's in-flight planner run.
+    pub fn record_coalesced(&self) {
+        self.metrics.with_inner(self.shard, |m| m.coalesced += 1);
     }
 }
 
@@ -284,5 +436,27 @@ mod tests {
         // Fault counters never leak into request accounting.
         assert_eq!(s.plan_requests, 0);
         assert_eq!(s.errors, 0);
+    }
+
+    #[test]
+    fn snapshots_merge_counters_and_reservoirs_across_shards() {
+        let m = ServiceMetrics::with_shards(4);
+        assert_eq!(m.shards(), 4);
+        for i in 0..4 {
+            let shard = m.shard(i);
+            shard.record_plan(Duration::from_micros(10 * (i as u64 + 1)), i % 2 == 0);
+            shard.record_planner_run();
+        }
+        m.shard(1).record_coalesced();
+        m.shard(7).record_error(); // wraps to shard 3
+        let s = m.snapshot();
+        assert_eq!(s.plan_requests, 4);
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.planner_runs, 4);
+        assert_eq!(s.coalesced, 1);
+        assert_eq!(s.errors, 1);
+        // Percentiles see the union of every shard's reservoir.
+        assert_eq!(s.p50_us, 30);
+        assert_eq!(s.p999_us, 40);
     }
 }

@@ -278,6 +278,7 @@ pub fn stats_response(s: &MetricsSnapshot) -> String {
          \"stats_requests\":{},\"errors\":{},\"rejected\":{},\"queue_depth\":{},\
          \"shed\":{},\"degraded\":{},\"deadline_exceeded\":{},\"worker_panics\":{},\
          \"worker_respawns\":{},\"breaker_trips\":{},\"slow_clients\":{},\"shutting_down\":{},\
+         \"planner_runs\":{},\"coalesced\":{},\
          \"p50_us\":{},\"p99_us\":{},\"p999_us\":{}}}}}",
         s.plan_requests,
         s.cache_hits,
@@ -294,6 +295,8 @@ pub fn stats_response(s: &MetricsSnapshot) -> String {
         s.breaker_trips,
         s.slow_clients,
         s.shutting_down,
+        s.planner_runs,
+        s.coalesced,
         s.p50_us,
         s.p99_us,
         s.p999_us,

@@ -1,27 +1,47 @@
-//! The TCP front-end: a bounded worker pool serving line-delimited JSON
-//! plan requests out of the shared canonicalizing cache, with the fault
-//! discipline of a service that sits on a training hot path.
+//! The TCP front-end: a single-threaded readiness event loop feeding a
+//! bounded planner-worker pool, serving line-delimited JSON plan requests
+//! out of the sharded canonicalizing cache with single-flight coalescing —
+//! and the fault discipline of a service that sits on a training hot path.
 //!
-//! Architecture: one non-blocking acceptor loop plus `workers` handler
-//! threads draining a bounded connection queue (Mutex + Condvar). When the
-//! queue is full the acceptor answers a typed `overloaded` error and closes
-//! the connection instead of queuing unbounded work.
+//! Architecture: one event-loop thread owns every connection as a small
+//! state machine (non-blocking accept, [`FrameReader`] framing, buffered
+//! non-blocking writes) driven by the std-only readiness [`Poller`]. The
+//! loop itself never plans: `plan` and `audit` requests become jobs on a
+//! bounded queue drained by `workers` planner threads, whose responses come
+//! back through a completion queue the loop flushes to each connection.
+//! Cheap requests (`stats`, `shutdown`, parse errors) are answered inline.
+//! A connection serves one request at a time, so responses stay in request
+//! order.
 //!
-//! Fault discipline, per request:
+//! Contention discipline, per layer:
+//!
+//! - **Sharded cache**: the plan cache is a [`ShardedPlanCache`] — shard
+//!   chosen by the high bits of the precomputed key digest, so concurrent
+//!   workers on distinct keys never meet on one mutex.
+//! - **Single-flight coalescing**: concurrent misses on one key join a
+//!   [`FlightTable`] flight; one leader runs the planner (charged once to
+//!   the admission gate) and fans the shared `Arc` plan out to every
+//!   follower, each still bounded by its own deadline.
+//! - **Sharded metrics**: each worker records into its own metrics shard;
+//!   shards merge only when a `stats` snapshot is taken.
+//!
+//! Fault discipline, per request (unchanged from the chaos-hardened
+//! blocking front-end — the seeded chaos harness runs against this loop):
 //!
 //! - **Deadlines**: a `deadline_ms` budget propagates from the request line
-//!   through planning to the response write; an expired budget is answered
-//!   with a typed `deadline_exceeded` error instead of a stale plan.
+//!   through planning (and any coalesced wait) to the response write; an
+//!   expired budget is answered with a typed `deadline_exceeded` error
+//!   instead of a stale plan.
 //! - **Bounded framing**: [`FrameReader`] owns partial frames across read
-//!   timeouts, sheds byte-dribbling clients (`slow_client`) after
+//!   ticks, sheds byte-dribbling clients (`slow_client`) after
 //!   [`ServerConfig::frame_timeout_ms`], closes half-open idle connections
 //!   after [`ServerConfig::idle_timeout_ms`], and resynchronizes after
-//!   oversized lines (`frame_oversized`) — no client behavior can pin a
-//!   worker.
-//! - **Panic containment**: every request runs under `catch_unwind`; a
-//!   panic is answered with a typed `worker_panicked` error and the worker
-//!   survives. An escaped panic (outside the request path) re-enters the
-//!   worker loop, so pool capacity never decays.
+//!   oversized lines (`frame_oversized`) — no client behavior can pin the
+//!   loop or a worker.
+//! - **Panic containment**: planner runs and whole jobs run under
+//!   `catch_unwind`; a panic is answered with a typed `worker_panicked`
+//!   error and the pool survives, with a worker-loop respawn backstop so
+//!   capacity never decays.
 //! - **Admission control + degraded mode**: cache misses pass a
 //!   load-shedding [`AdmissionGate`] over estimated in-flight planner time
 //!   and a [`CircuitBreaker`] over consecutive planner failures; shed or
@@ -32,7 +52,7 @@
 //!   past the grace get a typed `shutting_down` error, never a silently
 //!   dropped connection.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -40,42 +60,54 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use zeppelin_core::plan::IterationPlan;
 use zeppelin_core::plan_io::plan_from_json;
-use zeppelin_core::scheduler::SchedulerCtx;
+use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
 use zeppelin_core::validate::{report, validate, validate_with_batch};
 use zeppelin_data::batch::Batch;
 
 use crate::admission::{AdmissionGate, CircuitBreaker};
-use crate::cache::{CacheStats, CachedPlan, PlanCache, PlanKey};
+use crate::cache::{CacheStats, CachedPlan, PlanKey, ShardedPlanCache};
+use crate::canonical::CanonicalBatch;
 use crate::chaos::PlannerChaos;
+use crate::event::Poller;
 use crate::frame::{Frame, FrameError, FrameReader, MAX_FRAME_BYTES};
-use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::metrics::{MetricsShard, MetricsSnapshot, ServiceMetrics};
 use crate::protocol::{
     error_response, parse_request, plan_response, shutdown_response, stats_response, typed_error,
     ErrorCode, Request,
 };
 use crate::registry;
+use crate::singleflight::{FlightOutcome, FlightTable, Join};
 
 /// Upper bound on one request line, in bytes (alias of
 /// [`MAX_FRAME_BYTES`], kept for callers of the original constant).
 pub const MAX_LINE_BYTES: u64 = MAX_FRAME_BYTES as u64;
 
-/// Socket read poll tick: how often blocked reads wake to check shutdown,
-/// idle, and frame budgets.
-const READ_TICK: Duration = Duration::from_millis(50);
+/// Readiness-poll budget for one idle event-loop pass: the upper bound on
+/// how long the loop sleeps when no connection has pending work.
+const LOOP_TICK: Duration = Duration::from_millis(1);
+
+/// Fairness bound: at most this many frames are handled per connection per
+/// event-loop pass, so one pipelining client cannot starve the rest.
+const FRAMES_PER_TICK: usize = 64;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address (`127.0.0.1:0` picks an ephemeral port).
     pub addr: String,
-    /// Handler threads.
+    /// Planner worker threads (the event loop itself is one more thread).
     pub workers: usize,
-    /// Connections allowed to wait for a worker before rejection.
+    /// Plan/audit jobs allowed to wait for a worker before the request is
+    /// rejected with a typed `overloaded` error.
     pub max_queue: usize,
-    /// Plan-cache capacity (entries).
+    /// Plan-cache capacity (entries, split across the shards).
     pub cache_capacity: usize,
+    /// Plan-cache shard count (keyed by the high bits of the key digest).
+    pub cache_shards: usize,
+    /// Concurrent connections accepted before new ones are rejected with a
+    /// typed `overloaded` error.
+    pub max_connections: usize,
     /// Default scheduler for requests without `method`.
     pub method: String,
     /// Default model preset.
@@ -96,8 +128,8 @@ pub struct ServerConfig {
     /// One frame may dribble at most this long before the connection is
     /// shed with `slow_client` (slow-loris guard).
     pub frame_timeout_ms: u64,
-    /// Socket write timeout: a client that stops reading its responses
-    /// cannot pin a worker in `write`.
+    /// A client that stops reading its responses is disconnected once its
+    /// write buffer has made no progress for this long.
     pub write_timeout_ms: u64,
     /// Admission gate high-water mark: estimated in-flight planner
     /// milliseconds beyond which cache misses are shed to degraded mode.
@@ -121,6 +153,8 @@ impl Default for ServerConfig {
             workers: 4,
             max_queue: 64,
             cache_capacity: 1024,
+            cache_shards: 8,
+            max_connections: 1024,
             method: "zeppelin".to_string(),
             model: "3b".to_string(),
             cluster: "a".to_string(),
@@ -144,10 +178,43 @@ impl Default for ServerConfig {
 pub struct ServerReport {
     /// Final service metrics.
     pub metrics: MetricsSnapshot,
-    /// Final cache counters.
+    /// Final cache counters (merged across shards).
     pub cache: CacheStats,
     /// Plans held in the cache at shutdown.
     pub cached_plans: usize,
+}
+
+/// A plan/audit job queued for a planner worker.
+struct Job {
+    conn: u64,
+    request: JobRequest,
+}
+
+enum JobRequest {
+    Plan {
+        seqs: Vec<u64>,
+        method: Option<String>,
+        model: Option<String>,
+        cluster: Option<String>,
+        nodes: Option<usize>,
+        deadline: Option<Instant>,
+    },
+    Audit {
+        plan: String,
+    },
+}
+
+/// A finished job's response, routed back to its connection.
+struct Completion {
+    conn: u64,
+    response: String,
+    close: bool,
+}
+
+struct JobQueue {
+    queue: VecDeque<Job>,
+    inflight: usize,
+    closed: bool,
 }
 
 struct Shared {
@@ -155,10 +222,12 @@ struct Shared {
     shutdown: AtomicBool,
     /// Set when shutdown begins: the end of the drain grace period.
     drain_until: Mutex<Option<Instant>>,
-    queue: Mutex<VecDeque<TcpStream>>,
-    available: Condvar,
+    jobs: Mutex<JobQueue>,
+    job_ready: Condvar,
+    completions: Mutex<Vec<Completion>>,
     metrics: ServiceMetrics,
-    cache: Mutex<PlanCache>,
+    cache: ShardedPlanCache,
+    flights: FlightTable,
     gate: AdmissionGate,
     breaker: CircuitBreaker,
 }
@@ -171,7 +240,7 @@ impl Shared {
             *until = Some(Instant::now() + Duration::from_millis(self.cfg.grace_ms));
         }
         drop(until);
-        self.available.notify_all();
+        self.job_ready.notify_all();
     }
 
     /// True once the drain grace period has elapsed (always false before
@@ -185,6 +254,12 @@ impl Shared {
             .expect("drain poisoned")
             .is_none_or(|t| Instant::now() > t)
     }
+
+    /// Releases the workers once the event loop has fully drained.
+    fn close_jobs(&self) {
+        self.jobs.lock().expect("jobs poisoned").closed = true;
+        self.job_ready.notify_all();
+    }
 }
 
 /// A bound planning server, ready to [`run`](Server::run).
@@ -195,7 +270,7 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listener (non-blocking accept loop).
+    /// Binds the listener (non-blocking accept on the event loop).
     ///
     /// # Errors
     ///
@@ -204,12 +279,14 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let cache = Mutex::new(PlanCache::new(cfg.cache_capacity));
+        let cache = ShardedPlanCache::new(cfg.cache_capacity, cfg.cache_shards);
         let gate = AdmissionGate::new(cfg.planner_highwater_ms, cfg.planner_estimate_ms);
         let breaker = CircuitBreaker::new(
             cfg.breaker_failures,
             Duration::from_millis(cfg.breaker_cooldown_ms),
         );
+        // One metrics shard per worker plus one for the event loop.
+        let metrics = ServiceMetrics::with_shards(cfg.workers.max(1) + 1);
         Ok(Server {
             listener,
             local_addr,
@@ -217,10 +294,16 @@ impl Server {
                 cfg,
                 shutdown: AtomicBool::new(false),
                 drain_until: Mutex::new(None),
-                queue: Mutex::new(VecDeque::new()),
-                available: Condvar::new(),
-                metrics: ServiceMetrics::new(),
+                jobs: Mutex::new(JobQueue {
+                    queue: VecDeque::new(),
+                    inflight: 0,
+                    closed: false,
+                }),
+                job_ready: Condvar::new(),
+                completions: Mutex::new(Vec::new()),
+                metrics,
                 cache,
+                flights: FlightTable::new(),
                 gate,
                 breaker,
             }),
@@ -241,123 +324,286 @@ impl Server {
     /// `Interrupted` are retried).
     pub fn run(self) -> std::io::Result<ServerReport> {
         let shared = Arc::clone(&self.shared);
-        // The scope joins every worker before returning, so in-flight
-        // connections finish and the final snapshot below sees them.
+        // The scope joins every worker before returning, so in-flight jobs
+        // finish and the final snapshot below sees them.
         std::thread::scope(|scope| -> std::io::Result<()> {
-            for _ in 0..shared.cfg.workers.max(1) {
+            for worker in 0..shared.cfg.workers.max(1) {
                 let shared = Arc::clone(&shared);
-                // Respawn backstop: a panic that escapes the per-request
+                // Respawn backstop: a panic that escapes the per-job
                 // containment must not shrink the pool, so the worker
                 // re-enters its loop instead of unwinding out of the scope.
                 scope.spawn(move || loop {
-                    match catch_unwind(AssertUnwindSafe(|| worker_loop(&shared))) {
+                    match catch_unwind(AssertUnwindSafe(|| worker_loop(&shared, worker))) {
                         Ok(()) => break,
                         Err(_) => shared.metrics.record_worker_respawn(),
                     }
                 });
             }
-            while !shared.shutdown.load(Ordering::SeqCst) {
-                match self.listener.accept() {
-                    Ok((stream, _)) => enqueue(&shared, stream),
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(2));
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                    Err(e) => {
-                        shared.begin_drain();
-                        return Err(e);
-                    }
-                }
-            }
-            // Wake any workers parked on the empty queue so they can exit.
-            shared.available.notify_all();
-            Ok(())
+            let result = event_loop(&shared, &self.listener);
+            // The loop only exits once the job queue is drained; closing it
+            // lets the parked workers observe the end and return.
+            shared.close_jobs();
+            result
         })?;
-        let cache = self.shared.cache.lock().expect("cache poisoned");
         Ok(ServerReport {
             metrics: self.shared.metrics.snapshot(),
-            cache: cache.stats(),
-            cached_plans: cache.len(),
+            cache: self.shared.cache.stats(),
+            cached_plans: self.shared.cache.len(),
         })
     }
 }
 
-fn enqueue(shared: &Shared, stream: TcpStream) {
-    let mut queue = shared.queue.lock().expect("queue poisoned");
-    if queue.len() >= shared.cfg.max_queue {
-        drop(queue);
+/// Per-connection state owned by the event loop.
+struct Conn {
+    /// The poller token: how completions find their way back here.
+    token: u64,
+    reader: FrameReader<TcpStream>,
+    writer: TcpStream,
+    /// Buffered response bytes not yet accepted by the socket.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// True while a plan/audit job for this connection is in flight — the
+    /// loop stops reading it, so responses keep request order and a
+    /// pipelining client gets natural backpressure.
+    busy: bool,
+    idle_since: Instant,
+    close_after_flush: bool,
+    /// Saw EOF or a fatal read error: flush what's pending, then close.
+    read_closed: bool,
+    write_stalled_since: Option<Instant>,
+}
+
+enum FlushOutcome {
+    /// Everything pending was written (possibly nothing was pending).
+    Drained,
+    /// The socket would block; bytes remain buffered.
+    Blocked,
+    /// The connection is unusable (error, or write-stall past the budget).
+    Broken,
+}
+
+impl Conn {
+    fn push_line(&mut self, response: &str) {
+        self.out.extend_from_slice(response.as_bytes());
+        self.out.push(b'\n');
+    }
+
+    fn pending_out(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+
+    /// Writes as much buffered output as the socket accepts. Returns the
+    /// outcome plus whether any byte moved (for loop progress accounting).
+    fn flush(&mut self, write_timeout: Duration) -> (FlushOutcome, bool) {
+        let mut moved = false;
+        while self.out_pos < self.out.len() {
+            match self.writer.write(&self.out[self.out_pos..]) {
+                Ok(0) => return (FlushOutcome::Broken, moved),
+                Ok(n) => {
+                    self.out_pos += n;
+                    self.write_stalled_since = None;
+                    moved = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    let since = *self.write_stalled_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() > write_timeout {
+                        // The client stopped reading its responses; it
+                        // cannot pin buffer memory forever.
+                        return (FlushOutcome::Broken, moved);
+                    }
+                    return (FlushOutcome::Blocked, moved);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return (FlushOutcome::Broken, moved),
+            }
+        }
+        self.out.clear();
+        self.out_pos = 0;
+        (FlushOutcome::Drained, moved)
+    }
+}
+
+/// The single-threaded readiness event loop: accepts, frames, dispatches
+/// jobs, flushes completions, and enforces every per-connection timeout.
+fn event_loop(shared: &Shared, listener: &TcpListener) -> std::io::Result<()> {
+    let cfg = &shared.cfg;
+    let frame_timeout = Duration::from_millis(cfg.frame_timeout_ms.max(1));
+    let idle_timeout = Duration::from_millis(cfg.idle_timeout_ms.max(1));
+    let write_timeout = Duration::from_millis(cfg.write_timeout_ms.max(1));
+    let mut poller = Poller::new();
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token: u64 = 0;
+    let mut ready: Vec<u64> = Vec::new();
+    let mut to_close: Vec<u64> = Vec::new();
+    let mut progress = true;
+    loop {
+        // Readiness scan; when the previous pass made progress, don't
+        // sleep — there may be more to do right now.
+        poller.poll(
+            &mut ready,
+            if progress { Duration::ZERO } else { LOOP_TICK },
+        );
+        ready.sort_unstable();
+        progress = false;
+
+        // 1. Accept new connections (stops once drain begins).
+        if !shared.shutdown.load(Ordering::SeqCst) {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        progress = true;
+                        accept_conn(shared, stream, &mut conns, &mut poller, &mut next_token);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        shared.begin_drain();
+                        shared.close_jobs();
+                        return Err(e);
+                    }
+                }
+            }
+        }
+
+        // 2. Route finished jobs back to their connections.
+        let completed = std::mem::take(&mut *shared.completions.lock().expect("completions"));
+        for done in completed {
+            progress = true;
+            if let Some(conn) = conns.get_mut(&done.conn) {
+                conn.push_line(&done.response);
+                conn.busy = false;
+                conn.idle_since = Instant::now();
+                if done.close {
+                    conn.close_after_flush = true;
+                }
+            }
+        }
+
+        // 3. Service every connection: flush, then read/dispatch.
+        to_close.clear();
+        for (&token, conn) in conns.iter_mut() {
+            let (outcome, moved) = conn.flush(write_timeout);
+            progress |= moved;
+            match outcome {
+                FlushOutcome::Broken => {
+                    to_close.push(token);
+                    continue;
+                }
+                FlushOutcome::Blocked => continue,
+                FlushOutcome::Drained => {}
+            }
+            if conn.close_after_flush || conn.read_closed {
+                if !conn.pending_out() {
+                    to_close.push(token);
+                }
+                continue;
+            }
+            if conn.busy {
+                continue;
+            }
+            // Due when the socket has pending input (poller) or the frame
+            // reader still buffers bytes from an earlier read — a complete
+            // pipelined line, or a partial frame whose slow-loris budget
+            // must keep being enforced even though no new bytes arrive.
+            let due = ready.binary_search(&token).is_ok() || conn.reader.partial_len() > 0;
+            if due {
+                progress |= drive_conn(shared, conn, frame_timeout, write_timeout);
+            } else if shared.past_grace() {
+                // Quiesced connection during drain: nothing buffered,
+                // nothing pending — close it.
+                to_close.push(token);
+            } else if conn.idle_since.elapsed() > idle_timeout {
+                // Half-open / silent client: free the slot.
+                to_close.push(token);
+            }
+        }
+        for token in &to_close {
+            conns.remove(token);
+            poller.deregister(*token);
+            progress = true;
+        }
+
+        // 4. Exit once drained: no accepted work left anywhere.
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let jobs_idle = {
+                let jobs = shared.jobs.lock().expect("jobs poisoned");
+                jobs.queue.is_empty() && jobs.inflight == 0
+            };
+            let completions_empty = shared.completions.lock().expect("completions").is_empty();
+            if jobs_idle && completions_empty && conns.is_empty() {
+                return Ok(());
+            }
+        }
+    }
+}
+
+fn accept_conn(
+    shared: &Shared,
+    stream: TcpStream,
+    conns: &mut HashMap<u64, Conn>,
+    poller: &mut Poller,
+    next_token: &mut u64,
+) {
+    if conns.len() >= shared.cfg.max_connections {
         shared.metrics.record_rejected();
         // Best-effort rejection notice; the client may already be gone.
         let mut stream = stream;
-        let _ = stream.set_nonblocking(false);
         let _ = stream.set_write_timeout(Some(Duration::from_millis(
             shared.cfg.write_timeout_ms.max(1),
         )));
         let _ = writeln!(
             stream,
             "{}",
-            typed_error(ErrorCode::Overloaded, "overloaded: queue full")
+            typed_error(
+                ErrorCode::Overloaded,
+                "overloaded: connection limit reached"
+            )
         );
         return;
     }
-    queue.push_back(stream);
-    shared.metrics.set_queue_depth(queue.len());
-    drop(queue);
-    shared.available.notify_one();
-}
-
-fn worker_loop(shared: &Shared) {
-    loop {
-        let stream = {
-            let mut queue = shared.queue.lock().expect("queue poisoned");
-            loop {
-                if let Some(stream) = queue.pop_front() {
-                    shared.metrics.set_queue_depth(queue.len());
-                    break Some(stream);
-                }
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break None;
-                }
-                let (guard, _) = shared
-                    .available
-                    .wait_timeout(queue, Duration::from_millis(50))
-                    .expect("queue poisoned");
-                queue = guard;
-            }
-        };
-        let Some(stream) = stream else { return };
-        handle_connection(shared, stream);
+    if stream.set_nonblocking(true).is_err() {
+        return;
     }
-}
-
-/// How a handled request line terminates the write side.
-enum RequestOutcome {
-    /// Write the response and keep the connection open.
-    Reply(String),
-    /// Write the response, then close (shutdown ack).
-    ReplyThenClose(String),
-}
-
-fn handle_connection(shared: &Shared, stream: TcpStream) {
-    let _ = stream.set_nonblocking(false);
-    // Short read tick: blocked reads wake often enough to poll shutdown,
-    // idle, and frame budgets without busy-waiting.
-    let _ = stream.set_read_timeout(Some(READ_TICK));
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(
-        shared.cfg.write_timeout_ms.max(1),
-    )));
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
+    let (writer, probe) = match (stream.try_clone(), stream.try_clone()) {
+        (Ok(w), Ok(p)) => (w, p),
+        _ => return,
     };
-    let mut reader = FrameReader::new(stream);
-    let frame_timeout = Duration::from_millis(shared.cfg.frame_timeout_ms.max(1));
-    let idle_timeout = Duration::from_millis(shared.cfg.idle_timeout_ms.max(1));
-    let mut idle_since = Instant::now();
-    loop {
-        match reader.read_frame(Some(frame_timeout)) {
+    let token = *next_token;
+    *next_token += 1;
+    poller.register(token, probe);
+    conns.insert(
+        token,
+        Conn {
+            token,
+            reader: FrameReader::new(stream),
+            writer,
+            out: Vec::new(),
+            out_pos: 0,
+            busy: false,
+            idle_since: Instant::now(),
+            close_after_flush: false,
+            read_closed: false,
+            write_stalled_since: None,
+        },
+    );
+}
+
+/// Reads and handles frames from one due connection until it goes busy,
+/// blocks, errors, or exhausts its per-pass fairness budget. Returns
+/// whether any frame was consumed (loop progress).
+fn drive_conn(
+    shared: &Shared,
+    conn: &mut Conn,
+    frame_timeout: Duration,
+    write_timeout: Duration,
+) -> bool {
+    let metrics = shared.metrics.shard(0);
+    let mut acted = false;
+    for _ in 0..FRAMES_PER_TICK {
+        match conn.reader.read_frame(Some(frame_timeout)) {
             Ok(Frame::Line(line)) => {
-                idle_since = Instant::now();
+                acted = true;
+                conn.idle_since = Instant::now();
                 let line = line.trim();
                 if line.is_empty() {
                     continue;
@@ -366,100 +612,95 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
                 if shared.past_grace() {
                     // Drain straggler: a typed goodbye, not a dropped
                     // connection.
-                    shared.metrics.record_shutting_down();
-                    let _ = writeln!(
-                        writer,
-                        "{}",
-                        typed_error(
-                            ErrorCode::ShuttingDown,
-                            "server is draining and the grace period has passed"
-                        )
-                    );
-                    return;
+                    metrics.record_shutting_down();
+                    conn.push_line(&typed_error(
+                        ErrorCode::ShuttingDown,
+                        "server is draining and the grace period has passed",
+                    ));
+                    conn.close_after_flush = true;
+                    break;
                 }
-                // Panic containment: whatever the handler does, the worker
-                // answers typed and survives.
-                match catch_unwind(AssertUnwindSafe(|| handle_request(shared, line, arrival))) {
-                    Ok(RequestOutcome::Reply(response)) => {
-                        if writeln!(writer, "{response}").is_err() {
-                            return;
-                        }
-                    }
-                    Ok(RequestOutcome::ReplyThenClose(response)) => {
-                        let _ = writeln!(writer, "{response}");
-                        return;
-                    }
-                    Err(_) => {
-                        shared.metrics.record_worker_panic();
-                        shared.metrics.record_error();
-                        let _ = writeln!(
-                            writer,
-                            "{}",
-                            typed_error(
-                                ErrorCode::WorkerPanicked,
-                                "the worker panicked serving this request; \
-                                 the panic was contained and the pool is intact"
-                            )
-                        );
-                        return;
-                    }
+                if handle_line(shared, conn, line, arrival) {
+                    // A job is in flight; stop reading until it completes.
+                    break;
+                }
+                // Inline reply: hand it to the socket right away so a
+                // request/reply client never waits a full tick.
+                let (outcome, _) = conn.flush(write_timeout);
+                if matches!(outcome, FlushOutcome::Broken) {
+                    conn.read_closed = true;
+                    break;
+                }
+                if conn.close_after_flush {
+                    break;
                 }
             }
-            Ok(Frame::Eof) => return,
-            Err(FrameError::TimedOut { mid_frame }) => {
-                if shared.shutdown.load(Ordering::SeqCst) && shared.past_grace() {
-                    return;
-                }
-                if !mid_frame && idle_since.elapsed() > idle_timeout {
-                    // Half-open / silent client: free the worker.
-                    return;
-                }
-                // Mid-frame waits are bounded by the reader's frame budget.
+            Ok(Frame::Eof) => {
+                // Flush anything pending (e.g. an oversize notice), then
+                // close.
+                conn.read_closed = true;
+                acted = true;
+                break;
             }
+            Err(FrameError::TimedOut { .. }) => break,
             Err(FrameError::SlowFrame { partial }) => {
-                shared.metrics.record_slow_client();
-                let _ = writeln!(
-                    writer,
-                    "{}",
-                    typed_error(
-                        ErrorCode::SlowClient,
-                        &format!(
-                            "request frame stalled after {partial} byte(s); \
-                             send complete lines within the frame budget"
-                        )
-                    )
-                );
-                return;
+                acted = true;
+                metrics.record_slow_client();
+                conn.push_line(&typed_error(
+                    ErrorCode::SlowClient,
+                    &format!(
+                        "request frame stalled after {partial} byte(s); \
+                         send complete lines within the frame budget"
+                    ),
+                ));
+                conn.close_after_flush = true;
+                break;
             }
             Err(FrameError::Oversized { discarded }) => {
-                shared.metrics.record_error();
-                let notice = typed_error(
+                acted = true;
+                metrics.record_error();
+                conn.push_line(&typed_error(
                     ErrorCode::FrameOversized,
                     &format!(
                         "request line exceeds the {MAX_LINE_BYTES}-byte limit \
                          ({discarded} bytes discarded); resynchronized at the next line"
                     ),
-                );
-                if writeln!(writer, "{notice}").is_err() {
-                    return;
-                }
+                ));
                 // Resynchronized: the connection keeps serving.
+                let (outcome, _) = conn.flush(write_timeout);
+                if matches!(outcome, FlushOutcome::Broken) {
+                    conn.read_closed = true;
+                    break;
+                }
             }
             // Peer vanished mid-frame: nobody left to answer.
-            Err(FrameError::Truncated { .. }) | Err(FrameError::Io(_)) => return,
+            Err(FrameError::Truncated { .. }) | Err(FrameError::Io(_)) => {
+                conn.read_closed = true;
+                acted = true;
+                break;
+            }
         }
     }
+    acted
 }
 
-fn handle_request(shared: &Shared, line: &str, arrival: Instant) -> RequestOutcome {
+/// Handles one complete request line on the event loop. Cheap requests are
+/// answered inline into the connection's output buffer; plan/audit requests
+/// are dispatched to the worker pool. Returns true when a job went in
+/// flight (the connection must stop reading).
+fn handle_line(shared: &Shared, conn_state: &mut Conn, line: &str, arrival: Instant) -> bool {
+    let metrics = shared.metrics.shard(0);
     match parse_request(line) {
         Ok(Request::Stats) => {
-            shared.metrics.record_stats();
-            RequestOutcome::Reply(stats_response(&shared.metrics.snapshot()))
+            metrics.record_stats();
+            conn_state.push_line(&stats_response(&shared.metrics.snapshot()));
+            false
         }
         Ok(Request::Shutdown) => {
             shared.begin_drain();
-            RequestOutcome::ReplyThenClose(shutdown_response())
+            conn_state.push_line(&shutdown_response());
+            conn_state.close_after_flush = true;
+            false
         }
         Ok(Request::Plan {
             seqs,
@@ -470,29 +711,138 @@ fn handle_request(shared: &Shared, line: &str, arrival: Instant) -> RequestOutco
             deadline_ms,
         }) => {
             let deadline = deadline_ms.map(|ms| arrival + Duration::from_millis(ms));
-            match serve_plan(shared, &seqs, method, model, cluster, nodes, deadline) {
-                Ok(r) => RequestOutcome::Reply(r),
-                Err((code, msg)) => {
-                    if code == ErrorCode::DeadlineExceeded {
-                        shared.metrics.record_deadline_exceeded();
-                    } else {
-                        shared.metrics.record_error();
-                    }
-                    RequestOutcome::Reply(typed_error(code, &msg))
+            dispatch_job(
+                shared,
+                conn_state,
+                JobRequest::Plan {
+                    seqs,
+                    method,
+                    model,
+                    cluster,
+                    nodes,
+                    deadline,
+                },
+            )
+        }
+        Ok(Request::Audit { plan }) => dispatch_job(shared, conn_state, JobRequest::Audit { plan }),
+        Err(msg) => {
+            metrics.record_error();
+            conn_state.push_line(&error_response(&msg));
+            false
+        }
+    }
+}
+
+/// Queues a job for the worker pool, bounded by `max_queue`. On a full
+/// queue the request is rejected typed and the connection keeps serving.
+/// Returns true when the job was queued.
+fn dispatch_job(shared: &Shared, conn_state: &mut Conn, request: JobRequest) -> bool {
+    let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+    if jobs.queue.len() >= shared.cfg.max_queue {
+        drop(jobs);
+        shared.metrics.record_rejected();
+        conn_state.push_line(&typed_error(
+            ErrorCode::Overloaded,
+            "overloaded: queue full",
+        ));
+        return false;
+    }
+    jobs.queue.push_back(Job {
+        conn: conn_state.token,
+        request,
+    });
+    shared.metrics.set_queue_depth(jobs.queue.len());
+    drop(jobs);
+    shared.job_ready.notify_one();
+    conn_state.busy = true;
+    true
+}
+
+fn worker_loop(shared: &Shared, worker: usize) {
+    // Shard 0 belongs to the event loop; workers take 1..=workers.
+    let metrics = shared.metrics.shard(worker + 1);
+    loop {
+        let job = {
+            let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+            loop {
+                if let Some(job) = jobs.queue.pop_front() {
+                    jobs.inflight += 1;
+                    shared.metrics.set_queue_depth(jobs.queue.len());
+                    break Some(job);
+                }
+                if jobs.closed {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .job_ready
+                    .wait_timeout(jobs, Duration::from_millis(50))
+                    .expect("jobs poisoned");
+                jobs = guard;
+            }
+        };
+        let Some(job) = job else { return };
+        let conn = job.conn;
+        // Panic containment: whatever the handler does, the job answers
+        // typed and the worker survives.
+        let completion = match catch_unwind(AssertUnwindSafe(|| execute_job(shared, metrics, job)))
+        {
+            Ok(response) => Completion {
+                conn,
+                response,
+                close: false,
+            },
+            Err(_) => {
+                metrics.record_worker_panic();
+                metrics.record_error();
+                Completion {
+                    conn,
+                    response: typed_error(
+                        ErrorCode::WorkerPanicked,
+                        "the worker panicked serving this request; \
+                         the panic was contained and the pool is intact",
+                    ),
+                    close: true,
                 }
             }
-        }
-        Ok(Request::Audit { plan }) => match audit_plan(shared, &plan) {
-            Ok(r) => RequestOutcome::Reply(r),
+        };
+        shared
+            .completions
+            .lock()
+            .expect("completions")
+            .push(completion);
+        shared.jobs.lock().expect("jobs poisoned").inflight -= 1;
+    }
+}
+
+fn execute_job(shared: &Shared, metrics: MetricsShard<'_>, job: Job) -> String {
+    match job.request {
+        JobRequest::Plan {
+            seqs,
+            method,
+            model,
+            cluster,
+            nodes,
+            deadline,
+        } => match serve_plan(
+            shared, metrics, &seqs, method, model, cluster, nodes, deadline,
+        ) {
+            Ok(r) => r,
             Err((code, msg)) => {
-                shared.metrics.record_error();
-                RequestOutcome::Reply(typed_error(code, &msg))
+                if code == ErrorCode::DeadlineExceeded {
+                    metrics.record_deadline_exceeded();
+                } else {
+                    metrics.record_error();
+                }
+                typed_error(code, &msg)
             }
         },
-        Err(msg) => {
-            shared.metrics.record_error();
-            RequestOutcome::Reply(error_response(&msg))
-        }
+        JobRequest::Audit { plan } => match audit_plan(shared, &plan) {
+            Ok(r) => r,
+            Err((code, msg)) => {
+                metrics.record_error();
+                typed_error(code, &msg)
+            }
+        },
     }
 }
 
@@ -510,6 +860,7 @@ fn check_deadline(deadline: Option<Instant>, stage: &str) -> Result<(), (ErrorCo
 #[allow(clippy::too_many_arguments)]
 fn serve_plan(
     shared: &Shared,
+    metrics: MetricsShard<'_>,
     seqs: &[u64],
     method: Option<String>,
     model: Option<String>,
@@ -536,82 +887,68 @@ fn serve_plan(
     // planner time is spent on it.
     check_deadline(deadline, "while queued, before planning")?;
     let (key, canonical) = PlanKey::new(scheduler.name(), &batch, &ctx);
-    let looked_up = shared.cache.lock().expect("cache poisoned").lookup(&key);
-    let (plan, hit, degraded) = match looked_up {
-        Some(cached) => (cached.materialize(&canonical), true, false),
-        None => {
-            // Admission: the gate bounds estimated in-flight planner time,
-            // the breaker short-circuits a failing planner. Either verdict
-            // degrades to the fallback scheduler instead of queueing.
-            match shared.gate.try_admit() {
-                None => {
-                    shared.metrics.record_shed();
-                    let plan = degraded_plan(shared, &batch, &ctx)?;
-                    (plan, false, true)
+    let (cached, hit, degraded) = loop {
+        if let Some(cached) = shared.cache.lookup(&key) {
+            break (cached, true, false);
+        }
+        // Single-flight: the first miss for a key leads the planner run;
+        // concurrent misses follow it and share the outcome.
+        match shared.flights.join(&key) {
+            Join::Leader(flight) => {
+                // The previous leader may have completed between our miss
+                // and taking leadership — the cache is the source of truth.
+                if let Some(cached) = shared.cache.lookup(&key) {
+                    flight.complete(FlightOutcome::Cached);
+                    break (cached, true, false);
                 }
-                Some(permit) => {
-                    if !shared.breaker.allow() {
-                        shared.gate.cancel(permit);
-                        let plan = degraded_plan(shared, &batch, &ctx)?;
-                        (plan, false, true)
-                    } else {
-                        // Plan outside the cache lock: a slow partition must
-                        // not stall cache hits on other workers. Concurrent
-                        // misses for one key plan twice and the last insert
-                        // wins — both compute the same canonical plan.
-                        let t0 = Instant::now();
-                        let outcome = catch_unwind(AssertUnwindSafe(|| {
-                            if let Some(chaos) = &cfg.chaos {
-                                chaos.before_plan();
-                            }
-                            scheduler.plan(&canonical.to_batch(), &ctx)
-                        }));
-                        shared.gate.release(permit, t0.elapsed());
-                        match outcome {
-                            Ok(Ok(plan)) => {
-                                shared.breaker.record_success();
-                                let cached = Arc::new(CachedPlan::new(plan, &canonical.lens));
-                                let materialized = cached.materialize(&canonical);
-                                shared
-                                    .cache
-                                    .lock()
-                                    .expect("cache poisoned")
-                                    .insert(key, cached);
-                                (materialized, false, false)
-                            }
-                            Ok(Err(e)) => {
-                                if shared.breaker.record_failure() {
-                                    shared.metrics.record_breaker_trip();
-                                }
-                                return Err((
-                                    ErrorCode::PlanFailed,
-                                    format!("planning failed: {e}"),
-                                ));
-                            }
-                            Err(_) => {
-                                // Planner panic, contained at the request
-                                // level: typed error out, worker intact,
-                                // breaker counts the failure.
-                                if shared.breaker.record_failure() {
-                                    shared.metrics.record_breaker_trip();
-                                }
-                                shared.metrics.record_worker_panic();
-                                return Err((
-                                    ErrorCode::WorkerPanicked,
-                                    "the planner panicked on this request; the panic was \
-                                     contained and the worker pool is intact"
-                                        .to_string(),
-                                ));
-                            }
-                        }
+                let outcome = lead_plan(shared, metrics, scheduler.as_ref(), &canonical, &ctx);
+                // Insert before completing the flight so nobody can miss
+                // the cache after the flight retires.
+                if let FlightOutcome::Planned(cached) = &outcome {
+                    shared.cache.insert(key.clone(), Arc::clone(cached));
+                }
+                match &outcome {
+                    FlightOutcome::Planned(cached) => {
+                        let cached = Arc::clone(cached);
+                        flight.complete(outcome);
+                        break (cached, false, false);
                     }
+                    FlightOutcome::Degraded(cached) => {
+                        let cached = Arc::clone(cached);
+                        flight.complete(outcome);
+                        break (cached, false, true);
+                    }
+                    FlightOutcome::Failed(code, msg) => {
+                        let err = (*code, msg.clone());
+                        flight.complete(outcome);
+                        return Err(err);
+                    }
+                    FlightOutcome::Cached => unreachable!("lead_plan never returns Cached"),
+                }
+            }
+            Join::Follower(flight) => {
+                metrics.record_coalesced();
+                match flight.wait(deadline) {
+                    None => {
+                        return Err((
+                            ErrorCode::DeadlineExceeded,
+                            "deadline expired waiting on a coalesced planner run".to_string(),
+                        ))
+                    }
+                    Some(FlightOutcome::Planned(cached)) => break (cached, false, false),
+                    Some(FlightOutcome::Degraded(cached)) => break (cached, false, true),
+                    Some(FlightOutcome::Failed(code, msg)) => return Err((code, msg)),
+                    // The leader found the key cached; re-check ourselves.
+                    Some(FlightOutcome::Cached) => continue,
                 }
             }
         }
     };
+    let plan = cached.materialize(&canonical);
     // Audit what actually goes on the wire — the materialized plan, after
-    // any cache re-indexing, degraded or not — so a cache, permutation, or
-    // fallback bug can never ship a corrupt plan to a trainer.
+    // any cache re-indexing, coalescing fan-out, or fallback — so a cache,
+    // permutation, or degraded-path bug can never ship a corrupt plan to a
+    // trainer.
     validate_with_batch(&plan, &ctx, &batch).map_err(|v| {
         (
             ErrorCode::AuditFailed,
@@ -623,9 +960,9 @@ fn serve_plan(
     check_deadline(deadline, "after planning, before the response write")?;
     let elapsed = start.elapsed();
     if degraded {
-        shared.metrics.record_degraded();
+        metrics.record_degraded();
     }
-    shared.metrics.record_plan(elapsed, hit);
+    metrics.record_plan(elapsed, hit);
     Ok(plan_response(
         &plan,
         hit,
@@ -634,32 +971,106 @@ fn serve_plan(
     ))
 }
 
-/// Plans `batch` with the fallback scheduler for a degraded response.
-/// Degraded plans are *not* cached: the next uncongested miss should get
-/// the primary planner's answer.
-fn degraded_plan(
+/// Runs the primary planner as the leader of a single-flight: admission
+/// gate (charged once for the whole flight), circuit breaker, contained
+/// chaos/panic handling. Never returns [`FlightOutcome::Cached`].
+fn lead_plan(
     shared: &Shared,
-    batch: &Batch,
+    metrics: MetricsShard<'_>,
+    scheduler: &dyn Scheduler,
+    canonical: &CanonicalBatch,
     ctx: &SchedulerCtx,
-) -> Result<Arc<IterationPlan>, (ErrorCode, String)> {
-    let fallback = registry::scheduler_by_name(&shared.cfg.degraded_method).map_err(|n| {
-        (
-            ErrorCode::PlanFailed,
-            format!("degraded-mode fallback scheduler '{n}' is unknown"),
-        )
-    })?;
-    match catch_unwind(AssertUnwindSafe(|| fallback.plan(batch, ctx))) {
-        Ok(Ok(plan)) => Ok(Arc::new(plan)),
-        Ok(Err(e)) => Err((
+) -> FlightOutcome {
+    // Admission: the gate bounds estimated in-flight planner time, the
+    // breaker short-circuits a failing planner. Either verdict degrades
+    // to the fallback scheduler instead of queueing.
+    match shared.gate.try_admit() {
+        None => {
+            metrics.record_shed();
+            degraded_flight(shared, metrics, canonical, ctx)
+        }
+        Some(permit) => {
+            if !shared.breaker.allow() {
+                shared.gate.cancel(permit);
+                degraded_flight(shared, metrics, canonical, ctx)
+            } else {
+                metrics.record_planner_run();
+                let t0 = Instant::now();
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(chaos) = &shared.cfg.chaos {
+                        chaos.before_plan();
+                    }
+                    scheduler.plan(&canonical.to_batch(), ctx)
+                }));
+                shared.gate.release(permit, t0.elapsed());
+                match outcome {
+                    Ok(Ok(plan)) => {
+                        shared.breaker.record_success();
+                        FlightOutcome::Planned(Arc::new(CachedPlan::new(plan, &canonical.lens)))
+                    }
+                    Ok(Err(e)) => {
+                        if shared.breaker.record_failure() {
+                            metrics.record_breaker_trip();
+                        }
+                        FlightOutcome::Failed(
+                            ErrorCode::PlanFailed,
+                            format!("planning failed: {e}"),
+                        )
+                    }
+                    Err(_) => {
+                        // Planner panic, contained at the request level:
+                        // typed error out (fanned to every waiter), worker
+                        // intact, breaker counts the failure.
+                        if shared.breaker.record_failure() {
+                            metrics.record_breaker_trip();
+                        }
+                        metrics.record_worker_panic();
+                        FlightOutcome::Failed(
+                            ErrorCode::WorkerPanicked,
+                            "the planner panicked on this request; the panic was \
+                             contained and the worker pool is intact"
+                                .to_string(),
+                        )
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Plans the canonical batch with the fallback scheduler for a degraded
+/// flight. Degraded plans are *not* cached — the next uncongested miss
+/// should get the primary planner's answer — but they fan out to every
+/// waiter of the flight, each materializing for its own ordering.
+fn degraded_flight(
+    shared: &Shared,
+    metrics: MetricsShard<'_>,
+    canonical: &CanonicalBatch,
+    ctx: &SchedulerCtx,
+) -> FlightOutcome {
+    let fallback = match registry::scheduler_by_name(&shared.cfg.degraded_method) {
+        Ok(f) => f,
+        Err(n) => {
+            return FlightOutcome::Failed(
+                ErrorCode::PlanFailed,
+                format!("degraded-mode fallback scheduler '{n}' is unknown"),
+            )
+        }
+    };
+    match catch_unwind(AssertUnwindSafe(|| {
+        fallback.plan(&canonical.to_batch(), ctx)
+    })) {
+        Ok(Ok(plan)) => FlightOutcome::Degraded(Arc::new(CachedPlan::new(plan, &canonical.lens))),
+        Ok(Err(e)) => FlightOutcome::Failed(
             ErrorCode::PlanFailed,
             format!("degraded-mode planning failed: {e}"),
-        )),
+        ),
         Err(_) => {
-            shared.metrics.record_worker_panic();
-            Err((
+            metrics.record_worker_panic();
+            FlightOutcome::Failed(
                 ErrorCode::WorkerPanicked,
                 "the fallback planner panicked; the panic was contained".to_string(),
-            ))
+            )
         }
     }
 }

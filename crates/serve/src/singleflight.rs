@@ -1,0 +1,265 @@
+//! Single-flight coalescing of identical in-flight plan keys.
+//!
+//! When N requests for the same [`PlanKey`] race on a cold cache, only the
+//! first — the *leader* — runs the planner; the rest become *followers* that
+//! block on the leader's [`Flight`] and receive the same
+//! `Arc<`[`CachedPlan`]`>` when it lands. One planner run is charged to the
+//! admission gate, no matter how many requests it serves; each follower
+//! still materializes the shared canonical plan for its own batch ordering
+//! and remains subject to its own deadline while waiting.
+//!
+//! Correctness notes:
+//!
+//! - Flights are keyed by the **full** `PlanKey` (digest-accelerated via
+//!   [`DigestHasherBuilder`], equality on all fields), so a digest collision
+//!   costs a second planner run, never a wrong plan fanned out.
+//! - A leader that unwinds without completing its flight (a panic outside
+//!   the contained planner run) fails the flight from [`FlightGuard`]'s
+//!   `Drop`, so followers always wake — no flight leaks.
+//! - Becoming a leader races with the previous leader completing: callers
+//!   must re-check the cache after [`FlightTable::join`] returns
+//!   [`Join::Leader`] (the previous leader inserts into the cache *before*
+//!   retiring its flight, so the re-check is sufficient).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use crate::cache::{CachedPlan, DigestHasherBuilder, PlanKey};
+use crate::protocol::ErrorCode;
+
+/// How a coalesced planner run ended, fanned out to every waiter.
+#[derive(Debug, Clone)]
+pub enum FlightOutcome {
+    /// The primary planner produced a canonical plan (it was also cached).
+    Planned(Arc<CachedPlan>),
+    /// The fallback scheduler produced a degraded canonical plan (never
+    /// cached — each waiter materializes it for its own ordering).
+    Degraded(Arc<CachedPlan>),
+    /// The run failed; every waiter reports the same typed error.
+    Failed(ErrorCode, String),
+    /// The leader found the key already cached after joining (it lost the
+    /// race to a previous leader); waiters should re-check the cache.
+    Cached,
+}
+
+/// One in-flight planner run that waiters can block on.
+#[derive(Debug)]
+pub struct Flight {
+    done: Mutex<Option<FlightOutcome>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the leader completes the flight, or until `deadline`
+    /// passes (`None` = wait forever). Returns `None` only on deadline
+    /// expiry — the caller owes its client a typed `deadline_exceeded`.
+    pub fn wait(&self, deadline: Option<Instant>) -> Option<FlightOutcome> {
+        let mut done = self.done.lock().expect("flight lock");
+        loop {
+            if let Some(outcome) = done.as_ref() {
+                return Some(outcome.clone());
+            }
+            match deadline {
+                None => done = self.cv.wait(done).expect("flight lock"),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return None;
+                    }
+                    let (guard, _) = self.cv.wait_timeout(done, d - now).expect("flight lock");
+                    done = guard;
+                }
+            }
+        }
+    }
+
+    fn complete(&self, outcome: FlightOutcome) {
+        let mut done = self.done.lock().expect("flight lock");
+        if done.is_none() {
+            *done = Some(outcome);
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// The result of [`FlightTable::join`]: lead the planner run, or follow an
+/// existing one.
+pub enum Join<'a> {
+    /// No flight was in progress for the key — the caller must run the
+    /// planner and [`FlightGuard::complete`] the flight. Boxed: the guard
+    /// carries a full [`PlanKey`], which would otherwise dwarf the
+    /// follower variant.
+    Leader(Box<FlightGuard<'a>>),
+    /// Another request is already planning this key — [`Flight::wait`] for
+    /// its outcome.
+    Follower(Arc<Flight>),
+}
+
+/// Leadership of one flight; completing (or dropping) it retires the key
+/// from the table and wakes every follower.
+pub struct FlightGuard<'a> {
+    table: &'a FlightTable,
+    key: PlanKey,
+    flight: Arc<Flight>,
+    completed: bool,
+}
+
+impl FlightGuard<'_> {
+    /// Publishes the outcome to every follower and retires the flight.
+    pub fn complete(mut self, outcome: FlightOutcome) {
+        self.finish(outcome);
+    }
+
+    fn finish(&mut self, outcome: FlightOutcome) {
+        if self.completed {
+            return;
+        }
+        self.completed = true;
+        self.table
+            .inflight
+            .lock()
+            .expect("flight table lock")
+            .remove(&self.key);
+        self.flight.complete(outcome);
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        // A leader unwinding without completing (panic outside the contained
+        // planner run) must not strand its followers.
+        self.finish(FlightOutcome::Failed(
+            ErrorCode::WorkerPanicked,
+            "coalesced planner run was abandoned".to_string(),
+        ));
+    }
+}
+
+/// The registry of in-flight planner runs, keyed by full [`PlanKey`].
+#[derive(Debug, Default)]
+pub struct FlightTable {
+    inflight: Mutex<HashMap<PlanKey, Arc<Flight>, DigestHasherBuilder>>,
+}
+
+impl FlightTable {
+    /// An empty table.
+    pub fn new() -> FlightTable {
+        FlightTable::default()
+    }
+
+    /// Joins the flight for `key`: the first caller becomes the leader, any
+    /// caller arriving while the leader is in flight becomes a follower.
+    pub fn join(&self, key: &PlanKey) -> Join<'_> {
+        let mut inflight = self.inflight.lock().expect("flight table lock");
+        if let Some(flight) = inflight.get(key) {
+            return Join::Follower(Arc::clone(flight));
+        }
+        let flight = Arc::new(Flight::new());
+        inflight.insert(key.clone(), Arc::clone(&flight));
+        Join::Leader(Box::new(FlightGuard {
+            table: self,
+            key: key.clone(),
+            flight,
+            completed: false,
+        }))
+    }
+
+    /// Number of keys currently in flight.
+    pub fn len(&self) -> usize {
+        self.inflight.lock().expect("flight table lock").len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use zeppelin_core::scheduler::{Scheduler, SchedulerCtx};
+    use zeppelin_core::zeppelin::Zeppelin;
+    use zeppelin_data::batch::Batch;
+    use zeppelin_model::config::llama_3b;
+    use zeppelin_sim::topology::cluster_a;
+
+    fn key() -> PlanKey {
+        let ctx = SchedulerCtx::new(&cluster_a(2), &llama_3b()).with_capacity(8192);
+        PlanKey::new("zeppelin", &Batch::new(vec![9000, 500]), &ctx).0
+    }
+
+    #[test]
+    fn leader_then_followers_share_one_outcome() {
+        let table = FlightTable::new();
+        let k = key();
+        let Join::Leader(guard) = table.join(&k) else {
+            panic!("first join leads");
+        };
+        let Join::Follower(flight) = table.join(&k) else {
+            panic!("second join follows");
+        };
+        assert_eq!(table.len(), 1);
+
+        let ctx = SchedulerCtx::new(&cluster_a(2), &llama_3b()).with_capacity(8192);
+        let plan = Zeppelin::new()
+            .plan(&Batch::new(vec![9000, 500]), &ctx)
+            .unwrap();
+        let cached = Arc::new(CachedPlan::new(plan, &k.lens));
+        guard.complete(FlightOutcome::Planned(Arc::clone(&cached)));
+
+        match flight.wait(None) {
+            Some(FlightOutcome::Planned(shared)) => {
+                assert!(Arc::ptr_eq(&shared, &cached), "waiters share the Arc");
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+        assert!(table.is_empty(), "completed flights retire their key");
+    }
+
+    #[test]
+    fn follower_deadlines_bound_the_wait() {
+        let table = FlightTable::new();
+        let k = key();
+        let Join::Leader(_guard) = table.join(&k) else {
+            panic!("first join leads");
+        };
+        let Join::Follower(flight) = table.join(&k) else {
+            panic!("second join follows");
+        };
+        let deadline = Instant::now() + Duration::from_millis(30);
+        assert!(
+            flight.wait(Some(deadline)).is_none(),
+            "a stalled flight must not outlive the waiter's deadline"
+        );
+    }
+
+    #[test]
+    fn dropped_leadership_fails_the_flight_instead_of_stranding_waiters() {
+        let table = FlightTable::new();
+        let k = key();
+        let Join::Leader(guard) = table.join(&k) else {
+            panic!("first join leads");
+        };
+        let Join::Follower(flight) = table.join(&k) else {
+            panic!("second join follows");
+        };
+        drop(guard);
+        match flight.wait(None) {
+            Some(FlightOutcome::Failed(code, _)) => {
+                assert_eq!(code, ErrorCode::WorkerPanicked);
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+        assert!(table.is_empty(), "abandoned flights retire their key too");
+    }
+}

@@ -19,6 +19,14 @@
 //! bit-identical to the sequential path no matter how the race resolves.
 //! Per-worker busy time is the one nondeterministic product, and it flows
 //! only into [`crate::network::NetStats`], never into simulated state.
+//!
+//! Load balance: components are dispatched **largest first** (descending
+//! flow count, ties by ascending id). Fill cost grows with a component's
+//! flow count, so under the classic longest-processing-time argument this
+//! keeps one straggler component from serializing the tail of the barrier
+//! — the big jobs start early and the small ones pack around them. Commit
+//! order is unaffected: the barrier still applies outputs in ascending
+//! component id.
 
 use std::sync::mpsc;
 use std::sync::{Mutex, OnceLock};
@@ -62,7 +70,12 @@ pub(crate) fn fill_parallel(
     let spawn = workers.min(ncomps);
     debug_assert!(scratches.len() >= spawn && busy_ns.len() >= spawn);
     let (tx, rx) = mpsc::channel::<usize>();
-    for c in 0..ncomps {
+    // Largest components first (ties by ascending id): starting the
+    // longest fills early shortens the barrier's straggler tail, and the
+    // ascending-id apply at the barrier keeps commits bit-identical.
+    let mut order: Vec<usize> = (0..ncomps).collect();
+    order.sort_by_key(|&c| (usize::MAX - parts.component(c).flows.len(), c));
+    for c in order {
         tx.send(c).expect("receiver lives until the scope ends");
     }
     drop(tx);

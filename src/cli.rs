@@ -446,6 +446,8 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
                 workers: flag_usize(opts, "workers", 4)?.max(1),
                 max_queue: flag_usize(opts, "queue", 64)?.max(1),
                 cache_capacity: flag_usize(opts, "cache", 1024)?,
+                cache_shards: flag_usize(opts, "cache-shards", defaults.cache_shards)?.max(1),
+                max_connections: flag_usize(opts, "max-conns", defaults.max_connections)?.max(1),
                 method: opts.flags.get("method").map_or("zeppelin", |s| s).into(),
                 model: opts.flags.get("model").map_or("3b", |s| s).into(),
                 cluster: opts.flags.get("cluster").map_or("a", |s| s).into(),
@@ -498,7 +500,8 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
             Ok(format!(
                 "shutdown: {} plan requests ({} hits, {:.1}% hit rate), {} stats, \
                  {} errors, {} rejected\n  plan latency p50 {}us p99 {}us p999 {}us; \
-                 {} cached plans ({} evictions)\n  faults: {} shed, {} degraded, \
+                 {} cached plans ({} evictions)\n  planner: {} runs, {} coalesced\n  \
+                 faults: {} shed, {} degraded, \
                  {} deadline-exceeded, {} panics contained, {} respawns, \
                  {} breaker trips, {} slow clients, {} drain stragglers\n",
                 m.plan_requests,
@@ -512,6 +515,8 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
                 m.p999_us,
                 report.cached_plans,
                 report.cache.evictions,
+                m.planner_runs,
+                m.coalesced,
                 m.shed,
                 m.degraded,
                 m.deadline_exceeded,
@@ -691,6 +696,7 @@ pub fn usage() -> String {
        run      [--steps N --json out.json] multi-step training run\n\
        faults   [--crash-node N --crash-at-ms T --steps N] recovery-policy table\n\
        serve    [--port P --workers W --queue Q --cache N] online planning server\n\
+                [--cache-shards S --max-conns M]\n\
                 [--grace-ms G --frame-timeout-ms F --idle-timeout-ms I]\n\
                 [--highwater-ms H --degraded-method S --breaker-failures N --breaker-cooldown-ms C]\n\
        client   [--port P --op plan|stats|shutdown ... workload flags] one request\n\

@@ -9,8 +9,13 @@ use zeppelin::core::zeppelin::Zeppelin;
 use zeppelin::data::batch::Batch;
 use zeppelin::model::config::llama_3b;
 use zeppelin::serve::registry::{scheduler_by_name, SCHEDULER_NAMES};
-use zeppelin::serve::{is_index_faithful, CanonicalBatch, PlanCache};
+use zeppelin::serve::{
+    is_index_faithful, CachedPlan, CanonicalBatch, FlightOutcome, FlightTable, Join, PlanCache,
+    PlanKey, ShardedPlanCache,
+};
 use zeppelin::sim::topology::cluster_a;
+
+use std::sync::Arc;
 
 fn ctx() -> SchedulerCtx {
     SchedulerCtx::new(&cluster_a(2), &llama_3b()).with_capacity(8192)
@@ -116,5 +121,70 @@ proptest! {
         let (_, hit) = cache.get_or_plan(&z, &batch, &shrunk).expect("replan on survivors");
         prop_assert!(!hit, "post-shrink request must miss");
         prop_assert_eq!(cache.purge_stale(&shrunk), 0);
+    }
+
+    /// The server's sharded single-flight path is placement-identical to the
+    /// unsharded cache, scheduler by scheduler: driving any request sequence
+    /// (repeated shapes, permuted views, varying shard counts) through
+    /// lookup → flight join → plan → publish serves exactly the plans — and
+    /// the hit pattern — that the one-mutex cache serves, and both caches
+    /// end the run holding the same number of entries.
+    #[test]
+    fn sharded_single_flight_matches_unsharded_placement(
+        shapes in prop::collection::vec(arb_lens(), 1..5),
+        picks in prop::collection::vec((0usize..5, 0usize..16), 1..20),
+        shards in 1usize..9,
+    ) {
+        let ctx = ctx();
+        for name in SCHEDULER_NAMES {
+            let scheduler = scheduler_by_name(name).unwrap();
+            let mut unsharded = PlanCache::new(64);
+            let sharded = ShardedPlanCache::new(64, shards);
+            let flights = FlightTable::new();
+            for &(s, rot) in &picks {
+                let mut lens = shapes[s % shapes.len()].clone();
+                let n = lens.len();
+                lens.rotate_left(rot % n);
+                let batch = Batch::new(lens);
+
+                let reference = unsharded.get_or_plan(scheduler.as_ref(), &batch, &ctx);
+
+                // The serve path: sharded lookup, then single-flight join
+                // (sequential driver, so joins always lead), plan, publish
+                // to the cache before completing the flight.
+                let (key, canonical) = PlanKey::new(scheduler.name(), &batch, &ctx);
+                let served = match sharded.lookup(&key) {
+                    Some(cached) => Ok((cached.materialize(&canonical), true)),
+                    None => match flights.join(&key) {
+                        Join::Leader(guard) => match scheduler.plan(&canonical.to_batch(), &ctx) {
+                            Ok(plan) => {
+                                let cached = Arc::new(CachedPlan::new(plan, &canonical.lens));
+                                sharded.insert(key, Arc::clone(&cached));
+                                guard.complete(FlightOutcome::Planned(Arc::clone(&cached)));
+                                Ok((cached.materialize(&canonical), false))
+                            }
+                            Err(e) => Err(e),
+                        },
+                        Join::Follower(_) => unreachable!("sequential driver always leads"),
+                    },
+                };
+
+                match (reference, served) {
+                    (Ok((want, want_hit)), Ok((got, got_hit))) => {
+                        prop_assert_eq!(want_hit, got_hit, "{}: hit pattern diverged", name);
+                        prop_assert_eq!(&*want, &*got, "{}: served plan diverged", name);
+                    }
+                    (Err(_), Err(_)) => {} // consistent failure is fine
+                    (reference, served) => prop_assert!(
+                        false,
+                        "{name}: unsharded ok={} but sharded ok={}",
+                        reference.is_ok(),
+                        served.is_ok()
+                    ),
+                }
+            }
+            prop_assert_eq!(unsharded.len(), sharded.len(), "{}: entry counts diverged", name);
+            prop_assert!(flights.is_empty(), "{name}: a flight leaked past its request");
+        }
     }
 }

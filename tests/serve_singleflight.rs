@@ -1,0 +1,89 @@
+//! Single-flight coalescing over real sockets: N connections fire the same
+//! fresh plan key at the same instant, the leader's planner run is pinned
+//! open with an injected stall, and the server's own ledger must show
+//! exactly one planner invocation serving all N responses.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+
+use zeppelin::core::plan_io::{parse_json, Json};
+use zeppelin::serve::{PlannerChaos, Server, ServerConfig};
+
+const CONNS: usize = 8;
+
+#[test]
+fn concurrent_identical_keys_share_one_planner_run() {
+    // The stall holds the leader inside its planner run long enough that
+    // every other connection's request demonstrably arrives while the key
+    // is in flight — without it, a microsecond planner run can finish
+    // before the host scheduler lets a second worker observe the flight.
+    let chaos = Arc::new(PlannerChaos::new());
+    chaos.push_stall(300);
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        chaos: Some(Arc::clone(&chaos)),
+        ..ServerConfig::default()
+    })
+    .expect("bind an ephemeral port");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().expect("serve until shutdown"));
+
+    // All connections are established and synchronized before any request
+    // line is written, so the requests land as one burst.
+    let gate = Barrier::new(CONNS);
+    std::thread::scope(|scope| {
+        for _ in 0..CONNS {
+            let gate = &gate;
+            scope.spawn(move || {
+                let raw = TcpStream::connect(addr).expect("connect");
+                let mut writer = raw.try_clone().expect("clone for writing");
+                let mut reader = BufReader::new(raw);
+                gate.wait();
+                writeln!(writer, "{{\"op\":\"plan\",\"seqs\":[9000,500,2500]}}")
+                    .expect("request sends");
+                let mut reply = String::new();
+                reader.read_line(&mut reply).expect("server answers");
+                let v = parse_json(reply.trim()).expect("reply is JSON");
+                assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{reply}");
+                assert_ne!(
+                    v.get("degraded"),
+                    Some(&Json::Bool(true)),
+                    "a coalesced response must carry the real plan: {reply}"
+                );
+            });
+        }
+    });
+    assert_eq!(chaos.pending(), 0, "the leader consumed the stall");
+
+    let mut ctl = TcpStream::connect(addr).expect("connect for shutdown");
+    writeln!(ctl, "{{\"op\":\"shutdown\"}}").expect("shutdown sends");
+    let mut reply = String::new();
+    BufReader::new(ctl)
+        .read_line(&mut reply)
+        .expect("shutdown ack");
+    assert!(reply.contains("shutting_down"), "{reply}");
+
+    let report = handle.join().expect("server thread exits");
+    let m = &report.metrics;
+    assert_eq!(m.plan_requests, CONNS as u64, "every request was served");
+    assert_eq!(
+        m.planner_runs, 1,
+        "one planner invocation serves the whole burst"
+    );
+    assert!(
+        m.coalesced >= 1,
+        "with the leader stalled 300ms, at least one follower must coalesce"
+    );
+    assert_eq!(
+        m.cache_hits + m.coalesced,
+        CONNS as u64 - 1,
+        "every non-leader was served without planning: {} hits + {} coalesced",
+        m.cache_hits,
+        m.coalesced
+    );
+    assert_eq!(m.errors, 0, "no request errored");
+    assert_eq!(m.worker_respawns, 0, "no worker died");
+    assert_eq!(report.cached_plans, 1, "one canonical plan cached");
+}
