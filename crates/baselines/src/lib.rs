@@ -34,3 +34,37 @@ pub use llama_cp::LlamaCp;
 pub use packing::{pack_into_bins, pack_into_bins_tagged, redundant_fraction, Packing};
 pub use te_cp::TeCp;
 pub use ulysses::Ulysses;
+
+use zeppelin_core::scheduler::Scheduler;
+use zeppelin_core::zeppelin::Zeppelin;
+
+/// Scheduler names accepted by [`scheduler_by_name`] (canonical spellings).
+pub const SCHEDULER_NAMES: [&str; 7] = [
+    "zeppelin",
+    "te",
+    "llama",
+    "hybrid",
+    "packing",
+    "ulysses",
+    "double-ring",
+];
+
+/// Resolves a scheduler (Zeppelin or a baseline) by its CLI/protocol name.
+/// This is the one vocabulary shared by the CLI, the serving registry, and
+/// the cluster simulation.
+///
+/// # Errors
+///
+/// Returns the offending name for unknown schedulers.
+pub fn scheduler_by_name(name: &str) -> Result<Box<dyn Scheduler>, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "zeppelin" => Ok(Box::new(Zeppelin::new())),
+        "te" | "te-cp" => Ok(Box::new(TeCp::new())),
+        "llama" | "llama-cp" => Ok(Box::new(LlamaCp::new())),
+        "hybrid" | "hybrid-dp" => Ok(Box::new(HybridDp::new())),
+        "packing" => Ok(Box::new(Packing::new())),
+        "ulysses" => Ok(Box::new(Ulysses::new())),
+        "double-ring" | "doublering" => Ok(Box::new(DoubleRingCp::new())),
+        other => Err(other.to_string()),
+    }
+}

@@ -1,0 +1,477 @@
+//! Cluster-level reporting: per-job outcomes, per-tenant aggregates, and
+//! the [`ClusterReport`] with goodput-vs-throughput, JCT and queueing-delay
+//! percentiles, Jain's fairness index, utilization, and the full event log.
+
+use std::collections::BTreeMap;
+
+use zeppelin_core::plan_io::Json;
+use zeppelin_data::stats::percentile;
+use zeppelin_sim::time::{SimDuration, SimTime};
+
+/// One entry in the deterministic cluster event log. Two runs of the same
+/// trace under the same policy must produce identical logs — the replay
+/// property suite compares them with `==`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterEvent {
+    /// A job entered the queue.
+    Arrive {
+        /// Instant.
+        t: SimTime,
+        /// Job id.
+        job: usize,
+    },
+    /// A job was rejected on arrival (its `min_nodes` exceeds the cluster).
+    Reject {
+        /// Instant.
+        t: SimTime,
+        /// Job id.
+        job: usize,
+    },
+    /// A job left the queue and started on `nodes` nodes.
+    Start {
+        /// Instant.
+        t: SimTime,
+        /// Job id.
+        job: usize,
+        /// Nodes allocated.
+        nodes: usize,
+    },
+    /// A job committed one training step.
+    StepCommit {
+        /// Instant.
+        t: SimTime,
+        /// Job id.
+        job: usize,
+        /// Zero-based committed step index.
+        step: usize,
+    },
+    /// A running job was checkpointed and requeued, rolling back
+    /// `rolled_back` committed steps.
+    Preempt {
+        /// Instant.
+        t: SimTime,
+        /// Job id.
+        job: usize,
+        /// Committed steps discarded by the rollback.
+        rolled_back: usize,
+    },
+    /// A running job was elastically resized.
+    Resize {
+        /// Instant.
+        t: SimTime,
+        /// Job id.
+        job: usize,
+        /// Previous node count.
+        from: usize,
+        /// New node count.
+        to: usize,
+    },
+    /// A job committed its full step budget.
+    Complete {
+        /// Instant.
+        t: SimTime,
+        /// Job id.
+        job: usize,
+    },
+    /// A job's step failed to plan or simulate and the job was abandoned.
+    Fail {
+        /// Instant.
+        t: SimTime,
+        /// Job id.
+        job: usize,
+    },
+}
+
+/// How a job's life on the cluster ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// All steps committed.
+    Completed,
+    /// A step failed to plan or simulate.
+    Failed(String),
+    /// Turned away at arrival.
+    Rejected,
+}
+
+/// Everything the simulation learned about one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Job id.
+    pub job: usize,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Terminal state.
+    pub outcome: Outcome,
+    /// Arrival instant.
+    pub arrival: SimTime,
+    /// First time it left the queue (None if rejected).
+    pub first_start: Option<SimTime>,
+    /// Terminal instant.
+    pub finish: SimTime,
+    /// Total time spent queued (including requeues after preemption).
+    pub queueing_delay: SimDuration,
+    /// Wall time inside committed steps.
+    pub productive: SimDuration,
+    /// Tokens in committed steps.
+    pub useful_tokens: u64,
+    /// Tokens of discarded work (aborted attempts, rolled-back steps).
+    pub lost_tokens: u64,
+    /// Times this job was preempted.
+    pub preemptions: u32,
+    /// Times this job was elastically resized (each paying a replan).
+    pub replans: u32,
+    /// Committed step times, in order — the oracle test compares these
+    /// bit-identically against a standalone `run_training`.
+    pub step_times: Vec<SimDuration>,
+}
+
+impl JobOutcome {
+    /// Job completion time (terminal instant minus arrival).
+    pub fn jct(&self) -> SimDuration {
+        self.finish - self.arrival
+    }
+
+    /// Fraction of the job's resident time spent in committed steps —
+    /// the per-job efficiency that feeds Jain's index. 0 for jobs that
+    /// never committed anything.
+    pub fn efficiency(&self) -> f64 {
+        let jct = self.jct().as_secs_f64();
+        if jct <= 0.0 {
+            return if self.useful_tokens > 0 { 1.0 } else { 0.0 };
+        }
+        (self.productive.as_secs_f64() / jct).min(1.0)
+    }
+}
+
+/// Per-tenant aggregates over completed jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub tenant: String,
+    /// Jobs this tenant submitted.
+    pub jobs: usize,
+    /// Jobs that completed.
+    pub completed: usize,
+    /// Tenant useful tokens per second of cluster makespan.
+    pub goodput: f64,
+    /// Mean job completion time over completed jobs, seconds.
+    pub mean_jct_s: f64,
+    /// Mean per-job efficiency over completed jobs — the tenant's Jain
+    /// coordinate.
+    pub mean_efficiency: f64,
+}
+
+/// Jain's fairness index `(Σx)² / (n · Σx²)` over non-negative allocations;
+/// 1.0 when every coordinate is equal (or the input is empty/all-zero,
+/// where fairness is vacuous).
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (xs.len() as f64 * sq)
+}
+
+/// The full result of one cluster simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Cluster policy name.
+    pub policy: String,
+    /// Per-job scheduler name.
+    pub scheduler: String,
+    /// Cluster size in nodes.
+    pub nodes: usize,
+    /// Instant the last job terminated.
+    pub makespan: SimDuration,
+    /// Jobs that committed their full budget.
+    pub completed: usize,
+    /// Jobs abandoned on a step failure.
+    pub failed: usize,
+    /// Jobs rejected at arrival.
+    pub rejected: usize,
+    /// Tokens in committed steps, cluster-wide.
+    pub useful_tokens: u64,
+    /// Tokens of discarded work, cluster-wide.
+    pub lost_tokens: u64,
+    /// All processed tokens (useful + lost) per second of makespan.
+    pub throughput: f64,
+    /// Useful tokens per second of makespan; ≤ throughput, equal only when
+    /// nothing was discarded.
+    pub goodput: f64,
+    /// Allocated node-time over `nodes × makespan`.
+    pub utilization: f64,
+    /// Job-completion-time p50 over completed jobs.
+    pub jct_p50: SimDuration,
+    /// Job-completion-time p99 over completed jobs.
+    pub jct_p99: SimDuration,
+    /// Queueing-delay p50 over completed jobs.
+    pub queue_p50: SimDuration,
+    /// Queueing-delay p99 over completed jobs.
+    pub queue_p99: SimDuration,
+    /// Jain's index over per-tenant mean efficiency.
+    pub fairness: f64,
+    /// Total preemptions.
+    pub preemptions: u32,
+    /// Total elastic replans.
+    pub replans: u32,
+    /// Per-tenant aggregates, sorted by tenant name.
+    pub tenants: Vec<TenantReport>,
+    /// Per-job outcomes, sorted by job id.
+    pub outcomes: Vec<JobOutcome>,
+    /// The deterministic event log.
+    pub events: Vec<ClusterEvent>,
+}
+
+impl ClusterReport {
+    /// Assembles the derived metrics from per-job outcomes. `busy_node_ns`
+    /// is the integral of allocated nodes over time.
+    pub(crate) fn assemble(
+        policy: String,
+        scheduler: String,
+        nodes: usize,
+        makespan: SimDuration,
+        busy_node_ns: u128,
+        outcomes: Vec<JobOutcome>,
+        events: Vec<ClusterEvent>,
+    ) -> ClusterReport {
+        let completed = outcomes
+            .iter()
+            .filter(|o| o.outcome == Outcome::Completed)
+            .count();
+        let failed = outcomes
+            .iter()
+            .filter(|o| matches!(o.outcome, Outcome::Failed(_)))
+            .count();
+        let rejected = outcomes
+            .iter()
+            .filter(|o| o.outcome == Outcome::Rejected)
+            .count();
+        let useful_tokens: u64 = outcomes.iter().map(|o| o.useful_tokens).sum();
+        let lost_tokens: u64 = outcomes.iter().map(|o| o.lost_tokens).sum();
+        let span_s = makespan.as_secs_f64();
+        let throughput = if span_s > 0.0 {
+            (useful_tokens + lost_tokens) as f64 / span_s
+        } else {
+            0.0
+        };
+        let goodput = if span_s > 0.0 {
+            useful_tokens as f64 / span_s
+        } else {
+            0.0
+        };
+        let utilization = if makespan > SimDuration::ZERO && nodes > 0 {
+            busy_node_ns as f64 / (nodes as u128 * makespan.as_nanos() as u128) as f64
+        } else {
+            0.0
+        };
+
+        let done: Vec<&JobOutcome> = outcomes
+            .iter()
+            .filter(|o| o.outcome == Outcome::Completed)
+            .collect();
+        let pct = |values: &[u64], p: f64| {
+            if values.is_empty() {
+                SimDuration::ZERO
+            } else {
+                SimDuration::from_nanos(percentile(values, p))
+            }
+        };
+        let jcts: Vec<u64> = done.iter().map(|o| o.jct().as_nanos()).collect();
+        let queues: Vec<u64> = done.iter().map(|o| o.queueing_delay.as_nanos()).collect();
+
+        let mut by_tenant: BTreeMap<&str, Vec<&JobOutcome>> = BTreeMap::new();
+        for o in &outcomes {
+            by_tenant.entry(o.tenant.as_str()).or_default().push(o);
+        }
+        let tenants: Vec<TenantReport> = by_tenant
+            .iter()
+            .map(|(tenant, jobs)| {
+                let comp: Vec<&&JobOutcome> = jobs
+                    .iter()
+                    .filter(|o| o.outcome == Outcome::Completed)
+                    .collect();
+                let tokens: u64 = comp.iter().map(|o| o.useful_tokens).sum();
+                let n = comp.len().max(1) as f64;
+                TenantReport {
+                    tenant: tenant.to_string(),
+                    jobs: jobs.len(),
+                    completed: comp.len(),
+                    goodput: if span_s > 0.0 {
+                        tokens as f64 / span_s
+                    } else {
+                        0.0
+                    },
+                    mean_jct_s: comp.iter().map(|o| o.jct().as_secs_f64()).sum::<f64>() / n,
+                    mean_efficiency: comp.iter().map(|o| o.efficiency()).sum::<f64>() / n,
+                }
+            })
+            .collect();
+        let fairness = jain_index(
+            &tenants
+                .iter()
+                .map(|t| t.mean_efficiency)
+                .collect::<Vec<f64>>(),
+        );
+
+        ClusterReport {
+            policy,
+            scheduler,
+            nodes,
+            makespan,
+            completed,
+            failed,
+            rejected,
+            useful_tokens,
+            lost_tokens,
+            throughput,
+            goodput,
+            utilization,
+            jct_p50: pct(&jcts, 50.0),
+            jct_p99: pct(&jcts, 99.0),
+            queue_p50: pct(&queues, 50.0),
+            queue_p99: pct(&queues, 99.0),
+            fairness,
+            preemptions: outcomes.iter().map(|o| o.preemptions).sum(),
+            replans: outcomes.iter().map(|o| o.replans).sum(),
+            tenants,
+            outcomes,
+            events,
+        }
+    }
+
+    /// Checks report invariants — the CI smoke gate: every job terminated
+    /// exactly once, utilization and fairness are in range, and goodput
+    /// never exceeds throughput.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check(&self) -> Result<(), String> {
+        let terminated = self.completed + self.failed + self.rejected;
+        if terminated != self.outcomes.len() {
+            return Err(format!(
+                "{terminated} terminal outcomes for {} jobs",
+                self.outcomes.len()
+            ));
+        }
+        if self.goodput > self.throughput + 1e-9 {
+            return Err(format!(
+                "goodput {} exceeds throughput {}",
+                self.goodput, self.throughput
+            ));
+        }
+        if !(0.0..=1.0 + 1e-9).contains(&self.utilization) {
+            return Err(format!("utilization {} out of range", self.utilization));
+        }
+        if !(0.0..=1.0 + 1e-9).contains(&self.fairness) {
+            return Err(format!("fairness {} out of range", self.fairness));
+        }
+        for o in &self.outcomes {
+            if o.outcome == Outcome::Completed && o.step_times.is_empty() {
+                return Err(format!("completed job {} committed no steps", o.job));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the report (minus the per-event log) as a JSON tree —
+    /// stable across reruns of the same seed, which the exhibit asserts.
+    pub fn to_json(&self) -> Json {
+        let mut o = BTreeMap::new();
+        o.insert("policy".into(), Json::String(self.policy.clone()));
+        o.insert("scheduler".into(), Json::String(self.scheduler.clone()));
+        o.insert("nodes".into(), Json::Number(self.nodes as f64));
+        o.insert(
+            "makespan_ms".into(),
+            Json::Number(self.makespan.as_millis_f64()),
+        );
+        o.insert("completed".into(), Json::Number(self.completed as f64));
+        o.insert("failed".into(), Json::Number(self.failed as f64));
+        o.insert("rejected".into(), Json::Number(self.rejected as f64));
+        o.insert(
+            "useful_tokens".into(),
+            Json::Number(self.useful_tokens as f64),
+        );
+        o.insert("lost_tokens".into(), Json::Number(self.lost_tokens as f64));
+        o.insert("throughput".into(), Json::Number(self.throughput));
+        o.insert("goodput".into(), Json::Number(self.goodput));
+        o.insert("utilization".into(), Json::Number(self.utilization));
+        o.insert(
+            "jct_p50_ms".into(),
+            Json::Number(self.jct_p50.as_millis_f64()),
+        );
+        o.insert(
+            "jct_p99_ms".into(),
+            Json::Number(self.jct_p99.as_millis_f64()),
+        );
+        o.insert(
+            "queue_p50_ms".into(),
+            Json::Number(self.queue_p50.as_millis_f64()),
+        );
+        o.insert(
+            "queue_p99_ms".into(),
+            Json::Number(self.queue_p99.as_millis_f64()),
+        );
+        o.insert("fairness".into(), Json::Number(self.fairness));
+        o.insert("preemptions".into(), Json::Number(self.preemptions as f64));
+        o.insert("replans".into(), Json::Number(self.replans as f64));
+        let tenants: Vec<Json> = self
+            .tenants
+            .iter()
+            .map(|t| {
+                let mut m = BTreeMap::new();
+                m.insert("tenant".into(), Json::String(t.tenant.clone()));
+                m.insert("jobs".into(), Json::Number(t.jobs as f64));
+                m.insert("completed".into(), Json::Number(t.completed as f64));
+                m.insert("goodput".into(), Json::Number(t.goodput));
+                m.insert("mean_jct_s".into(), Json::Number(t.mean_jct_s));
+                m.insert("mean_efficiency".into(), Json::Number(t.mean_efficiency));
+                Json::Object(m)
+            })
+            .collect();
+        o.insert("tenants".into(), Json::Array(tenants));
+        Json::Object(o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_index_basics() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert!((jain_index(&[0.5, 0.5, 0.5]) - 1.0).abs() < 1e-12);
+        // One-hot allocation over n users → 1/n.
+        assert!((jain_index(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        let skew = jain_index(&[0.9, 0.1]);
+        let even = jain_index(&[0.5, 0.5]);
+        assert!(skew < even);
+    }
+
+    #[test]
+    fn efficiency_is_bounded() {
+        let o = JobOutcome {
+            job: 0,
+            tenant: "a".into(),
+            outcome: Outcome::Completed,
+            arrival: SimTime::ZERO,
+            first_start: Some(SimTime::ZERO),
+            finish: SimTime::from_nanos(100),
+            queueing_delay: SimDuration::ZERO,
+            productive: SimDuration::from_nanos(60),
+            useful_tokens: 10,
+            lost_tokens: 0,
+            preemptions: 0,
+            replans: 0,
+            step_times: vec![SimDuration::from_nanos(60)],
+        };
+        assert!((o.efficiency() - 0.6).abs() < 1e-12);
+        assert_eq!(o.jct().as_nanos(), 100);
+    }
+}

@@ -1,0 +1,464 @@
+//! Pluggable cluster scheduling policies.
+//!
+//! A [`ClusterPolicy`] observes a read-only [`ClusterView`] (free nodes,
+//! queue, running jobs) each time the driver reaches a decision point and
+//! returns placement [`Action`]s. The driver validates and applies them;
+//! policies never mutate state directly, which keeps them deterministic and
+//! trivially comparable on the same trace.
+
+use std::collections::BTreeMap;
+
+use zeppelin_sim::time::SimTime;
+
+use crate::trace::JobSpec;
+
+/// A queued job as the policy sees it.
+#[derive(Debug, Clone)]
+pub struct QueuedView<'a> {
+    /// The job's immutable spec.
+    pub spec: &'a JobSpec,
+    /// When it (re-)entered the queue.
+    pub queued_since: SimTime,
+    /// Steps still to commit (less than `spec.steps` after a preemption
+    /// that kept some checkpointed progress).
+    pub remaining_steps: usize,
+    /// Whether a checkpoint restore is owed when it next starts.
+    pub restore_pending: bool,
+}
+
+impl QueuedView<'_> {
+    /// Remaining work in tokens — the shortest-remaining-work-first key.
+    pub fn remaining_tokens(&self) -> u64 {
+        self.spec.tokens_per_step * self.remaining_steps as u64
+    }
+}
+
+/// A running job as the policy sees it.
+#[derive(Debug, Clone)]
+pub struct RunningView<'a> {
+    /// The job's immutable spec.
+    pub spec: &'a JobSpec,
+    /// Nodes currently allocated to it.
+    pub nodes: usize,
+    /// Steps still to commit.
+    pub remaining_steps: usize,
+    /// When its current tenancy started.
+    pub started_at: SimTime,
+}
+
+/// Read-only cluster state at a decision point.
+#[derive(Debug, Clone)]
+pub struct ClusterView<'a> {
+    /// The decision instant.
+    pub now: SimTime,
+    /// Cluster size in nodes.
+    pub total_nodes: usize,
+    /// Nodes in the free pool.
+    pub free_nodes: usize,
+    /// Queued jobs in arrival order (requeued jobs keep their slot by
+    /// original arrival).
+    pub queued: Vec<QueuedView<'a>>,
+    /// Running jobs in job-id order.
+    pub running: Vec<RunningView<'a>>,
+}
+
+/// A placement decision returned by a policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Start a queued job on `nodes` nodes (must satisfy
+    /// `min_nodes ≤ nodes ≤ max_nodes` and fit in the free pool).
+    Start {
+        /// Job id.
+        job: usize,
+        /// Nodes to allocate.
+        nodes: usize,
+    },
+    /// Checkpoint-and-requeue a running job: progress rolls back to its
+    /// last checkpoint, its nodes return to the pool, and it rejoins the
+    /// queue owing a restore cost.
+    Preempt {
+        /// Job id.
+        job: usize,
+    },
+    /// Elastically resize a running job to `nodes` nodes (grow onto free
+    /// nodes or shrink to release some), charging a replan cost.
+    Resize {
+        /// Job id.
+        job: usize,
+        /// New node count.
+        nodes: usize,
+    },
+}
+
+/// A cluster scheduling policy.
+pub trait ClusterPolicy {
+    /// Stable name used in reports and tables.
+    fn name(&self) -> &'static str;
+
+    /// Decides placements for the current instant. Called once per event
+    /// instant; actions are applied in order.
+    fn schedule(&self, view: &ClusterView) -> Vec<Action>;
+}
+
+/// First-in-first-out with head-of-line blocking: only the head of the
+/// queue may start, on `min(preferred, free)` nodes. No preemption, no
+/// elasticity — the baseline every other policy is measured against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fifo;
+
+impl ClusterPolicy for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn schedule(&self, view: &ClusterView) -> Vec<Action> {
+        let mut free = view.free_nodes;
+        let mut actions = Vec::new();
+        for q in &view.queued {
+            if q.spec.min_nodes > free {
+                break; // head-of-line blocking
+            }
+            let nodes = q.spec.preferred_nodes.min(free).max(q.spec.min_nodes);
+            free -= nodes;
+            actions.push(Action::Start {
+                job: q.spec.id,
+                nodes,
+            });
+        }
+        actions
+    }
+}
+
+/// Shortest-remaining-work-first with backfill: queued jobs start in
+/// ascending order of remaining tokens (ties by id), skipping any that do
+/// not fit. No preemption or elasticity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Srwf;
+
+impl ClusterPolicy for Srwf {
+    fn name(&self) -> &'static str {
+        "srwf"
+    }
+
+    fn schedule(&self, view: &ClusterView) -> Vec<Action> {
+        let mut order: Vec<&QueuedView> = view.queued.iter().collect();
+        order.sort_by_key(|q| (q.remaining_tokens(), q.spec.id));
+        let mut free = view.free_nodes;
+        let mut actions = Vec::new();
+        for q in order {
+            if q.spec.min_nodes <= free {
+                let nodes = q.spec.preferred_nodes.min(free).max(q.spec.min_nodes);
+                free -= nodes;
+                actions.push(Action::Start {
+                    job: q.spec.id,
+                    nodes,
+                });
+            }
+        }
+        actions
+    }
+}
+
+/// Weighted fair share across tenants with priority-based preemption and
+/// elastic autoscaling.
+///
+/// Each tenant with work in the system gets an equal node share. Queued
+/// jobs of under-share tenants start first; when the pool is empty, the
+/// policy shrinks over-share jobs back toward their preferred width and —
+/// if a queued job outranks a running one by priority while its tenant is
+/// under share — preempts the lowest-priority job of the most over-share
+/// tenant (checkpoint-and-requeue). When the queue is empty, running jobs
+/// of under-share tenants grow onto freed nodes up to `max_nodes`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FairShare;
+
+impl ClusterPolicy for FairShare {
+    fn name(&self) -> &'static str {
+        "fair-share"
+    }
+
+    fn schedule(&self, view: &ClusterView) -> Vec<Action> {
+        let mut actions = Vec::new();
+
+        // Nodes currently held per tenant.
+        let mut usage: BTreeMap<&str, usize> = BTreeMap::new();
+        for r in &view.running {
+            *usage.entry(r.spec.tenant.as_str()).or_default() += r.nodes;
+        }
+        // Every tenant with presence (queued or running) owns one share.
+        let mut tenants: Vec<&str> = usage.keys().copied().collect();
+        for q in &view.queued {
+            if !tenants.contains(&q.spec.tenant.as_str()) {
+                tenants.push(q.spec.tenant.as_str());
+            }
+        }
+        tenants.sort_unstable();
+        if tenants.is_empty() {
+            return actions;
+        }
+        let fair = (view.total_nodes / tenants.len()).max(1);
+
+        let mut free = view.free_nodes;
+
+        // 1. Start queued jobs of under-share tenants, highest priority
+        //    first (ties by arrival order, i.e. queue position).
+        let mut order: Vec<(usize, &QueuedView)> = view.queued.iter().enumerate().collect();
+        order.sort_by_key(|(pos, q)| (std::cmp::Reverse(q.spec.priority), *pos));
+        for (_, q) in &order {
+            let held = usage.get(q.spec.tenant.as_str()).copied().unwrap_or(0);
+            if held >= fair || q.spec.min_nodes > free {
+                continue;
+            }
+            let headroom = (fair - held).max(q.spec.min_nodes);
+            let nodes = q
+                .spec
+                .preferred_nodes
+                .min(headroom)
+                .min(free)
+                .max(q.spec.min_nodes);
+            free -= nodes;
+            *usage.entry(q.spec.tenant.as_str()).or_default() += nodes;
+            actions.push(Action::Start {
+                job: q.spec.id,
+                nodes,
+            });
+        }
+
+        // Work still waiting and no pool left: reclaim nodes from
+        // over-share tenants.
+        let blocked: Vec<&QueuedView> = view
+            .queued
+            .iter()
+            .filter(|q| {
+                !actions
+                    .iter()
+                    .any(|a| matches!(a, Action::Start { job, .. } if *job == q.spec.id))
+            })
+            .collect();
+        if !blocked.is_empty() {
+            // 2. Shrink over-share jobs that grew past their preferred
+            //    width back down, releasing the surplus.
+            for r in &view.running {
+                let held = usage.get(r.spec.tenant.as_str()).copied().unwrap_or(0);
+                if held > fair && r.nodes > r.spec.preferred_nodes {
+                    let give_back = (r.nodes - r.spec.preferred_nodes).min(held - fair);
+                    if give_back > 0 {
+                        *usage.entry(r.spec.tenant.as_str()).or_default() -= give_back;
+                        actions.push(Action::Resize {
+                            job: r.spec.id,
+                            nodes: r.nodes - give_back,
+                        });
+                    }
+                }
+            }
+
+            // 3. Priority preemption: the best blocked job outranks the
+            //    weakest running job of the most over-share tenant.
+            let want = blocked
+                .iter()
+                .max_by_key(|q| (q.spec.priority, std::cmp::Reverse(q.spec.id)));
+            if let Some(want) = want {
+                let want_held = usage.get(want.spec.tenant.as_str()).copied().unwrap_or(0);
+                if want_held < fair {
+                    let victim = view
+                        .running
+                        .iter()
+                        .filter(|r| {
+                            usage.get(r.spec.tenant.as_str()).copied().unwrap_or(0) > fair
+                                && r.spec.priority < want.spec.priority
+                        })
+                        .min_by_key(|r| (r.spec.priority, std::cmp::Reverse(r.started_at)));
+                    if let Some(victim) = victim {
+                        actions.push(Action::Preempt {
+                            job: victim.spec.id,
+                        });
+                    }
+                }
+            }
+        } else if free > 0 {
+            // 4. Queue drained: grow running jobs of under-share tenants
+            //    onto the free pool, smallest job first.
+            let mut growers: Vec<&RunningView> = view
+                .running
+                .iter()
+                .filter(|r| r.nodes < r.spec.max_nodes)
+                .collect();
+            growers.sort_by_key(|r| (r.nodes, r.spec.id));
+            for r in growers {
+                if free == 0 {
+                    break;
+                }
+                let held = usage.get(r.spec.tenant.as_str()).copied().unwrap_or(0);
+                if held >= fair {
+                    continue;
+                }
+                let grow = (r.spec.max_nodes - r.nodes).min(free).min(fair - held);
+                if grow > 0 {
+                    free -= grow;
+                    *usage.entry(r.spec.tenant.as_str()).or_default() += grow;
+                    actions.push(Action::Resize {
+                        job: r.spec.id,
+                        nodes: r.nodes + grow,
+                    });
+                }
+            }
+        }
+
+        // Safety valve: never deadlock an idle cluster. If nothing runs,
+        // nothing was started, and the head job fits the machine, start it
+        // regardless of shares.
+        if view.running.is_empty()
+            && !view.queued.is_empty()
+            && !actions.iter().any(|a| matches!(a, Action::Start { .. }))
+        {
+            let head = &view.queued[0];
+            if head.spec.min_nodes <= view.free_nodes {
+                actions.push(Action::Start {
+                    job: head.spec.id,
+                    nodes: head
+                        .spec
+                        .preferred_nodes
+                        .min(view.free_nodes)
+                        .max(head.spec.min_nodes),
+                });
+            }
+        }
+
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::JobSpec;
+
+    fn spec(id: usize, tenant: &str, min: usize, pref: usize, max: usize) -> JobSpec {
+        JobSpec {
+            id,
+            tenant: tenant.into(),
+            model: "3b".into(),
+            dataset: "arxiv".into(),
+            steps: 4,
+            tokens_per_step: 16_384,
+            priority: 1,
+            min_nodes: min,
+            preferred_nodes: pref,
+            max_nodes: max,
+            arrival: SimTime::ZERO,
+            seed: 1,
+        }
+    }
+
+    fn queued(spec: &JobSpec) -> QueuedView<'_> {
+        QueuedView {
+            spec,
+            queued_since: SimTime::ZERO,
+            remaining_steps: spec.steps,
+            restore_pending: false,
+        }
+    }
+
+    #[test]
+    fn fifo_blocks_behind_a_big_head() {
+        let big = spec(0, "a", 4, 4, 4);
+        let small = spec(1, "b", 1, 1, 1);
+        let view = ClusterView {
+            now: SimTime::ZERO,
+            total_nodes: 4,
+            free_nodes: 2,
+            queued: vec![queued(&big), queued(&small)],
+            running: vec![],
+        };
+        assert!(Fifo.schedule(&view).is_empty(), "head does not fit: block");
+    }
+
+    #[test]
+    fn srwf_backfills_past_a_big_head() {
+        let big = spec(0, "a", 4, 4, 4);
+        let small = spec(1, "b", 1, 1, 1);
+        let view = ClusterView {
+            now: SimTime::ZERO,
+            total_nodes: 4,
+            free_nodes: 2,
+            queued: vec![queued(&big), queued(&small)],
+            running: vec![],
+        };
+        assert_eq!(
+            Srwf.schedule(&view),
+            vec![Action::Start { job: 1, nodes: 1 }]
+        );
+    }
+
+    #[test]
+    fn fair_share_caps_an_over_share_tenant() {
+        let whale2 = spec(1, "whale", 1, 4, 4);
+        let minnow = spec(2, "minnow", 1, 1, 1);
+        let whale1 = spec(0, "whale", 1, 4, 4);
+        let view = ClusterView {
+            now: SimTime::ZERO,
+            total_nodes: 8,
+            free_nodes: 4,
+            queued: vec![queued(&whale2), queued(&minnow)],
+            running: vec![RunningView {
+                spec: &whale1,
+                nodes: 4,
+                remaining_steps: 4,
+                started_at: SimTime::ZERO,
+            }],
+        };
+        let actions = FairShare.schedule(&view);
+        // The whale already holds its 4-node share; only the minnow starts.
+        assert_eq!(actions, vec![Action::Start { job: 2, nodes: 1 }]);
+    }
+
+    #[test]
+    fn fair_share_preempts_for_priority() {
+        let mut urgent = spec(5, "minnow", 2, 2, 2);
+        urgent.priority = 3;
+        let w0 = spec(0, "whale", 1, 4, 4);
+        let w1 = spec(1, "whale", 1, 4, 4);
+        let view = ClusterView {
+            now: SimTime::from_nanos(50),
+            total_nodes: 8,
+            free_nodes: 0,
+            queued: vec![queued(&urgent)],
+            running: vec![
+                RunningView {
+                    spec: &w0,
+                    nodes: 4,
+                    remaining_steps: 3,
+                    started_at: SimTime::ZERO,
+                },
+                RunningView {
+                    spec: &w1,
+                    nodes: 4,
+                    remaining_steps: 4,
+                    started_at: SimTime::from_nanos(10),
+                },
+            ],
+        };
+        let actions = FairShare.schedule(&view);
+        // The youngest low-priority whale job is checkpointed and requeued.
+        assert!(actions.contains(&Action::Preempt { job: 1 }), "{actions:?}");
+    }
+
+    #[test]
+    fn fair_share_grows_on_an_idle_pool() {
+        let only = spec(0, "a", 1, 1, 4);
+        let view = ClusterView {
+            now: SimTime::ZERO,
+            total_nodes: 4,
+            free_nodes: 3,
+            queued: vec![],
+            running: vec![RunningView {
+                spec: &only,
+                nodes: 1,
+                remaining_steps: 2,
+                started_at: SimTime::ZERO,
+            }],
+        };
+        let actions = FairShare.schedule(&view);
+        assert_eq!(actions, vec![Action::Resize { job: 0, nodes: 4 }]);
+    }
+}

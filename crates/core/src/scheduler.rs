@@ -199,6 +199,32 @@ impl SchedulerCtx {
             rank_speed,
         })
     }
+
+    /// Re-derives a context over exactly `nodes` nodes, growing or
+    /// shrinking as needed — the elastic-allocation entry point used by
+    /// the cluster simulation when a job's node share changes.
+    ///
+    /// Growth appends fresh nodes via [`SchedulerCtx::grow_to_nodes`].
+    /// Shrinking evicts the highest-numbered nodes (the ranks handed back
+    /// to the pool) via [`SchedulerCtx::shrink_to_survivors`], so the
+    /// surviving ranks keep their numbers and per-rank state (e.g. speed
+    /// factors) migrates without renumbering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::Malformed`] if `nodes` is zero.
+    pub fn resize_nodes(&self, nodes: usize) -> Result<SchedulerCtx, PlanError> {
+        if nodes == 0 {
+            return Err(PlanError::Malformed("cannot resize to zero nodes".into()));
+        }
+        if nodes >= self.cluster.nodes {
+            return self.grow_to_nodes(nodes);
+        }
+        let evicted: Vec<Rank> = (nodes..self.cluster.nodes)
+            .map(|n| self.cluster.rank_of(n, 0))
+            .collect();
+        self.shrink_to_survivors(&evicted).map(|(ctx, _)| ctx)
+    }
 }
 
 /// A training-step scheduler: turns a batch into an [`IterationPlan`].
@@ -338,5 +364,73 @@ mod tests {
             validate_with_batch(&plan, &back, &batch).is_ok(),
             "plan over the regrown context must audit clean"
         );
+    }
+
+    #[test]
+    fn heterogeneous_shrink_then_grow_migrates_speeds_and_audits_clean() {
+        use crate::validate::validate_with_batch;
+        use crate::zeppelin::Zeppelin;
+        use zeppelin_model::config::llama_3b;
+
+        // Mixed-generation cluster: node 0 fast, node 1 degraded, node 2
+        // a straggler tier — per-rank speeds vary within nodes too.
+        let speed: Vec<f64> = (0..24)
+            .map(|r| match r / 8 {
+                0 => 1.0 + r as f64 / 200.0,
+                1 => 0.7 + (r % 8) as f64 / 100.0,
+                _ => 0.3 + (r % 8) as f64 / 50.0,
+            })
+            .collect();
+        let ctx = SchedulerCtx::new(&cluster_a(3), &llama_3b()).with_rank_speed(speed.clone());
+
+        // Drain the degraded node 1, then repair grows a fresh node back.
+        let (small, map) = ctx.shrink_to_survivors(&[9]).unwrap();
+        let kept = small.rank_speed.as_ref().unwrap();
+        assert_eq!(kept.len(), 16);
+        // Node 0 keeps its speeds; node 2's straggler speeds renumber to 8..16.
+        assert!((kept[0] - speed[0]).abs() < 1e-12);
+        assert_eq!(map[16], Some(8));
+        assert!((kept[8] - speed[16]).abs() < 1e-12);
+
+        let back = small.grow_to_nodes(3).unwrap();
+        let grown = back.rank_speed.as_ref().unwrap();
+        assert_eq!(grown.len(), 24);
+        // Survivor speeds migrate; the repaired node arrives healthy (1.0).
+        assert!((grown[8] - speed[16]).abs() < 1e-12);
+        assert!(grown[16..].iter().all(|&s| s == 1.0));
+        assert_eq!(back.capacity, ctx.capacity);
+
+        let lens: Vec<u64> = (0..48).map(|i| 256 + (i * 97) % 1500).collect();
+        let batch = Batch::new(lens);
+        let plan = Zeppelin::new().plan(&batch, &back).unwrap();
+        assert!(
+            validate_with_batch(&plan, &back, &batch).is_ok(),
+            "plan over the heterogeneous regrown context must audit clean"
+        );
+    }
+
+    #[test]
+    fn resize_nodes_grows_and_evicts_tail_nodes() {
+        let speed: Vec<f64> = (0..24).map(|r| 1.0 + r as f64 / 100.0).collect();
+        let ctx = SchedulerCtx::new(&cluster_a(3), &llama_7b()).with_rank_speed(speed.clone());
+
+        // Shrink to 1 node: nodes 1 and 2 hand their ranks back.
+        let one = ctx.resize_nodes(1).unwrap();
+        assert_eq!(one.cluster.total_gpus(), 8);
+        assert_eq!(one.rank_speed.as_ref().unwrap()[..], speed[..8]);
+        let fresh = SchedulerCtx::new(&one.cluster, &llama_7b());
+        assert_eq!(one.capacity, fresh.capacity);
+
+        // Grow back to 2: node 0's speeds survive, the new node is healthy.
+        let two = one.resize_nodes(2).unwrap();
+        assert_eq!(two.cluster.total_gpus(), 16);
+        assert_eq!(two.rank_speed.as_ref().unwrap()[..8], speed[..8]);
+        assert!(two.rank_speed.as_ref().unwrap()[8..]
+            .iter()
+            .all(|&s| s == 1.0));
+
+        // Same size is identity; zero is rejected.
+        assert_eq!(two.resize_nodes(2).unwrap().cluster.nodes, 2);
+        assert!(matches!(two.resize_nodes(0), Err(PlanError::Malformed(_))));
     }
 }

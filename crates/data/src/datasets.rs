@@ -173,6 +173,35 @@ pub fn paper_datasets() -> Vec<LengthDistribution> {
     vec![arxiv(), github(), prolong64k()]
 }
 
+/// Dataset names accepted by [`by_name`] (canonical spellings).
+pub const DATASET_NAMES: [&str; 6] = [
+    "arxiv",
+    "github",
+    "prolong64k",
+    "stackexchange",
+    "openwebmath",
+    "fineweb",
+];
+
+/// Resolves a dataset preset by its CLI/protocol/trace name. Shared by the
+/// serving registry, the CLI, and per-job dataset resolution in the cluster
+/// simulation, so every layer accepts one vocabulary.
+///
+/// # Errors
+///
+/// Returns the offending name for unknown datasets.
+pub fn by_name(name: &str) -> Result<LengthDistribution, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "arxiv" => Ok(arxiv()),
+        "github" => Ok(github()),
+        "prolong64k" | "prolong" => Ok(prolong64k()),
+        "stackexchange" => Ok(stackexchange()),
+        "openwebmath" => Ok(openwebmath()),
+        "fineweb" => Ok(fineweb()),
+        other => Err(other.to_string()),
+    }
+}
+
 /// The wider Fig. 1 mixture (evaluation datasets + web corpora).
 pub fn fig1_datasets() -> Vec<LengthDistribution> {
     vec![

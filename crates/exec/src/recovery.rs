@@ -86,6 +86,44 @@ impl RecoveryPolicy {
     }
 }
 
+/// Periodic-checkpoint bookkeeping shared by
+/// [`RecoveryPolicy::CheckpointRestart`] and the cluster layer's
+/// checkpoint-and-requeue preemption: given how many steps have committed,
+/// where is the last durable checkpoint and what rolls back.
+///
+/// A checkpoint always exists before step 0 (the initial weights), and one
+/// is cut after every `every_steps` committed steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checkpointer {
+    /// Checkpoint period in steps (clamped to ≥ 1).
+    pub every_steps: usize,
+    /// Wall time to restore training state from a checkpoint.
+    pub restore_cost: SimDuration,
+}
+
+impl Checkpointer {
+    /// Builds a checkpointer; a period of 0 is treated as 1 (checkpoint
+    /// after every step).
+    pub fn new(every_steps: usize, restore_cost: SimDuration) -> Checkpointer {
+        Checkpointer {
+            every_steps: every_steps.max(1),
+            restore_cost,
+        }
+    }
+
+    /// The step index of the newest checkpoint at or below `committed`
+    /// committed steps — where a restore resumes from.
+    pub fn floor(&self, committed: usize) -> usize {
+        committed - (committed % self.every_steps.max(1))
+    }
+
+    /// How many committed steps a restore from the newest checkpoint
+    /// discards.
+    pub fn rolled_back(&self, committed: usize) -> usize {
+        committed - self.floor(committed)
+    }
+}
+
 /// Configuration of a fault-aware training run.
 #[derive(Debug, Clone)]
 pub struct FaultRunConfig {
@@ -358,8 +396,8 @@ pub fn run_training_faults(
                         restore_cost,
                     } = &cfg.policy
                     {
-                        let period = (*every_steps).max(1);
-                        let last_ckpt = step - (step % period);
+                        let ckpt = Checkpointer::new(*every_steps, *restore_cost);
+                        let last_ckpt = ckpt.floor(step);
                         let rolled = committed.len().saturating_sub(last_ckpt);
                         while committed.len() > last_ckpt {
                             let s = committed.pop().expect("len checked");
@@ -691,6 +729,20 @@ mod tests {
         assert_eq!(a.useful_tokens, b.useful_tokens);
         assert_eq!(a.lost_tokens, b.lost_tokens);
         assert_eq!(a.committed_steps, b.committed_steps);
+    }
+
+    #[test]
+    fn checkpointer_floors_and_rolls_back() {
+        let c = Checkpointer::new(4, SimDuration::from_millis(100));
+        assert_eq!(c.floor(0), 0);
+        assert_eq!(c.floor(3), 0);
+        assert_eq!(c.floor(4), 4);
+        assert_eq!(c.floor(11), 8);
+        assert_eq!(c.rolled_back(11), 3);
+        // Period 0 clamps to 1: every committed step is durable.
+        let every = Checkpointer::new(0, SimDuration::ZERO);
+        assert_eq!(every.floor(7), 7);
+        assert_eq!(every.rolled_back(7), 0);
     }
 
     #[test]

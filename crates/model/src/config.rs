@@ -185,6 +185,27 @@ pub fn paper_models() -> Vec<ModelConfig> {
     ]
 }
 
+/// Model names accepted by [`by_name`] (canonical spellings).
+pub const MODEL_NAMES: [&str; 5] = ["3b", "7b", "13b", "30b", "moe"];
+
+/// Resolves a model preset by its CLI/protocol/trace name. Shared by the
+/// serving registry, the CLI, and per-job model resolution in the cluster
+/// simulation, so every layer accepts one vocabulary.
+///
+/// # Errors
+///
+/// Returns the offending name for unknown models.
+pub fn by_name(name: &str) -> Result<ModelConfig, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "3b" | "llama-3b" => Ok(llama_3b()),
+        "7b" | "llama-7b" => Ok(llama_7b()),
+        "13b" | "llama-13b" => Ok(llama_13b()),
+        "30b" | "llama-30b" => Ok(llama_30b()),
+        "moe" | "8x550m" => Ok(moe_8x550m()),
+        other => Err(other.to_string()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

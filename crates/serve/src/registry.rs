@@ -2,25 +2,13 @@
 //! so `zeppelin-cli plan --method te` and a `{"op":"plan","method":"te"}`
 //! request accept exactly the same vocabulary.
 
-use zeppelin_baselines::{DoubleRingCp, HybridDp, LlamaCp, Packing, TeCp, Ulysses};
 use zeppelin_core::scheduler::Scheduler;
-use zeppelin_core::zeppelin::Zeppelin;
-use zeppelin_data::datasets as ds;
 use zeppelin_data::distribution::LengthDistribution;
-use zeppelin_model::config as models;
 use zeppelin_model::config::ModelConfig;
 use zeppelin_sim::topology::{cluster_a, cluster_b, cluster_c, ClusterSpec};
 
 /// Scheduler names accepted by [`scheduler_by_name`] (canonical spellings).
-pub const SCHEDULER_NAMES: [&str; 7] = [
-    "zeppelin",
-    "te",
-    "llama",
-    "hybrid",
-    "packing",
-    "ulysses",
-    "double-ring",
-];
+pub use zeppelin_baselines::SCHEDULER_NAMES;
 
 /// Resolves a scheduler by its CLI/protocol name.
 ///
@@ -28,16 +16,7 @@ pub const SCHEDULER_NAMES: [&str; 7] = [
 ///
 /// Returns the offending name for unknown schedulers.
 pub fn scheduler_by_name(name: &str) -> Result<Box<dyn Scheduler>, String> {
-    match name.to_ascii_lowercase().as_str() {
-        "zeppelin" => Ok(Box::new(Zeppelin::new())),
-        "te" | "te-cp" => Ok(Box::new(TeCp::new())),
-        "llama" | "llama-cp" => Ok(Box::new(LlamaCp::new())),
-        "hybrid" | "hybrid-dp" => Ok(Box::new(HybridDp::new())),
-        "packing" => Ok(Box::new(Packing::new())),
-        "ulysses" => Ok(Box::new(Ulysses::new())),
-        "double-ring" | "doublering" => Ok(Box::new(DoubleRingCp::new())),
-        other => Err(other.to_string()),
-    }
+    zeppelin_baselines::scheduler_by_name(name)
 }
 
 /// Resolves a model preset by name.
@@ -46,14 +25,7 @@ pub fn scheduler_by_name(name: &str) -> Result<Box<dyn Scheduler>, String> {
 ///
 /// Returns the offending name for unknown models.
 pub fn model_by_name(name: &str) -> Result<ModelConfig, String> {
-    match name.to_ascii_lowercase().as_str() {
-        "3b" | "llama-3b" => Ok(models::llama_3b()),
-        "7b" | "llama-7b" => Ok(models::llama_7b()),
-        "13b" | "llama-13b" => Ok(models::llama_13b()),
-        "30b" | "llama-30b" => Ok(models::llama_30b()),
-        "moe" | "8x550m" => Ok(models::moe_8x550m()),
-        other => Err(other.to_string()),
-    }
+    zeppelin_model::config::by_name(name)
 }
 
 /// Resolves a cluster preset by name with `nodes` nodes.
@@ -76,15 +48,7 @@ pub fn cluster_by_name(name: &str, nodes: usize) -> Result<ClusterSpec, String> 
 ///
 /// Returns the offending name for unknown datasets.
 pub fn dataset_by_name(name: &str) -> Result<LengthDistribution, String> {
-    match name.to_ascii_lowercase().as_str() {
-        "arxiv" => Ok(ds::arxiv()),
-        "github" => Ok(ds::github()),
-        "prolong64k" | "prolong" => Ok(ds::prolong64k()),
-        "stackexchange" => Ok(ds::stackexchange()),
-        "openwebmath" => Ok(ds::openwebmath()),
-        "fineweb" => Ok(ds::fineweb()),
-        other => Err(other.to_string()),
-    }
+    zeppelin_data::datasets::by_name(name)
 }
 
 #[cfg(test)]

@@ -61,9 +61,9 @@ impl std::fmt::Display for CliError {
 impl std::error::Error for CliError {}
 
 /// Supported commands.
-pub const COMMANDS: [&str; 13] = [
+pub const COMMANDS: [&str; 14] = [
     "clusters", "models", "zones", "plan", "step", "compare", "explain", "audit", "run", "faults",
-    "serve", "client", "chaos",
+    "serve", "client", "chaos", "cluster",
 ];
 
 /// Parses raw arguments (excluding the program name).
@@ -669,6 +669,98 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
                 ))),
             }
         }
+        "cluster" => {
+            use zeppelin_cluster::policy::{ClusterPolicy, FairShare, Fifo, Srwf};
+            use zeppelin_cluster::trace::{trace_from_json, JobTrace, MAX_TRACE_BYTES};
+            use zeppelin_cluster::{run_cluster, ClusterConfig};
+
+            let nodes = flag_usize(opts, "nodes", 16)?.max(2);
+            let cluster = cluster_by_name(opts.flags.get("cluster").map_or("a", |s| s), nodes)?;
+            let policy: &dyn ClusterPolicy = match opts.flags.get("policy").map_or("fair", |s| s) {
+                "fifo" => &Fifo,
+                "srwf" => &Srwf,
+                "fair" | "fair-share" => &FairShare,
+                other => {
+                    return Err(CliError::BadFlag {
+                        flag: "policy".into(),
+                        value: other.into(),
+                    })
+                }
+            };
+            // The trace: an explicit JSON file wins; otherwise a seeded
+            // generated one (`--skewed` for the fairness scenario).
+            let trace = if let Some(path) = opts.flags.get("trace") {
+                let meta = std::fs::metadata(path)
+                    .map_err(|e| CliError::RunFailed(format!("reading {path}: {e}")))?;
+                // Bounded read, same discipline as plan files: refuse
+                // oversized inputs before touching their contents.
+                if meta.len() > MAX_TRACE_BYTES {
+                    return Err(CliError::RunFailed(format!(
+                        "{path}: trace file is {} bytes, over the {MAX_TRACE_BYTES}-byte limit",
+                        meta.len()
+                    )));
+                }
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| CliError::RunFailed(format!("reading {path}: {e}")))?;
+                trace_from_json(&text).map_err(|e| CliError::RunFailed(format!("{path}: {e}")))?
+            } else {
+                let jobs = flag_usize(opts, "jobs", 24)?.max(1);
+                let seed = flag_u64(opts, "seed", 42)?;
+                if opts.flags.contains_key("skewed") {
+                    JobTrace::skewed(seed, jobs, &cluster)
+                } else {
+                    JobTrace::random(seed, jobs, &cluster)
+                }
+            };
+            let scheduler = scheduler_by_name(opts.flags.get("method").map_or("zeppelin", |s| s))?;
+            let cfg = ClusterConfig {
+                cluster,
+                ..ClusterConfig::default()
+            };
+            let report = run_cluster(policy, scheduler.as_ref(), &trace, &cfg)
+                .map_err(|e| CliError::RunFailed(e.to_string()))?;
+            report
+                .check()
+                .map_err(|e| CliError::RunFailed(format!("inconsistent report: {e}")))?;
+            if let Some(path) = opts.flags.get("out") {
+                std::fs::write(path, format!("{}\n", report.to_json()))
+                    .map_err(|e| CliError::RunFailed(format!("writing {path}: {e}")))?;
+            }
+            let mut out = format!(
+                "{} on {} nodes ({}): {} jobs — {} completed, {} failed, {} rejected\n\
+                 makespan {:.2}s, goodput {:.0} tok/s (throughput {:.0}), utilization {:.2}\n\
+                 JCT p50/p99 {:.2}s/{:.2}s, queue p50/p99 {:.2}s/{:.2}s\n\
+                 Jain fairness {:.4}, {} preemption(s), {} replan(s)\n",
+                report.policy,
+                report.nodes,
+                report.scheduler,
+                report.outcomes.len(),
+                report.completed,
+                report.failed,
+                report.rejected,
+                report.makespan.as_secs_f64(),
+                report.goodput,
+                report.throughput,
+                report.utilization,
+                report.jct_p50.as_secs_f64(),
+                report.jct_p99.as_secs_f64(),
+                report.queue_p50.as_secs_f64(),
+                report.queue_p99.as_secs_f64(),
+                report.fairness,
+                report.preemptions,
+                report.replans,
+            );
+            for t in &report.tenants {
+                out.push_str(&format!(
+                    "  {:<8} {:>3} job(s), {:>3} completed, mean JCT {:>7.2}s, efficiency {:.2}\n",
+                    t.tenant, t.jobs, t.completed, t.mean_jct_s, t.mean_efficiency
+                ));
+            }
+            if opts.flags.contains_key("out") {
+                out.push_str(&format!("wrote report to {}\n", opts.flags["out"]));
+            }
+            Ok(out)
+        }
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -702,6 +794,8 @@ pub fn usage() -> String {
        client   [--port P --op plan|stats|shutdown ... workload flags] one request\n\
                 [--deadline-ms D --timeout-ms T --retries R]\n\
        chaos    [--seed S --events N] seeded fault storm against a loopback server\n\
+       cluster  [--jobs N --seed S --policy fifo|srwf|fair --skewed | --trace t.json]\n\
+                [--nodes N --out report.json] multi-job cluster simulation\n\
      flags:\n\
        --model    3b|7b|13b|30b|moe        (default 3b)\n\
        --cluster  a|b|c                    (default a)\n\
@@ -962,6 +1056,58 @@ mod tests {
         assert!(matches!(
             run(&opts(&["serve", "--port", "many"])),
             Err(CliError::BadFlag { .. })
+        ));
+    }
+
+    #[test]
+    fn cluster_command_runs_and_round_trips_trace_files() -> Result<(), Box<dyn std::error::Error>>
+    {
+        // Small generated trace end-to-end, with a report file.
+        let dir = std::env::temp_dir().join("zeppelin-cli-cluster-test");
+        std::fs::create_dir_all(&dir)?;
+        let report = dir.join("report.json");
+        let report_s = report.to_string_lossy().to_string();
+        let out = run(&opts(&[
+            "cluster", "--nodes", "3", "--jobs", "5", "--seed", "7", "--policy", "fifo", "--out",
+            &report_s,
+        ]))?;
+        assert!(out.contains("fifo on 3 nodes"), "{out}");
+        assert!(out.contains("Jain fairness"), "{out}");
+        let text = std::fs::read_to_string(&report)?;
+        assert!(text.contains("\"fairness\""), "{text}");
+
+        // An explicit trace file drives the run instead of the generator.
+        let trace =
+            zeppelin_cluster::trace::JobTrace::random(7, 4, &zeppelin_sim::topology::cluster_a(3));
+        let tpath = dir.join("trace.json");
+        let tpath_s = tpath.to_string_lossy().to_string();
+        std::fs::write(&tpath, zeppelin_cluster::trace::trace_to_json(&trace))?;
+        let out = run(&opts(&["cluster", "--nodes", "3", "--trace", &tpath_s]))?;
+        assert!(out.contains("4 jobs"), "{out}");
+
+        // Malformed trace files fail with a typed, file-named error.
+        let bad = dir.join("bad.json");
+        let bad_s = bad.to_string_lossy().to_string();
+        std::fs::write(&bad, "{\"jobs\": [{\"id\": true}]}")?;
+        let Err(CliError::RunFailed(msg)) = run(&opts(&["cluster", "--trace", &bad_s])) else {
+            panic!("malformed trace must fail");
+        };
+        assert!(msg.contains("bad.json"), "{msg}");
+        for p in [&report, &tpath, &bad] {
+            std::fs::remove_file(p).ok();
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn cluster_command_rejects_bad_flags() {
+        assert!(matches!(
+            run(&opts(&["cluster", "--policy", "lottery"])),
+            Err(CliError::BadFlag { .. })
+        ));
+        assert!(matches!(
+            run(&opts(&["cluster", "--trace", "/nonexistent/trace.json"])),
+            Err(CliError::RunFailed(_))
         ));
     }
 

@@ -17,7 +17,10 @@
 //! - [`baselines`] — TE CP, LLaMA CP, Hybrid DP, and packing;
 //! - [`exec`] — plan lowering, step simulation, multi-step training runs;
 //! - [`serve`] — the online planning service: canonicalizing plan cache,
-//!   pipelined planner, and line-delimited-JSON TCP front-end.
+//!   pipelined planner, and line-delimited-JSON TCP front-end;
+//! - [`cluster`] — continuous multi-job cluster simulation: trace-driven
+//!   arrivals, queueing policies, checkpoint-and-requeue preemption, and
+//!   elastic autoscaling over the single-job stack.
 //!
 //! # Examples
 //!
@@ -42,6 +45,7 @@
 pub mod cli;
 
 pub use zeppelin_baselines as baselines;
+pub use zeppelin_cluster as cluster;
 pub use zeppelin_core as core;
 pub use zeppelin_data as data;
 pub use zeppelin_exec as exec;

@@ -1,0 +1,99 @@
+//! Determinism backstop for the cluster layer: a single-job trace on a
+//! dedicated cluster must reproduce the standalone `run_training` step
+//! timeline bit-identically. The driver pre-samples batches from the job
+//! seed exactly as the trainer draws them and steps through the same
+//! `simulate_step` on an identically derived context, so any divergence
+//! here means the cluster layer is distorting the single-job stack.
+
+use zeppelin::cluster::{run_cluster, ClusterConfig, Fifo, JobSpec, JobTrace, Outcome};
+use zeppelin::core::scheduler::SchedulerCtx;
+use zeppelin::core::zeppelin::Zeppelin;
+use zeppelin::data::datasets::arxiv;
+use zeppelin::exec::step::StepConfig;
+use zeppelin::exec::trainer::{run_training, RunConfig};
+use zeppelin::model::config::llama_3b;
+use zeppelin::sim::time::SimTime;
+use zeppelin::sim::topology::cluster_a;
+
+#[test]
+fn single_job_trace_matches_standalone_training_bit_for_bit() {
+    const NODES: usize = 2;
+    const STEPS: usize = 4;
+    const TOKENS: u64 = 32_768;
+    const SEED: u64 = 2026;
+
+    // Standalone: the PR 4 trainer on a dedicated cluster.
+    let cluster = cluster_a(NODES);
+    let ctx = SchedulerCtx::new(&cluster, &llama_3b());
+    let standalone = run_training(
+        &Zeppelin::new(),
+        &arxiv(),
+        &ctx,
+        &RunConfig {
+            steps: STEPS,
+            tokens_per_step: TOKENS,
+            seed: SEED,
+            step: StepConfig::default(),
+        },
+    )
+    .expect("standalone run succeeds");
+
+    // The same job as a one-entry cluster trace pinned to the full cluster.
+    let trace = JobTrace::new().push(JobSpec {
+        id: 0,
+        tenant: "solo".into(),
+        model: "3b".into(),
+        dataset: "arxiv".into(),
+        steps: STEPS,
+        tokens_per_step: TOKENS,
+        priority: 0,
+        min_nodes: NODES,
+        preferred_nodes: NODES,
+        max_nodes: NODES,
+        arrival: SimTime::ZERO,
+        seed: SEED,
+    });
+    let cfg = ClusterConfig {
+        cluster,
+        ..ClusterConfig::default()
+    };
+    let report = run_cluster(&Fifo, &Zeppelin::new(), &trace, &cfg).expect("cluster run succeeds");
+
+    assert_eq!(report.completed, 1);
+    let outcome = &report.outcomes[0];
+    assert_eq!(outcome.outcome, Outcome::Completed);
+    assert_eq!(outcome.preemptions, 0);
+    assert_eq!(outcome.replans, 0);
+    assert_eq!(
+        outcome.queueing_delay.as_nanos(),
+        0,
+        "sole job never queues"
+    );
+
+    // The pinned comparison: per-step times identical to the nanosecond,
+    // token totals identical, and the cluster clock's finish instant equal
+    // to the sum of step times (the job starts at t=0 with no overheads).
+    assert_eq!(outcome.step_times.len(), standalone.steps.len());
+    for (i, (got, want)) in outcome
+        .step_times
+        .iter()
+        .zip(standalone.steps.iter())
+        .enumerate()
+    {
+        assert_eq!(
+            got.as_nanos(),
+            want.step_time.as_nanos(),
+            "step {i} diverged from the standalone trainer"
+        );
+    }
+    let standalone_tokens: u64 = standalone.steps.iter().map(|s| s.tokens).sum();
+    assert_eq!(outcome.useful_tokens, standalone_tokens);
+    assert_eq!(outcome.lost_tokens, 0);
+    let wall: u64 = standalone
+        .steps
+        .iter()
+        .map(|s| s.step_time.as_nanos())
+        .sum();
+    assert_eq!(outcome.finish.as_nanos(), wall);
+    assert_eq!(report.makespan.as_nanos(), wall);
+}

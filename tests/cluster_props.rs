@@ -1,0 +1,68 @@
+//! Property-based tests of the cluster layer: seeded trace generation and
+//! whole-run replay are deterministic, and every arrived job terminates
+//! exactly once under every shipped policy.
+//!
+//! Cluster runs are expensive (each job plans and simulates real steps), so
+//! the case counts here are deliberately small; `PROPTEST_CASES` raises
+//! them for a deeper soak.
+
+use proptest::prelude::*;
+
+use zeppelin::cluster::{
+    run_cluster, ClusterConfig, ClusterPolicy, FairShare, Fifo, JobTrace, Srwf,
+};
+use zeppelin::core::zeppelin::Zeppelin;
+use zeppelin::sim::topology::cluster_a;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8 })]
+
+    /// Same seed, same parameters: the generated trace is identical —
+    /// field-for-field, arrival-for-arrival.
+    #[test]
+    fn trace_generation_replays_bit_identically(seed in 0u64..1_000_000, n in 4usize..12) {
+        let cluster = cluster_a(4);
+        let a = JobTrace::random(seed, n, &cluster);
+        let b = JobTrace::random(seed, n, &cluster);
+        prop_assert_eq!(a, b);
+        let sa = JobTrace::skewed(seed, n, &cluster);
+        let sb = JobTrace::skewed(seed, n, &cluster);
+        prop_assert_eq!(sa, sb);
+    }
+
+    /// Replaying the same trace under the same policy reproduces the exact
+    /// event log, outcome list, and serialized report.
+    #[test]
+    fn cluster_runs_replay_bit_identically(seed in 0u64..100_000, n in 4usize..9) {
+        let cluster = cluster_a(4);
+        let trace = JobTrace::random(seed, n, &cluster);
+        let cfg = ClusterConfig { cluster, ..ClusterConfig::default() };
+        let a = run_cluster(&FairShare, &Zeppelin::new(), &trace, &cfg).unwrap();
+        let b = run_cluster(&FairShare, &Zeppelin::new(), &trace, &cfg).unwrap();
+        prop_assert_eq!(&a.events, &b.events);
+        prop_assert_eq!(&a.outcomes, &b.outcomes);
+        prop_assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+    }
+
+    /// Conservation: every arrived job reaches exactly one terminal state
+    /// (completed, failed, or rejected) under every shipped policy, and the
+    /// report's internal invariants hold.
+    #[test]
+    fn every_job_terminates_exactly_once(seed in 0u64..100_000, n in 4usize..9) {
+        let cluster = cluster_a(4);
+        let trace = JobTrace::random(seed, n, &cluster);
+        let cfg = ClusterConfig { cluster, ..ClusterConfig::default() };
+        for policy in [&Fifo as &dyn ClusterPolicy, &Srwf, &FairShare] {
+            let r = run_cluster(policy, &Zeppelin::new(), &trace, &cfg).unwrap();
+            prop_assert_eq!(
+                r.completed + r.failed + r.rejected,
+                n,
+                "policy {}",
+                policy.name()
+            );
+            prop_assert_eq!(r.outcomes.len(), n);
+            prop_assert!(r.goodput <= r.throughput + 1e-9);
+            r.check().map_err(TestCaseError::fail)?;
+        }
+    }
+}
