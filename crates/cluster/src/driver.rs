@@ -3,9 +3,14 @@
 //! [`run_cluster`] advances a cluster clock from event to event: job
 //! arrivals from the trace and step completions of running jobs. At each
 //! instant it processes completions (job-id order), then arrivals, then
-//! invokes the [`ClusterPolicy`] exactly once over a read-only view and
-//! applies its actions — so two runs of the same trace under the same
-//! policy are bit-identical, event log included.
+//! invokes the [`ClusterPolicy`] repeatedly over a read-only view —
+//! applying each action batch before the next invocation — until the
+//! policy returns no actions, so nodes freed by a preemption or shrink can
+//! be placed within the same instant. Policies must therefore converge to
+//! an empty action list once their goals are met; one that keeps emitting
+//! actions exhausts the event budget ([`ClusterError::MaxEventsExceeded`]).
+//! The whole loop is deterministic: two runs of the same trace under the
+//! same policy are bit-identical, event log included.
 //!
 //! Per-job execution reuses the single-job stack unchanged: batches are
 //! pre-sampled at arrival from the job's seed exactly as `run_training`
@@ -816,6 +821,66 @@ mod tests {
         assert!(r.preemptions >= 1, "events: {:?}", r.events);
         assert!(r.lost_tokens > 0, "rollback discards work");
         assert!(r.goodput < r.throughput);
+        r.check().unwrap();
+    }
+
+    #[test]
+    fn futile_preemption_does_not_livelock() {
+        // 12-node cluster, fair share 4 across three tenants. A 9-node
+        // priority-3 minnow arrives while a 4-node crux job and a 5-node
+        // priority-0 whale job are running. Preempting the whale frees
+        // only 3 + 5 = 8 nodes — short of the minnow's minimum — so the
+        // preemption must be withheld: a policy that emits it anyway
+        // cycles Preempt/Start within the instant (the whale requeues and
+        // restarts on its own freed nodes) until the event budget blows
+        // with MaxEventsExceeded.
+        let crux = JobSpec {
+            id: 0,
+            tenant: "crux".into(),
+            model: "3b".into(),
+            dataset: "stackexchange".into(),
+            steps: 2,
+            tokens_per_step: 8_192,
+            priority: 1,
+            min_nodes: 4,
+            preferred_nodes: 4,
+            max_nodes: 4,
+            arrival: SimTime::ZERO,
+            seed: 1,
+        };
+        let whale = JobSpec {
+            id: 1,
+            tenant: "whale".into(),
+            model: "3b".into(),
+            dataset: "stackexchange".into(),
+            steps: 3,
+            tokens_per_step: 8_192,
+            priority: 0,
+            min_nodes: 5,
+            preferred_nodes: 5,
+            max_nodes: 5,
+            arrival: SimTime::ZERO,
+            seed: 2,
+        };
+        let minnow = JobSpec {
+            id: 2,
+            tenant: "minnow".into(),
+            model: "3b".into(),
+            dataset: "stackexchange".into(),
+            steps: 1,
+            tokens_per_step: 8_192,
+            priority: 3,
+            min_nodes: 9,
+            preferred_nodes: 9,
+            max_nodes: 9,
+            // Arrives while crux and whale are both mid-flight.
+            arrival: SimTime::from_nanos(1_000),
+            seed: 3,
+        };
+        let trace = JobTrace::new().push(crux).push(whale).push(minnow);
+        let r = run_cluster(&FairShare, &Zeppelin::new(), &trace, &small_cfg(12)).unwrap();
+        assert_eq!(r.completed, 3, "events: {:?}", r.events);
+        assert_eq!(r.preemptions, 0, "no futile preemption: {:?}", r.events);
         r.check().unwrap();
     }
 

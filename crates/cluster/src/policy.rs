@@ -95,8 +95,15 @@ pub trait ClusterPolicy {
     /// Stable name used in reports and tables.
     fn name(&self) -> &'static str;
 
-    /// Decides placements for the current instant. Called once per event
-    /// instant; actions are applied in order.
+    /// Decides placements for the current instant; actions are applied in
+    /// order. The driver re-invokes this — with the actions applied and
+    /// the view refreshed — until it returns an empty list, so nodes freed
+    /// by a preemption or shrink can be reassigned within the instant.
+    /// Implementations must converge: return no actions once the view
+    /// reflects the goal state, or the driver's event budget aborts the
+    /// run. In particular, never emit a `Preempt` whose freed nodes cannot
+    /// actually start the job it was meant to unblock — the victim would
+    /// requeue and restart on its own nodes, cycling forever.
     fn schedule(&self, view: &ClusterView) -> Vec<Action>;
 }
 
@@ -165,10 +172,12 @@ impl ClusterPolicy for Srwf {
 /// Each tenant with work in the system gets an equal node share. Queued
 /// jobs of under-share tenants start first; when the pool is empty, the
 /// policy shrinks over-share jobs back toward their preferred width and —
-/// if a queued job outranks a running one by priority while its tenant is
-/// under share — preempts the lowest-priority job of the most over-share
-/// tenant (checkpoint-and-requeue). When the queue is empty, running jobs
-/// of under-share tenants grow onto freed nodes up to `max_nodes`.
+/// if a queued job outranks running ones by priority while its tenant is
+/// under share — preempts lowest-priority jobs of over-share tenants
+/// (checkpoint-and-requeue), but only when the freed nodes actually reach
+/// the blocked job's `min_nodes`; a preemption that cannot unblock anyone
+/// is withheld. When the queue is empty, running jobs of under-share
+/// tenants grow onto freed nodes up to `max_nodes`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FairShare;
 
@@ -238,12 +247,14 @@ impl ClusterPolicy for FairShare {
         if !blocked.is_empty() {
             // 2. Shrink over-share jobs that grew past their preferred
             //    width back down, releasing the surplus.
+            let mut reclaimed = 0usize;
             for r in &view.running {
                 let held = usage.get(r.spec.tenant.as_str()).copied().unwrap_or(0);
                 if held > fair && r.nodes > r.spec.preferred_nodes {
                     let give_back = (r.nodes - r.spec.preferred_nodes).min(held - fair);
                     if give_back > 0 {
                         *usage.entry(r.spec.tenant.as_str()).or_default() -= give_back;
+                        reclaimed += give_back;
                         actions.push(Action::Resize {
                             job: r.spec.id,
                             nodes: r.nodes - give_back,
@@ -252,26 +263,45 @@ impl ClusterPolicy for FairShare {
                 }
             }
 
-            // 3. Priority preemption: the best blocked job outranks the
-            //    weakest running job of the most over-share tenant.
+            // 3. Priority preemption: the best blocked job outranks
+            //    running jobs of over-share tenants. Victims (weakest
+            //    priority first, youngest tenancy breaking ties) are
+            //    accumulated only until the pool plus their nodes covers
+            //    the blocked job's minimum — and emitted only if that
+            //    point is reached. Preempting without reaching it could
+            //    never unblock the job: the victim would just requeue and
+            //    restart on its own freed nodes, cycling Start/Preempt
+            //    within one instant until the driver's event budget blows.
             let want = blocked
                 .iter()
                 .max_by_key(|q| (q.spec.priority, std::cmp::Reverse(q.spec.id)));
             if let Some(want) = want {
                 let want_held = usage.get(want.spec.tenant.as_str()).copied().unwrap_or(0);
                 if want_held < fair {
-                    let victim = view
+                    let mut victims: Vec<&RunningView> = view
                         .running
                         .iter()
-                        .filter(|r| {
-                            usage.get(r.spec.tenant.as_str()).copied().unwrap_or(0) > fair
-                                && r.spec.priority < want.spec.priority
-                        })
-                        .min_by_key(|r| (r.spec.priority, std::cmp::Reverse(r.started_at)));
-                    if let Some(victim) = victim {
-                        actions.push(Action::Preempt {
+                        .filter(|r| r.spec.priority < want.spec.priority)
+                        .collect();
+                    victims.sort_by_key(|r| (r.spec.priority, std::cmp::Reverse(r.started_at)));
+                    let mut available = free + reclaimed;
+                    let mut preempts = Vec::new();
+                    for victim in victims {
+                        if available >= want.spec.min_nodes {
+                            break;
+                        }
+                        let tenant = victim.spec.tenant.as_str();
+                        if usage.get(tenant).copied().unwrap_or(0) <= fair {
+                            continue;
+                        }
+                        *usage.entry(tenant).or_default() -= victim.nodes;
+                        available += victim.nodes;
+                        preempts.push(Action::Preempt {
                             job: victim.spec.id,
                         });
+                    }
+                    if available >= want.spec.min_nodes {
+                        actions.extend(preempts);
                     }
                 }
             }
@@ -441,6 +471,87 @@ mod tests {
         let actions = FairShare.schedule(&view);
         // The youngest low-priority whale job is checkpointed and requeued.
         assert!(actions.contains(&Action::Preempt { job: 1 }), "{actions:?}");
+    }
+
+    #[test]
+    fn fair_share_withholds_futile_preemption() {
+        // 12 nodes, three tenants => fair share 4. A 9-node priority-3
+        // minnow is blocked; preempting the over-share whale (5 nodes)
+        // would free only 3 + 5 = 8 nodes, so the preemption cannot
+        // unblock it and must not be emitted (it would livelock the
+        // instant: the whale requeues, restarts on its own nodes, and is
+        // preempted again forever).
+        let mut big = spec(2, "minnow", 9, 9, 9);
+        big.priority = 3;
+        let mut whale = spec(0, "whale", 5, 5, 5);
+        whale.priority = 0;
+        let crux = spec(1, "crux", 4, 4, 4);
+        let view = ClusterView {
+            now: SimTime::from_nanos(10),
+            total_nodes: 12,
+            free_nodes: 3,
+            queued: vec![queued(&big)],
+            running: vec![
+                RunningView {
+                    spec: &whale,
+                    nodes: 5,
+                    remaining_steps: 4,
+                    started_at: SimTime::ZERO,
+                },
+                RunningView {
+                    spec: &crux,
+                    nodes: 4,
+                    remaining_steps: 4,
+                    started_at: SimTime::ZERO,
+                },
+            ],
+        };
+        let actions = FairShare.schedule(&view);
+        assert!(
+            !actions.iter().any(|a| matches!(a, Action::Preempt { .. })),
+            "futile preemption must be withheld: {actions:?}"
+        );
+    }
+
+    #[test]
+    fn fair_share_accumulates_victims_until_unblocked() {
+        // Same shape, but the blocked job needs 8 nodes: pool (3) plus the
+        // whale's 5 reaches it, so exactly one preemption goes out.
+        let mut big = spec(2, "minnow", 8, 8, 8);
+        big.priority = 3;
+        let mut whale = spec(0, "whale", 5, 5, 5);
+        whale.priority = 0;
+        let crux = spec(1, "crux", 4, 4, 4);
+        let view = ClusterView {
+            now: SimTime::from_nanos(10),
+            total_nodes: 12,
+            free_nodes: 3,
+            queued: vec![queued(&big)],
+            running: vec![
+                RunningView {
+                    spec: &whale,
+                    nodes: 5,
+                    remaining_steps: 4,
+                    started_at: SimTime::ZERO,
+                },
+                RunningView {
+                    spec: &crux,
+                    nodes: 4,
+                    remaining_steps: 4,
+                    started_at: SimTime::ZERO,
+                },
+            ],
+        };
+        let actions = FairShare.schedule(&view);
+        assert_eq!(
+            actions
+                .iter()
+                .filter(|a| matches!(a, Action::Preempt { .. }))
+                .count(),
+            1,
+            "{actions:?}"
+        );
+        assert!(actions.contains(&Action::Preempt { job: 0 }), "{actions:?}");
     }
 
     #[test]

@@ -91,6 +91,17 @@ pub enum TraceError {
     },
     /// Jobs are not sorted by arrival time.
     UnsortedArrivals(usize),
+    /// A 64-bit field exceeds 2^53, the largest integer a JSON number
+    /// (f64-backed) carries exactly — serializing it would silently
+    /// corrupt a save/load round-trip, so validation rejects it loudly.
+    UnportableField {
+        /// Offending job id.
+        job: usize,
+        /// The field name (`seed`, `tokens_per_step`, or `arrival_ns`).
+        field: &'static str,
+        /// The out-of-range value.
+        value: u64,
+    },
 }
 
 impl std::fmt::Display for TraceError {
@@ -120,11 +131,24 @@ impl std::fmt::Display for TraceError {
             TraceError::UnsortedArrivals(id) => {
                 write!(f, "job {id} arrives before its predecessor")
             }
+            TraceError::UnportableField { job, field, value } => {
+                write!(
+                    f,
+                    "job {job}: {field} = {value} exceeds 2^53 and cannot \
+                     survive a JSON round-trip exactly"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for TraceError {}
+
+/// Largest integer a JSON number carries exactly (2^53; the backing store
+/// is an f64). 64-bit trace fields above this would silently change value
+/// on a [`trace_to_json`]/[`trace_from_json`] round-trip, so both
+/// [`JobTrace::validate`] and the JSON loader reject them.
+pub const MAX_JSON_SAFE_U64: u64 = 1 << 53;
 
 impl JobTrace {
     /// An empty trace (builder entry point).
@@ -141,7 +165,8 @@ impl JobTrace {
 
     /// Checks trace invariants: non-empty, unique ids, resolvable model and
     /// dataset names, positive work, consistent node bounds, sorted
-    /// arrivals.
+    /// arrivals, and 64-bit fields within [`MAX_JSON_SAFE_U64`] so a
+    /// JSON round-trip is bit-exact.
     ///
     /// # Errors
     ///
@@ -184,6 +209,19 @@ impl JobTrace {
             }
             if job.arrival < prev {
                 return Err(TraceError::UnsortedArrivals(job.id));
+            }
+            for (field, value) in [
+                ("seed", job.seed),
+                ("tokens_per_step", job.tokens_per_step),
+                ("arrival_ns", job.arrival.as_nanos()),
+            ] {
+                if value > MAX_JSON_SAFE_U64 {
+                    return Err(TraceError::UnportableField {
+                        job: job.id,
+                        field,
+                        value,
+                    });
+                }
             }
             prev = job.arrival;
         }
@@ -347,6 +385,10 @@ pub const TRACE_SCHEMA_VERSION: u64 = 1;
 pub const MAX_TRACE_BYTES: u64 = 8 * 1024 * 1024;
 
 /// Serializes a trace to compact JSON (inverse of [`trace_from_json`]).
+///
+/// JSON numbers are f64-backed, so 64-bit fields are exact only up to
+/// [`MAX_JSON_SAFE_U64`]; [`JobTrace::validate`] rejects traces beyond
+/// that bound, and on any validated trace the round-trip is bit-exact.
 pub fn trace_to_json(trace: &JobTrace) -> String {
     use std::collections::BTreeMap;
     let jobs: Vec<Json> = trace
@@ -388,9 +430,18 @@ pub fn trace_to_json(trace: &JobTrace) -> String {
 }
 
 fn field_u64(job: &Json, key: &str, idx: usize) -> Result<u64, TraceIoError> {
-    job.get(key)
-        .and_then(Json::as_u64)
-        .ok_or_else(|| TraceIoError::Schema(format!("jobs[{idx}].{key}: expected a whole number")))
+    let v = job.get(key).and_then(Json::as_u64).ok_or_else(|| {
+        TraceIoError::Schema(format!("jobs[{idx}].{key}: expected a whole number"))
+    })?;
+    // The parser stores numbers as f64, so anything above 2^53 may already
+    // have been rounded — reject loudly instead of replaying a trace that
+    // silently differs from the file.
+    if v > MAX_JSON_SAFE_U64 {
+        return Err(TraceIoError::Schema(format!(
+            "jobs[{idx}].{key}: {v} exceeds 2^53 and cannot be represented exactly"
+        )));
+    }
+    Ok(v)
 }
 
 fn field_str(job: &Json, key: &str, idx: usize) -> Result<String, TraceIoError> {
@@ -518,6 +569,50 @@ mod tests {
         let text = trace_to_json(&t);
         let back = trace_from_json(&text).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn json_round_trips_at_the_precision_boundary() {
+        // 2^53 is the largest exactly representable integer: it must
+        // survive the round-trip bit-identically.
+        let mut edge = job(0);
+        edge.seed = MAX_JSON_SAFE_U64;
+        let t = JobTrace::new().push(edge);
+        t.validate().unwrap();
+        let back = trace_from_json(&trace_to_json(&t)).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn oversized_u64_fields_are_rejected_loudly() {
+        // A seed above 2^53 would come back altered from a JSON
+        // round-trip; validation refuses it instead of corrupting it.
+        let mut huge = job(0);
+        huge.seed = u64::MAX;
+        let err = JobTrace::new().push(huge).validate().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TraceError::UnportableField {
+                    job: 0,
+                    field: "seed",
+                    value: u64::MAX,
+                }
+            ),
+            "{err}"
+        );
+        // The loader applies the same bound to hand-written files.
+        let text = format!(
+            "{{\"jobs\": [{{\"id\": 0, \"tenant\": \"a\", \"model\": \"3b\", \
+             \"dataset\": \"arxiv\", \"steps\": 1, \"tokens_per_step\": 1024, \
+             \"priority\": 1, \"min_nodes\": 1, \"preferred_nodes\": 1, \
+             \"max_nodes\": 1, \"arrival_ns\": 0, \"seed\": {}}}]}}",
+            u64::MAX
+        );
+        assert!(
+            matches!(trace_from_json(&text), Err(TraceIoError::Schema(_))),
+            "loader must reject out-of-range seed"
+        );
     }
 
     #[test]
