@@ -53,6 +53,7 @@ impl Scheduler for DoubleRingCp {
                 ranks: ranks.clone(),
                 mode: AttnMode::DoubleRing,
                 micro_batch: 0,
+                weights: Vec::new(),
             })
             .collect();
         let plan = IterationPlan {

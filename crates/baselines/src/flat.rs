@@ -86,6 +86,7 @@ impl Scheduler for FlatQuadratic {
                 ranks,
                 mode: AttnMode::Ring,
                 micro_batch: 0,
+                weights: Vec::new(),
             });
         }
         placements.sort_by_key(|p| p.seq_index);

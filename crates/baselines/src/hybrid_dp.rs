@@ -89,6 +89,7 @@ impl Scheduler for HybridDp {
                     ranks,
                     mode: AttnMode::Ring,
                     micro_batch: 0,
+                    weights: Vec::new(),
                 });
             } else {
                 // DP: least-FLOP rank; first micro-batch with room.
@@ -116,6 +117,7 @@ impl Scheduler for HybridDp {
                     ranks: vec![rank],
                     mode: AttnMode::Ring,
                     micro_batch: mb,
+                    weights: Vec::new(),
                 });
             }
         }

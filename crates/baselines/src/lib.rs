@@ -15,6 +15,10 @@
 //!   (related work, §6);
 //! - [`double_ring`]: LoongTrain-style two-level ring attention (related
 //!   work, §6).
+//!
+//! [`scheduler_by_name`] also resolves the heterogeneity-aware Zeppelin
+//! variants ([`zeppelin_core::het`]) so every frontend shares one
+//! scheduler vocabulary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,12 +39,15 @@ pub use packing::{pack_into_bins, pack_into_bins_tagged, redundant_fraction, Pac
 pub use te_cp::TeCp;
 pub use ulysses::Ulysses;
 
+use zeppelin_core::het::{StragglerRemap, ZeppelinHet};
 use zeppelin_core::scheduler::Scheduler;
 use zeppelin_core::zeppelin::Zeppelin;
 
 /// Scheduler names accepted by [`scheduler_by_name`] (canonical spellings).
-pub const SCHEDULER_NAMES: [&str; 7] = [
+pub const SCHEDULER_NAMES: [&str; 9] = [
     "zeppelin",
+    "zeppelin-het",
+    "straggler-remap",
     "te",
     "llama",
     "hybrid",
@@ -59,6 +66,8 @@ pub const SCHEDULER_NAMES: [&str; 7] = [
 pub fn scheduler_by_name(name: &str) -> Result<Box<dyn Scheduler>, String> {
     match name.to_ascii_lowercase().as_str() {
         "zeppelin" => Ok(Box::new(Zeppelin::new())),
+        "zeppelin-het" | "zeppelinhet" | "het" => Ok(Box::new(ZeppelinHet::new())),
+        "straggler-remap" | "stragglerremap" => Ok(Box::new(StragglerRemap::new())),
         "te" | "te-cp" => Ok(Box::new(TeCp::new())),
         "llama" | "llama-cp" => Ok(Box::new(LlamaCp::new())),
         "hybrid" | "hybrid-dp" => Ok(Box::new(HybridDp::new())),

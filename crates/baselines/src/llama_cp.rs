@@ -58,6 +58,7 @@ impl Scheduler for LlamaCp {
                 ranks: ranks.clone(),
                 mode: AttnMode::AllGather,
                 micro_batch: 0,
+                weights: Vec::new(),
             })
             .collect();
         let plan = IterationPlan {

@@ -116,6 +116,7 @@ impl Scheduler for Packing {
                 ranks: vec![b % r],
                 mode: AttnMode::Ring,
                 micro_batch: b / r,
+                weights: Vec::new(),
             });
         }
         let redundant_attn_frac = if window_pairs > 0 {

@@ -67,6 +67,7 @@ impl Scheduler for TeCp {
                 ranks: ranks.clone(),
                 mode: AttnMode::Ring,
                 micro_batch: 0,
+                weights: Vec::new(),
             })
             .collect();
         let plan = IterationPlan {
@@ -75,6 +76,7 @@ impl Scheduler for TeCp {
             options: PlanOptions {
                 routing: self.routing,
                 remapping: false,
+                speed_aware_remap: false,
             },
             micro_batches: 1,
             redundant_attn_frac: 0.0,

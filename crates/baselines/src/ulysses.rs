@@ -68,6 +68,7 @@ impl Scheduler for Ulysses {
                     AttnMode::Ulysses
                 },
                 micro_batch: 0,
+                weights: Vec::new(),
             });
         }
         // Capacity: each rank holds its sequence shards; the head-parallel

@@ -89,5 +89,6 @@ fn main() {
     println!("chunks assume homogeneity. Awareness pays on local-heavy");
     println!("batches (StackExchange): the slow GPU's local queue lightens");
     println!("and the remapping layer sets speed-proportional linear-module");
-    println!("targets. Speed-proportional ring chunk sizes remain future work.");
+    println!("targets. The zeppelin-het scheduler closes the ring-heavy gap");
+    println!("with speed-proportional chunk sizes — see the hetero exhibit.");
 }

@@ -265,9 +265,23 @@ impl Driver<'_> {
     }
 
     fn sub_cluster(&self, nodes: usize) -> ClusterSpec {
+        // A job's allocation takes the pool's first `nodes` tiers with it
+        // (padded at 1.0 if the pool ever over-allocates).
+        let mut node_tiers: Vec<f64> = self
+            .cfg
+            .cluster
+            .node_tiers
+            .iter()
+            .copied()
+            .take(nodes)
+            .collect();
+        if !node_tiers.is_empty() {
+            node_tiers.resize(nodes, 1.0);
+        }
         ClusterSpec {
             name: self.cfg.cluster.name.clone(),
             nodes,
+            node_tiers,
             node: self.cfg.cluster.node.clone(),
         }
     }
@@ -690,6 +704,29 @@ mod tests {
                 policy.name()
             );
             r.check().unwrap();
+        }
+    }
+
+    #[test]
+    fn hetero_schedulers_run_on_tiered_clusters() {
+        use zeppelin_core::het::{StragglerRemap, ZeppelinHet};
+        use zeppelin_sim::topology::cluster_mixed;
+        let trace = JobTrace::random(13, 6, &cluster_mixed(4));
+        let cfg = ClusterConfig {
+            cluster: cluster_mixed(4),
+            ..ClusterConfig::default()
+        };
+        for s in [
+            &ZeppelinHet::new() as &dyn Scheduler,
+            &StragglerRemap::new(),
+        ] {
+            let a = run_cluster(&FairShare, s, &trace, &cfg).unwrap();
+            let b = run_cluster(&FairShare, s, &trace, &cfg).unwrap();
+            assert_eq!(a.completed + a.failed + a.rejected, 6, "{}", s.name());
+            a.check().unwrap();
+            // Tier-aware planning stays deterministic (sub-cluster slices
+            // carry the surviving tiers with them).
+            assert_eq!(a.events, b.events, "{}", s.name());
         }
     }
 

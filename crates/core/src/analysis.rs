@@ -372,6 +372,7 @@ mod tests {
             ranks,
             mode,
             micro_batch: 0,
+            weights: Vec::new(),
         }
     }
 

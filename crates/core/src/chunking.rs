@@ -29,6 +29,12 @@ pub struct Chunk {
 /// Remainder tokens go to the lowest-index chunks, keeping sizes within one
 /// token of each other.
 ///
+/// Degenerate case: when `len < 2G` there are not enough tokens for every
+/// chunk, so trailing chunks have length zero. Zero-length chunks are
+/// first-class citizens of the geometry — they carry zero cost through every
+/// query in this module (zero attention FLOPs, zero KV tokens/bytes) and
+/// ring rounds still conserve tokens exactly.
+///
 /// # Panics
 ///
 /// Panics if `g == 0`.
@@ -47,6 +53,118 @@ pub fn chunks(len: u64, g: usize) -> Vec<Chunk> {
     out
 }
 
+/// Fixed-point quantum for per-position speed weights: speeds are stored as
+/// `round(speed * 1024)` so plans stay exactly representable, hashable, and
+/// byte-identical across replays. Matches the serving cache-key quantum so a
+/// plan and its cache entry never disagree about what "the same speeds" means.
+pub const SPEED_WEIGHT_QUANTUM: f64 = 1024.0;
+
+/// Quantizes one relative speed to a fixed-point chunk weight (min 1).
+///
+/// # Panics
+///
+/// Panics if `speed` is non-finite or not positive.
+pub fn quantize_speed(speed: f64) -> u32 {
+    assert!(
+        speed.is_finite() && speed > 0.0,
+        "rank speed must be positive and finite, got {speed}"
+    );
+    ((speed * SPEED_WEIGHT_QUANTUM).round() as u32).max(1)
+}
+
+/// Quantizes a relative-speed vector to fixed-point chunk weights.
+///
+/// # Panics
+///
+/// Panics if any speed is non-finite or not positive.
+pub fn quantize_speeds(speeds: &[f64]) -> Vec<u32> {
+    speeds.iter().map(|&s| quantize_speed(s)).collect()
+}
+
+/// Speed-proportional zigzag chunking: cuts the `2G` chunks so each ring
+/// position's token share is proportional to its relative speed, with the
+/// zigzag pairing intact (position `i` still owns chunks `i` and `2G-1-i`,
+/// both sized by `speeds[i]`). Slow positions get shorter chunks; remainder
+/// tokens go to the fastest positions.
+///
+/// `speeds` is per ring *position* (length `g`); an empty slice means
+/// homogeneous and returns [`chunks`] exactly. Uniform speeds (all equal
+/// after fixed-point quantization — see [`SPEED_WEIGHT_QUANTUM`]) are
+/// bit-identical to [`chunks`].
+///
+/// # Panics
+///
+/// Panics if `g == 0`, if `speeds` is non-empty with length `!= g`, or if
+/// any speed is non-finite or not positive.
+pub fn chunks_weighted(len: u64, g: usize, speeds: &[f64]) -> Vec<Chunk> {
+    if speeds.is_empty() {
+        return chunks(len, g);
+    }
+    assert_eq!(
+        speeds.len(),
+        g,
+        "speed vector must cover every ring position"
+    );
+    chunks_with_weights(len, g, &quantize_speeds(speeds))
+}
+
+/// [`chunks_weighted`] on already-quantized fixed-point weights (one per
+/// ring position). This is the form plans carry, so the scheduler, the
+/// validator, and the executor all cut from the same integers.
+///
+/// Allocation is exact largest-remainder: chunk `c` (owned by position
+/// `min(c, 2G-1-c)`) gets `floor(len * w_c / W)` tokens, and the leftover
+/// `< 2G` tokens go to the chunks with the largest fractional remainders,
+/// ties broken toward the higher weight then the lower chunk index. Every
+/// chunk is therefore within one token of its exact proportional share.
+///
+/// An empty `weights` slice, or one where all weights are equal, delegates
+/// to [`chunks`] bit-identically.
+///
+/// # Panics
+///
+/// Panics if `g == 0`, if `weights` is non-empty with length `!= g`, or if
+/// any weight is zero.
+pub fn chunks_with_weights(len: u64, g: usize, weights: &[u32]) -> Vec<Chunk> {
+    assert!(g > 0, "ring group must be non-empty");
+    if weights.is_empty() || weights.iter().all(|&w| w == weights[0]) {
+        return chunks(len, g);
+    }
+    assert_eq!(weights.len(), g, "weights must cover every ring position");
+    assert!(weights.iter().all(|&w| w > 0), "weights must be positive");
+    let n = 2 * g;
+    let w_of = |c: usize| u128::from(weights[c.min(n - 1 - c)]);
+    let total_w: u128 = (0..n).map(w_of).sum();
+    let mut lens: Vec<u64> = Vec::with_capacity(n);
+    // (fractional remainder, weight, chunk index) for leftover distribution.
+    let mut rems: Vec<(u128, u128, usize)> = Vec::with_capacity(n);
+    let mut assigned: u64 = 0;
+    for c in 0..n {
+        let exact = u128::from(len) * w_of(c);
+        let l = (exact / total_w) as u64;
+        lens.push(l);
+        assigned += l;
+        rems.push((exact % total_w, w_of(c), c));
+    }
+    // Floors lose strictly less than one token each, so leftover < 2G.
+    let mut leftover = len - assigned;
+    rems.sort_by(|a, b| b.0.cmp(&a.0).then(b.1.cmp(&a.1)).then(a.2.cmp(&b.2)));
+    for &(_, _, c) in &rems {
+        if leftover == 0 {
+            break;
+        }
+        lens[c] += 1;
+        leftover -= 1;
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut offset = 0;
+    for &l in &lens {
+        out.push(Chunk { offset, len: l });
+        offset += l;
+    }
+    out
+}
+
 /// The two chunks owned by ring position `i` (zigzag pairing).
 ///
 /// # Panics
@@ -55,6 +173,18 @@ pub fn chunks(len: u64, g: usize) -> Vec<Chunk> {
 pub fn position_chunks(len: u64, g: usize, i: usize) -> [Chunk; 2] {
     assert!(i < g, "position {i} out of ring of size {g}");
     let all = chunks(len, g);
+    [all[i], all[2 * g - 1 - i]]
+}
+
+/// [`position_chunks`] under per-position weights (empty = uniform).
+///
+/// # Panics
+///
+/// Panics if `i >= g` or the weights are malformed (see
+/// [`chunks_with_weights`]).
+pub fn position_chunks_weighted(len: u64, g: usize, weights: &[u32], i: usize) -> [Chunk; 2] {
+    assert!(i < g, "position {i} out of ring of size {g}");
+    let all = chunks_with_weights(len, g, weights);
     [all[i], all[2 * g - 1 - i]]
 }
 
@@ -124,6 +254,93 @@ pub fn ring_round_kv_bytes(
 /// Total attention FLOPs of ring position `i` across all `g` rounds.
 pub fn position_total_flops(cfg: &ModelConfig, len: u64, g: usize, i: usize) -> f64 {
     (0..g).map(|r| ring_round_flops(cfg, len, g, i, r)).sum()
+}
+
+/// [`position_pair_flops`] under per-position weights (empty = uniform).
+pub fn position_pair_flops_weighted(
+    cfg: &ModelConfig,
+    len: u64,
+    g: usize,
+    weights: &[u32],
+    q_pos: usize,
+    kv_pos: usize,
+) -> f64 {
+    let q = position_chunks_weighted(len, g, weights, q_pos);
+    let kv = position_chunks_weighted(len, g, weights, kv_pos);
+    let mut flops = 0.0;
+    for qc in q {
+        for kc in kv {
+            flops += attention_block_flops(cfg, qc.offset, qc.len, kc.offset, kc.len);
+        }
+    }
+    flops
+}
+
+/// [`ring_round_flops`] under per-position weights (empty = uniform).
+pub fn ring_round_flops_weighted(
+    cfg: &ModelConfig,
+    len: u64,
+    g: usize,
+    weights: &[u32],
+    position: usize,
+    round: usize,
+) -> f64 {
+    position_pair_flops_weighted(
+        cfg,
+        len,
+        g,
+        weights,
+        position,
+        kv_source(g, position, round),
+    )
+}
+
+/// [`position_tokens`] under per-position weights (empty = uniform).
+pub fn position_tokens_weighted(len: u64, g: usize, weights: &[u32], position: usize) -> u64 {
+    position_chunks_weighted(len, g, weights, position)
+        .iter()
+        .map(|c| c.len)
+        .sum()
+}
+
+/// [`ring_round_kv_tokens`] under per-position weights (empty = uniform).
+pub fn ring_round_kv_tokens_weighted(
+    len: u64,
+    g: usize,
+    weights: &[u32],
+    position: usize,
+    round: usize,
+) -> u64 {
+    let src = kv_source(g, position, round);
+    position_tokens_weighted(len, g, weights, src)
+}
+
+/// [`ring_round_kv_bytes`] under per-position weights (empty = uniform).
+pub fn ring_round_kv_bytes_weighted(
+    cfg: &ModelConfig,
+    len: u64,
+    g: usize,
+    weights: &[u32],
+    position: usize,
+    round: usize,
+) -> f64 {
+    kv_bytes(
+        cfg,
+        ring_round_kv_tokens_weighted(len, g, weights, position, round),
+    )
+}
+
+/// [`position_total_flops`] under per-position weights (empty = uniform).
+pub fn position_total_flops_weighted(
+    cfg: &ModelConfig,
+    len: u64,
+    g: usize,
+    weights: &[u32],
+    i: usize,
+) -> f64 {
+    (0..g)
+        .map(|r| ring_round_flops_weighted(cfg, len, g, weights, i, r))
+        .sum()
 }
 
 /// Attention FLOPs of a *contiguously* split position (non-zigzag): ring
@@ -261,5 +478,131 @@ mod tests {
     #[should_panic(expected = "out of ring")]
     fn bad_position_panics() {
         position_chunks(100, 4, 4);
+    }
+
+    #[test]
+    fn short_sequences_yield_zero_length_chunks_with_zero_cost() {
+        // len < 2G: trailing chunks are zero-length and every cost query
+        // treats them as free while rounds still conserve tokens.
+        let cfg = llama_7b();
+        for (len, g) in [(3u64, 4usize), (1, 8), (0, 4), (7, 16)] {
+            let cs = chunks(len, g);
+            assert_eq!(cs.iter().map(|c| c.len).sum::<u64>(), len);
+            assert!(cs.iter().any(|c| c.len == 0), "len {len} g {g}");
+            for r in 0..g {
+                let kv: u64 = (0..g).map(|p| ring_round_kv_tokens(len, g, p, r)).sum();
+                assert_eq!(kv, len, "round {r} len {len} g {g}");
+            }
+            let total: f64 = (0..g).map(|i| position_total_flops(&cfg, len, g, i)).sum();
+            let expected = attention_seq_flops(&cfg, len);
+            assert!((total - expected).abs() <= expected * 1e-9 + 1e-9);
+            // Positions owning only zero-length chunks are exactly free.
+            for i in 0..g {
+                if position_tokens(len, g, i) == 0 {
+                    assert_eq!(position_total_flops(&cfg, len, g, i), 0.0);
+                    assert_eq!(ring_round_kv_bytes(&cfg, len, g, i, 0), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_chunks_partition_and_favor_fast_positions() {
+        let weights = [1024u32, 512, 2048, 1024];
+        let cs = chunks_with_weights(10_000, 4, &weights);
+        assert_eq!(cs.len(), 8);
+        assert_eq!(cs.iter().map(|c| c.len).sum::<u64>(), 10_000);
+        let mut offset = 0;
+        for c in &cs {
+            assert_eq!(c.offset, offset);
+            offset += c.len;
+        }
+        let per: Vec<u64> = (0..4)
+            .map(|i| position_tokens_weighted(10_000, 4, &weights, i))
+            .collect();
+        // Position shares track the weight ratios: slow < uniform < fast.
+        assert!(per[1] < per[0] && per[0] < per[2], "{per:?}");
+        assert_eq!(per[0], per[3]);
+        // Each position is within one token per chunk of its exact share.
+        let wtot: u128 = weights.iter().map(|&w| 2 * u128::from(w)).sum();
+        for (i, &t) in per.iter().enumerate() {
+            let lhs = u128::from(t) * wtot;
+            let rhs = 10_000u128 * 2 * u128::from(weights[i]);
+            assert!(lhs.abs_diff(rhs) <= 2 * wtot, "position {i}: {per:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_weights_are_bit_identical_to_unweighted() {
+        for len in [0u64, 3, 1000, 4097] {
+            for g in [1usize, 2, 5, 8] {
+                assert_eq!(chunks_with_weights(len, g, &[]), chunks(len, g));
+                assert_eq!(chunks_with_weights(len, g, &vec![777; g]), chunks(len, g));
+                assert_eq!(chunks_weighted(len, g, &vec![0.25; g]), chunks(len, g));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_rounds_conserve_flops_and_kv() {
+        let cfg = llama_7b();
+        let weights = [1024u32, 307, 2048, 1024, 512, 716];
+        let (len, g) = (9_001u64, 6usize);
+        let total: f64 = (0..g)
+            .flat_map(|p| (0..g).map(move |r| (p, r)))
+            .map(|(p, r)| ring_round_flops_weighted(&cfg, len, g, &weights, p, r))
+            .sum();
+        let expected = attention_seq_flops(&cfg, len);
+        assert!(
+            (total - expected).abs() / expected < 1e-12,
+            "{total} vs {expected}"
+        );
+        for r in 0..g {
+            let kv: u64 = (0..g)
+                .map(|p| ring_round_kv_tokens_weighted(len, g, &weights, p, r))
+                .sum();
+            assert_eq!(kv, len);
+        }
+    }
+
+    #[test]
+    fn extreme_skew_starves_slow_positions_without_underflow() {
+        // A 1024:1 weight ratio on a short sequence: the slow position ends
+        // up with zero tokens and zero cost, fast positions absorb the rest.
+        let cfg = llama_7b();
+        let weights = [1024u32, 1, 1024, 1024];
+        let len = 5u64;
+        let cs = chunks_with_weights(len, 4, &weights);
+        assert_eq!(cs.iter().map(|c| c.len).sum::<u64>(), len);
+        assert_eq!(position_tokens_weighted(len, 4, &weights, 1), 0);
+        assert_eq!(
+            position_total_flops_weighted(&cfg, len, 4, &weights, 1),
+            0.0
+        );
+        let total: u64 = (0..4)
+            .map(|i| position_tokens_weighted(len, 4, &weights, i))
+            .sum();
+        assert_eq!(total, len);
+    }
+
+    #[test]
+    fn quantization_is_stable_and_bounded() {
+        assert_eq!(quantize_speed(1.0), 1024);
+        assert_eq!(quantize_speed(0.5), 512);
+        // Sub-quantum speeds clamp to the minimum weight instead of zero.
+        assert_eq!(quantize_speed(1e-9), 1);
+        assert_eq!(quantize_speeds(&[1.0, 0.25]), vec![1024, 256]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn non_finite_speed_panics() {
+        quantize_speed(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every ring position")]
+    fn short_weight_vector_panics() {
+        chunks_weighted(100, 4, &[1.0, 0.5]);
     }
 }

@@ -1,0 +1,182 @@
+//! Heterogeneity-aware scheduler variants.
+//!
+//! Mixed-generation clusters (and straggler-degraded homogeneous ones)
+//! break the zigzag ring's core assumption: equal chunk sizes only balance
+//! *work*, not *time*, when every position computes at the same rate. Two
+//! first-class schedulers address the two halves of the problem:
+//!
+//! - [`ZeppelinHet`] sizes the zigzag chunks inside each ring group
+//!   speed-proportionally ([`chunking::chunks_weighted`]): slow positions
+//!   own shorter chunks, so every ring round finishes together instead of
+//!   bottlenecking on the slowest rank.
+//! - [`StragglerRemap`] keeps uniform chunking but declares
+//!   speed-proportional linear-module remap targets in the plan
+//!   (`options.speed_aware_remap`), moving the fix to the remapping layer.
+//!
+//! Both reduce to plain Zeppelin bit-identically on homogeneous contexts
+//! (`ctx.rank_speed` absent or uniform), so they are safe defaults on
+//! mixed fleets.
+
+use zeppelin_data::batch::Batch;
+
+use crate::chunking::quantize_speed;
+use crate::plan::{IterationPlan, PlanError};
+use crate::scheduler::{Scheduler, SchedulerCtx};
+use crate::zeppelin::Zeppelin;
+
+/// Zeppelin with speed-proportional zigzag chunk sizing inside ring groups.
+#[derive(Debug, Clone, Default)]
+pub struct ZeppelinHet {
+    inner: Zeppelin,
+}
+
+impl ZeppelinHet {
+    /// Full Zeppelin plus weighted chunk geometry.
+    pub fn new() -> ZeppelinHet {
+        ZeppelinHet::default()
+    }
+}
+
+impl Scheduler for ZeppelinHet {
+    fn name(&self) -> &'static str {
+        "Zeppelin-Het"
+    }
+
+    /// Plans like Zeppelin, then attaches quantized per-position speed
+    /// weights to every multi-rank placement spanning ranks of unequal
+    /// speed. Uniform-speed groups keep empty weights, so the plan (and
+    /// its lowering) is bit-identical to Zeppelin's when the context is
+    /// homogeneous.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] when the batch cannot be placed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx.rank_speed` contains a non-finite or non-positive
+    /// entry (see [`quantize_speed`]).
+    fn plan(&self, batch: &Batch, ctx: &SchedulerCtx) -> Result<IterationPlan, PlanError> {
+        let mut plan = self.inner.plan(batch, ctx)?;
+        plan.scheduler = self.name().into();
+        if let Some(speed) = &ctx.rank_speed {
+            for p in &mut plan.placements {
+                if p.ranks.len() < 2 {
+                    continue;
+                }
+                let ws: Vec<u32> = p.ranks.iter().map(|&r| quantize_speed(speed[r])).collect();
+                // All-equal weights are uniform chunking; keep the empty
+                // encoding so homogeneous groups stay bit-identical.
+                if ws.iter().any(|&w| w != ws[0]) {
+                    p.weights = ws;
+                }
+            }
+        }
+        plan.validate(ctx.cluster.total_gpus())?;
+        Ok(plan)
+    }
+}
+
+/// Zeppelin with speed-aware linear-module remap targets.
+///
+/// Promotes what used to hide behind the executor-only
+/// `ExecConfig::speed_aware_remap` knob into a scheduler decision carried
+/// by the plan: the remapping layer assigns each rank a token share
+/// proportional to its speed, so all GEMMs finish together even though the
+/// attention rings still use uniform chunks.
+#[derive(Debug, Clone, Default)]
+pub struct StragglerRemap {
+    inner: Zeppelin,
+}
+
+impl StragglerRemap {
+    /// Full Zeppelin plus speed-aware remap targets.
+    pub fn new() -> StragglerRemap {
+        StragglerRemap::default()
+    }
+}
+
+impl Scheduler for StragglerRemap {
+    fn name(&self) -> &'static str {
+        "Straggler-Remap"
+    }
+
+    /// Plans like Zeppelin and declares `options.speed_aware_remap` when
+    /// the context carries per-rank speeds (the executor falls back to
+    /// uniform targets when it has no speed vector of its own).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] when the batch cannot be placed.
+    fn plan(&self, batch: &Batch, ctx: &SchedulerCtx) -> Result<IterationPlan, PlanError> {
+        let mut plan = self.inner.plan(batch, ctx)?;
+        plan.scheduler = self.name().into();
+        plan.options.speed_aware_remap = ctx.rank_speed.is_some();
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_with_batch;
+    use zeppelin_model::config::llama_3b;
+    use zeppelin_sim::topology::{cluster_a, cluster_mixed};
+
+    fn batch() -> Batch {
+        Batch::new(vec![60_000, 9_000, 2_000, 1_000, 500, 300, 200, 100])
+    }
+
+    #[test]
+    fn homogeneous_plans_are_bit_identical_to_zeppelin() {
+        let ctx = SchedulerCtx::new(&cluster_a(2), &llama_3b()).with_capacity(8192);
+        let mut base = Zeppelin::new().plan(&batch(), &ctx).unwrap();
+        let het = ZeppelinHet::new().plan(&batch(), &ctx).unwrap();
+        base.scheduler = "Zeppelin-Het".into();
+        assert_eq!(base, het);
+        let mut remap = StragglerRemap::new().plan(&batch(), &ctx).unwrap();
+        assert!(!remap.options.speed_aware_remap);
+        base.scheduler = "Straggler-Remap".into();
+        remap.scheduler = base.scheduler.clone();
+        assert_eq!(base, remap);
+    }
+
+    #[test]
+    fn het_weights_multi_rank_groups_and_audits_clean() {
+        let cluster = cluster_mixed(2); // node 0 slow (A800), node 1 fast
+        let ctx = SchedulerCtx::new(&cluster, &llama_3b()).with_capacity(8192);
+        let b = batch();
+        let plan = ZeppelinHet::new().plan(&b, &ctx).unwrap();
+        let weighted = plan
+            .placements
+            .iter()
+            .filter(|p| !p.weights.is_empty())
+            .count();
+        // The 60k sequence spans both generations; its group is weighted.
+        assert!(weighted > 0, "no weighted placements in {plan:?}");
+        for p in plan.placements.iter().filter(|p| !p.weights.is_empty()) {
+            assert_eq!(p.weights.len(), p.ranks.len());
+            // Fast ranks carry larger weights than slow ranks.
+            let speed = ctx.rank_speed.as_ref().unwrap();
+            for (a, &ra) in p.ranks.iter().enumerate() {
+                for (b2, &rb) in p.ranks.iter().enumerate() {
+                    if speed[ra] > speed[rb] {
+                        assert!(p.weights[a] > p.weights[b2]);
+                    }
+                }
+            }
+        }
+        validate_with_batch(&plan, &ctx, &b).expect("weighted plan audits clean");
+    }
+
+    #[test]
+    fn straggler_remap_declares_speed_aware_targets() {
+        let cluster = cluster_mixed(2);
+        let ctx = SchedulerCtx::new(&cluster, &llama_3b()).with_capacity(8192);
+        let b = batch();
+        let plan = StragglerRemap::new().plan(&b, &ctx).unwrap();
+        assert!(plan.options.speed_aware_remap);
+        assert!(plan.placements.iter().all(|p| p.weights.is_empty()));
+        validate_with_batch(&plan, &ctx, &b).expect("speed-aware remap plan audits clean");
+    }
+}

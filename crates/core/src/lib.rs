@@ -38,6 +38,7 @@
 
 pub mod analysis;
 pub mod chunking;
+pub mod het;
 pub mod partitioner;
 pub mod plan;
 pub mod plan_io;

@@ -180,6 +180,7 @@ pub fn partition(lens: &[u64], cfg: &PartitionConfig) -> Result<Partition, PlanE
             ranks,
             mode: AttnMode::Ring,
             micro_batch: 0,
+            weights: Vec::new(),
         });
     }
 
@@ -218,6 +219,7 @@ pub fn partition(lens: &[u64], cfg: &PartitionConfig) -> Result<Partition, PlanE
                 ranks,
                 mode: AttnMode::Ring,
                 micro_batch: 0,
+                weights: Vec::new(),
             });
         }
         for (device, seq) in intra.local_seqs {
@@ -228,6 +230,7 @@ pub fn partition(lens: &[u64], cfg: &PartitionConfig) -> Result<Partition, PlanE
                 ranks: vec![node * p + device],
                 mode: AttnMode::Ring,
                 micro_batch: 0,
+                weights: Vec::new(),
             });
         }
     }

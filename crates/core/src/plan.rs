@@ -41,9 +41,13 @@ pub enum AttnMode {
 
 /// Placement of one sequence (or packed pseudo-sequence) in the plan.
 ///
-/// For multi-rank placements the sequence is cut into `2·G` equal chunks
+/// For multi-rank placements the sequence is cut into `2·G` chunks
 /// (`G = ranks.len()`); ring position `i` owns chunks `i` and `2G-1-i`
 /// (zigzag), which balances causal-mask work across the group (§3.2).
+/// Homogeneous groups cut equal chunks; heterogeneity-aware schedulers
+/// declare per-position speed `weights` and chunks are cut
+/// speed-proportionally (§3.2 extended; see
+/// [`crate::chunking::chunks_with_weights`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SeqPlacement {
     /// Index of the sequence in the input batch (or a synthetic id for
@@ -60,6 +64,12 @@ pub struct SeqPlacement {
     /// Micro-batch this sequence executes in (0 for single micro-batch
     /// plans; Hybrid DP uses several).
     pub micro_batch: usize,
+    /// Fixed-point per-position speed weights (quantum
+    /// [`crate::chunking::SPEED_WEIGHT_QUANTUM`]), parallel to `ranks`.
+    /// Empty means homogeneous (equal chunks); when non-empty, chunk sizes
+    /// are speed-proportional and the executor/validator account for the
+    /// declared skew.
+    pub weights: Vec<u32>,
 }
 
 impl SeqPlacement {
@@ -68,10 +78,15 @@ impl SeqPlacement {
         self.ranks.len()
     }
 
-    /// Tokens resident on ring position `i` (zigzag: two chunks).
+    /// Tokens resident on ring position `i` (zigzag: two chunks, sized by
+    /// the declared speed weights when present).
     pub fn tokens_on_position(&self, i: usize) -> u64 {
-        let g = self.ranks.len() as u64;
-        debug_assert!((i as u64) < g);
+        let g = self.ranks.len();
+        debug_assert!(i < g);
+        if !self.weights.is_empty() {
+            return crate::chunking::position_tokens_weighted(self.len, g, &self.weights, i);
+        }
+        let g = g as u64;
         let chunks = 2 * g;
         let base = self.len / chunks;
         let rem = self.len % chunks;
@@ -88,6 +103,10 @@ pub struct PlanOptions {
     pub routing: bool,
     /// Rebalance tokens across ranks around the linear modules (§3.4).
     pub remapping: bool,
+    /// Pick remap targets proportional to rank speeds instead of equal
+    /// shares (requires `remapping`; a no-op when the executor has no speed
+    /// vector). Set by speed-aware schedulers such as `StragglerRemap`.
+    pub speed_aware_remap: bool,
 }
 
 /// A full iteration plan for one training step.
@@ -198,6 +217,22 @@ impl IterationPlan {
                     p.seq_index, p.micro_batch, self.micro_batches
                 )));
             }
+            if !p.weights.is_empty() {
+                if p.weights.len() != p.ranks.len() {
+                    return Err(PlanError::Malformed(format!(
+                        "sequence {} declares {} speed weights for {} ranks",
+                        p.seq_index,
+                        p.weights.len(),
+                        p.ranks.len()
+                    )));
+                }
+                if p.weights.contains(&0) {
+                    return Err(PlanError::Malformed(format!(
+                        "sequence {} declares a zero speed weight",
+                        p.seq_index
+                    )));
+                }
+            }
         }
         Ok(())
     }
@@ -215,6 +250,7 @@ mod tests {
             ranks,
             mode: AttnMode::Ring,
             micro_batch: 0,
+            weights: Vec::new(),
         }
     }
 
@@ -297,6 +333,31 @@ mod tests {
         bad_mb.micro_batch = 3;
         let pl = plan(vec![bad_mb]);
         assert!(matches!(pl.validate(4), Err(PlanError::Malformed(_))));
+    }
+
+    #[test]
+    fn weighted_placement_shifts_tokens_toward_fast_ranks() {
+        let mut p = placement(1000, vec![0, 1, 2, 3], Zone::IntraNode);
+        p.weights = vec![1024, 512, 1024, 1024];
+        let per: Vec<u64> = (0..4).map(|i| p.tokens_on_position(i)).collect();
+        assert_eq!(per.iter().sum::<u64>(), 1000);
+        assert!(per[1] < per[0], "{per:?}");
+        assert!(per.iter().enumerate().all(|(i, &t)| i == 1 || t > per[1]));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_weights() {
+        let mut short = placement(64, vec![0, 1, 2], Zone::IntraNode);
+        short.weights = vec![1024, 512];
+        let pl = plan(vec![short]);
+        assert!(matches!(pl.validate(4), Err(PlanError::Malformed(_))));
+        let mut zero = placement(64, vec![0, 1], Zone::IntraNode);
+        zero.weights = vec![1024, 0];
+        let pl = plan(vec![zero]);
+        assert!(matches!(pl.validate(4), Err(PlanError::Malformed(_))));
+        let mut ok = placement(64, vec![0, 1], Zone::IntraNode);
+        ok.weights = vec![1024, 512];
+        plan(vec![ok]).validate(4).unwrap();
     }
 
     #[test]

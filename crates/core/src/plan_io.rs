@@ -383,8 +383,8 @@ pub fn plan_to_json(plan: &IterationPlan) -> String {
     let _ = write!(out, "\"scheduler\":\"{}\",", escape(&plan.scheduler));
     let _ = write!(
         out,
-        "\"options\":{{\"routing\":{},\"remapping\":{}}},",
-        plan.options.routing, plan.options.remapping
+        "\"options\":{{\"routing\":{},\"remapping\":{},\"speed_aware_remap\":{}}},",
+        plan.options.routing, plan.options.remapping, plan.options.speed_aware_remap
     );
     let _ = write!(out, "\"micro_batches\":{},", plan.micro_batches);
     let _ = write!(out, "\"redundant_attn_frac\":{},", plan.redundant_attn_frac);
@@ -396,7 +396,7 @@ pub fn plan_to_json(plan: &IterationPlan) -> String {
         let ranks: Vec<String> = p.ranks.iter().map(|r| r.to_string()).collect();
         let _ = write!(
             out,
-            "{{\"seq_index\":{},\"len\":{},\"zone\":\"{}\",\"mode\":\"{}\",\"micro_batch\":{},\"ranks\":[{}]}}",
+            "{{\"seq_index\":{},\"len\":{},\"zone\":\"{}\",\"mode\":\"{}\",\"micro_batch\":{},\"ranks\":[{}]",
             p.seq_index,
             p.len,
             zone_name(p.zone),
@@ -404,6 +404,13 @@ pub fn plan_to_json(plan: &IterationPlan) -> String {
             p.micro_batch,
             ranks.join(",")
         );
+        // Speed weights are written only when declared, so homogeneous
+        // plans serialize byte-identically to pre-weights documents.
+        if !p.weights.is_empty() {
+            let ws: Vec<String> = p.weights.iter().map(|w| w.to_string()).collect();
+            let _ = write!(out, ",\"weights\":[{}]", ws.join(","));
+        }
+        out.push('}');
     }
     out.push_str("]}");
     out
@@ -465,6 +472,8 @@ pub fn plan_from_json(text: &str) -> Result<IterationPlan, PlanIoError> {
         Json::Object(o) => PlanOptions {
             routing: matches!(get(o, "routing")?, Json::Bool(true)),
             remapping: matches!(get(o, "remapping")?, Json::Bool(true)),
+            // Absent in pre-heterogeneity documents ⇒ false.
+            speed_aware_remap: matches!(o.get("speed_aware_remap"), Some(Json::Bool(true))),
         },
         _ => return Err(PlanIoError::Schema("'options' must be an object".into())),
     };
@@ -515,6 +524,21 @@ pub fn plan_from_json(text: &str) -> Result<IterationPlan, PlanIoError> {
         for r in rank_vals {
             ranks.push(as_u64(r, "ranks")? as usize);
         }
+        // Optional: absent ⇒ homogeneous (pre-weights documents).
+        let weights = match o.get("weights") {
+            None => Vec::new(),
+            Some(Json::Array(ws)) => {
+                let mut v = Vec::with_capacity(ws.len());
+                for w in ws {
+                    let n = as_u64(w, "weights")?;
+                    v.push(u32::try_from(n).map_err(|_| {
+                        PlanIoError::Schema("'weights' entries must fit a 32-bit integer".into())
+                    })?);
+                }
+                v
+            }
+            Some(_) => return Err(PlanIoError::Schema("'weights' must be an array".into())),
+        };
         placements.push(SeqPlacement {
             seq_index: as_u64(get(o, "seq_index")?, "seq_index")? as usize,
             len: as_u64(get(o, "len")?, "len")?,
@@ -522,6 +546,7 @@ pub fn plan_from_json(text: &str) -> Result<IterationPlan, PlanIoError> {
             ranks,
             mode,
             micro_batch: as_u64(get(o, "micro_batch")?, "micro_batch")? as usize,
+            weights,
         });
     }
     let plan = IterationPlan {
@@ -554,6 +579,7 @@ mod tests {
                     ranks: (0..16).collect(),
                     mode: AttnMode::Ring,
                     micro_batch: 0,
+                    weights: (0..16).map(|i| 512 + i * 64).collect(),
                 },
                 SeqPlacement {
                     seq_index: 1,
@@ -562,11 +588,13 @@ mod tests {
                     ranks: vec![3],
                     mode: AttnMode::Ulysses,
                     micro_batch: 1,
+                    weights: Vec::new(),
                 },
             ],
             options: PlanOptions {
                 routing: true,
                 remapping: false,
+                speed_aware_remap: true,
             },
             micro_batches: 2,
             redundant_attn_frac: 0.125,
@@ -649,6 +677,29 @@ mod tests {
             assert!(matches!(err, PlanIoError::Invalid(_)), "{needle}: {err}");
             assert!(err.to_string().contains(needle), "{needle}: {err}");
         }
+    }
+
+    #[test]
+    fn weights_are_optional_and_validated() {
+        let json = plan_to_json(&sample_plan());
+        assert!(json.contains("\"weights\":[512,"), "{json}");
+        assert!(json.contains("\"speed_aware_remap\":true"), "{json}");
+        // Dropping the weights array parses as a homogeneous placement.
+        let start = json.find(",\"weights\":[").unwrap();
+        let end = json[start + 1..].find(']').unwrap() + start + 2;
+        let stripped = format!("{}{}", &json[..start], &json[end..]);
+        let plan = plan_from_json(&stripped).unwrap();
+        assert!(plan.placements.iter().all(|p| p.weights.is_empty()));
+        // A weight count that disagrees with the rank group is rejected
+        // at parse time with a field-named report.
+        let hostile = json.replace("\"weights\":[512,", "\"weights\":[0,512,");
+        let err = plan_from_json(&hostile).unwrap_err();
+        assert!(matches!(err, PlanIoError::Invalid(_)), "{err}");
+        assert!(err.to_string().contains("speed weights"), "{err}");
+        // Oversized entries are a schema error, not a silent truncation.
+        let hostile = json.replace("\"weights\":[512,", "\"weights\":[4294967296,");
+        let err = plan_from_json(&hostile).unwrap_err();
+        assert!(err.to_string().contains("32-bit"), "{err}");
     }
 
     #[test]

@@ -23,7 +23,13 @@ pub struct SchedulerCtx {
 }
 
 impl SchedulerCtx {
-    /// Builds a context, deriving capacity from the memory model.
+    /// Builds a context, deriving capacity from the memory model. On a
+    /// mixed-generation cluster (non-empty
+    /// [`ClusterSpec::node_tiers`](zeppelin_sim::topology::ClusterSpec))
+    /// the per-node tiers seed `rank_speed`, so every speed-aware scheduler
+    /// sees the heterogeneity without extra plumbing;
+    /// [`SchedulerCtx::with_rank_speed`] still overrides (e.g. to stack
+    /// straggler degradation on top of generation tiers).
     pub fn new(cluster: &ClusterSpec, model: &ModelConfig) -> SchedulerCtx {
         let dp = cluster.total_gpus().max(1);
         let capacity = token_capacity(model, cluster.node.gpu.mem_bytes, dp);
@@ -31,7 +37,7 @@ impl SchedulerCtx {
             cluster: cluster.clone(),
             model: model.clone(),
             capacity,
-            rank_speed: None,
+            rank_speed: cluster.rank_speeds(),
         }
     }
 
@@ -100,6 +106,12 @@ impl SchedulerCtx {
 
         let mut cluster = self.cluster.clone();
         cluster.nodes = survivors;
+        if !cluster.node_tiers.is_empty() {
+            cluster.node_tiers = (0..self.cluster.nodes)
+                .filter(|&n| !dead_nodes[n])
+                .map(|n| self.cluster.tier_of(n))
+                .collect();
+        }
         let mut rank_map: Vec<Option<Rank>> = vec![None; total];
         let mut next = 0;
         for old in 0..total {
@@ -170,6 +182,11 @@ impl SchedulerCtx {
 
         let mut cluster = self.cluster.clone();
         cluster.nodes = nodes;
+        if !cluster.node_tiers.is_empty() {
+            // Nodes joining a tiered cluster arrive at the blueprint
+            // generation (tier 1.0), mirroring the healthy-speed default.
+            cluster.node_tiers.resize(nodes, 1.0);
+        }
 
         let derived_old = token_capacity(
             &self.model,
@@ -407,6 +424,34 @@ mod tests {
             validate_with_batch(&plan, &back, &batch).is_ok(),
             "plan over the heterogeneous regrown context must audit clean"
         );
+    }
+
+    #[test]
+    fn node_tiers_seed_rank_speed_and_survive_shrink_grow() {
+        use zeppelin_sim::topology::{cluster_mixed, A800_RELATIVE_SPEED};
+
+        let cluster = cluster_mixed(3); // tiers [A800, 1.0, 1.0]
+        let ctx = SchedulerCtx::new(&cluster, &llama_7b());
+        let speed = ctx.rank_speed.as_ref().expect("tiers seed rank_speed");
+        assert_eq!(speed.len(), 24);
+        assert!(speed[..8].iter().all(|&s| s == A800_RELATIVE_SPEED));
+        assert!(speed[8..].iter().all(|&s| s == 1.0));
+
+        // Drain the A800 node: tiers and speeds migrate together.
+        let (small, _) = ctx.shrink_to_survivors(&[0]).unwrap();
+        assert_eq!(small.cluster.node_tiers, vec![1.0, 1.0]);
+        assert!(small.rank_speed.unwrap().iter().all(|&s| s == 1.0));
+
+        // Repair: the rejoining node arrives at the blueprint tier.
+        let back = ctx
+            .shrink_to_survivors(&[0])
+            .unwrap()
+            .0
+            .grow_to_nodes(3)
+            .unwrap();
+        assert_eq!(back.cluster.node_tiers, vec![1.0, 1.0, 1.0]);
+        back.cluster.validate().unwrap();
+        assert_eq!(back.rank_speed.unwrap().len(), 24);
     }
 
     #[test]

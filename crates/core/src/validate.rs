@@ -29,7 +29,7 @@ use zeppelin_data::batch::Batch;
 use zeppelin_sim::topology::Rank;
 
 use crate::plan::{AttnMode, IterationPlan, Zone};
-use crate::remap::plan_remap;
+use crate::remap::{plan_remap, plan_remap_weighted};
 use crate::routing::route_internode;
 use crate::scheduler::SchedulerCtx;
 
@@ -143,7 +143,9 @@ pub enum PlanViolation {
         capacity: u64,
     },
     /// Zigzag chunking of a placement fails its conservation/balance
-    /// contract (differential audit against `tokens_on_position`).
+    /// contract (differential audit against `tokens_on_position`). For
+    /// weighted placements the balance contract is speed-proportional: each
+    /// position must hold its declared share within chunk rounding.
     RingChunkAsymmetry {
         /// Sequence index of the offending placement.
         seq_index: usize,
@@ -151,6 +153,14 @@ pub enum PlanViolation {
         len: u64,
         /// Tokens actually covered by the ring positions.
         resident: u64,
+    },
+    /// A placement's declared speed-weight vector is malformed (wrong
+    /// length for its rank group, or a zero weight).
+    BadSpeedWeights {
+        /// Sequence index of the offending placement.
+        seq_index: usize,
+        /// What exactly is wrong.
+        detail: String,
     },
     /// A routed inter-node transfer between consecutive ring ranks is
     /// inconsistent (broken chain, endpoint outside the cluster, or bytes
@@ -261,6 +271,10 @@ impl std::fmt::Display for PlanViolation {
                 f,
                 "zigzag chunking of sequence {seq_index} is asymmetric: {resident} resident tokens for 'len' {len}"
             ),
+            PlanViolation::BadSpeedWeights { seq_index, detail } => write!(
+                f,
+                "speed weights of sequence {seq_index} are malformed: {detail}"
+            ),
             PlanViolation::RoutingChainBroken { src, dst, detail } => {
                 write!(f, "routed transfer {src}->{dst} is inconsistent: {detail}")
             }
@@ -346,6 +360,19 @@ pub fn structural_violations(plan: &IterationPlan) -> Vec<PlanViolation> {
                 micro_batches: plan.micro_batches,
             });
         }
+        if !p.weights.is_empty() {
+            if p.weights.len() != p.ranks.len() {
+                out.push(PlanViolation::BadSpeedWeights {
+                    seq_index: p.seq_index,
+                    detail: format!("{} weights for {} ranks", p.weights.len(), p.ranks.len()),
+                });
+            } else if p.weights.contains(&0) {
+                out.push(PlanViolation::BadSpeedWeights {
+                    seq_index: p.seq_index,
+                    detail: "zero weight".into(),
+                });
+            }
+        }
         // Exact duplicates double-count work; fragments of one sequence
         // legitimately share a seq_index but differ in ranks or length.
         if !seen.insert(format!("{p:?}")) {
@@ -372,20 +399,46 @@ pub fn cluster_violations(plan: &IterationPlan, total_ranks: usize) -> Vec<PlanV
             });
         }
         // Differential audit of the zigzag chunk geometry: ring positions
-        // must cover the sequence exactly and stay within 1 token of each
-        // other (the §3.2 balance contract the executor relies on).
+        // must cover the sequence exactly and stay balanced — within 1
+        // token of each other for homogeneous groups (the §3.2 balance
+        // contract), or within chunk rounding of the declared speed-
+        // proportional share for weighted groups. Weighted placements with
+        // malformed weight vectors are already flagged structurally and
+        // skipped here.
         let g = p.ranks.len();
         if g > 0 && p.len > 0 {
-            let per: Vec<u64> = (0..g).map(|i| p.tokens_on_position(i)).collect();
-            let resident: u64 = per.iter().sum();
-            let max = per.iter().copied().max().unwrap_or(0);
-            let min = per.iter().copied().min().unwrap_or(0);
-            if resident != p.len || max - min > 1 {
-                out.push(PlanViolation::RingChunkAsymmetry {
-                    seq_index: p.seq_index,
-                    len: p.len,
-                    resident,
+            if p.weights.is_empty() {
+                let per: Vec<u64> = (0..g).map(|i| p.tokens_on_position(i)).collect();
+                let resident: u64 = per.iter().sum();
+                let max = per.iter().copied().max().unwrap_or(0);
+                let min = per.iter().copied().min().unwrap_or(0);
+                if resident != p.len || max - min > 1 {
+                    out.push(PlanViolation::RingChunkAsymmetry {
+                        seq_index: p.seq_index,
+                        len: p.len,
+                        resident,
+                    });
+                }
+            } else if p.weights.len() == g && !p.weights.contains(&0) {
+                let per: Vec<u64> = (0..g).map(|i| p.tokens_on_position(i)).collect();
+                let resident: u64 = per.iter().sum();
+                // Each position owns two chunks, each within one token of
+                // its exact proportional share, so in integer cross-
+                // multiplication: |tokens_i * W - len * 2 * w_i| <= 2 * W,
+                // where W is the total chunk weight (2 * sum of weights).
+                let wtot: u128 = p.weights.iter().map(|&w| 2 * u128::from(w)).sum();
+                let balanced = per.iter().zip(&p.weights).all(|(&t, &w)| {
+                    let have = u128::from(t) * wtot;
+                    let want = u128::from(p.len) * 2 * u128::from(w);
+                    have.abs_diff(want) <= 2 * wtot
                 });
+                if resident != p.len || !balanced {
+                    out.push(PlanViolation::RingChunkAsymmetry {
+                        seq_index: p.seq_index,
+                        len: p.len,
+                        resident,
+                    });
+                }
             }
         }
     }
@@ -584,16 +637,26 @@ fn routed_transfer_defect(
 
 /// Remap-move consistency per micro-batch: moves must stay inside the
 /// cluster, never overdraw a sender, conserve tokens, and land exactly on
-/// the solver's balanced targets.
+/// the solver's balanced targets. Speed-aware plans
+/// (`options.speed_aware_remap`) are audited against the speed-proportional
+/// targets the executor will use, derived from the context's rank speeds.
 fn audit_remap(plan: &IterationPlan, ctx: &SchedulerCtx, out: &mut Vec<PlanViolation>) {
     let total_ranks = ctx.cluster.total_gpus();
+    let speeds = if plan.options.speed_aware_remap {
+        ctx.rank_speed.clone()
+    } else {
+        None
+    };
     for mb in 0..plan.micro_batches {
         let tokens = plan.tokens_per_rank(total_ranks, mb);
         let total: u64 = tokens.iter().sum();
         if total == 0 {
             continue;
         }
-        let remap = plan_remap(&ctx.cluster, &tokens);
+        let remap = match &speeds {
+            Some(s) => plan_remap_weighted(&ctx.cluster, &tokens, s),
+            None => plan_remap(&ctx.cluster, &tokens),
+        };
         let mut after = tokens;
         let mut defect = None;
         for m in &remap.moves {
@@ -652,6 +715,7 @@ mod tests {
             ranks,
             mode: AttnMode::Ring,
             micro_batch: 0,
+            weights: Vec::new(),
         }
     }
 
@@ -815,9 +879,52 @@ mod tests {
         plan.options = PlanOptions {
             routing: true,
             remapping: true,
+            speed_aware_remap: false,
         };
         let err = validate(&plan, &ctx()).unwrap_err();
         assert!(!err.is_empty());
+    }
+
+    #[test]
+    fn weighted_placements_audit_clean_and_tampering_is_flagged() {
+        // A weighted ring group whose chunking matches its declared speeds
+        // passes the extended symmetry audit.
+        let mut p = placement(0, 12_000, vec![0, 1, 2, 3], Zone::IntraNode);
+        p.weights = vec![1024, 512, 1024, 1024];
+        let plan = plan_of(vec![p]);
+        assert!(cluster_violations(&plan, 16).is_empty());
+        validate(&plan, &ctx()).unwrap();
+        // The same token split without declared weights violates the
+        // homogeneous ±1 contract... which tokens_on_position can't even
+        // express — so instead tamper the weights after the fact: a weight
+        // vector of the wrong length is flagged structurally.
+        let mut bad = placement(1, 12_000, vec![0, 1, 2, 3], Zone::IntraNode);
+        bad.weights = vec![1024, 512];
+        let plan = plan_of(vec![bad]);
+        assert!(structural_violations(&plan)
+            .iter()
+            .any(|v| matches!(v, PlanViolation::BadSpeedWeights { .. })));
+        let mut zero = placement(2, 12_000, vec![0, 1], Zone::IntraNode);
+        zero.weights = vec![1024, 0];
+        let plan = plan_of(vec![zero]);
+        assert!(structural_violations(&plan)
+            .iter()
+            .any(|v| matches!(v, PlanViolation::BadSpeedWeights { .. })));
+    }
+
+    #[test]
+    fn speed_aware_remap_plans_audit_against_weighted_targets() {
+        let ctx = ctx().with_rank_speed({
+            let mut s = vec![1.0; 16];
+            s[5] = 0.5;
+            s
+        });
+        let (mut plan, _, _) = zeppelin_plan(vec![30_000, 9_000, 2_000, 500, 400]);
+        plan.options.speed_aware_remap = true;
+        validate(&plan, &ctx).unwrap();
+        // Without speeds in the context the flag falls back to the
+        // homogeneous remap audit.
+        validate(&plan, &self::ctx()).unwrap();
     }
 
     #[test]

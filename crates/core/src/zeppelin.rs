@@ -77,6 +77,7 @@ impl Scheduler for Zeppelin {
             options: PlanOptions {
                 routing: self.config.routing,
                 remapping: self.config.remapping,
+                speed_aware_remap: false,
             },
             micro_batches: 1,
             redundant_attn_frac: 0.0,

@@ -25,8 +25,8 @@
 use std::collections::BTreeMap;
 
 use zeppelin_core::chunking::{
-    position_pair_flops, position_tokens, position_total_flops, ring_round_flops,
-    ring_round_kv_bytes,
+    position_pair_flops_weighted, position_tokens_weighted, position_total_flops_weighted,
+    ring_round_flops_weighted, ring_round_kv_bytes_weighted,
 };
 use zeppelin_core::plan::{AttnMode, IterationPlan, SeqPlacement, Zone};
 use zeppelin_core::remap::{needs_remap, needs_remap_weighted, plan_remap, plan_remap_weighted};
@@ -147,6 +147,86 @@ impl Default for ExecConfig {
     }
 }
 
+/// A rejected executor or step configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecConfigError {
+    /// The MoE router skew is non-finite: NaN would poison the expert-load
+    /// softmax and every downstream linear-time estimate.
+    MoeSkew {
+        /// Offending value.
+        value: f64,
+    },
+    /// `rank_speed` is non-empty but does not cover every cluster rank.
+    /// A short vector used to mean "missing ranks run at full speed" in the
+    /// kernel path while the remap path padded with 1.0 — two different
+    /// physics for the same config; now both reject it up front.
+    RankSpeedLength {
+        /// Length of the configured vector.
+        got: usize,
+        /// Ranks in the cluster.
+        nranks: usize,
+    },
+    /// A `rank_speed` entry is non-finite or not strictly positive.
+    RankSpeedValue {
+        /// Offending rank.
+        rank: usize,
+        /// Offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for ExecConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecConfigError::MoeSkew { value } => {
+                write!(f, "moe_skew = {value} is not finite")
+            }
+            ExecConfigError::RankSpeedLength { got, nranks } => write!(
+                f,
+                "rank_speed has {got} entries for a {nranks}-rank cluster \
+                 (must be empty or cover every rank)"
+            ),
+            ExecConfigError::RankSpeedValue { rank, value } => {
+                write!(f, "rank_speed[{rank}] = {value} is not positive and finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecConfigError {}
+
+impl ExecConfig {
+    /// Validates `rank_speed` against a cluster of `nranks` ranks and
+    /// returns the single normalized speed vector both the kernel-rate and
+    /// remap paths use: `None` for a homogeneous cluster, `Some(v)` with
+    /// exactly one positive finite entry per rank otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecConfigError`] when the vector is non-empty with the wrong
+    /// length, or contains a non-finite or non-positive entry.
+    pub fn normalized_rank_speed(
+        &self,
+        nranks: usize,
+    ) -> Result<Option<Vec<f64>>, ExecConfigError> {
+        if self.rank_speed.is_empty() {
+            return Ok(None);
+        }
+        if self.rank_speed.len() != nranks {
+            return Err(ExecConfigError::RankSpeedLength {
+                got: self.rank_speed.len(),
+                nranks,
+            });
+        }
+        for (rank, &value) in self.rank_speed.iter().enumerate() {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(ExecConfigError::RankSpeedValue { rank, value });
+            }
+        }
+        Ok(Some(self.rank_speed.clone()))
+    }
+}
+
 /// Return type of the group-lowering helpers: per-rank attention
 /// completion markers and per-rank communication completions (for the
 /// queue-segment ordering dependencies).
@@ -176,8 +256,10 @@ pub struct LayerOutcome {
 ///
 /// # Panics
 ///
-/// Panics if `entry` does not have one slot per cluster rank or the plan
-/// references ranks outside the cluster (validate plans first).
+/// Panics if `entry` does not have one slot per cluster rank, the plan
+/// references ranks outside the cluster, or `cfg.rank_speed` is malformed
+/// (validate plans and configs first — see
+/// [`ExecConfig::normalized_rank_speed`]).
 pub fn lower_layer(
     sim: &mut Simulator,
     model: &ModelConfig,
@@ -189,9 +271,12 @@ pub fn lower_layer(
     let cluster = sim.cluster().clone();
     let nranks = cluster.total_gpus();
     assert_eq!(entry.len(), nranks, "entry must have one slot per rank");
+    let speed = cfg
+        .normalized_rank_speed(nranks)
+        .unwrap_or_else(|e| panic!("invalid ExecConfig: {e}"));
     let base_peak = cluster.node.gpu.peak_flops;
     let peaks: Vec<f64> = (0..nranks)
-        .map(|r| base_peak * cfg.rank_speed.get(r).copied().unwrap_or(1.0))
+        .map(|r| base_peak * speed.as_ref().map_or(1.0, |s| s[r]))
         .collect();
 
     let mut out = LayerOutcome::default();
@@ -204,8 +289,11 @@ pub fn lower_layer(
             .filter(|p| p.micro_batch == mb)
             .collect();
 
-        // Group multi-rank placements by (ranks, mode); locals by rank.
-        let mut groups: BTreeMap<(Vec<Rank>, u8), Vec<&SeqPlacement>> = BTreeMap::new();
+        // Group multi-rank placements by (ranks, mode, speed weights) —
+        // differently-weighted sequences cut different chunk geometry, so
+        // they must not fuse into one ring. Locals by rank.
+        type GroupKey = (Vec<Rank>, u8, Vec<u32>);
+        let mut groups: BTreeMap<GroupKey, Vec<&SeqPlacement>> = BTreeMap::new();
         let mut locals: Vec<Vec<&SeqPlacement>> = vec![Vec::new(); nranks];
         for p in &placements {
             if p.ranks.len() == 1 {
@@ -218,7 +306,7 @@ pub fn lower_layer(
                     AttnMode::DoubleRing => 3u8,
                 };
                 groups
-                    .entry((p.ranks.clone(), mode_key))
+                    .entry((p.ranks.clone(), mode_key, p.weights.clone()))
                     .or_default()
                     .push(p);
             }
@@ -250,25 +338,27 @@ pub fn lower_layer(
             let mut seg_sends: Vec<Vec<TaskId>> = vec![Vec::new(); nranks];
 
             // Multi-rank groups in this segment.
-            for ((ranks, mode_key), seqs) in groups
+            for ((ranks, mode_key, weights), seqs) in groups
                 .iter()
-                .filter(|((_, _), v)| select(v.first().expect("non-empty group").zone))
+                .filter(|((_, _, _), v)| select(v.first().expect("non-empty group").zone))
             {
                 let lens: Vec<u64> = seqs.iter().map(|p| p.len).collect();
                 let (computes, sends) = match *mode_key {
                     0 => lower_ring_group(
-                        sim, model, cfg, dir, plan, ranks, &lens, &seg_dep, &comm_dep, &mut out,
-                        &peaks,
+                        sim, model, cfg, dir, plan, ranks, &lens, weights, &seg_dep, &comm_dep,
+                        &mut out, &peaks,
                     )?,
                     1 => lower_allgather_group(
-                        sim, model, cfg, dir, ranks, &lens, &seg_dep, &comm_dep, &mut out, &peaks,
+                        sim, model, cfg, dir, ranks, &lens, weights, &seg_dep, &comm_dep, &mut out,
+                        &peaks,
                     )?,
                     2 => lower_ulysses_group(
-                        sim, model, cfg, dir, ranks, &lens, &seg_dep, &comm_dep, &mut out, &peaks,
+                        sim, model, cfg, dir, ranks, &lens, weights, &seg_dep, &comm_dep, &mut out,
+                        &peaks,
                     )?,
                     _ => lower_double_ring_group(
-                        sim, model, cfg, dir, plan, ranks, &lens, &seg_dep, &comm_dep, &mut out,
-                        &peaks,
+                        sim, model, cfg, dir, plan, ranks, &lens, weights, &seg_dep, &comm_dep,
+                        &mut out, &peaks,
                     )?,
                 };
                 for (rank, id) in computes {
@@ -337,18 +427,20 @@ pub fn lower_layer(
         }
 
         // Linear phase, optionally sandwiched by remap / inverse remap.
+        // `rank_speed` alone is physics (slow kernels); speed-proportional
+        // *targets* additionally require scheduler awareness, declared
+        // either in the executor config or by the plan itself.
         let attn_tokens = plan.tokens_per_rank(nranks, mb);
+        let aware = cfg.speed_aware_remap || plan.options.speed_aware_remap;
         let remap_plan = if !plan.options.remapping {
             None
-        } else if cfg.rank_speed.is_empty() {
-            needs_remap(&attn_tokens, cfg.remap_slack).then(|| plan_remap(&cluster, &attn_tokens))
         } else {
-            // Straggler-aware: linear-module targets track speed so all
-            // ranks' GEMMs finish together.
-            let mut speed = cfg.rank_speed.clone();
-            speed.resize(nranks, 1.0);
-            needs_remap_weighted(&attn_tokens, &speed, cfg.remap_slack)
-                .then(|| plan_remap_weighted(&cluster, &attn_tokens, &speed))
+            match speed.as_ref().filter(|_| aware) {
+                Some(s) => needs_remap_weighted(&attn_tokens, s, cfg.remap_slack)
+                    .then(|| plan_remap_weighted(&cluster, &attn_tokens, s)),
+                None => needs_remap(&attn_tokens, cfg.remap_slack)
+                    .then(|| plan_remap(&cluster, &attn_tokens)),
+            }
         };
 
         // Forward remap flows.
@@ -531,6 +623,7 @@ fn lower_ring_group(
     plan: &IterationPlan,
     ranks: &[Rank],
     lens: &[u64],
+    weights: &[u32],
     seg_dep: &[Option<TaskId>],
     comm_dep: &[Option<TaskId>],
     out: &mut LayerOutcome,
@@ -550,7 +643,7 @@ fn lower_ring_group(
         for (p, &rank) in ranks.iter().enumerate() {
             let flops: f64 = lens
                 .iter()
-                .map(|&len| ring_round_flops(model, len, g, p, r))
+                .map(|&len| ring_round_flops_weighted(model, len, g, weights, p, r))
                 .sum::<f64>()
                 * dir.flops_scale();
             let dur =
@@ -586,7 +679,7 @@ fn lower_ring_group(
                 let dst = ranks[next];
                 let bytes: f64 = lens
                     .iter()
-                    .map(|&len| ring_round_kv_bytes(model, len, g, p, r))
+                    .map(|&len| ring_round_kv_bytes_weighted(model, len, g, weights, p, r))
                     .sum::<f64>()
                     * dir.comm_scale();
                 // Send-recv semantics: both endpoints must post their
@@ -739,6 +832,7 @@ fn lower_allgather_group(
     dir: Direction,
     ranks: &[Rank],
     lens: &[u64],
+    weights: &[u32],
     seg_dep: &[Option<TaskId>],
     comm_dep: &[Option<TaskId>],
     out: &mut LayerOutcome,
@@ -758,7 +852,7 @@ fn lower_allgather_group(
             let dst = ranks[next];
             let bytes: f64 = lens
                 .iter()
-                .map(|&len| ring_round_kv_bytes(model, len, g, p, r))
+                .map(|&len| ring_round_kv_bytes_weighted(model, len, g, weights, p, r))
                 .sum::<f64>()
                 * dir.comm_scale();
             let mut send_deps: Vec<TaskId> = Vec::new();
@@ -817,7 +911,7 @@ fn lower_allgather_group(
     for (p, &rank) in ranks.iter().enumerate() {
         let flops: f64 = lens
             .iter()
-            .map(|&len| position_total_flops(model, len, g, p))
+            .map(|&len| position_total_flops_weighted(model, len, g, weights, p))
             .sum::<f64>()
             * dir.flops_scale();
         let dur = SimDuration::from_secs_f64(cfg.attention_kernel.kernel_time(flops, peaks[rank]));
@@ -851,6 +945,7 @@ fn lower_ulysses_group(
     dir: Direction,
     ranks: &[Rank],
     lens: &[u64],
+    weights: &[u32],
     seg_dep: &[Option<TaskId>],
     comm_dep: &[Option<TaskId>],
     out: &mut LayerOutcome,
@@ -860,7 +955,11 @@ fn lower_ulysses_group(
     let g = ranks.len();
     let h_bytes = model.hidden as f64 * model.dtype_bytes as f64;
     let shard_tokens: Vec<u64> = (0..g)
-        .map(|p| lens.iter().map(|&len| position_tokens(len, g, p)).sum())
+        .map(|p| {
+            lens.iter()
+                .map(|&len| position_tokens_weighted(len, g, weights, p))
+                .sum()
+        })
         .collect();
     let mut sends: Vec<(Rank, TaskId)> = Vec::new();
 
@@ -992,6 +1091,7 @@ fn lower_double_ring_group(
     plan: &IterationPlan,
     ranks: &[Rank],
     lens: &[u64],
+    weights: &[u32],
     seg_dep: &[Option<TaskId>],
     comm_dep: &[Option<TaskId>],
     out: &mut LayerOutcome,
@@ -1017,7 +1117,7 @@ fn lower_double_ring_group(
     };
     if !uniform {
         return lower_ring_group(
-            sim, model, cfg, dir, plan, ranks, lens, seg_dep, comm_dep, out, peaks,
+            sim, model, cfg, dir, plan, ranks, lens, weights, seg_dep, comm_dep, out, peaks,
         );
     }
     let m = g / n;
@@ -1038,7 +1138,7 @@ fn lower_double_ring_group(
             let src = source(p, t);
             let flops: f64 = lens
                 .iter()
-                .map(|&len| position_pair_flops(model, len, g, p, src))
+                .map(|&len| position_pair_flops_weighted(model, len, g, weights, p, src))
                 .sum::<f64>()
                 * dir.flops_scale();
             let dur =
@@ -1079,7 +1179,7 @@ fn lower_double_ring_group(
                 let bytes: f64 = lens
                     .iter()
                     .map(|&len| {
-                        2.0 * position_tokens(len, g, source(p, t)) as f64
+                        2.0 * position_tokens_weighted(len, g, weights, source(p, t)) as f64
                             * model.hidden as f64
                             * model.dtype_bytes as f64
                     })
@@ -1154,10 +1254,12 @@ mod tests {
                 ranks,
                 mode: AttnMode::Ring,
                 micro_batch: 0,
+                weights: Vec::new(),
             }],
             options: PlanOptions {
                 routing,
                 remapping: false,
+                speed_aware_remap: false,
             },
             micro_batches: 1,
             redundant_attn_frac: 0.0,
@@ -1266,10 +1368,12 @@ mod tests {
                 ranks: vec![0],
                 mode: AttnMode::Ring,
                 micro_batch: 0,
+                weights: Vec::new(),
             }],
             options: PlanOptions {
                 routing: false,
                 remapping: false,
+                speed_aware_remap: false,
             },
             micro_batches: 1,
             redundant_attn_frac: 0.0,
@@ -1308,6 +1412,7 @@ mod tests {
                 ranks: vec![0],
                 mode: AttnMode::Ring,
                 micro_batch: 0,
+                weights: Vec::new(),
             }],
             options: PlanOptions::default(),
             micro_batches: 1,
@@ -1321,6 +1426,7 @@ mod tests {
             ranks: vec![0],
             mode: AttnMode::Ring,
             micro_batch: 1,
+            weights: Vec::new(),
         });
         two_mb.micro_batches = 2;
         let t = |plan: &IterationPlan| {
@@ -1491,6 +1597,31 @@ mod tests {
     }
 
     #[test]
+    fn weighted_ring_groups_track_rank_speed() {
+        // A straggler at half speed: with speed-proportional chunk weights
+        // matching the physical speeds, every position finishes its rounds
+        // together and the ring beats the uniform-chunk layout.
+        let c = tiny_cluster(1, 4);
+        let model = llama_3b();
+        let mut cfg = ExecConfig::default();
+        cfg.rank_speed = vec![1.0, 0.5, 1.0, 1.0];
+        let t = |weights: Vec<u32>| {
+            let mut plan = ring_plan(vec![0, 1, 2, 3], 32_768, Zone::IntraNode, false);
+            plan.placements[0].weights = weights;
+            let mut sim = Simulator::new(&c);
+            let entry = vec![None; 4];
+            lower_layer(&mut sim, &model, &plan, &cfg, Direction::Forward, &entry).unwrap();
+            sim.run().unwrap().makespan.as_secs_f64()
+        };
+        let uniform = t(Vec::new());
+        let weighted = t(vec![1024, 512, 1024, 1024]);
+        assert!(
+            weighted < uniform,
+            "speed-matched weights {weighted} should beat uniform {uniform}"
+        );
+    }
+
+    #[test]
     fn queue_orders_both_execute_and_stay_close() {
         // §3.2 argues for inter-first ordering because Zeppelin's real
         // engine launches queues coarsely on shared streams. This executor
@@ -1508,6 +1639,7 @@ mod tests {
             ranks: vec![8, 9, 10, 11],
             mode: AttnMode::Ring,
             micro_batch: 0,
+            weights: Vec::new(),
         });
         for r in [4usize, 5, 12, 13] {
             plan.placements.push(SeqPlacement {
@@ -1517,6 +1649,7 @@ mod tests {
                 ranks: vec![r],
                 mode: AttnMode::Ring,
                 micro_batch: 0,
+                weights: Vec::new(),
             });
         }
         let model = llama_3b();
@@ -1549,6 +1682,41 @@ mod straggler_tests {
     use zeppelin_data::batch::Batch;
     use zeppelin_model::config::llama_3b;
     use zeppelin_sim::topology::cluster_a;
+
+    #[test]
+    fn short_rank_speed_vectors_are_rejected_with_a_typed_error() {
+        // A 3-entry vector on a 16-rank cluster used to mean full speed for
+        // ranks 3..16 in the kernel path and padded speed in the remap path.
+        let cluster = cluster_a(2);
+        let ctx = SchedulerCtx::new(&cluster, &llama_3b());
+        let batch = Batch::new(vec![4_000; 16]);
+        let mut cfg = StepConfig::default();
+        cfg.exec.rank_speed = vec![1.0, 0.5, 1.0];
+        let err = simulate_step(&Zeppelin::new(), &batch, &ctx, &cfg).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                crate::step::StepError::Exec(crate::lower::ExecConfigError::RankSpeedLength {
+                    got: 3,
+                    nranks: 16,
+                })
+            ),
+            "{err}"
+        );
+        cfg.exec.rank_speed = vec![1.0; 16];
+        cfg.exec.rank_speed[4] = f64::NAN;
+        let err = simulate_step(&Zeppelin::new(), &batch, &ctx, &cfg).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                crate::step::StepError::Exec(crate::lower::ExecConfigError::RankSpeedValue {
+                    rank: 4,
+                    ..
+                })
+            ),
+            "{err}"
+        );
+    }
 
     #[test]
     fn rank_speed_slows_affected_kernels() {

@@ -21,7 +21,7 @@ use zeppelin_sim::time::SimDuration;
 use zeppelin_sim::topology::Rank;
 use zeppelin_sim::trace::{Trace, TraceCategory};
 
-use crate::lower::{lower_layer, Direction, ExecConfig};
+use crate::lower::{lower_layer, Direction, ExecConfig, ExecConfigError};
 
 /// Errors from step simulation.
 #[derive(Debug)]
@@ -31,6 +31,9 @@ pub enum StepError {
     /// The plan failed the pre-lowering audit (see
     /// [`StepConfig::audit_plans`]).
     Invalid(Vec<PlanViolation>),
+    /// The executor configuration is malformed (e.g. a `rank_speed` vector
+    /// that does not cover the cluster).
+    Exec(ExecConfigError),
     /// The simulator rejected the lowered DAG.
     Sim(SimError),
 }
@@ -42,6 +45,7 @@ impl std::fmt::Display for StepError {
             StepError::Invalid(v) => {
                 write!(f, "plan failed audit: {}", violation_report(v))
             }
+            StepError::Exec(e) => write!(f, "executor config rejected: {e}"),
             StepError::Sim(e) => write!(f, "simulation failed: {e}"),
         }
     }
@@ -52,6 +56,12 @@ impl std::error::Error for StepError {}
 impl From<PlanError> for StepError {
     fn from(e: PlanError) -> Self {
         StepError::Plan(e)
+    }
+}
+
+impl From<ExecConfigError> for StepError {
+    fn from(e: ExecConfigError) -> Self {
+        StepError::Exec(e)
     }
 }
 
@@ -288,6 +298,12 @@ pub fn simulate_plan(
 ) -> Result<StepReport, StepError> {
     let nranks = ctx.cluster.total_gpus();
     plan.validate(nranks)?;
+    cfg.exec.normalized_rank_speed(nranks)?;
+    if !cfg.moe_skew.is_finite() {
+        return Err(StepError::Exec(ExecConfigError::MoeSkew {
+            value: cfg.moe_skew,
+        }));
+    }
     if cfg.audit_plans {
         validate_with_batch(plan, ctx, batch).map_err(StepError::Invalid)?;
     }
@@ -450,6 +466,17 @@ mod tests {
             simulate_step(&TeCp::new(), &mixed_batch(), &tiny, &StepConfig::default()).unwrap_err();
         assert!(matches!(err, StepError::Plan(_)));
         assert!(err.to_string().contains("planning failed"));
+    }
+
+    #[test]
+    fn nan_moe_skew_is_rejected_with_a_typed_error() {
+        let mut cfg = StepConfig::default();
+        cfg.moe_skew = f64::NAN;
+        let err = simulate_step(&Zeppelin::new(), &mixed_batch(), &ctx(), &cfg).unwrap_err();
+        assert!(
+            matches!(err, StepError::Exec(ExecConfigError::MoeSkew { .. })),
+            "{err}"
+        );
     }
 
     #[test]

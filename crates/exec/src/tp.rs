@@ -77,6 +77,7 @@ pub fn fold_tp(cluster: &ClusterSpec, tp: usize) -> Result<ClusterSpec, SimError
     Ok(ClusterSpec {
         name: format!("{} (tp{tp})", cluster.name),
         nodes: cluster.nodes,
+        node_tiers: cluster.node_tiers.clone(),
         node: NodeSpec {
             gpus_per_node: workers,
             gpu: zeppelin_sim::topology::GpuSpec {

@@ -56,7 +56,8 @@ impl SplitMix64 {
 ///
 /// # Panics
 ///
-/// Panics if `num_experts == 0` or `top_k == 0`.
+/// Panics if `num_experts == 0`, `top_k == 0`, or `skew` is not finite (a
+/// NaN or infinite skew would poison the softmax weights).
 pub fn sample_expert_loads(
     seed: u64,
     num_experts: usize,
@@ -66,6 +67,7 @@ pub fn sample_expert_loads(
 ) -> Vec<u64> {
     assert!(num_experts > 0, "need at least one expert");
     assert!(top_k > 0, "top_k must be positive");
+    assert!(skew.is_finite(), "skew must be finite, got {skew}");
     let mut rng = SplitMix64::new(seed);
     // Popularity via softmax of Gaussian scores.
     let scores: Vec<f64> = (0..num_experts)
@@ -86,7 +88,10 @@ pub fn sample_expert_loads(
         assigned += floor;
         fracs.push((i, exact - floor as f64));
     }
-    fracs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    // total_cmp: a NaN frac (however it might arise) must never panic the
+    // planner mid-sort; every float has a total order and the index
+    // tie-break keeps the rounding deterministic.
+    fracs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     let mut left = assignments - assigned;
     for (i, _) in fracs {
         if left == 0 {
@@ -186,5 +191,19 @@ mod tests {
     #[should_panic(expected = "at least one expert")]
     fn zero_experts_panics() {
         sample_expert_loads(0, 0, 2, 10, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "skew must be finite")]
+    fn nan_skew_is_rejected_upfront() {
+        // Regression: a NaN skew used to reach the largest-remainder sort
+        // as NaN fracs and panic inside `partial_cmp(..).unwrap()`.
+        sample_expert_loads(1, 8, 2, 4096, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "skew must be finite")]
+    fn infinite_skew_is_rejected_upfront() {
+        sample_expert_loads(1, 8, 2, 4096, f64::INFINITY);
     }
 }

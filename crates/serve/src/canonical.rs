@@ -199,4 +199,16 @@ mod tests {
         let b = CtxSignature::new(&ctx.clone().with_rank_speed(vec![1.00002; 16]));
         assert_eq!(a, b);
     }
+
+    #[test]
+    fn tiered_clusters_never_alias_homogeneous_cache_entries() {
+        use zeppelin_sim::topology::{cluster_b, A800_RELATIVE_SPEED};
+        // Same blueprint, same name — only the node tiers differ. The
+        // tier-seeded rank_speed must separate the signatures.
+        let model = llama_3b();
+        let tiered = cluster_b(3).with_node_tiers(vec![A800_RELATIVE_SPEED, 1.0, 1.0]);
+        let a = CtxSignature::new(&SchedulerCtx::new(&tiered, &model));
+        let b = CtxSignature::new(&SchedulerCtx::new(&cluster_b(3), &model));
+        assert_ne!(a, b);
+    }
 }

@@ -5,7 +5,7 @@
 use zeppelin_core::scheduler::Scheduler;
 use zeppelin_data::distribution::LengthDistribution;
 use zeppelin_model::config::ModelConfig;
-use zeppelin_sim::topology::{cluster_a, cluster_b, cluster_c, ClusterSpec};
+use zeppelin_sim::topology::{cluster_a, cluster_b, cluster_c, cluster_mixed, ClusterSpec};
 
 /// Scheduler names accepted by [`scheduler_by_name`] (canonical spellings).
 pub use zeppelin_baselines::SCHEDULER_NAMES;
@@ -38,6 +38,7 @@ pub fn cluster_by_name(name: &str, nodes: usize) -> Result<ClusterSpec, String> 
         "a" => Ok(cluster_a(nodes)),
         "b" => Ok(cluster_b(nodes)),
         "c" => Ok(cluster_c(nodes)),
+        "m" | "mixed" => Ok(cluster_mixed(nodes)),
         other => Err(other.to_string()),
     }
 }
@@ -69,6 +70,8 @@ mod tests {
         assert_eq!(scheduler_by_name("TE-CP").unwrap().name(), "TE CP");
         assert_eq!(model_by_name("LLAMA-7B").unwrap().name, "LLaMA-7B");
         assert_eq!(cluster_by_name("B", 3).unwrap().nodes, 3);
+        assert_eq!(scheduler_by_name("het").unwrap().name(), "Zeppelin-Het");
+        assert!(cluster_by_name("mixed", 3).unwrap().rank_speeds().is_some());
         assert_eq!(
             dataset_by_name("prolong").unwrap().name,
             dataset_by_name("prolong64k").unwrap().name

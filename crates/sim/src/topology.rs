@@ -69,7 +69,8 @@ pub struct NodeSpec {
     pub nic_affinity: Vec<usize>,
 }
 
-/// A homogeneous cluster of nodes.
+/// A cluster of nodes sharing one blueprint, optionally spanning mixed GPU
+/// generations via per-node speed tiers.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSpec {
     /// Human-readable name (e.g. `"Cluster A"`).
@@ -78,6 +79,12 @@ pub struct ClusterSpec {
     pub nodes: usize,
     /// Node blueprint, identical across the cluster.
     pub node: NodeSpec,
+    /// Per-node relative compute speed tiers for mixed-generation clusters
+    /// (e.g. an A800 node in an H800 fleet at `312/989`). Empty means
+    /// homogeneous (every node at 1.0); otherwise exactly one positive
+    /// finite multiplier per node, applied to that node's GPU FLOP rate.
+    /// Fabric and NIC rates stay from the blueprint.
+    pub node_tiers: Vec<f64>,
 }
 
 /// Converts Gb/s (network convention, bits) to bytes/s.
@@ -136,7 +143,51 @@ impl ClusterSpec {
         if self.nodes == 0 {
             return Err(SimError::InvalidTopology("cluster has zero nodes".into()));
         }
+        if !self.node_tiers.is_empty() {
+            if self.node_tiers.len() != self.nodes {
+                return Err(SimError::InvalidTopology(format!(
+                    "node_tiers has {} entries for {} nodes",
+                    self.node_tiers.len(),
+                    self.nodes
+                )));
+            }
+            if let Some(&bad) = self
+                .node_tiers
+                .iter()
+                .find(|&&t| !(t.is_finite() && t > 0.0))
+            {
+                return Err(SimError::InvalidTopology(format!(
+                    "node tier {bad} is not positive and finite"
+                )));
+            }
+        }
         self.node.validate()
+    }
+
+    /// Declares per-node speed tiers (builder form).
+    pub fn with_node_tiers(mut self, tiers: Vec<f64>) -> ClusterSpec {
+        self.node_tiers = tiers;
+        self
+    }
+
+    /// Relative compute speed of `node` (1.0 on homogeneous clusters).
+    pub fn tier_of(&self, node: usize) -> f64 {
+        self.node_tiers.get(node).copied().unwrap_or(1.0)
+    }
+
+    /// Per-rank speed factors implied by the node tiers: `None` on a
+    /// homogeneous cluster, otherwise one entry per rank (every rank of a
+    /// node shares its tier). This is what seeds
+    /// `SchedulerCtx::rank_speed` for heterogeneity-aware planning.
+    pub fn rank_speeds(&self) -> Option<Vec<f64>> {
+        if self.node_tiers.is_empty() {
+            return None;
+        }
+        Some(
+            (0..self.total_gpus())
+                .map(|r| self.tier_of(self.node_of(r)))
+                .collect(),
+        )
     }
 
     /// Total number of GPUs (= DP ranks when TP is folded into the GPU spec).
@@ -231,6 +282,7 @@ pub fn cluster_a(nodes: usize) -> ClusterSpec {
     ClusterSpec {
         name: "Cluster A (A800)".into(),
         nodes,
+        node_tiers: Vec::new(),
         node: NodeSpec {
             gpus_per_node: 8,
             gpu: GpuSpec {
@@ -253,6 +305,7 @@ pub fn cluster_b(nodes: usize) -> ClusterSpec {
     ClusterSpec {
         name: "Cluster B (H800)".into(),
         nodes,
+        node_tiers: Vec::new(),
         node: NodeSpec {
             gpus_per_node: 8,
             gpu: GpuSpec {
@@ -274,6 +327,7 @@ pub fn cluster_c(nodes: usize) -> ClusterSpec {
     ClusterSpec {
         name: "Cluster C (H200)".into(),
         nodes,
+        node_tiers: Vec::new(),
         node: NodeSpec {
             gpus_per_node: 8,
             gpu: GpuSpec {
@@ -289,11 +343,32 @@ pub fn cluster_c(nodes: usize) -> ClusterSpec {
     }
 }
 
+/// Relative compute speed of an A800 next to the Hopper generation
+/// (312 vs 989 dense bf16 TFLOP/s).
+pub const A800_RELATIVE_SPEED: f64 = 312.0 / 989.0;
+
+/// Builds a mixed-generation cluster: Cluster B's fabric blueprint with
+/// node tiers cycling A800 → H800 → H200 (relative compute speeds
+/// [`A800_RELATIVE_SPEED`], 1.0, 1.0) — the "heterogeneous fleet" setting
+/// where a retired-generation pod is pooled with current ones.
+pub fn cluster_mixed(nodes: usize) -> ClusterSpec {
+    let tiers = (0..nodes)
+        .map(|n| match n % 3 {
+            0 => A800_RELATIVE_SPEED,
+            _ => 1.0,
+        })
+        .collect();
+    let mut c = cluster_b(nodes).with_node_tiers(tiers);
+    c.name = "Cluster M (A800+H800+H200)".into();
+    c
+}
+
 /// Builds a small synthetic cluster, handy for tests and examples.
 pub fn tiny_cluster(nodes: usize, gpus_per_node: usize) -> ClusterSpec {
     ClusterSpec {
         name: format!("tiny-{nodes}x{gpus_per_node}"),
         nodes,
+        node_tiers: Vec::new(),
         node: NodeSpec {
             gpus_per_node,
             gpu: GpuSpec {
@@ -315,9 +390,41 @@ mod tests {
 
     #[test]
     fn presets_validate() {
-        for c in [cluster_a(2), cluster_b(4), cluster_c(8), tiny_cluster(2, 4)] {
+        for c in [
+            cluster_a(2),
+            cluster_b(4),
+            cluster_c(8),
+            cluster_mixed(3),
+            tiny_cluster(2, 4),
+        ] {
             c.validate().unwrap();
         }
+    }
+
+    #[test]
+    fn node_tiers_feed_rank_speeds_and_are_validated() {
+        let c = cluster_mixed(3);
+        assert_eq!(c.node_tiers.len(), 3);
+        assert!((c.tier_of(0) - A800_RELATIVE_SPEED).abs() < 1e-12);
+        assert_eq!(c.tier_of(1), 1.0);
+        let speeds = c.rank_speeds().unwrap();
+        assert_eq!(speeds.len(), 24);
+        // Every rank of a node shares its tier.
+        assert!(speeds[..8].iter().all(|&s| s == c.tier_of(0)));
+        assert!(speeds[8..16].iter().all(|&s| s == 1.0));
+        // Homogeneous clusters report no speeds at all.
+        assert!(cluster_b(3).rank_speeds().is_none());
+        assert_eq!(cluster_b(3).tier_of(1), 1.0);
+
+        let mut bad = cluster_mixed(3);
+        bad.node_tiers.pop();
+        assert!(matches!(bad.validate(), Err(SimError::InvalidTopology(_))));
+        let mut bad = cluster_mixed(3);
+        bad.node_tiers[1] = f64::NAN;
+        assert!(bad.validate().is_err());
+        let mut bad = cluster_mixed(3);
+        bad.node_tiers[2] = 0.0;
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -22,6 +22,7 @@ fn custom_cluster(nodes: usize, nic_count: usize, nic_gbps: f64) -> ClusterSpec 
     ClusterSpec {
         name: format!("custom {nic_count}x{nic_gbps:.0}Gbps"),
         nodes,
+        node_tiers: Vec::new(),
         node: NodeSpec {
             gpus_per_node,
             gpu: GpuSpec {

@@ -17,7 +17,7 @@ use zeppelin_model::config::ModelConfig;
 use zeppelin_serve::protocol::Request;
 use zeppelin_serve::registry;
 use zeppelin_serve::{Server, ServerConfig};
-use zeppelin_sim::topology::{cluster_a, cluster_b, cluster_c, ClusterSpec};
+use zeppelin_sim::topology::{cluster_a, cluster_b, cluster_c, cluster_mixed, ClusterSpec};
 
 /// Parsed command-line options: flag name → value (`""` for bare flags).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -192,7 +192,7 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
     match opts.command.as_str() {
         "clusters" => {
             let mut out = String::new();
-            for c in [cluster_a(1), cluster_b(1), cluster_c(1)] {
+            for c in [cluster_a(1), cluster_b(1), cluster_c(1), cluster_mixed(3)] {
                 out.push_str(&format!(
                     "{}: {} GPUs/node @ {:.0} TFLOP/s, NVLink {:.0} GB/s, {} NIC(s) @ {:.0} Gb/s\n",
                     c.name,
@@ -798,9 +798,10 @@ pub fn usage() -> String {
                 [--nodes N --out report.json] multi-job cluster simulation\n\
      flags:\n\
        --model    3b|7b|13b|30b|moe        (default 3b)\n\
-       --cluster  a|b|c                    (default a)\n\
+       --cluster  a|b|c|mixed              (default a)\n\
        --nodes    N                        (default 2)\n\
-       --method   zeppelin|te|llama|hybrid|packing|ulysses|double-ring\n\
+       --method   zeppelin|zeppelin-het|straggler-remap|te|llama|hybrid|\n\
+                  packing|ulysses|double-ring\n\
        --dataset  arxiv|github|prolong64k|stackexchange|openwebmath|fineweb\n\
        --tokens   total batch tokens       (default 65536)\n\
        --seqs     comma-separated lengths  (overrides --dataset)\n\

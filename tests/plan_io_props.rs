@@ -35,24 +35,35 @@ fn arb_placement() -> impl Strategy<Value = SeqPlacement> {
         prop::collection::vec(0usize..256, 1..16),
         arb_mode(),
         0usize..4,
+        any::<bool>(),
+        prop::collection::vec(1u32..1_000_000, 16),
     )
-        .prop_map(|(seq_index, len, zone, mut ranks, mode, micro_batch)| {
-            ranks.sort_unstable();
-            ranks.dedup();
-            let zone = if ranks.len() > 1 && zone == Zone::Local {
-                Zone::IntraNode
-            } else {
-                zone
-            };
-            SeqPlacement {
-                seq_index,
-                len,
-                zone,
-                ranks,
-                mode,
-                micro_batch,
-            }
-        })
+        .prop_map(
+            |(seq_index, len, zone, mut ranks, mode, micro_batch, use_weights, wpool)| {
+                ranks.sort_unstable();
+                ranks.dedup();
+                let zone = if ranks.len() > 1 && zone == Zone::Local {
+                    Zone::IntraNode
+                } else {
+                    zone
+                };
+                // Speed weights are either absent (uniform) or exactly one per rank.
+                let weights = if use_weights {
+                    wpool[..ranks.len()].to_vec()
+                } else {
+                    Vec::new()
+                };
+                SeqPlacement {
+                    seq_index,
+                    len,
+                    zone,
+                    ranks,
+                    mode,
+                    micro_batch,
+                    weights,
+                }
+            },
+        )
 }
 
 fn arb_plan() -> impl Strategy<Value = IterationPlan> {
@@ -83,7 +94,11 @@ fn arb_plan() -> impl Strategy<Value = IterationPlan> {
             IterationPlan {
                 scheduler,
                 placements,
-                options: PlanOptions { routing, remapping },
+                options: PlanOptions {
+                    routing,
+                    remapping,
+                    speed_aware_remap: false,
+                },
                 micro_batches,
                 redundant_attn_frac: frac,
             }
@@ -144,6 +159,7 @@ fn base_plan() -> IterationPlan {
                 ranks: vec![3],
                 mode: AttnMode::Ring,
                 micro_batch: 0,
+                weights: Vec::new(),
             },
             SeqPlacement {
                 seq_index: 1,
@@ -152,6 +168,7 @@ fn base_plan() -> IterationPlan {
                 ranks: vec![0, 1],
                 mode: AttnMode::Ring,
                 micro_batch: 1,
+                weights: vec![1024, 512],
             },
         ],
         options: PlanOptions::default(),
